@@ -1,0 +1,100 @@
+"""Extension — workload shift (paper §5.2, closing remark).
+
+The paper notes its reward-scaling solution "would likely need to be
+adjusted to handle workload shifts, changes in hardware, changes in
+physical design" — and §1's promise is an optimizer that "tightly
+incorporates feedback ... to improve the performance of query execution
+plans generated in the future". This extension experiment measures the
+adaptation behaviour the paper gestures at:
+
+1. train ReJOIN on workload A (one region of the schema),
+2. switch to a disjoint workload B,
+3. compare: (a) quality drop at the switch, (b) recovery with continued
+   learning, versus (c) a frozen agent that stops learning at the
+   switch — the "fire and forget" failure mode of §1.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    get_baseline,
+    get_database,
+    get_expert_planner,
+    print_banner,
+)
+from repro.core import JoinOrderEnv, Trainer, TrainingConfig, make_agent
+from repro.core.reporting import ascii_table
+from repro.core.rewards import CostModelReward
+from repro.rl.ppo import PPOConfig
+from repro.workloads import job_lite_workload
+
+PHASE_EPISODES = 400
+
+#: Workload A: company/keyword-centric families; workload B:
+#: cast/person-centric families — disjoint join-graph regions.
+FAMILIES_A = (1, 2, 4, 5, 11, 15)
+FAMILIES_B = (6, 8, 9, 10, 17, 20)
+
+
+def _workload(families, variants=("a", "b", "c")):
+    wl = job_lite_workload(variants=variants)
+    names = {f"{f}{v}" for f in families for v in variants}
+    return wl.filter(lambda q: q.name in names)
+
+
+def _run(adapt: bool, seed: int = 61):
+    db = get_database()
+    baseline = get_baseline()
+    rng = np.random.default_rng(seed)
+    workload_a = _workload(FAMILIES_A)
+    workload_b = _workload(FAMILIES_B)
+    env = JoinOrderEnv(
+        db,
+        workload_a,
+        reward_source=CostModelReward(db, "relative", baseline),
+        planner=get_expert_planner(),
+        rng=rng,
+        forbid_cross_products=False,
+    )
+    agent = make_agent(env, rng, "ppo", PPOConfig(lr=1e-3, entropy_coef=3e-3))
+    trainer = Trainer(env, agent, baseline, rng, TrainingConfig(batch_size=8))
+    log_a = trainer.run(PHASE_EPISODES)
+    env.workload = workload_b  # the shift
+    log_b = trainer.run(PHASE_EPISODES, update=adapt)
+    return log_a, log_b
+
+
+def test_extension_workload_shift(benchmark):
+    def run():
+        log_a, log_b_adapt = _run(adapt=True)
+        _, log_b_frozen = _run(adapt=False)
+
+        tail = PHASE_EPISODES // 4
+        rel_a = log_a.relative_costs()
+        rel_adapt = log_b_adapt.relative_costs()
+        rel_frozen = log_b_frozen.relative_costs()
+        summary = {
+            "workload A, end of training": float(np.median(rel_a[-tail:])),
+            "workload B, right after shift": float(np.median(rel_adapt[:tail])),
+            "workload B, adapted (end)": float(np.median(rel_adapt[-tail:])),
+            "workload B, frozen agent (end)": float(np.median(rel_frozen[-tail:])),
+        }
+        print_banner(
+            f"Extension: workload shift ({PHASE_EPISODES} episodes per phase)"
+        )
+        print(
+            ascii_table(
+                ["phase", "median rel. cost"],
+                [(k, f"{v:.2f}") for k, v in summary.items()],
+            )
+        )
+        return summary
+
+    s = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Learning on A transfers imperfectly to B, and continued learning
+    # must recover what a frozen ("fire and forget") agent cannot.
+    assert s["workload A, end of training"] < 3.0
+    assert s["workload B, adapted (end)"] <= s["workload B, right after shift"]
+    assert s["workload B, adapted (end)"] <= s["workload B, frozen agent (end)"] * 1.1

@@ -1,0 +1,123 @@
+"""Figure 3c — optimization (planning) time vs relation count.
+
+Paper: "Counter-intuitively, ReJOIN's deep reinforcement learning
+algorithm (after training) is faster than PostgreSQL's built-in join
+order enumerator in many cases. Notably, the bottom-up nature of
+ReJOIN's algorithm is O(n)" — Figure 3c sweeps 4-17 relations.
+
+Regenerates the table: relations -> expert planning time (exhaustive DP
+below the GEQO threshold, genetic search above) vs ReJOIN inference
+time (one featurize+forward per join), and asserts the shape: the
+expert's time grows steeply with the relation count while ReJOIN's
+grows mildly, so ReJOIN is faster at high relation counts.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    get_database,
+    get_generator,
+    get_planner,
+    print_banner,
+)
+from repro.core.featurize import QueryFeaturizer, SlotState
+from repro.core.reporting import ascii_table
+from repro.rl.ppo import PPOAgent
+
+RELATION_COUNTS = (4, 5, 6, 7, 8, 9, 10, 11, 12, 14, 17)
+QUERIES_PER_COUNT = 3
+
+
+@pytest.fixture(scope="module")
+def sweep_queries():
+    gen = get_generator()
+    rng = np.random.default_rng(99)
+    return {
+        n: [gen.generate(rng, n, name=f"sweep-{n}-{i}") for i in range(QUERIES_PER_COUNT)]
+        for n in RELATION_COUNTS
+    }
+
+
+@pytest.fixture(scope="module")
+def inference_agent():
+    """An (untrained) agent sized for 17-relation queries; inference
+    cost does not depend on the weights."""
+    db = get_database()
+    featurizer = QueryFeaturizer(db.schema, max_relations=17)
+    agent = PPOAgent(
+        featurizer.state_dim, featurizer.n_pair_actions, np.random.default_rng(0)
+    )
+    return featurizer, agent
+
+
+def _rejoin_select_join_order(featurizer, agent, db, query):
+    """Pure join-order inference: featurize + forward per join step."""
+    state = SlotState(query, featurizer.max_relations)
+    cards = db.cardinalities(query)
+    rng = np.random.default_rng(0)
+    while not state.done:
+        vec = featurizer.featurize(state, cards)
+        mask = featurizer.pair_mask(state, forbid_cross_products=True)
+        action, _ = agent.act(vec, mask, rng, greedy=True)
+        i, j = featurizer.decode_pair(action)
+        state.join(i, j)
+    return state.tree()
+
+
+def test_fig3c_planning_time_table(benchmark, sweep_queries, inference_agent):
+    featurizer, agent = inference_agent
+    db = get_database()
+    planner = get_planner()
+
+    def sweep():
+        rows = []
+        expert_ms = {}
+        rejoin_ms = {}
+        for n, queries in sweep_queries.items():
+            expert_times = []
+            rejoin_times = []
+            for query in queries:
+                t0 = time.perf_counter()
+                planner.choose_join_order(query)
+                expert_times.append((time.perf_counter() - t0) * 1e3)
+                t0 = time.perf_counter()
+                _rejoin_select_join_order(featurizer, agent, db, query)
+                rejoin_times.append((time.perf_counter() - t0) * 1e3)
+            expert_ms[n] = float(np.median(expert_times))
+            rejoin_ms[n] = float(np.median(rejoin_times))
+            rows.append((n, f"{expert_ms[n]:.2f}", f"{rejoin_ms[n]:.2f}"))
+        print_banner("Figure 3c: join-order selection time (ms) by #relations")
+        print(ascii_table(["relations", "expert (ms)", "rejoin (ms)"], rows))
+        return expert_ms, rejoin_ms
+
+    expert_ms, rejoin_ms = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    lo, hi = min(RELATION_COUNTS), max(RELATION_COUNTS)
+    expert_growth = expert_ms[hi] / expert_ms[lo]
+    rejoin_growth = rejoin_ms[hi] / rejoin_ms[lo]
+    print(
+        f"\nexpert growth {lo}->{hi} relations: {expert_growth:.1f}x;"
+        f" rejoin growth: {rejoin_growth:.1f}x"
+    )
+    # Shape: expert time grows much faster than ReJOIN inference, and
+    # ReJOIN is the faster planner for the largest queries.
+    assert expert_growth > 4 * rejoin_growth
+    assert rejoin_ms[hi] < expert_ms[hi]
+
+
+def test_fig3c_expert_planning_large_query(benchmark, sweep_queries):
+    """pytest-benchmark timing: expert join search at 12 relations."""
+    planner = get_planner()
+    query = sweep_queries[12][0]
+    benchmark(lambda: planner.choose_join_order(query))
+
+
+def test_fig3c_rejoin_inference_large_query(benchmark, sweep_queries, inference_agent):
+    """pytest-benchmark timing: ReJOIN inference at 12 relations."""
+    featurizer, agent = inference_agent
+    db = get_database()
+    query = sweep_queries[12][0]
+    benchmark(lambda: _rejoin_select_join_order(featurizer, agent, db, query))

@@ -1,0 +1,79 @@
+"""Section 4, footnote 2 — latency as a tabula-rasa reward signal.
+
+Paper: "We confirmed this experimentally by using query latency as the
+reward signal in ReJOIN. The initial query plans produced could not be
+executed in any reasonable amount of time." And §4's point that reward
+evaluation is not constant-time: "poor execution plans can take
+significantly longer to evaluate than good execution plans".
+
+Regenerates both observations with a fresh agent whose reward is true
+executed latency under a per-query budget:
+
+- a large fraction of early episodes hit the execution budget
+  (catastrophic plans),
+- the simulated execution time spent on early episodes dwarfs what the
+  expert's plans would need for the same queries.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    get_baseline,
+    get_database,
+    get_expert_planner,
+    get_training_workload,
+    print_banner,
+)
+from repro.core import JoinOrderEnv, Trainer, TrainingConfig, make_agent
+from repro.core.reporting import ascii_table
+from repro.core.rewards import LatencyReward
+from repro.rl.ppo import PPOConfig
+
+EPISODES = 120
+BUDGET_FACTOR = 30.0
+
+
+def test_sec4_latency_reward_from_scratch(benchmark):
+    def run():
+        db = get_database()
+        baseline = get_baseline()
+        workload = get_training_workload().filter(lambda q: 4 <= q.n_relations <= 8)
+        rng = np.random.default_rng(3)
+        env = JoinOrderEnv(
+            db,
+            workload,
+            reward_source=LatencyReward(
+                db, shaping="relative", baseline=baseline,
+                budget_factor=BUDGET_FACTOR,
+            ),
+            planner=get_expert_planner(),
+            rng=rng,
+            forbid_cross_products=False,
+        )
+        agent = make_agent(env, rng, "ppo", PPOConfig(lr=1e-3))
+        trainer = Trainer(env, agent, baseline, rng, TrainingConfig(batch_size=8))
+        log = trainer.run(EPISODES)
+
+        timeout_frac = log.timeout_fraction()
+        agent_ms = float(np.sum([r.latency_ms for r in log.records]))
+        expert_ms = float(np.sum([r.expert_latency_ms for r in log.records]))
+        rows = [
+            ("episodes", EPISODES),
+            ("execution budget", f"{BUDGET_FACTOR:.0f}x expert latency"),
+            ("episodes hitting the budget", f"{timeout_frac * 100:.0f}%"),
+            ("total simulated execution time", f"{agent_ms / 1e3:.1f}s"),
+            ("same queries, expert plans", f"{expert_ms / 1e3:.1f}s"),
+            ("evaluation overhead ratio", f"{agent_ms / expert_ms:.0f}x"),
+        ]
+        print_banner("Section 4 footnote 2: latency reward from scratch")
+        print(ascii_table(["quantity", "value"], rows))
+        return timeout_frac, agent_ms / expert_ms
+
+    timeout_frac, overhead = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # Shape: early tabula-rasa plans are regularly catastrophic, and
+    # evaluating them costs an order of magnitude more execution time
+    # than the queries are worth.
+    assert timeout_frac > 0.25, "early latency-reward training must hit budgets"
+    assert overhead > 5.0, "reward evaluation must dominate execution time"

@@ -1,0 +1,128 @@
+"""Section 5.3 — incremental learning curricula.
+
+Paper: decompose query optimization along two axes (pipeline stages ×
+relation count, Figure 6) and train in phases of growing complexity.
+Three decompositions (Figure 7): pipeline (§5.3.1), relations (§5.3.2),
+hybrid (§5.3.3) — measured here against flat full-search-space training
+with the same total episode budget.
+
+Regenerates the comparison table: per-curriculum final plan quality
+(median relative cost over the last phase's tail) plus the per-phase
+trajectory, and asserts the shape: every curriculum completes its
+phases, reaches sane quality, and the curricula beat or match flat
+training on the full search space.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    SEC53_EPISODES_PER_PHASE,
+    get_database,
+    print_banner,
+)
+from repro.core.incremental import (
+    IncrementalTrainer,
+    flat_curriculum,
+    hybrid_curriculum,
+    pipeline_curriculum,
+    relations_curriculum,
+)
+from repro.core.reporting import ascii_table
+from repro.rl.reinforce import ReinforceConfig
+
+MAX_RELATIONS = 6
+
+
+def _curricula():
+    per_phase = SEC53_EPISODES_PER_PHASE
+    pipeline = pipeline_curriculum(per_phase, max_relations=MAX_RELATIONS)
+    relations = relations_curriculum(
+        per_phase, relation_steps=(2, 3, 4, MAX_RELATIONS)
+    )
+    hybrid = hybrid_curriculum(per_phase, final_relations=MAX_RELATIONS)
+    # flat gets the same total episode budget as the pipeline curriculum
+    flat = flat_curriculum(per_phase * 4, max_relations=MAX_RELATIONS)
+    return {
+        "pipeline (§5.3.1)": pipeline,
+        "relations (§5.3.2)": relations,
+        "hybrid (§5.3.3)": hybrid,
+        "flat (no curriculum)": flat,
+    }
+
+
+def _run(curriculum, seed):
+    trainer = IncrementalTrainer(
+        get_database(),
+        np.random.default_rng(seed),
+        queries_per_phase=40,
+        batch_size=8,
+        agent_config=ReinforceConfig(lr=1e-3, entropy_coef=3e-3),
+    )
+    results = trainer.run(curriculum)
+    tail = max(20, SEC53_EPISODES_PER_PHASE // 2)
+    return results, trainer.final_quality(results, tail=tail)
+
+
+def test_sec53_curriculum_comparison(benchmark):
+    def run():
+        summary = {}
+        trajectories = {}
+        for name, curriculum in _curricula().items():
+            results, quality = _run(curriculum, seed=41)
+            summary[name] = quality
+            trajectories[name] = [
+                (r.phase.name, float(np.median(r.log.relative_costs())))
+                for r in results
+            ]
+        print_banner(
+            "Section 5.3: incremental curricula vs flat training "
+            f"({SEC53_EPISODES_PER_PHASE} episodes/phase)"
+        )
+        print(
+            ascii_table(
+                ["curriculum", "final median rel. cost"],
+                [(k, f"{v:.2f}") for k, v in summary.items()],
+            )
+        )
+        print("\nper-phase median relative cost:")
+        for name, phases in trajectories.items():
+            steps = ", ".join(f"{p}: {v:.2f}" for p, v in phases)
+            print(f"  {name}: {steps}")
+        return summary
+
+    s = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    flat = s["flat (no curriculum)"]
+    for name, quality in s.items():
+        assert quality < 50.0, f"{name} must reach sane final quality"
+    # The §5.3 premise: breaking up the search space keeps learning
+    # manageable — the best curriculum beats flat training.
+    assert min(v for k, v in s.items() if k != "flat (no curriculum)") <= flat * 1.1
+
+
+def test_sec53_pipeline_smoother_than_flat(benchmark):
+    """The pipeline curriculum's first phase is the small join-order
+    space — it must be much better than flat training's first phase at
+    the same episode count (the 'manageable growth' argument)."""
+
+    def run():
+        pipeline_results, _ = _run(
+            pipeline_curriculum(SEC53_EPISODES_PER_PHASE, MAX_RELATIONS), seed=43
+        )
+        flat_results, _ = _run(
+            flat_curriculum(SEC53_EPISODES_PER_PHASE * 4, MAX_RELATIONS), seed=43
+        )
+        pipeline_first = float(
+            np.median(pipeline_results[0].log.relative_costs())
+        )
+        flat_rel = flat_results[0].log.relative_costs()
+        flat_first = float(np.median(flat_rel[: SEC53_EPISODES_PER_PHASE]))
+        print(
+            f"\nfirst-phase median rel. cost — pipeline: {pipeline_first:.2f}, "
+            f"flat: {flat_first:.2f}"
+        )
+        return pipeline_first, flat_first
+
+    pipeline_first, flat_first = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert pipeline_first <= flat_first

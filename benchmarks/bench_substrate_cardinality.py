@@ -1,0 +1,131 @@
+"""Substrate validation — the Leis et al. [17] premise.
+
+The paper's Section 4 argument rests on two properties of traditional
+optimizers (citing "How Good Are Query Optimizers, Really?"):
+
+1. cardinality estimates degrade as queries join more relations
+   (errors compound under the independence assumption), and
+2. the cost model's opinion of a plan does not always order plans the
+   way true latency does ("a query with a high optimizer cost might
+   outperform a query with lower optimizer cost").
+
+This bench verifies our substrate actually exhibits both, i.e. that the
+reproduction's expert is flawed in the same ways PostgreSQL is.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import (
+    get_database,
+    get_expert_planner,
+    get_generator,
+    print_banner,
+)
+from repro.core.reporting import ascii_table
+from repro.optimizer.join_search import random_join_tree
+from repro.optimizer.physical import build_physical_plan
+
+
+def _true_rows(db, query):
+    """Execute an expert plan to get the true result cardinality."""
+    planner = get_expert_planner()
+    plan = planner.complete_plan(
+        planner.choose_join_order(query), query, include_aggregate=False
+    )
+    result = db.execute_plan(plan, query, budget_ms=1e9)
+    return result.rows
+
+
+def test_substrate_qerror_grows_with_join_count(benchmark):
+    def run():
+        db = get_database()
+        gen = get_generator()
+        rng = np.random.default_rng(17)
+        rows = []
+        stats = {}
+        for n in (1, 2, 3, 4, 5, 6):
+            qerrors = []
+            for i in range(10):
+                query = gen.generate(
+                    rng, n, name=f"card-{n}-{i}", aggregate_prob=0.0
+                )
+                cards = db.cardinalities(query)
+                est = cards.rows_for_aliases(frozenset(query.relations))
+                true = max(1, _true_rows(db, query))
+                qerrors.append(max(est / true, true / est))
+            stats[n] = {
+                "median": float(np.median(qerrors)),
+                "p90": float(np.percentile(qerrors, 90)),
+                "max": float(np.max(qerrors)),
+            }
+            rows.append(
+                (
+                    n,
+                    f"{stats[n]['median']:.1f}",
+                    f"{stats[n]['p90']:.1f}",
+                    f"{stats[n]['max']:.0f}",
+                )
+            )
+        print_banner(
+            "Substrate: cardinality q-error by join count (Leis et al. shape)"
+        )
+        print(
+            ascii_table(
+                ["relations", "median q-error", "p90 q-error", "max q-error"], rows
+            )
+        )
+        return stats
+
+    stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Single-table estimates are near-exact; multi-join tails explode —
+    # the signature shape of Figure 3 in Leis et al.
+    assert stats[1]["median"] < 3.0
+    assert max(stats[n]["p90"] for n in (4, 5, 6)) > 10 * stats[1]["p90"]
+    assert max(stats[n]["max"] for n in (5, 6)) > 100
+
+
+def test_substrate_cost_latency_disagreement(benchmark):
+    """Among plans of *comparable* cost, the cost model sometimes orders
+    them opposite to their true latency (estimates vs actuals)."""
+
+    def run():
+        db = get_database()
+        gen = get_generator()
+        rng = np.random.default_rng(23)
+        disagreements = 0
+        comparisons = 0
+        for i in range(20):
+            query = gen.generate(
+                rng, int(rng.integers(3, 7)), name=f"dis-{i}", aggregate_prob=0.0
+            )
+            plans = []
+            for k in range(6):
+                tree = random_join_tree(query, rng)
+                plan = build_physical_plan(tree, query, db)
+                cost = db.plan_cost(plan, query).total
+                latency = db.execute_plan(plan, query, budget_ms=1e9).latency_ms
+                plans.append((cost, latency))
+            for a in range(len(plans)):
+                for b in range(a + 1, len(plans)):
+                    ca, la = plans[a]
+                    cb, lb = plans[b]
+                    ratio = max(ca, cb) / min(ca, cb)
+                    if ratio < 1.05 or ratio > 3.0:
+                        continue  # ties and blowouts are uninformative
+                    comparisons += 1
+                    if (ca < cb) != (la < lb):
+                        disagreements += 1
+        frac = disagreements / max(comparisons, 1)
+        print_banner("Substrate: cost model vs latency plan ordering")
+        print(
+            f"comparable plan pairs (cost within 3x): {comparisons}; ordered "
+            f"differently by cost and latency: {disagreements} ({frac * 100:.0f}%)"
+        )
+        return frac, comparisons, disagreements
+
+    frac, comparisons, disagreements = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert comparisons > 50
+    # Imperfect, but far better than a coin flip.
+    assert disagreements >= 1
+    assert frac < 0.3

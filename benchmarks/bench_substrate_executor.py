@@ -1,0 +1,115 @@
+"""Substrate microbenchmarks — executor and planner components.
+
+pytest-benchmark timings for the moving parts every experiment leans
+on: scans, the three join operators, aggregation, cardinality
+estimation, and full expert planning. Also sanity-asserts the simulated
+clock's operator ordering (nested loops must be charged more virtual
+time than hash joins on the same inputs — the §4 "catastrophic plan"
+premise).
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.common import get_database, get_expert_planner
+from repro.db.plans import HashAggregate, HashJoin, MergeJoin, NestedLoopJoin, SeqScan
+from repro.db.query import AggregateSpec, parse_query
+from repro.workloads.job import job_lite_query
+
+
+@pytest.fixture(scope="module")
+def db():
+    return get_database()
+
+
+@pytest.fixture(scope="module")
+def join_query(db):
+    q = parse_query(
+        "SELECT * FROM cast_info AS ci, title AS t WHERE ci.movie_id = t.id",
+        name="ci-t",
+    )
+    q.validate_against(db.schema)
+    return q
+
+
+def scan(alias, table):
+    return SeqScan(alias, table)
+
+
+class TestExecutorMicro:
+    def test_seq_scan(self, benchmark, db, join_query):
+        plan = scan("t", "title")
+        benchmark(lambda: db.execute_plan(plan, join_query))
+
+    def test_hash_join(self, benchmark, db, join_query):
+        plan = HashJoin(
+            scan("t", "title"), scan("ci", "cast_info"), tuple(join_query.joins)
+        )
+        benchmark(lambda: db.execute_plan(plan, join_query))
+
+    def test_merge_join(self, benchmark, db, join_query):
+        plan = MergeJoin(
+            scan("t", "title"), scan("ci", "cast_info"), tuple(join_query.joins)
+        )
+        benchmark(lambda: db.execute_plan(plan, join_query))
+
+    def test_nested_loop_join(self, benchmark, db, join_query):
+        plan = NestedLoopJoin(
+            scan("t", "title"), scan("ci", "cast_info"), tuple(join_query.joins)
+        )
+        benchmark(lambda: db.execute_plan(plan, join_query, budget_ms=1e12))
+
+    def test_aggregate(self, benchmark, db):
+        q = parse_query(
+            "SELECT t.kind_id, COUNT(*) FROM title AS t GROUP BY t.kind_id",
+            name="agg",
+        )
+        plan = HashAggregate(
+            scan("t", "title"), tuple(q.group_by), tuple(q.aggregates)
+        )
+        benchmark(lambda: db.execute_plan(plan, q))
+
+    def test_simulated_clock_orders_operators(self, benchmark, db, join_query):
+        """NL joins must cost far more virtual time than hash joins."""
+        hash_plan = HashJoin(
+            scan("t", "title"), scan("ci", "cast_info"), tuple(join_query.joins)
+        )
+        nl_plan = NestedLoopJoin(
+            scan("t", "title"), scan("ci", "cast_info"), tuple(join_query.joins)
+        )
+
+        def measure():
+            t_hash = db.execute_plan(hash_plan, join_query).latency_ms
+            t_nl = db.execute_plan(nl_plan, join_query, budget_ms=1e12).latency_ms
+            return t_hash, t_nl
+
+        t_hash, t_nl = benchmark.pedantic(measure, rounds=1, iterations=1)
+        assert t_nl > 50 * t_hash
+
+
+class TestPlannerMicro:
+    def test_cardinality_estimation(self, benchmark, db):
+        query = job_lite_query("13c")
+        cards = db.cardinalities(query)
+
+        def estimate():
+            return cards.rows_for_aliases(frozenset(query.relations))
+
+        benchmark(estimate)
+
+    def test_expert_optimize_small(self, benchmark):
+        query = job_lite_query("1a")
+        planner = get_expert_planner()
+        benchmark(lambda: planner.optimize(query))
+
+    def test_expert_optimize_large(self, benchmark):
+        query = job_lite_query("22c")
+        planner = get_expert_planner()
+        benchmark(lambda: planner.optimize(query))
+
+    def test_analyze_statistics(self, benchmark, db):
+        from repro.db.statistics import analyze_table
+
+        table = db.tables["movie_info"]
+        rng = np.random.default_rng(0)
+        benchmark(lambda: analyze_table(table, rng, sample_size=5000))

@@ -1,0 +1,19 @@
+"""Benchmark-suite conftest.
+
+Every bench prints the paper-figure tables it regenerates; pytest's
+default capture would swallow them unless ``-s`` is passed. This
+autouse fixture re-emits each bench's captured stdout after the test,
+so ``pytest benchmarks/ --benchmark-only`` records the full
+figure-by-figure report.
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def show_bench_output(capsys):
+    yield
+    out, _err = capsys.readouterr()
+    if out.strip():
+        with capsys.disabled():
+            print(out, end="" if out.endswith("\n") else "\n")

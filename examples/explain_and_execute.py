@@ -1,0 +1,71 @@
+"""Substrate tour: plans, costs, latencies, and why they disagree.
+
+Run:  python examples/explain_and_execute.py
+
+Demonstrates the machinery the paper's Section 4 argument rests on:
+- the same query under different join orders and operators,
+- the cost model's opinion (from *estimated* cardinalities) vs the
+  executor's simulated latency (from *actual* cardinalities),
+- a catastrophic plan getting censored by the latency budget.
+"""
+
+from repro.db import parse_query
+from repro.db.plans import HashJoin, JoinTree, NestedLoopJoin, SeqScan
+from repro.optimizer import Planner, build_physical_plan
+from repro.workloads import make_imdb_database
+
+
+def main() -> None:
+    db = make_imdb_database(scale=0.03, seed=7, sample_size=5000)
+    query = parse_query(
+        "SELECT * FROM title AS t, movie_info AS mi, info_type AS it "
+        "WHERE mi.movie_id = t.id AND mi.info_type_id = it.id "
+        "AND it.info = 3 AND t.production_year BETWEEN 60 AND 100",
+        name="tour",
+    )
+    print(f"query: {query.sql()}\n")
+
+    planner = Planner(db)
+    expert = planner.optimize(query)
+    print("expert plan:")
+    print(db.explain_analyze(expert.plan, query))
+    print()
+
+    print("a different join order, physical details completed by the expert:")
+    other_tree = JoinTree.join(
+        JoinTree.join(JoinTree.leaf("t"), JoinTree.leaf("it")),  # cross product!
+        JoinTree.leaf("mi"),
+    )
+    other = build_physical_plan(other_tree, query, db)
+    print(db.explain_analyze(other, query))
+    print()
+
+    print("hand-built nested-loop-everywhere plan:")
+    nl_plan = NestedLoopJoin(
+        NestedLoopJoin(
+            SeqScan("t", "title", tuple(query.selections_for("t"))),
+            SeqScan("mi", "movie_info"),
+            tuple(query.joins_between(["t"], ["mi"])),
+        ),
+        SeqScan("it", "info_type", tuple(query.selections_for("it"))),
+        tuple(query.joins_between(["t", "mi"], ["it"])),
+    )
+    result = db.execute_plan(nl_plan, query, budget_ms=60_000)
+    cost = db.plan_cost(nl_plan, query)
+    print(f"  cost model says: {cost.total:.1f}")
+    if result.timed_out:
+        print("  executor: BUDGET EXCEEDED (catastrophic plan, censored)")
+    else:
+        print(f"  executor: {result.latency_ms:.2f} ms simulated")
+    print()
+
+    print("cost vs latency for the three plans (lower is better):")
+    for label, plan in (("expert", expert.plan), ("reordered", other), ("all-NL", nl_plan)):
+        c = db.plan_cost(plan, query).total
+        r = db.execute_plan(plan, query, budget_ms=60_000)
+        latency = "TIMEOUT" if r.timed_out else f"{r.latency_ms:9.2f} ms"
+        print(f"  {label:10s} cost={c:12.1f}  latency={latency}")
+
+
+if __name__ == "__main__":
+    main()

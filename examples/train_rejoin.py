@@ -1,0 +1,99 @@
+"""Full ReJOIN training run, reproducing the Figure 3 artifacts.
+
+Run:  python examples/train_rejoin.py [episodes]
+
+Trains the join-order agent on the JOB-lite workload with the
+cost-model reward (cross products allowed, as in ReJOIN) and prints:
+- the Figure 3a convergence series (relative plan cost by episode
+  bucket),
+- the Figure 3b per-query table for the paper's ten named queries,
+- a Figure 3c-style planning-time comparison on a few query sizes.
+"""
+
+import sys
+import time
+
+import numpy as np
+
+from repro.core import (
+    ExpertBaseline,
+    JoinOrderEnv,
+    Trainer,
+    TrainingConfig,
+    make_agent,
+)
+from repro.core.reporting import ascii_table
+from repro.core.rewards import CostModelReward
+from repro.optimizer import Planner
+from repro.rl.ppo import PPOConfig
+from repro.workloads import job_lite_workload, make_imdb_database
+from repro.workloads.job import FIGURE_3B_QUERIES, job_lite_query
+
+
+def main() -> None:
+    episodes = int(sys.argv[1]) if len(sys.argv) > 1 else 2000
+
+    print("building the JOB-lite database...")
+    db = make_imdb_database(scale=0.05, seed=42, sample_size=10_000)
+    planner = Planner(db, geqo_threshold=8)
+    baseline = ExpertBaseline(db, planner)
+    workload = job_lite_workload(variants=("a", "b", "c")).filter(
+        lambda q: q.n_relations <= 11
+    )
+
+    rng = np.random.default_rng(7)
+    env = JoinOrderEnv(
+        db,
+        workload,
+        reward_source=CostModelReward(db, "relative", baseline),
+        planner=planner,
+        rng=rng,
+        forbid_cross_products=False,
+    )
+    agent = make_agent(env, rng, "ppo", PPOConfig(lr=1e-3, entropy_coef=3e-3))
+    trainer = Trainer(env, agent, baseline, rng, TrainingConfig(batch_size=8))
+
+    print(f"training for {episodes} episodes "
+          f"({len(workload)} queries in the mix)...")
+    start = time.time()
+    log = trainer.run(episodes)
+    print(f"done in {time.time() - start:.0f}s\n")
+
+    print("Figure 3a — plan cost relative to the expert, by episode bucket:")
+    bucket = max(1, episodes // 10)
+    rel = log.relative_costs()
+    rows = [
+        (end, f"{np.median(rel[max(0, end - bucket):end]) * 100:.0f}%")
+        for end, _ in log.relative_cost_series(bucket_size=bucket)
+    ]
+    print(ascii_table(["episodes", "median rel. cost"], rows))
+
+    print("\nFigure 3b — final plan cost on the paper's named queries:")
+    rows = []
+    for name in FIGURE_3B_QUERIES:
+        query = job_lite_query(name)
+        if query.n_relations > env.featurizer.max_relations:
+            continue
+        record = trainer.evaluate([query])[name]
+        rows.append(
+            (name, f"{record.expert_cost:.0f}", f"{record.cost:.0f}",
+             f"{record.relative_cost:.2f}x")
+        )
+    print(ascii_table(["query", "expert", "rejoin", "ratio"], rows))
+
+    print("\nFigure 3c — planning time (ms):")
+    rows = []
+    for name in ("1a", "12b", "22c"):
+        query = job_lite_query(name)
+        t0 = time.perf_counter()
+        planner.choose_join_order(query)
+        expert_ms = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        trainer.evaluate([query])
+        rejoin_ms = (time.perf_counter() - t0) * 1e3
+        rows.append((name, query.n_relations, f"{expert_ms:.1f}", f"{rejoin_ms:.1f}"))
+    print(ascii_table(["query", "relations", "expert (ms)", "rejoin (ms)"], rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,328 @@
+"""Command-line experiment runner: ``python -m repro <command>``.
+
+Regenerates the paper's artifacts from the terminal without writing
+code. Commands mirror the benchmark harness but expose the knobs
+(episodes, database scale, seed) directly:
+
+- ``info``       — build the database and print its inventory,
+- ``plan``       — optimize one named JOB-lite query and EXPLAIN it,
+- ``fig3a``      — train ReJOIN and print the convergence series,
+- ``fig3b``      — evaluate a trained agent on the Figure 3b queries,
+- ``fig3c``      — planning-time sweep over relation counts,
+- ``lfd``        — §5.1 learning-from-demonstration comparison,
+- ``bootstrap``  — §5.2 reward-switch comparison,
+- ``incremental``— §5.3 curricula comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction experiments for 'Towards a Hands-Free "
+        "Query Optimizer through Deep Learning' (CIDR 2019)",
+    )
+    parser.add_argument("--scale", type=float, default=0.05,
+                        help="database scale factor (default 0.05)")
+    parser.add_argument("--seed", type=int, default=42, help="database seed")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="build the JOB-lite database and summarize it")
+
+    plan = sub.add_parser("plan", help="optimize one JOB-lite query")
+    plan.add_argument("query", help="query name, e.g. 13c")
+
+    fig3a = sub.add_parser("fig3a", help="train ReJOIN; print convergence")
+    fig3a.add_argument("--episodes", type=int, default=2000)
+    fig3a.add_argument("--save", help="directory for the agent checkpoint")
+
+    fig3b = sub.add_parser("fig3b", help="Figure 3b per-query cost table")
+    fig3b.add_argument("--episodes", type=int, default=2000)
+    fig3b.add_argument("--load", help="agent checkpoint to reuse")
+
+    fig3c = sub.add_parser("fig3c", help="planning-time sweep")
+    fig3c.add_argument("--max-relations", type=int, default=14)
+
+    lfd = sub.add_parser("lfd", help="§5.1 learning from demonstration")
+    lfd.add_argument("--episodes", type=int, default=120)
+
+    boot = sub.add_parser("bootstrap", help="§5.2 reward-switch comparison")
+    boot.add_argument("--phase1", type=int, default=300)
+    boot.add_argument("--phase2", type=int, default=150)
+
+    inc = sub.add_parser("incremental", help="§5.3 curricula comparison")
+    inc.add_argument("--episodes-per-phase", type=int, default=60)
+    return parser
+
+
+def _database(args):
+    from repro.workloads import make_imdb_database
+
+    print(f"building JOB-lite database (scale={args.scale}, seed={args.seed})...")
+    return make_imdb_database(scale=args.scale, seed=args.seed, sample_size=10_000)
+
+
+def _cmd_info(args) -> int:
+    from repro.core.reporting import ascii_table
+
+    db = _database(args)
+    rows = [
+        (name, table.n_rows, table.n_pages, len(db.indexed_columns(name)))
+        for name, table in sorted(db.tables.items())
+    ]
+    print(ascii_table(["table", "rows", "pages", "indexed columns"], rows))
+    print(f"\ntotal rows: {db.total_rows():,}")
+    return 0
+
+
+def _cmd_plan(args) -> int:
+    from repro.optimizer import Planner
+    from repro.workloads.job import job_lite_query
+
+    db = _database(args)
+    query = job_lite_query(args.query)
+    planner = Planner(db)
+    result = planner.optimize(query)
+    print(f"\n{query.sql()}\n")
+    print(f"planned in {result.planning_time_ms:.1f} ms "
+          f"({'exhaustive DP' if result.used_exhaustive_search else 'GEQO'})\n")
+    print(db.explain_analyze(result.plan, query))
+    return 0
+
+
+def _trained_setup(args, episodes: int):
+    from repro.core import (
+        ExpertBaseline,
+        JoinOrderEnv,
+        Trainer,
+        TrainingConfig,
+        make_agent,
+    )
+    from repro.core.rewards import CostModelReward
+    from repro.optimizer import Planner
+    from repro.rl.ppo import PPOConfig
+    from repro.workloads import job_lite_workload
+
+    db = _database(args)
+    planner = Planner(db, geqo_threshold=8)
+    baseline = ExpertBaseline(db, planner)
+    workload = job_lite_workload(variants=("a", "b", "c")).filter(
+        lambda q: q.n_relations <= 11
+    )
+    rng = np.random.default_rng(7)
+    env = JoinOrderEnv(
+        db, workload,
+        reward_source=CostModelReward(db, "relative", baseline),
+        planner=planner, rng=rng, forbid_cross_products=False,
+    )
+    agent = make_agent(env, rng, "ppo", PPOConfig(lr=1e-3, entropy_coef=3e-3))
+    trainer = Trainer(env, agent, baseline, rng, TrainingConfig(batch_size=8))
+    print(f"training for {episodes} episodes...")
+    start = time.time()
+    log = trainer.run(episodes)
+    print(f"trained in {time.time() - start:.0f}s")
+    return db, env, agent, trainer, baseline, log
+
+
+def _cmd_fig3a(args) -> int:
+    from repro.core.reporting import ascii_table
+
+    _db, _env, agent, _trainer, _baseline, log = _trained_setup(args, args.episodes)
+    rel = log.relative_costs()
+    bucket = max(1, args.episodes // 10)
+    rows = [
+        (end, f"{np.median(rel[max(0, end - bucket):end]) * 100:.0f}%")
+        for end, _ in log.relative_cost_series(bucket_size=bucket)
+    ]
+    print("\nFigure 3a — median plan cost relative to the expert:")
+    print(ascii_table(["episodes", "median rel. cost"], rows))
+    if args.save:
+        from repro.core.checkpoint import save_agent
+
+        path = save_agent(agent, args.save)
+        print(f"\nagent checkpoint written to {path}")
+    return 0
+
+
+def _cmd_fig3b(args) -> int:
+    from repro.core.reporting import ascii_table, geometric_mean
+    from repro.workloads.job import FIGURE_3B_QUERIES, job_lite_query
+
+    db, env, agent, trainer, baseline, _ = _trained_setup(args, args.episodes)
+    if args.load:
+        from repro.core.checkpoint import load_agent
+
+        agent = load_agent(args.load)
+        trainer.agent = agent
+        print(f"loaded agent checkpoint from {args.load}")
+    rows = []
+    ratios = []
+    for name in FIGURE_3B_QUERIES:
+        query = job_lite_query(name)
+        if query.n_relations > env.featurizer.max_relations:
+            continue
+        record = trainer.evaluate([query])[name]
+        ratios.append(record.relative_cost)
+        rows.append(
+            (name, f"{record.expert_cost:.0f}", f"{record.cost:.0f}",
+             f"{record.relative_cost:.2f}x")
+        )
+    print("\nFigure 3b — final plan cost (expert vs ReJOIN):")
+    print(ascii_table(["query", "expert", "rejoin", "ratio"], rows))
+    print(f"geometric mean: {geometric_mean(ratios):.2f}")
+    return 0
+
+
+def _cmd_fig3c(args) -> int:
+    from repro.core.featurize import QueryFeaturizer, SlotState
+    from repro.core.reporting import ascii_table
+    from repro.optimizer import Planner
+    from repro.rl.ppo import PPOAgent
+    from repro.workloads.generator import RandomQueryGenerator
+
+    db = _database(args)
+    planner = Planner(db, geqo_threshold=8)
+    gen = RandomQueryGenerator(db)
+    rng = np.random.default_rng(0)
+    featurizer = QueryFeaturizer(db.schema, max_relations=args.max_relations)
+    agent = PPOAgent(featurizer.state_dim, featurizer.n_pair_actions, rng)
+    rows = []
+    for n in range(4, args.max_relations + 1):
+        query = gen.generate(rng, n, name=f"sweep-{n}")
+        t0 = time.perf_counter()
+        planner.choose_join_order(query)
+        expert_ms = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        state = SlotState(query, featurizer.max_relations)
+        cards = db.cardinalities(query)
+        while not state.done:
+            vec = featurizer.featurize(state, cards)
+            mask = featurizer.pair_mask(state)
+            action, _ = agent.act(vec, mask, rng, greedy=True)
+            state.join(*featurizer.decode_pair(action))
+        rejoin_ms = (time.perf_counter() - t0) * 1e3
+        rows.append((n, f"{expert_ms:.2f}", f"{rejoin_ms:.2f}"))
+    print("\nFigure 3c — join-order selection time (ms):")
+    from repro.core.reporting import ascii_table
+
+    print(ascii_table(["relations", "expert", "rejoin"], rows))
+    return 0
+
+
+def _cmd_lfd(args) -> int:
+    from repro.core import (
+        DemonstrationSet,
+        ExpertBaseline,
+        JoinOrderEnv,
+        LfDAgent,
+        LfDConfig,
+        LfDTrainer,
+    )
+    from repro.core.rewards import LatencyReward
+    from repro.workloads import job_lite_workload
+
+    db = _database(args)
+    baseline = ExpertBaseline(db)
+    workload = job_lite_workload(variants=("a", "b")).filter(
+        lambda q: 4 <= q.n_relations <= 7
+    )
+    env = JoinOrderEnv(
+        db, workload,
+        reward_source=LatencyReward(db, "relative", baseline, budget_factor=30.0),
+        rng=np.random.default_rng(0), forbid_cross_products=False,
+    )
+    demos = DemonstrationSet.collect(env, list(workload))
+    print(f"collected {len(demos)} demonstrations")
+    for imitate in (True, False):
+        rng = np.random.default_rng(1)
+        agent = LfDAgent(env.state_dim, env.n_actions, rng, LfDConfig())
+        trainer = LfDTrainer(env, agent, demos, baseline, rng)
+        if imitate:
+            trainer.imitation_phase()
+        log = trainer.fine_tune(args.episodes)
+        label = "LfD" if imitate else "tabula rasa"
+        print(f"{label}: catastrophic {log.timeout_fraction() * 100:.0f}%, "
+              f"final median rel. latency "
+              f"{np.median(log.relative_latencies()[-40:]):.2f}")
+    return 0
+
+
+def _cmd_bootstrap(args) -> int:
+    from repro.core.bootstrap import BootstrapConfig, BootstrapTrainer
+    from repro.workloads import job_lite_workload
+
+    db = _database(args)
+    workload = job_lite_workload(variants=("a", "b")).filter(
+        lambda q: 4 <= q.n_relations <= 7
+    )
+    for mode in ("naive", "scaled", "transfer"):
+        config = BootstrapConfig(
+            phase1_episodes=args.phase1, phase2_episodes=args.phase2,
+            calibration_episodes=20, mode=mode, batch_size=8,
+            latency_budget_factor=30.0,
+        )
+        trainer = BootstrapTrainer(db, workload, np.random.default_rng(9), config)
+        result = trainer.run()
+        p1 = np.median([r.reward for r in result.phase1_log.records[-50:]])
+        p2 = np.median([r.reward for r in result.phase2_log.records[:50]])
+        print(f"{mode:9s} reward jump at switch: {abs(p2 - p1):6.2f}   "
+              f"regression: {result.regression_ratio(window=40):.2f}x")
+    return 0
+
+
+def _cmd_incremental(args) -> int:
+    from repro.core.incremental import (
+        IncrementalTrainer,
+        flat_curriculum,
+        hybrid_curriculum,
+        pipeline_curriculum,
+        relations_curriculum,
+    )
+
+    db = _database(args)
+    per_phase = args.episodes_per_phase
+    curricula = {
+        "pipeline": pipeline_curriculum(per_phase, max_relations=5),
+        "relations": relations_curriculum(per_phase, relation_steps=(2, 3, 5)),
+        "hybrid": hybrid_curriculum(per_phase, final_relations=5),
+        "flat": flat_curriculum(per_phase * 4, max_relations=5),
+    }
+    for name, curriculum in curricula.items():
+        trainer = IncrementalTrainer(
+            db, np.random.default_rng(2), queries_per_phase=30, batch_size=8
+        )
+        results = trainer.run(curriculum)
+        print(f"{name:10s} final median rel. cost: "
+              f"{trainer.final_quality(results, tail=per_phase // 2):.2f}")
+    return 0
+
+
+_COMMANDS = {
+    "info": _cmd_info,
+    "plan": _cmd_plan,
+    "fig3a": _cmd_fig3a,
+    "fig3b": _cmd_fig3b,
+    "fig3c": _cmd_fig3c,
+    "lfd": _cmd_lfd,
+    "bootstrap": _cmd_bootstrap,
+    "incremental": _cmd_incremental,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

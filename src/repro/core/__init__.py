@@ -1,0 +1,70 @@
+"""The paper's contribution: DRL-based query optimization.
+
+This package implements the ReJOIN case study (§3) and the three
+research directions of §5 on top of the substrate packages:
+
+- :mod:`repro.core.featurize` — state vectorization (tree vectors, join
+  graph, predicate features);
+- :mod:`repro.core.rewards` — cost-model and latency reward signals,
+  including the §5.2 latency→cost scaling;
+- :mod:`repro.core.envs` — the join-order environment (ReJOIN), the
+  staged pipeline environment (§5.3), and the naive full-plan
+  environment (§4);
+- :mod:`repro.core.agent` / :mod:`repro.core.trainer` — agents and the
+  episode loop with relative-cost tracking (Figure 3a);
+- :mod:`repro.core.lfd` — learning from demonstration (§5.1);
+- :mod:`repro.core.bootstrap` — cost-model bootstrapping (§5.2);
+- :mod:`repro.core.incremental` — pipeline/relations/hybrid curricula
+  (§5.3);
+- :mod:`repro.core.reporting` — experiment series, tables, convergence.
+"""
+
+from repro.core.agent import make_agent
+from repro.core.bootstrap import BootstrapConfig, BootstrapTrainer, RewardScaler
+from repro.core.envs import FullPlanEnv, JoinOrderEnv, Stage, StagedPlanEnv
+from repro.core.featurize import QueryFeaturizer
+from repro.core.incremental import (
+    CurriculumPhase,
+    IncrementalTrainer,
+    hybrid_curriculum,
+    pipeline_curriculum,
+    relations_curriculum,
+)
+from repro.core.lfd import DemonstrationSet, LfDAgent, LfDConfig, LfDTrainer
+from repro.core.rewards import (
+    CostModelReward,
+    ExpertBaseline,
+    LatencyReward,
+    PlanOutcome,
+    ScaledLatencyReward,
+)
+from repro.core.trainer import Trainer, TrainingConfig, TrainingLog
+
+__all__ = [
+    "BootstrapConfig",
+    "BootstrapTrainer",
+    "CostModelReward",
+    "CurriculumPhase",
+    "DemonstrationSet",
+    "ExpertBaseline",
+    "FullPlanEnv",
+    "IncrementalTrainer",
+    "JoinOrderEnv",
+    "LatencyReward",
+    "LfDAgent",
+    "LfDConfig",
+    "LfDTrainer",
+    "PlanOutcome",
+    "QueryFeaturizer",
+    "RewardScaler",
+    "ScaledLatencyReward",
+    "Stage",
+    "StagedPlanEnv",
+    "Trainer",
+    "TrainingConfig",
+    "TrainingLog",
+    "hybrid_curriculum",
+    "make_agent",
+    "pipeline_curriculum",
+    "relations_curriculum",
+]

@@ -1,0 +1,36 @@
+"""Agent factory sized for a planning environment."""
+
+from __future__ import annotations
+
+from typing import Literal
+
+import numpy as np
+
+from repro.rl.ppo import PPOAgent, PPOConfig
+from repro.rl.reinforce import ReinforceAgent, ReinforceConfig
+
+__all__ = ["make_agent"]
+
+Algorithm = Literal["ppo", "reinforce"]
+
+
+def make_agent(
+    env,
+    rng: np.random.Generator,
+    algorithm: Algorithm = "ppo",
+    config: PPOConfig | ReinforceConfig | None = None,
+):
+    """Build a policy-gradient agent matching ``env``'s dimensions.
+
+    ReJOIN trained with PPO; REINFORCE is the lighter-weight option used
+    by some ablations. Both share the act/update interface.
+    """
+    if algorithm == "ppo":
+        if config is not None and not isinstance(config, PPOConfig):
+            raise TypeError("ppo needs a PPOConfig")
+        return PPOAgent(env.state_dim, env.n_actions, rng, config)
+    if algorithm == "reinforce":
+        if config is not None and not isinstance(config, ReinforceConfig):
+            raise TypeError("reinforce needs a ReinforceConfig")
+        return ReinforceAgent(env.state_dim, env.n_actions, rng, config)
+    raise ValueError(f"unknown algorithm {algorithm!r}")

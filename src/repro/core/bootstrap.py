@@ -1,0 +1,216 @@
+"""Cost-model bootstrapping (paper §5.2, Figure 5).
+
+Phase 1 trains with the optimizer's cost model as a heuristic reward —
+"training wheels" that let the agent explore catastrophic strategies
+without executing them. Once converged, Phase 2 switches to true query
+latency. The switch is where the §5.2 complications live:
+
+- **naive switch** — the reward scale jumps from cost-model units to
+  milliseconds; the agent perceives a sudden performance change and may
+  regress into re-exploration (the ablation mode ``naive``);
+- **scaled switch** — the paper's linear formula maps observed latency
+  into the cost range seen at the end of Phase 1 (mode ``scaled``)::
+
+      r_l = C_min + (l - L_min) / (L_max - L_min) * (C_max - C_min)
+
+- **transfer learning** — an alternative also sketched in §5.2: keep
+  the trunk of the Phase-1 network, re-initialize the head, and train
+  the new network directly on latency (mode ``transfer``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Literal, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.agent import make_agent
+from repro.core.envs.join_order import JoinOrderEnv
+from repro.core.rewards import (
+    CostModelReward,
+    ExpertBaseline,
+    LatencyReward,
+    ScaledLatencyReward,
+)
+from repro.core.trainer import Trainer, TrainingConfig, TrainingLog
+from repro.db.engine import Database
+from repro.rl.ppo import PPOConfig
+from repro.workloads.generator import Workload
+
+__all__ = ["RewardScaler", "BootstrapConfig", "BootstrapResult", "BootstrapTrainer"]
+
+
+class RewardScaler:
+    """The §5.2 linear latency→cost mapping, fitted on calibration pairs."""
+
+    def __init__(self) -> None:
+        self.c_min: float | None = None
+        self.c_max: float | None = None
+        self.l_min: float | None = None
+        self.l_max: float | None = None
+
+    @property
+    def fitted(self) -> bool:
+        return self.c_min is not None
+
+    def fit(self, costs: Sequence[float], latencies: Sequence[float]) -> "RewardScaler":
+        if len(costs) == 0 or len(latencies) == 0:
+            raise ValueError("need at least one calibration pair")
+        if len(costs) != len(latencies):
+            raise ValueError("costs and latencies must pair up")
+        self.c_min, self.c_max = float(np.min(costs)), float(np.max(costs))
+        self.l_min, self.l_max = float(np.min(latencies)), float(np.max(latencies))
+        return self
+
+    def scale(self, latency_ms: float) -> float:
+        """Map a latency into cost-model units (the paper's r_l formula)."""
+        if not self.fitted:
+            raise RuntimeError("scaler not fitted")
+        if self.l_max == self.l_min:
+            return self.c_min  # degenerate calibration: constant latency
+        frac = (latency_ms - self.l_min) / (self.l_max - self.l_min)
+        return self.c_min + frac * (self.c_max - self.c_min)
+
+
+@dataclass(frozen=True)
+class BootstrapConfig:
+    """Episode budgets and switch mode for the two-phase procedure."""
+
+    phase1_episodes: int = 600
+    phase2_episodes: int = 300
+    calibration_episodes: int = 40
+    mode: Literal["scaled", "naive", "transfer"] = "scaled"
+    batch_size: int = 8
+    algorithm: Literal["ppo", "reinforce"] = "ppo"
+    #: Advantage normalization hides reward-scale jumps; §5.2 is about
+    #: exactly those jumps, so it is off by default here.
+    normalize_advantages: bool = False
+    latency_budget_factor: float = 100.0
+
+
+@dataclass
+class BootstrapResult:
+    """Both phase logs plus the fitted scaler and calibration pairs."""
+
+    phase1_log: TrainingLog
+    phase2_log: TrainingLog
+    scaler: RewardScaler | None
+    calibration_pairs: List[Tuple[float, float]]
+
+    def regression_ratio(self, window: int = 50) -> float:
+        """Post-switch quality regression: mean relative cost in the first
+        ``window`` Phase-2 episodes over the last ``window`` of Phase 1.
+        1.0 means a seamless switch; larger means a dip."""
+        before = self.phase1_log.relative_costs()[-window:]
+        after = self.phase2_log.relative_costs()[:window]
+        if len(before) == 0 or len(after) == 0:
+            raise ValueError("not enough episodes to compute regression")
+        return float(after.mean() / before.mean())
+
+
+class BootstrapTrainer:
+    """Runs the two-phase §5.2 procedure in one of three switch modes."""
+
+    def __init__(
+        self,
+        db: Database,
+        workload: Workload,
+        rng: np.random.Generator,
+        config: BootstrapConfig | None = None,
+    ) -> None:
+        self.db = db
+        self.workload = workload
+        self.rng = rng
+        self.config = config or BootstrapConfig()
+        self.baseline = ExpertBaseline(db)
+        self.env = JoinOrderEnv(
+            db,
+            workload,
+            reward_source=CostModelReward(db, shaping="neg_log"),
+            rng=rng,
+        )
+        agent_config = PPOConfig(
+            normalize_advantages=self.config.normalize_advantages
+        )
+        self.agent = make_agent(
+            self.env, rng, self.config.algorithm,
+            agent_config if self.config.algorithm == "ppo" else None,
+        )
+        self.trainer = Trainer(
+            self.env,
+            self.agent,
+            self.baseline,
+            rng,
+            TrainingConfig(batch_size=self.config.batch_size),
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> BootstrapResult:
+        phase1_log = self.trainer.run(self.config.phase1_episodes)
+        scaler, pairs = self._calibrate()
+        self._switch_reward(scaler)
+        phase2_log = self.trainer.run(self.config.phase2_episodes)
+        return BootstrapResult(
+            phase1_log=phase1_log,
+            phase2_log=phase2_log,
+            scaler=scaler if self.config.mode == "scaled" else None,
+            calibration_pairs=pairs,
+        )
+
+    # ------------------------------------------------------------------
+    def _calibrate(self) -> Tuple[RewardScaler, List[Tuple[float, float]]]:
+        """End of Phase 1: note cost estimates and latencies (§5.2)."""
+        pairs: List[Tuple[float, float]] = []
+        for _ in range(self.config.calibration_episodes):
+            query = self.workload.sample(self.rng)
+            state, mask = self.env.reset(query)
+            while True:
+                action, _ = self.agent.act(state, mask, self.rng, greedy=True)
+                result = self.env.step(action)
+                state, mask = result.state, result.mask
+                if result.done:
+                    break
+            plan = result.info["plan"]
+            cost = self.db.plan_cost(plan, query).total
+            budget = self.baseline.latency(query) * self.config.latency_budget_factor
+            executed = self.db.execute_plan(plan, query, budget_ms=max(budget, 100.0))
+            pairs.append((cost, executed.latency_ms))
+        scaler = RewardScaler().fit(
+            [c for c, _ in pairs], [l for _, l in pairs]
+        )
+        return scaler, pairs
+
+    def _switch_reward(self, scaler: RewardScaler) -> None:
+        latency = LatencyReward(
+            self.db,
+            shaping="neg_log",
+            baseline=self.baseline,
+            budget_factor=self.config.latency_budget_factor,
+        )
+        if self.config.mode == "naive":
+            self.env.reward_source = latency
+        elif self.config.mode == "scaled":
+            self.env.reward_source = ScaledLatencyReward(
+                latency, scaler, shaping="neg_log"
+            )
+        elif self.config.mode == "transfer":
+            # New network trained on latency; trunk copied from phase 1.
+            old_policy = self.agent.policy_net
+            fresh = make_agent(
+                self.env,
+                self.rng,
+                self.config.algorithm,
+                PPOConfig(normalize_advantages=self.config.normalize_advantages)
+                if self.config.algorithm == "ppo"
+                else None,
+            )
+            n_hidden = len(fresh.policy_net.linear_layers()) - 1
+            fresh.policy_net.copy_weights_from(
+                old_policy, layers=list(range(n_hidden))
+            )
+            self.agent = fresh
+            self.trainer.agent = fresh
+            self.env.reward_source = latency
+        else:  # pragma: no cover - config is validated by Literal
+            raise ValueError(f"unknown mode {self.config.mode!r}")

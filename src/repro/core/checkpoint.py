@@ -1,0 +1,122 @@
+"""Checkpointing: persist agents and training logs across sessions.
+
+The paper's optimizer is meant to run *continuously* ("continuously
+learning as queries are sent", §3) — a production deployment must
+survive restarts. Checkpoints cover:
+
+- policy-gradient agents (policy + value networks, architecture
+  metadata) via :func:`save_agent` / :func:`load_agent`,
+- LfD agents (Q-network) via the same entry points,
+- :class:`~repro.core.trainer.TrainingLog` via JSON
+  (:func:`save_log` / :func:`load_log`), so convergence series can be
+  re-plotted without re-training.
+
+Optimizer state (Adam moments) is not persisted — resuming training
+re-warms it within a few batches, which keeps the format simple and
+framework-free.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.lfd import LfDAgent, LfDConfig
+from repro.core.trainer import EpisodeRecord, TrainingLog
+from repro.nn.network import MLP
+from repro.rl.ppo import PPOAgent, PPOConfig
+from repro.rl.reinforce import ReinforceAgent, ReinforceConfig
+
+__all__ = ["save_agent", "load_agent", "save_log", "load_log"]
+
+_AGENT_KINDS = {"ppo": PPOAgent, "reinforce": ReinforceAgent, "lfd": LfDAgent}
+
+
+def _kind_of(agent) -> str:
+    if isinstance(agent, PPOAgent):
+        return "ppo"
+    if isinstance(agent, ReinforceAgent):
+        return "reinforce"
+    if isinstance(agent, LfDAgent):
+        return "lfd"
+    raise TypeError(f"cannot checkpoint agent of type {type(agent).__name__}")
+
+
+def save_agent(agent, directory: str | Path) -> Path:
+    """Write an agent checkpoint into ``directory`` (created if needed).
+
+    Returns the directory path. Files: ``meta.json`` plus one ``.npz``
+    per network.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    kind = _kind_of(agent)
+    if kind == "lfd":
+        nets = {"q_net": agent.q_net}
+        dims = {"state_dim": agent.q_net.in_features, "n_actions": agent.n_actions}
+    else:
+        nets = {"policy_net": agent.policy_net, "value_net": agent.value_net}
+        dims = {
+            "state_dim": agent.policy_net.in_features,
+            "n_actions": agent.policy_net.out_features,
+        }
+    for name, net in nets.items():
+        net.save(directory / f"{name}.npz")
+    meta = {"kind": kind, **dims}
+    (directory / "meta.json").write_text(json.dumps(meta, indent=2))
+    return directory
+
+
+def load_agent(directory: str | Path, rng: np.random.Generator | None = None):
+    """Rebuild an agent from :func:`save_agent` output.
+
+    The agent is reconstructed with default configs (checkpoints store
+    weights and architecture, not hyperparameters — pass the original
+    config if you intend to continue training with identical settings).
+    """
+    directory = Path(directory)
+    meta = json.loads((directory / "meta.json").read_text())
+    kind = meta["kind"]
+    rng = rng or np.random.default_rng(0)
+    if kind == "lfd":
+        agent = LfDAgent(meta["state_dim"], meta["n_actions"], rng, LfDConfig())
+        agent.q_net = MLP.load(directory / "q_net.npz")
+        return agent
+    cls = _AGENT_KINDS[kind]
+    config = PPOConfig() if kind == "ppo" else ReinforceConfig()
+    agent = cls(meta["state_dim"], meta["n_actions"], rng, config)
+    agent.policy_net = MLP.load(directory / "policy_net.npz")
+    agent.value_net = MLP.load(directory / "value_net.npz")
+    agent.policy.net = agent.policy_net
+    return agent
+
+
+def save_log(log: TrainingLog, path: str | Path) -> Path:
+    """Serialize a training log to JSON."""
+    path = Path(path)
+    records = [
+        {
+            "episode": r.episode,
+            "query_name": r.query_name,
+            "reward": r.reward,
+            "cost": r.cost,
+            "expert_cost": r.expert_cost,
+            "latency_ms": r.latency_ms,
+            "expert_latency_ms": r.expert_latency_ms,
+            "timed_out": r.timed_out,
+        }
+        for r in log.records
+    ]
+    path.write_text(json.dumps(records))
+    return path
+
+
+def load_log(path: str | Path) -> TrainingLog:
+    """Rebuild a training log from :func:`save_log` output."""
+    records = json.loads(Path(path).read_text())
+    log = TrainingLog()
+    for r in records:
+        log.append(EpisodeRecord(**r))
+    return log

@@ -1,0 +1,17 @@
+"""RL environments over the query-planning substrate.
+
+- :class:`~repro.core.envs.join_order.JoinOrderEnv` — ReJOIN's setting
+  (§3): actions combine subtree pairs; the traditional optimizer fills
+  in the physical details of the finished join order.
+- :class:`~repro.core.envs.staged.StagedPlanEnv` — the Figure 8
+  pipeline with a configurable set of learned stages (join order, index
+  selection, join operators, aggregate operators); the substrate for
+  the incremental curricula of §5.3.
+- :class:`~repro.core.envs.staged.FullPlanEnv` — all stages at once:
+  the naive search-space extension §4 reports failing to beat random.
+"""
+
+from repro.core.envs.join_order import JoinOrderEnv
+from repro.core.envs.staged import FullPlanEnv, Stage, StagedPlanEnv
+
+__all__ = ["FullPlanEnv", "JoinOrderEnv", "Stage", "StagedPlanEnv"]

@@ -1,0 +1,119 @@
+"""The ReJOIN environment: join-order enumeration as an MDP (paper §3).
+
+Each query is an episode. The initial state is the forest of single
+relations; each action joins two subtrees; the episode ends when one
+tree remains. Non-terminal rewards are zero; the terminal reward scores
+the completed plan — by default through the optimizer's cost model,
+exactly as ReJOIN did ("the reward for an action arriving at a terminal
+state is the reciprocal of the cost of the join tree", with shaping
+options documented in :mod:`repro.core.rewards`).
+
+The finished join *order* is handed to the traditional optimizer for
+operator and index selection, mirroring Figure 1's loop.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.core.featurize import QueryFeaturizer, SlotState
+from repro.core.rewards import CostModelReward, PlanOutcome
+from repro.db.engine import Database
+from repro.db.query import Query
+from repro.optimizer.planner import Planner
+from repro.rl.env import StepResult
+from repro.workloads.generator import Workload
+
+__all__ = ["JoinOrderEnv"]
+
+
+class JoinOrderEnv:
+    """Episode = one query; action = ordered subtree pair to join."""
+
+    def __init__(
+        self,
+        db: Database,
+        workload: Workload,
+        reward_source=None,
+        featurizer: QueryFeaturizer | None = None,
+        planner: Planner | None = None,
+        rng: np.random.Generator | None = None,
+        forbid_cross_products: bool = True,
+    ) -> None:
+        self.db = db
+        self.workload = workload
+        self.planner = planner or Planner(db)
+        self.reward_source = reward_source or CostModelReward(db)
+        max_rel = max((q.n_relations for q in workload), default=2)
+        self.featurizer = featurizer or QueryFeaturizer(
+            db.schema, max_relations=max(max_rel, 2)
+        )
+        self.rng = rng or np.random.default_rng(0)
+        self.forbid_cross_products = forbid_cross_products
+        self._state: SlotState | None = None
+        self._cards = None
+
+    # ------------------------------------------------------------------
+    @property
+    def state_dim(self) -> int:
+        return self.featurizer.state_dim
+
+    @property
+    def n_actions(self) -> int:
+        return self.featurizer.n_pair_actions
+
+    @property
+    def query(self) -> Query:
+        if self._state is None:
+            raise RuntimeError("environment not reset")
+        return self._state.query
+
+    # ------------------------------------------------------------------
+    def reset(self, query: Query | None = None) -> Tuple[np.ndarray, np.ndarray]:
+        query = query or self.workload.sample(self.rng)
+        self._state = SlotState(query, self.featurizer.max_relations)
+        self._cards = self.db.cardinalities(query)
+        return self._observe()
+
+    def _observe(self) -> Tuple[np.ndarray, np.ndarray]:
+        state_vec = self.featurizer.featurize(self._state, self._cards)
+        mask = self.featurizer.pair_mask(self._state, self.forbid_cross_products)
+        return state_vec, mask
+
+    def step(self, action: int) -> StepResult:
+        if self._state is None:
+            raise RuntimeError("environment not reset")
+        i, j = self.featurizer.decode_pair(action)
+        self._state.join(i, j)
+        if not self._state.done:
+            state_vec, mask = self._observe()
+            return StepResult(state_vec, mask, 0.0, False)
+
+        tree = self._state.tree()
+        plan = self.planner.complete_plan(tree, self.query)
+        outcome: PlanOutcome = self.reward_source.evaluate(plan, self.query)
+        state_vec, _ = self._observe()
+        # Terminal mask: no valid actions remain; keep one bit set so
+        # downstream batch code never sees an all-invalid row.
+        mask = np.zeros(self.n_actions, dtype=bool)
+        mask[0] = True
+        return StepResult(
+            state_vec,
+            mask,
+            outcome.reward,
+            True,
+            info={
+                "outcome": outcome,
+                "tree": tree,
+                "plan": plan,
+                "query": self.query,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def expert_actions(self, query: Query) -> list:
+        """The expert planner's join order as an action sequence (§5.1)."""
+        tree = self.planner.choose_join_order(query)
+        return self.featurizer.actions_for_tree(tree, query)

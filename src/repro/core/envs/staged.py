@@ -1,0 +1,400 @@
+"""The staged planning environment (paper §5.3, Figure 8) and the naive
+full-plan environment (§4).
+
+The simplified optimization pipeline has four stages: join ordering,
+index (access-path) selection, join-operator selection, and aggregate-
+operator selection. :class:`StagedPlanEnv` lets any subset of stages be
+*learned*; the traditional optimizer's cost-based choice fills in the
+rest. Enabling stages grows the action space and lengthens episodes:
+
+- pair actions (join ordering) — always learned,
+- access-path actions — ``seq`` vs ``index`` per relation, decided
+  up-front one relation at a time,
+- join-operator actions — ``hash`` / ``merge`` / ``nested-loop``,
+  decided immediately after each pair combination,
+- aggregate actions — ``hash`` vs ``sort``, decided last.
+
+:class:`FullPlanEnv` is the all-stages configuration: the "naive
+extension of ReJOIN to cover the entire execution plan search space"
+whose failure to beat random choice motivates §5's research directions.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.core.featurize import QueryFeaturizer, SlotState
+from repro.core.rewards import CostModelReward, PlanOutcome
+from repro.db.engine import Database
+from repro.db.plans import (
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    JoinTree,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalPlan,
+    SeqScan,
+    SortAggregate,
+)
+from repro.db.query import Query
+from repro.optimizer.physical import access_path_candidates, build_physical_plan
+from repro.optimizer.planner import Planner
+from repro.rl.env import StepResult
+from repro.workloads.generator import Workload
+
+__all__ = ["Stage", "StagedPlanEnv", "FullPlanEnv"]
+
+
+class Stage(enum.Flag):
+    """Learned stages of the Figure 8 pipeline."""
+
+    JOIN_ORDER = enum.auto()
+    ACCESS_PATH = enum.auto()
+    JOIN_OPERATOR = enum.auto()
+    AGGREGATE = enum.auto()
+
+    @classmethod
+    def all(cls) -> "Stage":
+        return cls.JOIN_ORDER | cls.ACCESS_PATH | cls.JOIN_OPERATOR | cls.AGGREGATE
+
+    @classmethod
+    def pipeline_order(cls) -> Tuple["Stage", ...]:
+        """The order stages appear in the pipeline (Figure 8)."""
+        return (cls.JOIN_ORDER, cls.ACCESS_PATH, cls.JOIN_OPERATOR, cls.AGGREGATE)
+
+
+_JOIN_OPERATOR_CLASSES = (HashJoin, MergeJoin, NestedLoopJoin)
+_AGGREGATE_CLASSES = (HashAggregate, SortAggregate)
+
+# Decision phases (what kind of action is pending).
+_PHASE_ACCESS = 0
+_PHASE_PAIR = 1
+_PHASE_JOIN_OP = 2
+_PHASE_AGG = 3
+_N_PHASES = 4
+
+
+class StagedPlanEnv:
+    """Plan construction with a configurable set of learned stages."""
+
+    def __init__(
+        self,
+        db: Database,
+        workload: Workload,
+        stages: Stage = Stage.JOIN_ORDER,
+        reward_source=None,
+        featurizer: QueryFeaturizer | None = None,
+        planner: Planner | None = None,
+        rng: np.random.Generator | None = None,
+        forbid_cross_products: bool = True,
+    ) -> None:
+        if not stages & Stage.JOIN_ORDER:
+            raise ValueError("JOIN_ORDER is the pipeline's first stage and "
+                             "must always be learned in this environment")
+        self.db = db
+        self.workload = workload
+        self.stages = stages
+        self.planner = planner or Planner(db)
+        self.reward_source = reward_source or CostModelReward(db)
+        max_rel = max((q.n_relations for q in workload), default=2)
+        self.featurizer = featurizer or QueryFeaturizer(
+            db.schema, max_relations=max(max_rel, 2)
+        )
+        self.rng = rng or np.random.default_rng(0)
+        self.forbid_cross_products = forbid_cross_products
+
+        # Action layout: pairs, then one block per enabled stage in
+        # pipeline order. Disabled stages get no action ids, so the
+        # layer size equals action_count_for(stages) and *growing* the
+        # layer when a later stage unlocks keeps earlier ids stable
+        # (incremental learning, §5.3.1).
+        p = self.featurizer.n_pair_actions
+        offset = p
+        self._access_base = offset if stages & Stage.ACCESS_PATH else -1
+        offset += 2 if stages & Stage.ACCESS_PATH else 0
+        self._join_op_base = offset if stages & Stage.JOIN_OPERATOR else -1
+        offset += 3 if stages & Stage.JOIN_OPERATOR else 0
+        self._agg_base = offset if stages & Stage.AGGREGATE else -1
+        offset += 2 if stages & Stage.AGGREGATE else 0
+        self._n_actions = offset
+
+        self._reset_episode_state()
+
+    def _reset_episode_state(self) -> None:
+        self._state: SlotState | None = None
+        self._cards = None
+        self._phase = _PHASE_PAIR
+        self._pending_access: List[str] = []
+        self._pending_join: JoinTree | None = None
+        self._access_paths: Dict[str, PhysicalPlan] = {}
+        self._join_operators: Dict[frozenset, type] = {}
+        self._aggregate_operator: type | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def state_dim(self) -> int:
+        n_tables = len(self.featurizer.tables)
+        return self.featurizer.state_dim + _N_PHASES + 3 * n_tables
+
+    @property
+    def n_actions(self) -> int:
+        return self._n_actions
+
+    @property
+    def query(self) -> Query:
+        if self._state is None:
+            raise RuntimeError("environment not reset")
+        return self._state.query
+
+    def action_count_for(self, stages: Stage) -> int:
+        """Action-layer size when only ``stages`` are unlocked (used by
+        the action-growth variant of incremental learning)."""
+        n = self.featurizer.n_pair_actions
+        if stages & Stage.ACCESS_PATH:
+            n += 2
+        if stages & Stage.JOIN_OPERATOR:
+            n += 3
+        if stages & Stage.AGGREGATE:
+            n += 2
+        return n
+
+    # ------------------------------------------------------------------
+    def reset(self, query: Query | None = None) -> Tuple[np.ndarray, np.ndarray]:
+        query = query or self.workload.sample(self.rng)
+        self._reset_episode_state()
+        self._state = SlotState(query, self.featurizer.max_relations)
+        self._cards = self.db.cardinalities(query)
+        if self.stages & Stage.ACCESS_PATH:
+            self._phase = _PHASE_ACCESS
+            self._pending_access = sorted(query.relations)
+        else:
+            self._phase = _PHASE_PAIR
+        return self._observe()
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+    def _observe(self) -> Tuple[np.ndarray, np.ndarray]:
+        base = self.featurizer.featurize(self._state, self._cards)
+        n_tables = len(self.featurizer.tables)
+        phase = np.zeros(_N_PHASES)
+        phase[self._phase] = 1.0
+        pending_rel = np.zeros(n_tables)
+        pending_join = np.zeros(2 * n_tables)
+        if self._phase == _PHASE_ACCESS and self._pending_access:
+            table = self.query.table_of(self._pending_access[0])
+            pending_rel[self.featurizer.table_index[table]] = 1.0
+        if self._phase == _PHASE_JOIN_OP and self._pending_join is not None:
+            pending_join[:n_tables] = self.featurizer.subtree_vector(
+                self._pending_join.left, self.query
+            )
+            pending_join[n_tables:] = self.featurizer.subtree_vector(
+                self._pending_join.right, self.query
+            )
+        state_vec = np.concatenate([base, phase, pending_rel, pending_join])
+        return state_vec, self._mask()
+
+    def _mask(self) -> np.ndarray:
+        mask = np.zeros(self._n_actions, dtype=bool)
+        if self._phase == _PHASE_ACCESS:
+            mask[self._access_base] = True  # seq scan always possible
+            if self._index_candidates(self._pending_access[0]):
+                mask[self._access_base + 1] = True
+        elif self._phase == _PHASE_PAIR:
+            mask[: self.featurizer.n_pair_actions] = self.featurizer.pair_mask(
+                self._state, self.forbid_cross_products
+            )
+        elif self._phase == _PHASE_JOIN_OP:
+            preds = self.query.joins_between(
+                tuple(self._pending_join.left.aliases),
+                tuple(self._pending_join.right.aliases),
+            )
+            if preds:
+                mask[self._join_op_base : self._join_op_base + 3] = True
+            else:
+                mask[self._join_op_base + 2] = True  # NL only for cross products
+        elif self._phase == _PHASE_AGG:
+            mask[self._agg_base : self._agg_base + 2] = True
+        return mask
+
+    def _index_candidates(self, alias: str) -> List[IndexScan]:
+        return [
+            c
+            for c in access_path_candidates(alias, self.query, self.db)
+            if isinstance(c, IndexScan)
+        ]
+
+    # ------------------------------------------------------------------
+    # Stepping
+    # ------------------------------------------------------------------
+    def step(self, action: int) -> StepResult:
+        if self._state is None:
+            raise RuntimeError("environment not reset")
+        if not self._mask()[action]:
+            raise ValueError(f"invalid action {action} in phase {self._phase}")
+
+        if self._phase == _PHASE_ACCESS:
+            self._step_access(action)
+        elif self._phase == _PHASE_PAIR:
+            self._step_pair(action)
+        elif self._phase == _PHASE_JOIN_OP:
+            self._step_join_op(action)
+        elif self._phase == _PHASE_AGG:
+            self._aggregate_operator = _AGGREGATE_CLASSES[action - self._agg_base]
+            return self._finish()
+
+        if self._episode_complete():
+            return self._finish()
+        state_vec, mask = self._observe()
+        return StepResult(state_vec, mask, 0.0, False)
+
+    def _step_access(self, action: int) -> None:
+        alias = self._pending_access.pop(0)
+        choice = action - self._access_base
+        if choice == 0:
+            table = self.query.table_of(alias)
+            preds = tuple(self.query.selections_for(alias))
+            self._access_paths[alias] = SeqScan(alias, table, preds)
+        else:
+            candidates = self._index_candidates(alias)
+            cost_model = self.db.cost_model()
+            self._access_paths[alias] = min(
+                candidates, key=lambda c: cost_model.cost(c, self._cards).total
+            )
+        if not self._pending_access:
+            self._phase = _PHASE_PAIR
+
+    def _step_pair(self, action: int) -> None:
+        i, j = self.featurizer.decode_pair(action)
+        merged = self._state.join(i, j)
+        if self.stages & Stage.JOIN_OPERATOR:
+            self._pending_join = merged
+            self._phase = _PHASE_JOIN_OP
+
+    def _step_join_op(self, action: int) -> None:
+        cls = _JOIN_OPERATOR_CLASSES[action - self._join_op_base]
+        self._join_operators[self._pending_join.aliases] = cls
+        self._pending_join = None
+        self._phase = _PHASE_PAIR
+
+    def _aggregate_decision_pending(self) -> bool:
+        return bool(
+            self.stages & Stage.AGGREGATE
+            and (self.query.aggregates or self.query.group_by)
+            and self._aggregate_operator is None
+        )
+
+    def _episode_complete(self) -> bool:
+        if self._phase != _PHASE_PAIR or not self._state.done:
+            return False
+        if self._aggregate_decision_pending():
+            self._phase = _PHASE_AGG
+            return False
+        return True
+
+    def _finish(self) -> StepResult:
+        tree = self._state.tree()
+        plan = build_physical_plan(
+            tree,
+            self.query,
+            self.db,
+            access_paths=self._access_paths if self.stages & Stage.ACCESS_PATH else None,
+            join_operators=(
+                self._join_operators if self.stages & Stage.JOIN_OPERATOR else None
+            ),
+            aggregate_operator=self._aggregate_operator,
+        )
+        outcome: PlanOutcome = self.reward_source.evaluate(plan, self.query)
+        state_vec, _ = self._observe()
+        mask = np.zeros(self._n_actions, dtype=bool)
+        mask[0] = True
+        return StepResult(
+            state_vec,
+            mask,
+            outcome.reward,
+            True,
+            info={
+                "outcome": outcome,
+                "tree": tree,
+                "plan": plan,
+                "query": self.query,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Expert demonstrations (§5.1)
+    # ------------------------------------------------------------------
+    def expert_actions(self, query: Query) -> List[int]:
+        """Replay the expert plan as an action sequence for this env."""
+        result = self.planner.optimize(query)
+        op_by_aliases: Dict[frozenset, type] = {}
+        scan_kind: Dict[str, int] = {}
+        agg_choice: int | None = None
+        for node in result.plan.iter_nodes():
+            if isinstance(node, _JOIN_OPERATOR_CLASSES):
+                op_by_aliases[node.aliases] = type(node)
+            elif isinstance(node, IndexScan):
+                scan_kind[node.alias] = 1
+            elif isinstance(node, SeqScan):
+                scan_kind[node.alias] = 0
+            elif isinstance(node, _AGGREGATE_CLASSES):
+                agg_choice = _AGGREGATE_CLASSES.index(type(node))
+
+        actions: List[int] = []
+        if self.stages & Stage.ACCESS_PATH:
+            for alias in sorted(query.relations):
+                choice = scan_kind.get(alias, 0)
+                if choice == 1 and not self._has_index_candidates(alias, query):
+                    choice = 0
+                actions.append(self._access_base + choice)
+        actions.extend(self.featurizer.actions_for_tree(result.join_tree, query))
+        if self.stages & Stage.JOIN_OPERATOR:
+            # interleave operator actions by replaying the tree
+            actions = self._interleave_operators(
+                actions, result.join_tree, query, op_by_aliases
+            )
+        if (
+            self.stages & Stage.AGGREGATE
+            and (query.aggregates or query.group_by)
+            and agg_choice is not None
+        ):
+            actions.append(self._agg_base + agg_choice)
+        return actions
+
+    def _has_index_candidates(self, alias: str, query: Query) -> bool:
+        return any(
+            isinstance(c, IndexScan)
+            for c in access_path_candidates(alias, query, self.db)
+        )
+
+    def _interleave_operators(
+        self,
+        actions: List[int],
+        tree: JoinTree,
+        query: Query,
+        op_by_aliases: Dict[frozenset, type],
+    ) -> List[int]:
+        """Insert a join-operator action after each pair action."""
+        out: List[int] = []
+        joins = list(tree.iter_joins())
+        join_idx = 0
+        for action in actions:
+            out.append(action)
+            if action < self.featurizer.n_pair_actions:
+                node = joins[join_idx]
+                join_idx += 1
+                cls = op_by_aliases.get(node.aliases, HashJoin)
+                out.append(self._join_op_base + _JOIN_OPERATOR_CLASSES.index(cls))
+        return out
+
+
+class FullPlanEnv(StagedPlanEnv):
+    """All four stages learned at once — the §4 naive extension."""
+
+    def __init__(self, db, workload, **kwargs):
+        kwargs.pop("stages", None)
+        super().__init__(db, workload, stages=Stage.all(), **kwargs)

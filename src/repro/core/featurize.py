@@ -1,0 +1,252 @@
+"""ReJOIN state vectorization (paper §3, "State and Actions").
+
+A state during bottom-up join ordering is the current forest of
+subtrees plus the query's join and selection predicates. Following the
+ReJOIN design:
+
+- **tree vectors** — each subtree occupies one row of a fixed-size
+  matrix; the entry for a relation contained in the subtree is
+  ``1 / (depth + 1)`` where depth is measured from the subtree root
+  (a monotone depth encoding, deeper ⇒ smaller);
+- **join-graph features** — a binary upper-triangular table×table
+  matrix marking which base-table pairs the query joins;
+- **predicate features** — a binary flag per schema column that carries
+  a selection predicate, plus a per-table estimated selectivity.
+
+Aliases map to their base table's slot (JOB-style self-joins share a
+slot; collisions add, which keeps the encoding well-defined — a
+documented simplification of the original per-alias encoding).
+
+Subtrees live in *slots*: initially alias ``k`` (sorted order) occupies
+slot ``k``; the action ``(i, j)`` joins slot ``i`` (left) with slot
+``j`` and stores the result in ``min(i, j)``. Pair actions are encoded
+as a fixed enumeration of ordered slot pairs, so the action layer has a
+constant size and invalid pairs are masked.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.cardinality import QueryCardinalities
+from repro.db.plans import JoinTree
+from repro.db.query import Query
+from repro.db.schema import DatabaseSchema
+
+__all__ = ["QueryFeaturizer", "SlotState"]
+
+
+class SlotState:
+    """The mutable forest-of-subtrees state of one episode."""
+
+    def __init__(self, query: Query, max_relations: int) -> None:
+        aliases = sorted(query.relations)
+        if len(aliases) > max_relations:
+            raise ValueError(
+                f"query {query.name} has {len(aliases)} relations; featurizer "
+                f"supports at most {max_relations}"
+            )
+        self.query = query
+        self.slots: List[JoinTree | None] = [JoinTree.leaf(a) for a in aliases]
+        self.slots += [None] * (max_relations - len(aliases))
+
+    @property
+    def occupied(self) -> List[int]:
+        return [i for i, t in enumerate(self.slots) if t is not None]
+
+    @property
+    def n_subtrees(self) -> int:
+        return len(self.occupied)
+
+    @property
+    def done(self) -> bool:
+        return self.n_subtrees == 1
+
+    def tree(self) -> JoinTree:
+        if not self.done:
+            raise RuntimeError("episode not finished: multiple subtrees remain")
+        return self.slots[self.occupied[0]]
+
+    def join(self, i: int, j: int) -> JoinTree:
+        """Join slot i (left) with slot j (right); result goes to min(i, j)."""
+        if i == j:
+            raise ValueError("cannot join a slot with itself")
+        left, right = self.slots[i], self.slots[j]
+        if left is None or right is None:
+            raise ValueError(f"slot {i if left is None else j} is empty")
+        merged = JoinTree.join(left, right)
+        self.slots[min(i, j)] = merged
+        self.slots[max(i, j)] = None
+        return merged
+
+    def connected(self, i: int, j: int) -> bool:
+        """True if a join predicate links the two slots' subtrees."""
+        left, right = self.slots[i], self.slots[j]
+        if left is None or right is None:
+            return False
+        return bool(
+            self.query.joins_between(tuple(left.aliases), tuple(right.aliases))
+        )
+
+
+class QueryFeaturizer:
+    """Vectorizes (query, forest) states and enumerates pair actions.
+
+    ``include_cardinality=False`` drops the per-subtree log-cardinality
+    feature, reverting to the original ReJOIN encoding (structure +
+    predicates only) — kept as an ablation switch.
+    """
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        max_relations: int = 18,
+        include_cardinality: bool = True,
+    ) -> None:
+        if max_relations < 2:
+            raise ValueError("max_relations must be at least 2")
+        self.schema = schema
+        self.max_relations = max_relations
+        self.include_cardinality = include_cardinality
+        self.tables: List[str] = schema.table_names
+        self.table_index: Dict[str, int] = {t: i for i, t in enumerate(self.tables)}
+        self.columns: List[Tuple[str, str]] = [
+            (t, c.name) for t, c in schema.all_columns()
+        ]
+        self.column_index: Dict[Tuple[str, str], int] = {
+            tc: i for i, tc in enumerate(self.columns)
+        }
+        n = len(self.tables)
+        self._n_tables = n
+        # Each tree row carries the relation-depth encoding plus one
+        # normalized log-cardinality feature (the estimated size of the
+        # subtree's intermediate result — the key join-ordering signal).
+        self._tree_size = max_relations * (n + 1)
+        self._graph_size = n * (n - 1) // 2
+        self._pred_size = len(self.columns)
+        self._sel_size = n
+        # Ordered slot pairs (i, j), i != j, in deterministic order.
+        self.pair_actions: List[Tuple[int, int]] = [
+            (i, j)
+            for i in range(max_relations)
+            for j in range(max_relations)
+            if i != j
+        ]
+        self.pair_index: Dict[Tuple[int, int], int] = {
+            p: k for k, p in enumerate(self.pair_actions)
+        }
+
+    # ------------------------------------------------------------------
+    @property
+    def state_dim(self) -> int:
+        return self._tree_size + self._graph_size + self._pred_size + self._sel_size
+
+    @property
+    def n_pair_actions(self) -> int:
+        return len(self.pair_actions)
+
+    # ------------------------------------------------------------------
+    def subtree_vector(self, tree: JoinTree, query: Query) -> np.ndarray:
+        """One row of the tree matrix: 1/(depth+1) per contained relation."""
+        row = np.zeros(self._n_tables)
+        for alias, depth in tree.leaf_depths().items():
+            table = query.table_of(alias)
+            row[self.table_index[table]] += 1.0 / (depth + 1.0)
+        return row
+
+    def _join_graph_features(self, query: Query) -> np.ndarray:
+        flags = np.zeros(self._graph_size)
+        for pred in query.joins:
+            ta = self.table_index[query.table_of(pred.left.alias)]
+            tb = self.table_index[query.table_of(pred.right.alias)]
+            if ta == tb:
+                continue  # self-join on one base table: no off-diagonal slot
+            lo, hi = min(ta, tb), max(ta, tb)
+            # index of (lo, hi) in the upper triangle
+            idx = lo * (2 * self._n_tables - lo - 1) // 2 + (hi - lo - 1)
+            flags[idx] = 1.0
+        return flags
+
+    def _predicate_features(
+        self, query: Query, cards: QueryCardinalities | None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        flags = np.zeros(self._pred_size)
+        sels = np.ones(self._sel_size)
+        for pred in query.selections:
+            table = query.table_of(pred.column.alias)
+            key = (table, pred.column.column)
+            if key in self.column_index:
+                flags[self.column_index[key]] = 1.0
+        if cards is not None:
+            for alias in query.relations:
+                info = cards.scan_info(alias)
+                idx = self.table_index[query.table_of(alias)]
+                sels[idx] = min(sels[idx], info.selectivity)
+        return flags, sels
+
+    def featurize(
+        self, state: SlotState, cards: QueryCardinalities | None = None
+    ) -> np.ndarray:
+        """The full state vector for the network."""
+        query = state.query
+        tree = np.zeros((self.max_relations, self._n_tables + 1))
+        for slot, subtree in enumerate(state.slots):
+            if subtree is not None:
+                tree[slot, : self._n_tables] = self.subtree_vector(subtree, query)
+                if cards is not None and self.include_cardinality:
+                    rows = cards.rows_for_aliases(subtree.aliases)
+                    tree[slot, self._n_tables] = np.log10(max(rows, 1.0)) / 10.0
+        flags, sels = self._predicate_features(query, cards)
+        return np.concatenate(
+            [tree.ravel(), self._join_graph_features(query), flags, sels]
+        )
+
+    # ------------------------------------------------------------------
+    def pair_mask(self, state: SlotState, forbid_cross_products: bool = True) -> np.ndarray:
+        """Validity mask over pair actions for the current forest.
+
+        With ``forbid_cross_products``, only predicate-connected pairs are
+        valid whenever at least one such pair exists (cross products stay
+        available as a last resort for disconnected join graphs).
+        """
+        occupied = state.occupied
+        mask = np.zeros(self.n_pair_actions, dtype=bool)
+        connected_any = False
+        entries: List[Tuple[int, bool]] = []
+        for i in occupied:
+            for j in occupied:
+                if i == j:
+                    continue
+                connected = state.connected(i, j)
+                connected_any = connected_any or connected
+                entries.append((self.pair_index[(i, j)], connected))
+        for idx, connected in entries:
+            mask[idx] = connected or not forbid_cross_products
+        if forbid_cross_products and not connected_any:
+            for idx, _ in entries:
+                mask[idx] = True
+        return mask
+
+    def decode_pair(self, action: int) -> Tuple[int, int]:
+        return self.pair_actions[action]
+
+    def actions_for_tree(self, tree: JoinTree, query: Query) -> List[int]:
+        """The pair-action sequence that reproduces ``tree`` from scratch.
+
+        Used to replay an expert's join order inside the environment
+        (learning from demonstration, §5.1).
+        """
+        state = SlotState(query, self.max_relations)
+        slot_of: Dict[frozenset, int] = {
+            state.slots[i].aliases: i for i in state.occupied
+        }
+        actions: List[int] = []
+        for join in tree.iter_joins():
+            i = slot_of[join.left.aliases]
+            j = slot_of[join.right.aliases]
+            actions.append(self.pair_index[(i, j)])
+            state.join(i, j)
+            slot_of[join.aliases] = min(i, j)
+        return actions

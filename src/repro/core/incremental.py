@@ -1,0 +1,254 @@
+"""Incremental learning curricula (paper §5.3, Figures 6-9).
+
+Query optimization's difficulty grows along two axes — the number of
+relations and the number of pipeline stages (Figure 6). A *curriculum*
+is a sequence of phases, each restricting both axes; training proceeds
+phase by phase, reusing the same agent. The three decompositions of
+Figure 7:
+
+- **pipeline** (§5.3.1) — all relations, stages unlocked one at a time
+  (join order → index selection → join operators → aggregates); the
+  traditional optimizer completes whatever is not yet learned;
+- **relations** (§5.3.2) — all stages, queries growing from one
+  relation upward (low-relation queries are synthesized, since "real
+  workloads contain very few queries over a single relation");
+- **hybrid** (§5.3.3) — stages and relation counts grow together,
+  giving the smallest per-phase complexity jump.
+
+When a phase unlocks new stages, the agent's action layer can either be
+pre-allocated (masking keeps locked stages invisible) or *grown* with
+:meth:`repro.nn.network.MLP.grow_outputs` — the paper's "the action
+space can be extended"; both variants are supported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Literal, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.envs.staged import Stage, StagedPlanEnv
+from repro.core.rewards import CostModelReward, ExpertBaseline
+from repro.core.trainer import Trainer, TrainingConfig, TrainingLog
+from repro.db.engine import Database
+from repro.rl.reinforce import ReinforceAgent, ReinforceConfig
+from repro.workloads.generator import RandomQueryGenerator, Workload
+
+__all__ = [
+    "CurriculumPhase",
+    "pipeline_curriculum",
+    "relations_curriculum",
+    "hybrid_curriculum",
+    "flat_curriculum",
+    "IncrementalTrainer",
+    "PhaseResult",
+]
+
+
+@dataclass(frozen=True)
+class CurriculumPhase:
+    """One training phase: which stages, how many relations, how long."""
+
+    name: str
+    stages: Stage
+    max_relations: int
+    episodes: int
+
+    def __post_init__(self) -> None:
+        if self.max_relations < 1:
+            raise ValueError("max_relations must be at least 1")
+        if self.episodes < 1:
+            raise ValueError("episodes must be at least 1")
+        if not self.stages & Stage.JOIN_ORDER:
+            raise ValueError("every phase must include JOIN_ORDER")
+
+
+def _stage_prefix(k: int) -> Stage:
+    """The first ``k`` stages of the Figure 8 pipeline."""
+    order = Stage.pipeline_order()
+    stages = order[0]
+    for stage in order[1:k]:
+        stages |= stage
+    return stages
+
+
+def pipeline_curriculum(
+    episodes_per_phase: int, max_relations: int = 8
+) -> List[CurriculumPhase]:
+    """§5.3.1: unlock one pipeline stage per phase, all relation counts."""
+    return [
+        CurriculumPhase(
+            name=f"pipeline-{k}",
+            stages=_stage_prefix(k),
+            max_relations=max_relations,
+            episodes=episodes_per_phase,
+        )
+        for k in range(1, 5)
+    ]
+
+
+def relations_curriculum(
+    episodes_per_phase: int, relation_steps: Sequence[int] = (2, 3, 4, 6, 8)
+) -> List[CurriculumPhase]:
+    """§5.3.2: full pipeline from the start, relation count growing."""
+    if list(relation_steps) != sorted(relation_steps):
+        raise ValueError("relation_steps must be increasing")
+    return [
+        CurriculumPhase(
+            name=f"relations-{n}",
+            stages=Stage.all(),
+            max_relations=n,
+            episodes=episodes_per_phase,
+        )
+        for n in relation_steps
+    ]
+
+
+def hybrid_curriculum(
+    episodes_per_phase: int, final_relations: int = 8
+) -> List[CurriculumPhase]:
+    """§5.3.3: stages and relations grow together, then relations keep
+    growing — the smallest complexity increase per phase."""
+    phases = [
+        CurriculumPhase("hybrid-1", _stage_prefix(1), 2, episodes_per_phase),
+        CurriculumPhase("hybrid-2", _stage_prefix(2), 3, episodes_per_phase),
+        CurriculumPhase("hybrid-3", _stage_prefix(3), 4, episodes_per_phase),
+        CurriculumPhase("hybrid-4", _stage_prefix(4), 5, episodes_per_phase),
+    ]
+    n = 6
+    step = 5
+    while n < final_relations:
+        phases.append(
+            CurriculumPhase(f"hybrid-{step}", Stage.all(), n, episodes_per_phase)
+        )
+        n += 2
+        step += 1
+    phases.append(
+        CurriculumPhase(
+            f"hybrid-{step}", Stage.all(), final_relations, episodes_per_phase
+        )
+    )
+    return phases
+
+
+def flat_curriculum(episodes: int, max_relations: int = 8) -> List[CurriculumPhase]:
+    """No curriculum: the full search space from episode one (the §4
+    baseline the incremental approaches are measured against)."""
+    return [CurriculumPhase("flat", Stage.all(), max_relations, episodes)]
+
+
+@dataclass
+class PhaseResult:
+    """One curriculum phase and the training log it produced."""
+
+    phase: CurriculumPhase
+    log: TrainingLog
+
+
+class IncrementalTrainer:
+    """Trains one agent through a curriculum of staged environments.
+
+    Per-phase workloads are synthesized with the random query generator
+    so every phase has queries matching its relation budget (§5.3.2's
+    observation that real workloads lack low-relation queries).
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        rng: np.random.Generator,
+        queries_per_phase: int = 60,
+        batch_size: int = 8,
+        grow_actions: bool = False,
+        agent_config: ReinforceConfig | None = None,
+        reward_shaping: str = "neg_log",
+    ) -> None:
+        self.db = db
+        self.rng = rng
+        self.queries_per_phase = queries_per_phase
+        self.batch_size = batch_size
+        self.grow_actions = grow_actions
+        self.agent_config = agent_config or ReinforceConfig()
+        self.reward_shaping = reward_shaping
+        self.generator = RandomQueryGenerator(db)
+        self.baseline = ExpertBaseline(db)
+        self.agent: ReinforceAgent | None = None
+        self._workload_counter = 0
+
+    # ------------------------------------------------------------------
+    def _phase_workload(self, phase: CurriculumPhase) -> Workload:
+        self._workload_counter += 1
+        lo = max(1, min(2, phase.max_relations))
+        return self.generator.workload(
+            self.rng,
+            size=self.queries_per_phase,
+            relation_range=(lo, phase.max_relations),
+            name=f"{phase.name}-w{self._workload_counter}",
+        )
+
+    def _phase_env(self, phase: CurriculumPhase, workload: Workload) -> StagedPlanEnv:
+        from repro.core.featurize import QueryFeaturizer
+
+        # One featurizer sized for the final phase keeps state_dim and the
+        # pair-action block constant across the whole curriculum.
+        if not hasattr(self, "_featurizer"):
+            self._featurizer = QueryFeaturizer(self.db.schema, max_relations=18)
+        return StagedPlanEnv(
+            self.db,
+            workload,
+            stages=phase.stages,
+            reward_source=CostModelReward(self.db, shaping=self.reward_shaping),
+            featurizer=self._featurizer,
+            rng=self.rng,
+        )
+
+    def _ensure_agent(self, env: StagedPlanEnv) -> ReinforceAgent:
+        if self.agent is None:
+            # Without action growth, pre-allocate the full action layer;
+            # locked stages stay invisible through masking.
+            n_actions = (
+                env.n_actions
+                if self.grow_actions
+                else env.action_count_for(Stage.all())
+            )
+            self.agent = ReinforceAgent(
+                env.state_dim, n_actions, self.rng, self.agent_config
+            )
+        elif self.agent.policy_net.out_features < env.n_actions:
+            if not self.grow_actions:
+                raise RuntimeError(
+                    "agent action layer smaller than the environment's; "
+                    "enable grow_actions or pre-allocate all stages"
+                )
+            delta = env.n_actions - self.agent.policy_net.out_features
+            self.agent.policy_net.grow_outputs(delta, self.rng)
+        return self.agent
+
+    # ------------------------------------------------------------------
+    def run(self, curriculum: Sequence[CurriculumPhase]) -> List[PhaseResult]:
+        """Train through every phase, reusing (and growing) the agent."""
+        if not curriculum:
+            raise ValueError("curriculum must have at least one phase")
+        results: List[PhaseResult] = []
+        for phase in curriculum:
+            workload = self._phase_workload(phase)
+            env = self._phase_env(phase, workload)
+            agent = self._ensure_agent(env)
+            trainer = Trainer(
+                env,
+                agent,
+                self.baseline,
+                self.rng,
+                TrainingConfig(batch_size=self.batch_size),
+            )
+            log = trainer.run(phase.episodes)
+            results.append(PhaseResult(phase=phase, log=log))
+        return results
+
+    # ------------------------------------------------------------------
+    def final_quality(
+        self, results: Sequence[PhaseResult], tail: int = 50
+    ) -> float:
+        """Median relative plan cost over the tail of the last phase."""
+        return results[-1].log.tail_median_relative_cost(tail)

@@ -1,0 +1,380 @@
+"""Learning from demonstration (paper §5.1, Figure 4).
+
+The five-step process of §5.1, implemented directly:
+
+1. A workload ``W`` is optimized by the traditional optimizer; each
+   query's decision sequence is recorded as an *episode history*
+   ``H_q = [(a_0, s_0), ..., (a_n, s_n)]``.
+2. The expert's plans are executed and their latencies ``L_q`` saved.
+3. The agent learns a **reward prediction function**: for every
+   ``(s_i, a_i)`` in ``H_q`` it is taught to predict that taking ``a_i``
+   in ``s_i`` eventually yields latency ``L_q`` (regression on
+   log-latency — latencies span orders of magnitude).
+4. Fine-tuning: the agent now plans queries itself, picking the action
+   whose predicted latency is lowest (with a small exploration
+   probability, as the paper's footnote 3 suggests), executing the
+   result, and training on its own history and observed latency.
+5. If performance slips — the recent average relative latency exceeds
+   a threshold — the agent is partially re-trained on the expert's
+   demonstrations until it recovers.
+
+Because phase 2 starts from expert-shaped behaviour, the agent should
+execute essentially no catastrophic plans — the property the §4
+"performance evaluation overhead" challenge makes precious.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.rewards import ExpertBaseline, LatencyReward
+from repro.core.trainer import EpisodeRecord, TrainingLog
+from repro.db.query import Query
+from repro.nn.network import MLP
+from repro.rl.env import StepResult
+
+__all__ = ["Demonstration", "DemonstrationSet", "LfDConfig", "LfDAgent", "LfDTrainer"]
+
+
+@dataclass
+class Demonstration:
+    """One expert episode history plus the observed latency."""
+
+    query_name: str
+    states: np.ndarray  # (steps, state_dim)
+    masks: np.ndarray  # (steps, n_actions)
+    actions: np.ndarray  # (steps,)
+    latency_ms: float
+    timed_out: bool = False
+
+    def __len__(self) -> int:
+        return len(self.actions)
+
+
+@dataclass
+class DemonstrationSet:
+    """A collection of expert demonstrations (steps 1-2 of §5.1)."""
+
+    demonstrations: List[Demonstration] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.demonstrations)
+
+    def __iter__(self):
+        return iter(self.demonstrations)
+
+    @classmethod
+    def collect(cls, env, queries: Sequence[Query]) -> "DemonstrationSet":
+        """Replay the expert's decisions through ``env`` and record
+        (state, action) pairs plus the executed plan's latency.
+
+        ``env`` must use a latency-based reward source so the terminal
+        outcome carries the executed latency.
+        """
+        demos = []
+        for query in queries:
+            actions = env.expert_actions(query)
+            states, masks = [], []
+            state, mask = env.reset(query)
+            result: StepResult | None = None
+            for action in actions:
+                states.append(state)
+                masks.append(mask)
+                result = env.step(action)
+                state, mask = result.state, result.mask
+            if result is None or not result.done:
+                raise RuntimeError(
+                    f"expert episode for {query.name} did not reach a terminal state"
+                )
+            outcome = result.info["outcome"]
+            if outcome.latency_ms is None:
+                raise ValueError(
+                    "DemonstrationSet.collect needs a latency-based reward source"
+                )
+            demos.append(
+                Demonstration(
+                    query_name=query.name,
+                    states=np.asarray(states),
+                    masks=np.asarray(masks),
+                    actions=np.asarray(actions, dtype=np.int64),
+                    latency_ms=outcome.latency_ms,
+                    timed_out=outcome.timed_out,
+                )
+            )
+        return cls(demos)
+
+    def flatten(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """All (state, action, log-latency target) training triples."""
+        states = np.concatenate([d.states for d in self.demonstrations])
+        actions = np.concatenate([d.actions for d in self.demonstrations])
+        targets = np.concatenate(
+            [np.full(len(d), np.log(max(d.latency_ms, 1e-3))) for d in self.demonstrations]
+        )
+        return states, actions, targets
+
+    def mean_latency(self) -> float:
+        return float(np.mean([d.latency_ms for d in self.demonstrations]))
+
+
+@dataclass(frozen=True)
+class LfDConfig:
+    """Hyperparameters for imitation, fine-tuning, and slip-retraining."""
+
+    hidden: Tuple[int, ...] = (128, 128)
+    lr: float = 1e-3
+    imitation_epochs: int = 40
+    imitation_batch: int = 64
+    #: Weight of the supervised (large-margin-style) term that pushes
+    #: the expert's action to be the argmin during imitation. Without
+    #: it, Q-values of never-demonstrated actions are arbitrary and the
+    #: greedy policy extrapolates into catastrophic plans — the failure
+    #: mode Deep Q-learning from Demonstrations (the paper's [11])
+    #: addresses with exactly such a term.
+    margin_weight: float = 1.0
+    #: Exploration probability during fine-tuning (footnote 3).
+    epsilon: float = 0.02
+    #: Re-train on demos when recent mean relative latency exceeds this.
+    slip_threshold: float = 1.5
+    slip_window: int = 20
+    retrain_epochs: int = 10
+    #: Online replay: how many recent episodes to train on per update.
+    replay_batch: int = 32
+    replay_capacity: int = 2000
+
+
+class LfDAgent:
+    """A reward-prediction agent: Q(s, a) ≈ log latency of the final plan.
+
+    Action selection is argmin over predicted latency among valid
+    actions (ε-greedy during fine-tuning). The ``act`` signature matches
+    the policy-gradient agents so the same rollout machinery applies.
+    """
+
+    def __init__(
+        self,
+        state_dim: int,
+        n_actions: int,
+        rng: np.random.Generator,
+        config: LfDConfig | None = None,
+    ) -> None:
+        self.config = config or LfDConfig()
+        self.rng = rng
+        self.n_actions = n_actions
+        self.q_net = MLP(
+            state_dim, self.config.hidden, n_actions, rng=rng, lr=self.config.lr
+        )
+        self.exploring = True
+
+    # ------------------------------------------------------------------
+    def predicted_log_latency(self, states: np.ndarray) -> np.ndarray:
+        return self.q_net.forward(states)
+
+    def act(
+        self,
+        state: np.ndarray,
+        mask: np.ndarray,
+        rng: np.random.Generator | None = None,
+        greedy: bool = False,
+    ) -> Tuple[int, float]:
+        rng = rng or self.rng
+        mask = np.asarray(mask, dtype=bool)
+        valid = np.nonzero(mask)[0]
+        if len(valid) == 0:
+            raise ValueError("no valid actions")
+        if not greedy and self.exploring and rng.uniform() < self.config.epsilon:
+            return int(rng.choice(valid)), 0.0
+        q = self.predicted_log_latency(state)[0]
+        best = valid[int(np.argmin(q[valid]))]
+        return int(best), 0.0
+
+    # ------------------------------------------------------------------
+    def train_regression(
+        self,
+        states: np.ndarray,
+        actions: np.ndarray,
+        targets: np.ndarray,
+        epochs: int,
+        batch_size: int,
+        margin_weight: float = 0.0,
+    ) -> List[float]:
+        """Regress Q(s, a) onto log-latency targets for taken actions.
+
+        With ``margin_weight > 0``, adds the supervised term that makes
+        the demonstrated action the argmin of Q (used for imitation and
+        slip-retraining; online replay uses pure regression, since the
+        agent's own actions carry real observed targets).
+        """
+        n = len(actions)
+        losses: List[float] = []
+        for _ in range(epochs):
+            order = self.rng.permutation(n)
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                loss = self.q_net.train_step(
+                    states[idx],
+                    lambda out, a=actions[idx], t=targets[idx]: _imitation_loss(
+                        out, a, t, margin_weight
+                    ),
+                )
+                losses.append(loss)
+        return losses
+
+
+def _picked_mse(
+    out: np.ndarray, actions: np.ndarray, targets: np.ndarray
+) -> Tuple[float, np.ndarray]:
+    """MSE on the outputs of the taken actions only."""
+    n = len(actions)
+    picked = out[np.arange(n), actions]
+    diff = picked - targets
+    loss = float(np.mean(diff**2))
+    grad = np.zeros_like(out)
+    grad[np.arange(n), actions] = 2.0 * diff / n
+    return loss, grad
+
+
+def _imitation_loss(
+    out: np.ndarray,
+    actions: np.ndarray,
+    targets: np.ndarray,
+    margin_weight: float,
+) -> Tuple[float, np.ndarray]:
+    """Regression on demonstrated actions plus a supervised margin term.
+
+    The margin term is cross-entropy over ``softmax(-Q)`` toward the
+    demonstrated action: minimizing it makes the expert's action the
+    lowest-Q (best) choice, so argmin-Q action selection starts out
+    mimicking the expert instead of extrapolating into unobserved
+    actions (cf. DQfD's large-margin supervised loss).
+    """
+    loss, grad = _picked_mse(out, actions, targets)
+    if margin_weight > 0.0:
+        from repro.nn.losses import policy_gradient_loss
+
+        ce_loss, ce_grad_logits = policy_gradient_loss(
+            -out, actions, np.ones(len(actions))
+        )
+        loss += margin_weight * ce_loss
+        grad = grad - margin_weight * ce_grad_logits  # d(-out)/d(out) = -1
+    return loss, grad
+
+
+class LfDTrainer:
+    """Orchestrates the two phases of §5.1 and tracks safety metrics."""
+
+    def __init__(
+        self,
+        env,
+        agent: LfDAgent,
+        demos: DemonstrationSet,
+        baseline: ExpertBaseline,
+        rng: np.random.Generator,
+    ) -> None:
+        self.env = env
+        self.agent = agent
+        self.demos = demos
+        self.baseline = baseline
+        self.rng = rng
+        self._episode_counter = 0
+        self.retrain_count = 0
+        self._replay_states: List[np.ndarray] = []
+        self._replay_actions: List[int] = []
+        self._replay_targets: List[float] = []
+
+    # ------------------------------------------------------------------
+    def imitation_phase(self) -> List[float]:
+        """Phase 1: learn to predict the expert's outcomes (steps 1-3)."""
+        states, actions, targets = self.demos.flatten()
+        return self.agent.train_regression(
+            states,
+            actions,
+            targets,
+            epochs=self.agent.config.imitation_epochs,
+            batch_size=self.agent.config.imitation_batch,
+            margin_weight=self.agent.config.margin_weight,
+        )
+
+    # ------------------------------------------------------------------
+    def fine_tune(self, episodes: int, log: TrainingLog | None = None) -> TrainingLog:
+        """Phase 2: plan, execute, learn from own latencies (steps 4-5)."""
+        log = log or TrainingLog()
+        recent_relative: List[float] = []
+        cfg = self.agent.config
+        for _ in range(episodes):
+            record = self._episode()
+            log.append(record)
+            rel = record.relative_latency
+            if rel is not None:
+                recent_relative.append(rel)
+                recent_relative = recent_relative[-cfg.slip_window :]
+            self._train_from_replay()
+            if (
+                len(recent_relative) >= cfg.slip_window
+                and float(np.mean(recent_relative)) > cfg.slip_threshold
+            ):
+                self._retrain_on_demos()
+                recent_relative = []
+        return log
+
+    def _episode(self) -> EpisodeRecord:
+        state, mask = self.env.reset()
+        query = self.env.query
+        states, actions = [], []
+        while True:
+            action, _ = self.agent.act(state, mask, self.rng)
+            states.append(state)
+            actions.append(action)
+            result = self.env.step(action)
+            state, mask = result.state, result.mask
+            if result.done:
+                break
+        outcome = result.info["outcome"]
+        target = float(np.log(max(outcome.latency_ms, 1e-3)))
+        for s, a in zip(states, actions):
+            self._replay_states.append(s)
+            self._replay_actions.append(a)
+            self._replay_targets.append(target)
+        cap = self.agent.config.replay_capacity
+        if len(self._replay_states) > cap:
+            self._replay_states = self._replay_states[-cap:]
+            self._replay_actions = self._replay_actions[-cap:]
+            self._replay_targets = self._replay_targets[-cap:]
+        self._episode_counter += 1
+        return EpisodeRecord(
+            episode=self._episode_counter,
+            query_name=query.name,
+            reward=outcome.reward,
+            cost=outcome.cost,
+            expert_cost=self.baseline.cost(query),
+            latency_ms=outcome.latency_ms,
+            expert_latency_ms=self.baseline.latency(query),
+            timed_out=outcome.timed_out,
+        )
+
+    def _train_from_replay(self) -> None:
+        cfg = self.agent.config
+        n = len(self._replay_states)
+        if n == 0:
+            return
+        size = min(cfg.replay_batch, n)
+        idx = self.rng.choice(n, size=size, replace=False)
+        states = np.asarray([self._replay_states[i] for i in idx])
+        actions = np.asarray([self._replay_actions[i] for i in idx], dtype=np.int64)
+        targets = np.asarray([self._replay_targets[i] for i in idx])
+        self.agent.train_regression(states, actions, targets, epochs=1, batch_size=size)
+
+    def _retrain_on_demos(self) -> None:
+        """Step 5: partial re-training on the expert's demonstrations."""
+        self.retrain_count += 1
+        states, actions, targets = self.demos.flatten()
+        self.agent.train_regression(
+            states,
+            actions,
+            targets,
+            epochs=self.agent.config.retrain_epochs,
+            batch_size=self.agent.config.imitation_batch,
+            margin_weight=self.agent.config.margin_weight,
+        )

@@ -1,0 +1,100 @@
+"""Experiment reporting: series, tables, convergence detection.
+
+These utilities produce the same artifacts the paper's figures show:
+windowed relative-cost series (Figure 3a), per-query cost tables
+(Figure 3b), and per-relation-count timing tables (Figure 3c).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "moving_average",
+    "bucket_means",
+    "convergence_episode",
+    "geometric_mean",
+    "ascii_table",
+    "format_series",
+]
+
+
+def moving_average(values: Sequence[float], window: int) -> np.ndarray:
+    """Trailing moving average; the first ``window-1`` entries average
+    whatever prefix is available."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    values = np.asarray(values, dtype=np.float64)
+    out = np.empty_like(values)
+    csum = np.concatenate(([0.0], np.cumsum(values)))
+    for i in range(len(values)):
+        lo = max(0, i - window + 1)
+        out[i] = (csum[i + 1] - csum[lo]) / (i + 1 - lo)
+    return out
+
+
+def bucket_means(
+    values: Sequence[float], bucket_size: int
+) -> List[Tuple[int, float]]:
+    """Mean per fixed-size bucket: [(bucket_end_index, mean), ...].
+
+    This is the Figure 3a x-axis: episode buckets vs windowed metric.
+    """
+    if bucket_size <= 0:
+        raise ValueError("bucket_size must be positive")
+    values = np.asarray(values, dtype=np.float64)
+    out = []
+    for start in range(0, len(values), bucket_size):
+        chunk = values[start : start + bucket_size]
+        if len(chunk):
+            out.append((start + len(chunk), float(chunk.mean())))
+    return out
+
+
+def convergence_episode(
+    values: Sequence[float], threshold: float, window: int = 50
+) -> int | None:
+    """First episode whose trailing ``window``-average drops to
+    ``threshold`` or below, or None if it never does."""
+    avg = moving_average(values, window)
+    below = np.nonzero(avg[window - 1 :] <= threshold)[0]
+    if len(below) == 0:
+        return None
+    return int(below[0] + window - 1)
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    arr = np.asarray(list(values), dtype=np.float64)
+    if len(arr) == 0:
+        raise ValueError("geometric mean of empty sequence")
+    if (arr <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))
+
+
+def ascii_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """A plain fixed-width table for experiment output."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        line = "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row))
+        lines.append(line.rstrip())
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0 or 0.01 <= abs(value) < 1e6:
+            return f"{value:.2f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+def format_series(series: List[Tuple[int, float]], label: str = "episodes") -> str:
+    """Render a bucketed series as a two-column table."""
+    return ascii_table([label, "value"], series)

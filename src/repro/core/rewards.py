@@ -1,0 +1,212 @@
+"""Reward signals for the DRL query optimizer.
+
+Section 4 of the paper analyzes the two available performance
+indicators — the optimizer's cost model (dense-ish, cheap, but unitless
+and imperfect) and the true query latency (the real objective, but
+sparse, non-linear, and expensive for bad plans). Both are provided
+here with a shared interface, plus the §5.2 latency→cost scaling that
+lets a model switch signals without perceiving a reward-scale cliff.
+
+Shaping. The paper's ReJOIN reward is the cost reciprocal ``1/M(t)``.
+Reciprocal, negative-log, and relative-to-expert shapings are all
+monotone transformations of the underlying metric — they induce the
+same plan ordering — but differ greatly in variance, and therefore in
+convergence speed at laptop episode budgets. ``neg_log`` is the default
+used by the trainers; benches that reproduce Figure 3 note the shaping.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Literal
+
+from repro.db.engine import Database
+from repro.db.plans import PhysicalPlan
+from repro.db.query import Query
+from repro.optimizer.planner import Planner
+
+__all__ = [
+    "PlanOutcome",
+    "ExpertBaseline",
+    "CostModelReward",
+    "LatencyReward",
+    "ScaledLatencyReward",
+    "shape_metric",
+]
+
+Shaping = Literal["reciprocal", "neg_log", "relative"]
+
+
+@dataclass(frozen=True)
+class PlanOutcome:
+    """What evaluating one finished plan produced."""
+
+    reward: float
+    #: The raw metric the reward was derived from (cost units or ms).
+    metric: float
+    cost: float | None = None
+    latency_ms: float | None = None
+    timed_out: bool = False
+    executed: bool = False
+
+
+def shape_metric(metric: float, shaping: Shaping, expert_metric: float | None = None) -> float:
+    """Turn a lower-is-better metric into a higher-is-better reward."""
+    metric = max(metric, 1e-9)
+    if shaping == "reciprocal":
+        return 1.0 / metric
+    if shaping == "neg_log":
+        return -math.log(metric)
+    if shaping == "relative":
+        if expert_metric is None or expert_metric <= 0:
+            raise ValueError("relative shaping needs a positive expert metric")
+        # log-ratio: 0 when matching the expert, positive when better.
+        return -math.log(metric / expert_metric)
+    raise ValueError(f"unknown shaping {shaping!r}")
+
+
+class ExpertBaseline:
+    """Caches the expert planner's cost and latency per query.
+
+    Used for relative reward shaping, for the relative-cost series of
+    Figure 3a, and for sizing per-query latency budgets.
+    """
+
+    def __init__(self, db: Database, planner: Planner | None = None) -> None:
+        self.db = db
+        self.planner = planner or Planner(db)
+        self._cost: Dict[str, float] = {}
+        self._latency: Dict[str, float] = {}
+
+    def cost(self, query: Query) -> float:
+        value = self._cost.get(query.name)
+        if value is None:
+            value = self.planner.optimize(query).cost.total
+            self._cost[query.name] = value
+        return value
+
+    def latency(self, query: Query) -> float:
+        value = self._latency.get(query.name)
+        if value is None:
+            plan = self.planner.optimize(query).plan
+            result = self.db.execute_plan(plan, query)
+            value = result.latency_ms
+            self._latency[query.name] = value
+        return value
+
+
+class CostModelReward:
+    """Phase-1 signal: the optimizer cost model's opinion of the plan.
+
+    Cheap to evaluate (no execution), available for catastrophic plans,
+    but inherits every cost-model flaw — "kicking the can down the
+    road", as §4 puts it.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        shaping: Shaping = "neg_log",
+        baseline: ExpertBaseline | None = None,
+    ) -> None:
+        self.db = db
+        self.shaping: Shaping = shaping
+        self.baseline = baseline
+        if shaping == "relative" and baseline is None:
+            raise ValueError("relative shaping requires an ExpertBaseline")
+
+    def evaluate(self, plan: PhysicalPlan, query: Query) -> PlanOutcome:
+        cost = self.db.plan_cost(plan, query).total
+        expert = self.baseline.cost(query) if self.baseline else None
+        reward = shape_metric(cost, self.shaping, expert)
+        return PlanOutcome(reward=reward, metric=cost, cost=cost, executed=False)
+
+
+class LatencyReward:
+    """Phase-2 signal: actually execute the plan and observe latency.
+
+    The budget censors catastrophic plans (footnote 2 of the paper): a
+    plan that would run "for hours" is cut off at ``budget_factor`` times
+    the expert's latency and scored at the budget.
+    """
+
+    def __init__(
+        self,
+        db: Database,
+        shaping: Shaping = "neg_log",
+        baseline: ExpertBaseline | None = None,
+        budget_factor: float = 100.0,
+        min_budget_ms: float = 100.0,
+    ) -> None:
+        if budget_factor <= 1:
+            raise ValueError("budget_factor must exceed 1")
+        self.db = db
+        self.shaping: Shaping = shaping
+        self.baseline = baseline or ExpertBaseline(db)
+        self.budget_factor = budget_factor
+        self.min_budget_ms = min_budget_ms
+
+    def budget_for(self, query: Query) -> float:
+        return max(
+            self.min_budget_ms, self.baseline.latency(query) * self.budget_factor
+        )
+
+    def evaluate(self, plan: PhysicalPlan, query: Query) -> PlanOutcome:
+        budget = self.budget_for(query)
+        result = self.db.execute_plan(plan, query, budget_ms=budget)
+        expert = self.baseline.latency(query) if self.shaping == "relative" else None
+        reward = shape_metric(result.latency_ms, self.shaping, expert)
+        cost = self.db.plan_cost(plan, query).total
+        return PlanOutcome(
+            reward=reward,
+            metric=result.latency_ms,
+            cost=cost,
+            latency_ms=result.latency_ms,
+            timed_out=result.timed_out,
+            executed=True,
+        )
+
+
+class ScaledLatencyReward:
+    """The §5.2 phase-switch scaling: map latency into cost-model units.
+
+    Implements the paper's formula verbatim::
+
+        r_l = C_min + (l - L_min) / (L_max - L_min) * (C_max - C_min)
+
+    where ``C_min/C_max`` are the observed optimizer-cost range and
+    ``L_min/L_max`` the observed latency range at the end of Phase 1.
+    The scaled value is then shaped exactly like the Phase-1 cost was,
+    so the agent sees a continuous reward scale across the switch.
+    """
+
+    def __init__(
+        self,
+        latency_reward: LatencyReward,
+        scaler: "RewardScalerProtocol",
+        shaping: Shaping = "neg_log",
+        baseline: ExpertBaseline | None = None,
+    ) -> None:
+        self.latency_reward = latency_reward
+        self.scaler = scaler
+        self.shaping: Shaping = shaping
+        self.baseline = baseline
+
+    def evaluate(self, plan: PhysicalPlan, query: Query) -> PlanOutcome:
+        outcome = self.latency_reward.evaluate(plan, query)
+        scaled = self.scaler.scale(outcome.latency_ms)
+        expert = self.baseline.cost(query) if self.shaping == "relative" else None
+        reward = shape_metric(scaled, self.shaping, expert)
+        return PlanOutcome(
+            reward=reward,
+            metric=scaled,
+            cost=outcome.cost,
+            latency_ms=outcome.latency_ms,
+            timed_out=outcome.timed_out,
+            executed=True,
+        )
+
+
+class RewardScalerProtocol:  # pragma: no cover - typing aid
+    def scale(self, latency_ms: float) -> float: ...

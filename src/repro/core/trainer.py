@@ -1,0 +1,205 @@
+"""The episode loop with relative-cost tracking (Figure 3a's apparatus).
+
+The trainer runs episodes against any planning environment, batches
+them for the agent's policy update, and records — per episode — the
+produced plan's cost (and latency when the reward executed it) both
+absolutely and relative to the expert planner, which is precisely the
+y-axis of Figure 3a ("Plan Cost relative to PostgreSQL").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.reporting import bucket_means, convergence_episode, moving_average
+from repro.core.rewards import ExpertBaseline, PlanOutcome
+from repro.db.query import Query
+from repro.rl.env import Trajectory, Transition, rollout
+
+__all__ = ["TrainingConfig", "EpisodeRecord", "TrainingLog", "Trainer"]
+
+
+@dataclass(frozen=True)
+class TrainingConfig:
+    """Episode budget and batching for the training loop."""
+
+    episodes: int = 1000
+    batch_size: int = 8
+    max_steps_per_episode: int = 200
+
+
+@dataclass(frozen=True)
+class EpisodeRecord:
+    """One episode's outcome."""
+
+    episode: int
+    query_name: str
+    reward: float
+    cost: float | None
+    expert_cost: float | None
+    latency_ms: float | None
+    expert_latency_ms: float | None
+    timed_out: bool
+
+    @property
+    def relative_cost(self) -> float | None:
+        if self.cost is None or not self.expert_cost:
+            return None
+        return self.cost / self.expert_cost
+
+    @property
+    def relative_latency(self) -> float | None:
+        if self.latency_ms is None or not self.expert_latency_ms:
+            return None
+        return self.latency_ms / self.expert_latency_ms
+
+
+@dataclass
+class TrainingLog:
+    """Accumulated episode records with Figure-3a style accessors."""
+
+    records: List[EpisodeRecord] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def append(self, record: EpisodeRecord) -> None:
+        self.records.append(record)
+
+    # ------------------------------------------------------------------
+    def relative_costs(self) -> np.ndarray:
+        return np.asarray(
+            [r.relative_cost for r in self.records if r.relative_cost is not None]
+        )
+
+    def relative_latencies(self) -> np.ndarray:
+        return np.asarray(
+            [r.relative_latency for r in self.records if r.relative_latency is not None]
+        )
+
+    def rewards(self) -> np.ndarray:
+        return np.asarray([r.reward for r in self.records])
+
+    def moving_relative_cost(self, window: int = 100) -> np.ndarray:
+        return moving_average(self.relative_costs(), window)
+
+    def relative_cost_series(self, bucket_size: int = 100) -> List[Tuple[int, float]]:
+        """The Figure 3a series: episode bucket -> mean relative cost."""
+        return bucket_means(self.relative_costs(), bucket_size)
+
+    def converged_at(self, threshold: float = 1.2, window: int = 100) -> int | None:
+        return convergence_episode(self.relative_costs(), threshold, window)
+
+    def timeout_fraction(self, first_n: int | None = None) -> float:
+        records = self.records[:first_n] if first_n else self.records
+        if not records:
+            return 0.0
+        return sum(r.timed_out for r in records) / len(records)
+
+    def tail_mean_relative_cost(self, tail: int = 100) -> float:
+        rel = self.relative_costs()
+        if len(rel) == 0:
+            raise ValueError("no relative costs recorded")
+        return float(rel[-tail:].mean())
+
+    def tail_median_relative_cost(self, tail: int = 100) -> float:
+        """Median is the robust converged-quality summary: exploration
+        episodes produce occasional catastrophic outliers that dominate
+        a mean without reflecting the learned policy."""
+        rel = self.relative_costs()
+        if len(rel) == 0:
+            raise ValueError("no relative costs recorded")
+        return float(np.median(rel[-tail:]))
+
+
+class Trainer:
+    """Runs episodes, updates the agent, and logs relative metrics."""
+
+    def __init__(
+        self,
+        env,
+        agent,
+        baseline: ExpertBaseline,
+        rng: np.random.Generator,
+        config: TrainingConfig | None = None,
+    ) -> None:
+        self.env = env
+        self.agent = agent
+        self.baseline = baseline
+        self.rng = rng
+        self.config = config or TrainingConfig()
+        self._episode_counter = 0
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        episodes: int | None = None,
+        log: TrainingLog | None = None,
+        update: bool = True,
+    ) -> TrainingLog:
+        """Train for ``episodes`` episodes (appending to ``log`` if given)."""
+        episodes = episodes or self.config.episodes
+        log = log or TrainingLog()
+        batch: List[Trajectory] = []
+        for _ in range(episodes):
+            trajectory = rollout(
+                self.env,
+                self.agent.act,
+                self.rng,
+                max_steps=self.config.max_steps_per_episode,
+            )
+            log.append(self._record(trajectory))
+            batch.append(trajectory)
+            if update and len(batch) >= self.config.batch_size:
+                self.agent.update(batch)
+                batch = []
+        if update and batch:
+            self.agent.update(batch)
+        return log
+
+    def _record(self, trajectory: Trajectory) -> EpisodeRecord:
+        outcome: PlanOutcome = trajectory.info["outcome"]
+        query: Query = trajectory.info["query"]
+        self._episode_counter += 1
+        expert_latency = (
+            self.baseline.latency(query) if outcome.latency_ms is not None else None
+        )
+        return EpisodeRecord(
+            episode=self._episode_counter,
+            query_name=query.name,
+            reward=trajectory.total_reward,
+            cost=outcome.cost,
+            expert_cost=self.baseline.cost(query),
+            latency_ms=outcome.latency_ms,
+            expert_latency_ms=expert_latency,
+            timed_out=outcome.timed_out,
+        )
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, queries: Sequence[Query], greedy: bool = True
+    ) -> Dict[str, EpisodeRecord]:
+        """Greedy (mode) evaluation on fixed queries, no learning."""
+        results: Dict[str, EpisodeRecord] = {}
+        for query in queries:
+            trajectory = self._rollout_query(query, greedy)
+            results[query.name] = self._record(trajectory)
+        return results
+
+    def _rollout_query(self, query: Query, greedy: bool) -> Trajectory:
+        state, mask = self.env.reset(query)
+        trajectory = Trajectory()
+        for _ in range(self.config.max_steps_per_episode):
+            action, log_prob = self.agent.act(state, mask, self.rng, greedy)
+            result = self.env.step(action)
+            trajectory.transitions.append(
+                Transition(state, mask, action, result.reward, log_prob)
+            )
+            trajectory.info.update(result.info)
+            state, mask = result.state, result.mask
+            if result.done:
+                return trajectory
+        raise RuntimeError("evaluation episode did not terminate")

@@ -1,0 +1,62 @@
+"""An in-memory relational engine standing in for PostgreSQL.
+
+The paper trains against PostgreSQL: its optimizer supplies the expert
+demonstrations and the cost-model reward, and its execution engine
+supplies query latency. This package rebuilds the pieces of that stack
+the paper actually exercises:
+
+- column storage over numpy arrays (:mod:`repro.db.table`),
+- FK-consistent skewed synthetic data (:mod:`repro.db.datagen`),
+- ``ANALYZE``-style statistics: histograms, MCVs, distinct counts
+  (:mod:`repro.db.statistics`),
+- a selectivity/cardinality estimator with PostgreSQL's independence
+  and uniformity assumptions (:mod:`repro.db.cardinality`),
+- logical join trees and physical operator trees (:mod:`repro.db.plans`),
+- a PostgreSQL-shaped cost model (:mod:`repro.db.costmodel`),
+- secondary indexes (:mod:`repro.db.indexes`),
+- an executor that *really executes* plans on the stored data and
+  reports a deterministic simulated latency (:mod:`repro.db.executor`),
+- a :class:`~repro.db.engine.Database` facade tying it all together.
+
+The executor's latency is computed from **actual** row counts while the
+cost model works from **estimated** ones; the gap between the two
+signals is exactly the cost-model-vs-latency mismatch that Section 4 of
+the paper builds its argument on.
+"""
+
+from repro.db.engine import Database
+from repro.db.plans import (
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    JoinTree,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalPlan,
+    SeqScan,
+    SortAggregate,
+    explain,
+)
+from repro.db.query import Query, parse_query
+from repro.db.schema import Column, DatabaseSchema, DataType, ForeignKey, TableSchema
+
+__all__ = [
+    "Column",
+    "Database",
+    "DatabaseSchema",
+    "DataType",
+    "ForeignKey",
+    "HashAggregate",
+    "HashJoin",
+    "IndexScan",
+    "JoinTree",
+    "MergeJoin",
+    "NestedLoopJoin",
+    "PhysicalPlan",
+    "Query",
+    "SeqScan",
+    "SortAggregate",
+    "TableSchema",
+    "explain",
+    "parse_query",
+]

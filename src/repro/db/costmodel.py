@@ -1,0 +1,213 @@
+"""A PostgreSQL-shaped cost model over physical plans.
+
+Costs are unitless, exactly as the paper stresses in §5.2 ("an
+optimizer's cost model output is a unitless value, meant to compare
+alternative query plans but not meant to directly correlate with
+execution latency"). The parameters mirror PostgreSQL's planner GUCs.
+
+All row counts come from the :class:`~repro.db.cardinality.QueryCardinalities`
+estimator — *estimates*, not actuals — so the model inherits every
+estimation error, which is what separates it from the executor's
+latency signal.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.db.cardinality import QueryCardinalities
+from repro.db.plans import (
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalPlan,
+    SeqScan,
+    SortAggregate,
+)
+from repro.db.predicates import Comparison, CompareOp, InPredicate
+from repro.db.schema import DatabaseSchema
+from repro.db.statistics import TableStats
+
+__all__ = ["CostParams", "PlanCost", "CostModel"]
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Planner cost parameters (PostgreSQL GUC defaults)."""
+
+    seq_page_cost: float = 1.0
+    random_page_cost: float = 4.0
+    cpu_tuple_cost: float = 0.01
+    cpu_index_tuple_cost: float = 0.005
+    cpu_operator_cost: float = 0.0025
+    #: Per-tuple cost of inserting into a hash table (build side).
+    hash_build_cost: float = 0.015
+    #: Per-tuple cost of probing the hash table.
+    hash_probe_cost: float = 0.005
+
+
+@dataclass(frozen=True)
+class PlanCost:
+    """Startup and total cost of a (sub)plan plus its row estimate."""
+
+    startup: float = 0.0
+    total: float = 0.0
+    rows: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.total + 1e-9 < self.startup:
+            raise ValueError(f"total {self.total} below startup {self.startup}")
+
+
+class CostModel:
+    """Costs physical plans against a query's cardinality estimates."""
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        stats: Dict[str, TableStats],
+        params: CostParams | None = None,
+    ) -> None:
+        self.schema = schema
+        self.stats = stats
+        self.params = params or CostParams()
+
+    def cost(self, plan: PhysicalPlan, cards: QueryCardinalities) -> PlanCost:
+        """Total cost of ``plan`` under the given per-query estimates."""
+        if isinstance(plan, SeqScan):
+            return self._seq_scan(plan, cards)
+        if isinstance(plan, IndexScan):
+            return self._index_scan(plan, cards)
+        if isinstance(plan, NestedLoopJoin):
+            return self._nested_loop(plan, cards)
+        if isinstance(plan, HashJoin):
+            return self._hash_join(plan, cards)
+        if isinstance(plan, MergeJoin):
+            return self._merge_join(plan, cards)
+        if isinstance(plan, HashAggregate):
+            return self._hash_aggregate(plan, cards)
+        if isinstance(plan, SortAggregate):
+            return self._sort_aggregate(plan, cards)
+        raise TypeError(f"unknown plan node {type(plan).__name__}")
+
+    # ------------------------------------------------------------------
+    # Scans
+    # ------------------------------------------------------------------
+    def _table_stats(self, table: str) -> TableStats | None:
+        return self.stats.get(table)
+
+    def _seq_scan(self, plan: SeqScan, cards: QueryCardinalities) -> PlanCost:
+        p = self.params
+        stats = self._table_stats(plan.table)
+        n_rows = stats.n_rows if stats is not None else 1000
+        n_pages = stats.n_pages if stats is not None else 10
+        io = p.seq_page_cost * n_pages
+        cpu = p.cpu_tuple_cost * n_rows
+        cpu += p.cpu_operator_cost * n_rows * len(plan.predicates)
+        return PlanCost(0.0, io + cpu, cards.scan_rows(plan.alias))
+
+    def _index_selectivity(self, plan: IndexScan, cards: QueryCardinalities) -> float:
+        """Selectivity of the index-qualifying predicate alone."""
+        table = plan.table
+        return cards.estimator.predicate_selectivity(plan.index_predicate, table)
+
+    def _index_scan(self, plan: IndexScan, cards: QueryCardinalities) -> PlanCost:
+        p = self.params
+        stats = self._table_stats(plan.table)
+        n_rows = stats.n_rows if stats is not None else 1000
+        n_pages = stats.n_pages if stats is not None else 10
+        index_sel = self._index_selectivity(plan, cards)
+        matched = max(1.0, n_rows * index_sel)
+        depth = max(1.0, math.log(max(n_rows, 2), 256))
+        # Descend the tree, then fetch heap pages. Uncorrelated heap order:
+        # approach one random page per matched tuple, capped by table pages.
+        startup = depth * 50.0 * p.cpu_operator_cost
+        heap_pages = min(float(n_pages), matched)
+        io = p.random_page_cost * (depth + heap_pages)
+        cpu = matched * (p.cpu_index_tuple_cost + p.cpu_tuple_cost)
+        cpu += matched * p.cpu_operator_cost * len(plan.residual)
+        # IN-list via repeated descents.
+        if isinstance(plan.index_predicate, InPredicate):
+            startup *= len(plan.index_predicate.values)
+        return PlanCost(startup, startup + io + cpu, cards.scan_rows(plan.alias))
+
+    # ------------------------------------------------------------------
+    # Joins
+    # ------------------------------------------------------------------
+    def _nested_loop(self, plan: NestedLoopJoin, cards: QueryCardinalities) -> PlanCost:
+        p = self.params
+        left = self.cost(plan.left, cards)
+        right = self.cost(plan.right, cards)
+        out_rows = cards.plan_rows(plan)
+        # Inner is materialized once, then rescanned per outer tuple.
+        rescan = max(0.0, left.rows - 1.0) * right.rows * p.cpu_operator_cost
+        compare = left.rows * right.rows * p.cpu_operator_cost * max(
+            1, len(plan.predicates)
+        )
+        total = (
+            left.total
+            + right.total
+            + rescan
+            + compare
+            + out_rows * p.cpu_tuple_cost
+        )
+        return PlanCost(left.startup, total, out_rows)
+
+    def _hash_join(self, plan: HashJoin, cards: QueryCardinalities) -> PlanCost:
+        p = self.params
+        build = self.cost(plan.left, cards)
+        probe = self.cost(plan.right, cards)
+        out_rows = cards.plan_rows(plan)
+        startup = build.total + build.rows * p.hash_build_cost
+        total = (
+            startup
+            + probe.total
+            + probe.rows * p.hash_probe_cost * max(1, len(plan.predicates))
+            + out_rows * p.cpu_tuple_cost
+        )
+        return PlanCost(startup, total, out_rows)
+
+    def _sort_cost(self, rows: float) -> float:
+        rows = max(rows, 2.0)
+        return 2.0 * rows * math.log2(rows) * self.params.cpu_operator_cost
+
+    def _merge_join(self, plan: MergeJoin, cards: QueryCardinalities) -> PlanCost:
+        p = self.params
+        left = self.cost(plan.left, cards)
+        right = self.cost(plan.right, cards)
+        out_rows = cards.plan_rows(plan)
+        sort = self._sort_cost(left.rows) + self._sort_cost(right.rows)
+        startup = left.total + right.total + sort
+        merge = (left.rows + right.rows) * p.cpu_operator_cost
+        total = startup + merge + out_rows * p.cpu_tuple_cost
+        return PlanCost(startup, total, out_rows)
+
+    # ------------------------------------------------------------------
+    # Aggregates
+    # ------------------------------------------------------------------
+    def _agg_width(self, plan) -> int:
+        return max(1, len(plan.group_by) + len(plan.aggregates))
+
+    def _hash_aggregate(self, plan: HashAggregate, cards: QueryCardinalities) -> PlanCost:
+        p = self.params
+        child = self.cost(plan.child, cards)
+        groups = cards.aggregate_groups(plan)
+        cpu = child.rows * p.cpu_operator_cost * self._agg_width(plan)
+        cpu += child.rows * p.hash_build_cost * (1 if plan.group_by else 0)
+        startup = child.total + cpu
+        total = startup + groups * p.cpu_tuple_cost
+        return PlanCost(startup, total, groups)
+
+    def _sort_aggregate(self, plan: SortAggregate, cards: QueryCardinalities) -> PlanCost:
+        p = self.params
+        child = self.cost(plan.child, cards)
+        groups = cards.aggregate_groups(plan)
+        sort = self._sort_cost(child.rows) if plan.group_by else 0.0
+        cpu = child.rows * p.cpu_operator_cost * self._agg_width(plan)
+        startup = child.total + sort + cpu
+        total = startup + groups * p.cpu_tuple_cost
+        return PlanCost(startup, total, groups)

@@ -1,0 +1,186 @@
+"""The :class:`Database` facade: tables + statistics + indexes + services.
+
+This is the stand-in for a PostgreSQL instance: it owns the data, the
+``ANALYZE`` statistics, the secondary indexes, and hands out the three
+services every experiment needs — a cardinality estimator, a cost model,
+and an executor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.cardinality import CardinalityEstimator, QueryCardinalities
+from repro.db.costmodel import CostModel, CostParams, PlanCost
+from repro.db.datagen import TableSpec, generate_database_tables
+from repro.db.executor import ExecutionResult, Executor, SimParams
+from repro.db.indexes import BTreeIndex, HashIndex
+from repro.db.plans import PhysicalPlan, explain
+from repro.db.query import Query
+from repro.db.schema import DatabaseSchema, ForeignKey
+from repro.db.statistics import TableStats, analyze_table
+from repro.db.table import Table
+
+__all__ = ["Database"]
+
+
+@dataclass
+class Database:
+    """An in-memory database with PostgreSQL-like planner services."""
+
+    schema: DatabaseSchema
+    tables: Dict[str, Table]
+    stats: Dict[str, TableStats] = field(default_factory=dict)
+    btree_indexes: Dict[Tuple[str, str], BTreeIndex] = field(default_factory=dict)
+    hash_indexes: Dict[Tuple[str, str], HashIndex] = field(default_factory=dict)
+    cost_params: CostParams = field(default_factory=CostParams)
+    sim_params: SimParams = field(default_factory=SimParams)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_specs(
+        cls,
+        specs: Sequence[TableSpec],
+        foreign_keys: Sequence[ForeignKey] = (),
+        seed: int = 0,
+        analyze: bool = True,
+        build_indexes: bool = True,
+        sample_size: int = 30_000,
+    ) -> "Database":
+        """Generate, analyze, and index a synthetic database."""
+        rng = np.random.default_rng(seed)
+        tables = generate_database_tables(specs, rng)
+        schema = DatabaseSchema(
+            tables={spec.name: tables[spec.name].schema for spec in specs},
+            foreign_keys=list(foreign_keys),
+        )
+        db = cls(schema=schema, tables=tables)
+        if analyze:
+            db.analyze(seed=seed + 1, sample_size=sample_size)
+        if build_indexes:
+            db.build_default_indexes()
+        return db
+
+    def analyze(self, seed: int = 1, sample_size: int = 30_000) -> None:
+        """Recompute statistics for every table (like ``ANALYZE``)."""
+        rng = np.random.default_rng(seed)
+        self.stats = {
+            name: analyze_table(table, rng, sample_size=sample_size)
+            for name, table in self.tables.items()
+        }
+
+    def build_default_indexes(self) -> None:
+        """B-tree every primary key and FK endpoint; hash every FK column.
+
+        This mirrors the JOB/IMDB setup, where PK/FK columns are indexed
+        so that index-scan access paths are genuinely available.
+        """
+        indexed: set[Tuple[str, str]] = set()
+        for name, schema in self.schema.tables.items():
+            if schema.primary_key is not None:
+                indexed.add((name, schema.primary_key))
+        for fk in self.schema.foreign_keys:
+            indexed.add((fk.src_table, fk.src_column))
+            indexed.add((fk.dst_table, fk.dst_column))
+        for table, column in sorted(indexed):
+            self.create_btree_index(table, column)
+            self.create_hash_index(table, column)
+
+    def create_btree_index(self, table: str, column: str) -> BTreeIndex:
+        values = self.tables[table].column(column)
+        index = BTreeIndex.build(table, column, values)
+        self.btree_indexes[(table, column)] = index
+        return index
+
+    def create_hash_index(self, table: str, column: str) -> HashIndex:
+        values = self.tables[table].column(column)
+        index = HashIndex.build(table, column, values)
+        self.hash_indexes[(table, column)] = index
+        return index
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def index_on(self, table: str, column: str, kind: str = "btree"):
+        if kind == "btree":
+            return self.btree_indexes.get((table, column))
+        if kind == "hash":
+            return self.hash_indexes.get((table, column))
+        raise ValueError(f"unknown index kind {kind!r}")
+
+    def indexed_columns(self, table: str) -> List[str]:
+        """Columns of ``table`` that have at least one index."""
+        cols = {c for (t, c) in self.btree_indexes if t == table}
+        cols |= {c for (t, c) in self.hash_indexes if t == table}
+        return sorted(cols)
+
+    @property
+    def n_tables(self) -> int:
+        return len(self.tables)
+
+    def total_rows(self) -> int:
+        return sum(t.n_rows for t in self.tables.values())
+
+    # ------------------------------------------------------------------
+    # Planner services
+    # ------------------------------------------------------------------
+    def estimator(self) -> CardinalityEstimator:
+        return CardinalityEstimator(self.schema, self.stats)
+
+    def cardinalities(self, query: Query) -> QueryCardinalities:
+        return self.estimator().for_query(query)
+
+    def cost_model(self) -> CostModel:
+        return CostModel(self.schema, self.stats, self.cost_params)
+
+    def executor(
+        self,
+        budget_ms: float = float("inf"),
+        max_intermediate_rows: int = 2_000_000,
+    ) -> Executor:
+        return Executor(
+            self,
+            params=self.sim_params,
+            budget_ms=budget_ms,
+            max_intermediate_rows=max_intermediate_rows,
+        )
+
+    # ------------------------------------------------------------------
+    # Convenience entry points
+    # ------------------------------------------------------------------
+    def plan_cost(self, plan: PhysicalPlan, query: Query) -> PlanCost:
+        """Cost-model opinion of a plan (the ReJOIN reward signal)."""
+        return self.cost_model().cost(plan, self.cardinalities(query))
+
+    def execute_plan(
+        self, plan: PhysicalPlan, query: Query, budget_ms: float = float("inf")
+    ) -> ExecutionResult:
+        """Actually execute a plan, returning rows and simulated latency."""
+        return self.executor(budget_ms=budget_ms).execute(plan, query)
+
+    def explain_analyze(
+        self, plan: PhysicalPlan, query: Query, budget_ms: float = float("inf")
+    ) -> str:
+        """EXPLAIN ANALYZE-style text: estimated vs actual rows per node."""
+        cards = self.cardinalities(query)
+        cost_model = self.cost_model()
+        result = self.execute_plan(plan, query, budget_ms=budget_ms)
+
+        def annotate(node: PhysicalPlan) -> str:
+            est = cards.plan_rows(node)
+            cost = cost_model.cost(node, cards)
+            actual = result.actual_rows(node)
+            actual_text = "never executed" if actual is None else f"{actual}"
+            return f"cost={cost.total:.1f} est_rows={est:.0f} actual_rows={actual_text}"
+
+        header = (
+            f"latency={result.latency_ms:.2f}ms"
+            + (" (BUDGET EXCEEDED)" if result.timed_out else "")
+            + f" output_rows={result.rows}\n"
+        )
+        return header + explain(plan, annotate)

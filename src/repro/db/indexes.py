@@ -1,0 +1,94 @@
+"""Secondary indexes: B-tree (sorted) and hash.
+
+Index *selection* is one of the optimization stages the paper's staged
+environments expose (§5.3.1: "one action for a relation's B-tree index,
+one action for a relation's row-order storage, one action for a
+relation's hash index"). Both kinds answer lookups with base-table row
+ids so executor results stay in row-id form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["BTreeIndex", "HashIndex"]
+
+
+@dataclass
+class BTreeIndex:
+    """An ordered index: supports equality and range lookups."""
+
+    table: str
+    column: str
+    sorted_values: np.ndarray
+    sorted_row_ids: np.ndarray
+
+    @classmethod
+    def build(cls, table: str, column: str, values: np.ndarray) -> "BTreeIndex":
+        order = np.argsort(values, kind="stable")
+        return cls(table, column, values[order], order.astype(np.int64))
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.sorted_values)
+
+    @property
+    def depth(self) -> int:
+        """Approximate tree depth for cost formulas (fan-out 256)."""
+        n = max(self.n_entries, 2)
+        return max(1, int(np.ceil(np.log(n) / np.log(256))))
+
+    def lookup_eq(self, value: float) -> np.ndarray:
+        lo = np.searchsorted(self.sorted_values, value, side="left")
+        hi = np.searchsorted(self.sorted_values, value, side="right")
+        return self.sorted_row_ids[lo:hi]
+
+    def lookup_range(
+        self,
+        lo: float | None,
+        hi: float | None,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+    ) -> np.ndarray:
+        """Row ids with value in the given (possibly open-ended) range."""
+        start = 0
+        end = self.n_entries
+        if lo is not None:
+            side = "left" if lo_inclusive else "right"
+            start = int(np.searchsorted(self.sorted_values, lo, side=side))
+        if hi is not None:
+            side = "right" if hi_inclusive else "left"
+            end = int(np.searchsorted(self.sorted_values, hi, side=side))
+        if end < start:
+            end = start
+        return self.sorted_row_ids[start:end]
+
+
+@dataclass
+class HashIndex:
+    """An equality-only index: value -> row ids."""
+
+    table: str
+    column: str
+    buckets: Dict[int, np.ndarray]
+
+    @classmethod
+    def build(cls, table: str, column: str, values: np.ndarray) -> "HashIndex":
+        order = np.argsort(values, kind="stable")
+        sorted_vals = values[order]
+        # Split row ids at value boundaries: one bucket per distinct value.
+        boundaries = np.nonzero(np.diff(sorted_vals))[0] + 1
+        groups = np.split(order.astype(np.int64), boundaries)
+        uniques = sorted_vals[np.concatenate([[0], boundaries])] if len(sorted_vals) else []
+        buckets = {int(v): g for v, g in zip(np.atleast_1d(uniques), groups)}
+        return cls(table, column, buckets)
+
+    @property
+    def n_entries(self) -> int:
+        return sum(len(g) for g in self.buckets.values())
+
+    def lookup_eq(self, value: float) -> np.ndarray:
+        return self.buckets.get(int(value), np.empty(0, dtype=np.int64))

@@ -1,0 +1,162 @@
+"""Predicate IR: selections and equi-join predicates.
+
+The workload is conjunctive select-project-join (the JOB shape), so the
+IR covers column/constant comparisons, BETWEEN, IN, and equi-joins.
+Every selection predicate can evaluate itself against a numpy column,
+and NULL sentinels never match any comparison (SQL three-valued logic
+restricted to WHERE semantics).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.db.schema import NULL_INT
+
+__all__ = [
+    "ColumnRef",
+    "CompareOp",
+    "Comparison",
+    "BetweenPredicate",
+    "InPredicate",
+    "JoinPredicate",
+    "Predicate",
+]
+
+
+@dataclass(frozen=True, order=True)
+class ColumnRef:
+    """A column reference ``alias.column`` (alias may equal the table name)."""
+
+    alias: str
+    column: str
+
+    def render(self) -> str:
+        return f"{self.alias}.{self.column}"
+
+
+class CompareOp(enum.Enum):
+    """Comparison operators usable in selection predicates."""
+
+    EQ = "="
+    NE = "<>"
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def apply(self, values: np.ndarray, constant: float) -> np.ndarray:
+        if self is CompareOp.EQ:
+            return values == constant
+        if self is CompareOp.NE:
+            return values != constant
+        if self is CompareOp.LT:
+            return values < constant
+        if self is CompareOp.LE:
+            return values <= constant
+        if self is CompareOp.GT:
+            return values > constant
+        return values >= constant
+
+
+def _non_null_mask(values: np.ndarray) -> np.ndarray:
+    if values.dtype.kind == "f":
+        return ~np.isnan(values)
+    return values != NULL_INT
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """``col <op> constant``."""
+
+    column: ColumnRef
+    op: CompareOp
+    value: float
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        return self.op.apply(values, self.value) & _non_null_mask(values)
+
+    def render(self) -> str:
+        value = int(self.value) if float(self.value).is_integer() else self.value
+        return f"{self.column.render()} {self.op.value} {value}"
+
+
+@dataclass(frozen=True)
+class BetweenPredicate:
+    """``col BETWEEN lo AND hi`` (inclusive both ends)."""
+
+    column: ColumnRef
+    lo: float
+    hi: float
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise ValueError(f"BETWEEN bounds reversed: {self.lo} > {self.hi}")
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        return (values >= self.lo) & (values <= self.hi) & _non_null_mask(values)
+
+    def render(self) -> str:
+        return f"{self.column.render()} BETWEEN {self.lo:g} AND {self.hi:g}"
+
+
+@dataclass(frozen=True)
+class InPredicate:
+    """``col IN (v1, v2, ...)``."""
+
+    column: ColumnRef
+    values: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError("IN list must not be empty")
+
+    def evaluate(self, values: np.ndarray) -> np.ndarray:
+        return np.isin(values, np.asarray(self.values)) & _non_null_mask(values)
+
+    def render(self) -> str:
+        items = ", ".join(
+            str(int(v)) if float(v).is_integer() else str(v) for v in self.values
+        )
+        return f"{self.column.render()} IN ({items})"
+
+
+#: Any selection predicate usable in a WHERE conjunction.
+Predicate = Comparison | BetweenPredicate | InPredicate
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """Equi-join ``left.col = right.col`` between two aliases."""
+
+    left: ColumnRef
+    right: ColumnRef
+
+    def __post_init__(self) -> None:
+        if self.left.alias == self.right.alias:
+            raise ValueError("join predicate must span two different aliases")
+
+    @property
+    def aliases(self) -> frozenset:
+        return frozenset((self.left.alias, self.right.alias))
+
+    def side_for(self, alias: str) -> ColumnRef:
+        if self.left.alias == alias:
+            return self.left
+        if self.right.alias == alias:
+            return self.right
+        raise KeyError(f"alias {alias!r} not part of {self.render()}")
+
+    def connects(self, left_aliases: Sequence[str], right_aliases: Sequence[str]) -> bool:
+        """True if this predicate joins the two alias sets."""
+        la, ra = self.left.alias, self.right.alias
+        return (la in left_aliases and ra in right_aliases) or (
+            ra in left_aliases and la in right_aliases
+        )
+
+    def render(self) -> str:
+        return f"{self.left.render()} = {self.right.render()}"

@@ -1,0 +1,329 @@
+"""Query IR, SQL rendering, and a small SQL parser.
+
+A :class:`Query` is a conjunctive select-project-join block with
+optional grouped aggregation — the JOB shape the paper evaluates on.
+Aliases are first-class (JOB uses self-joins like two ``info_type``
+instances), so relations are an ``alias -> table`` mapping.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.db.predicates import (
+    BetweenPredicate,
+    ColumnRef,
+    CompareOp,
+    Comparison,
+    InPredicate,
+    JoinPredicate,
+    Predicate,
+)
+from repro.db.schema import DatabaseSchema
+
+__all__ = ["AggregateSpec", "Query", "parse_query", "QueryParseError"]
+
+AGG_FUNCS = ("count", "sum", "min", "max", "avg")
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate output, e.g. ``min(t.production_year)``."""
+
+    func: str
+    column: ColumnRef | None  # None means COUNT(*)
+
+    def __post_init__(self) -> None:
+        if self.func not in AGG_FUNCS:
+            raise ValueError(f"unsupported aggregate {self.func!r}")
+        if self.func != "count" and self.column is None:
+            raise ValueError(f"{self.func} requires a column argument")
+
+    def render(self) -> str:
+        arg = "*" if self.column is None else self.column.render()
+        return f"{self.func.upper()}({arg})"
+
+
+@dataclass
+class Query:
+    """A conjunctive SPJ(+aggregate) query block."""
+
+    name: str
+    relations: Dict[str, str]  # alias -> table
+    selections: List[Predicate] = field(default_factory=list)
+    joins: List[JoinPredicate] = field(default_factory=list)
+    group_by: List[ColumnRef] = field(default_factory=list)
+    aggregates: List[AggregateSpec] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.relations:
+            raise ValueError("query needs at least one relation")
+        for pred in self.selections:
+            if pred.column.alias not in self.relations:
+                raise ValueError(f"selection references unknown alias: {pred.render()}")
+        for join in self.joins:
+            for side in (join.left, join.right):
+                if side.alias not in self.relations:
+                    raise ValueError(f"join references unknown alias: {join.render()}")
+        for ref in self.group_by:
+            if ref.alias not in self.relations:
+                raise ValueError(f"GROUP BY references unknown alias {ref.alias!r}")
+
+    # ------------------------------------------------------------------
+    @property
+    def aliases(self) -> List[str]:
+        return sorted(self.relations)
+
+    @property
+    def n_relations(self) -> int:
+        return len(self.relations)
+
+    def table_of(self, alias: str) -> str:
+        try:
+            return self.relations[alias]
+        except KeyError:
+            raise KeyError(f"unknown alias {alias!r} in query {self.name}") from None
+
+    def selections_for(self, alias: str) -> List[Predicate]:
+        return [p for p in self.selections if p.column.alias == alias]
+
+    def joins_between(
+        self, left_aliases: Sequence[str], right_aliases: Sequence[str]
+    ) -> List[JoinPredicate]:
+        return [j for j in self.joins if j.connects(left_aliases, right_aliases)]
+
+    def join_graph(self) -> nx.Graph:
+        """Undirected alias graph; edges carry their join predicates."""
+        graph = nx.Graph()
+        graph.add_nodes_from(self.relations)
+        for join in self.joins:
+            a, b = sorted(join.aliases)
+            if graph.has_edge(a, b):
+                graph.edges[a, b]["predicates"].append(join)
+            else:
+                graph.add_edge(a, b, predicates=[join])
+        return graph
+
+    def is_connected(self) -> bool:
+        return nx.is_connected(self.join_graph())
+
+    def validate_against(self, schema: DatabaseSchema) -> None:
+        """Raise if any alias/table/column does not exist in ``schema``."""
+        for alias, table in self.relations.items():
+            if table not in schema.tables:
+                raise KeyError(f"query {self.name}: unknown table {table!r}")
+        refs = [p.column for p in self.selections]
+        refs += [j.left for j in self.joins] + [j.right for j in self.joins]
+        refs += list(self.group_by)
+        refs += [a.column for a in self.aggregates if a.column is not None]
+        for ref in refs:
+            table = self.table_of(ref.alias)
+            if not schema.tables[table].has_column(ref.column):
+                raise KeyError(
+                    f"query {self.name}: unknown column {table}.{ref.column}"
+                )
+
+    # ------------------------------------------------------------------
+    def sql(self) -> str:
+        """Render back to SQL text (parsable by :func:`parse_query`)."""
+        if self.aggregates:
+            select = ", ".join(a.render() for a in self.aggregates)
+        else:
+            select = "*"
+        if self.group_by:
+            select_refs = ", ".join(r.render() for r in self.group_by)
+            select = f"{select_refs}, {select}" if select != "*" else select_refs
+        from_items = ", ".join(
+            f"{table} AS {alias}" if table != alias else table
+            for alias, table in sorted(self.relations.items())
+        )
+        conjuncts = [j.render() for j in self.joins] + [
+            p.render() for p in self.selections
+        ]
+        sql = f"SELECT {select} FROM {from_items}"
+        if conjuncts:
+            sql += " WHERE " + " AND ".join(conjuncts)
+        if self.group_by:
+            sql += " GROUP BY " + ", ".join(r.render() for r in self.group_by)
+        return sql + ";"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Query({self.name!r}, {self.n_relations} relations)"
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+
+
+class QueryParseError(ValueError):
+    """Raised when SQL text cannot be parsed into a :class:`Query`."""
+
+
+_COLREF = r"([A-Za-z_]\w*)\.([A-Za-z_]\w*)"
+_NUM = r"(-?\d+(?:\.\d+)?)"
+_RE_JOIN = re.compile(rf"^{_COLREF}\s*=\s*{_COLREF}$")
+_RE_CMP = re.compile(rf"^{_COLREF}\s*(=|<>|!=|<=|>=|<|>)\s*{_NUM}$")
+_RE_BETWEEN = re.compile(rf"^{_COLREF}\s+BETWEEN\s+{_NUM}\s+AND\s+{_NUM}$", re.I)
+_RE_IN = re.compile(rf"^{_COLREF}\s+IN\s*\(([^)]*)\)$", re.I)
+_RE_AGG = re.compile(r"^(count|sum|min|max|avg)\s*\(\s*(\*|[A-Za-z_]\w*\.[A-Za-z_]\w*)\s*\)$", re.I)
+
+_OP_MAP = {
+    "=": CompareOp.EQ,
+    "<>": CompareOp.NE,
+    "!=": CompareOp.NE,
+    "<": CompareOp.LT,
+    "<=": CompareOp.LE,
+    ">": CompareOp.GT,
+    ">=": CompareOp.GE,
+}
+
+
+def _split_where(where: str) -> List[str]:
+    """Split a WHERE clause on top-level ANDs.
+
+    Parenthesis-aware (IN lists) and BETWEEN-aware: the first AND after a
+    BETWEEN keyword belongs to the BETWEEN, not the conjunction.
+    """
+    parts: List[str] = []
+    depth = 0
+    token: List[str] = []
+    pending_between = False
+    i = 0
+    upper = where.upper()
+    while i < len(where):
+        ch = where[i]
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+        if depth == 0 and upper[i : i + 9] == " BETWEEN ":
+            pending_between = True
+        if depth == 0 and upper[i : i + 5] == " AND ":
+            if pending_between:
+                pending_between = False
+            else:
+                parts.append("".join(token).strip())
+                token = []
+                i += 5
+                continue
+        token.append(ch)
+        i += 1
+    if token:
+        parts.append("".join(token).strip())
+    return [p for p in parts if p]
+
+
+def _parse_conjunct(text: str) -> Predicate | JoinPredicate:
+    m = _RE_JOIN.match(text)
+    if m:
+        a1, c1, a2, c2 = m.groups()
+        return JoinPredicate(ColumnRef(a1, c1), ColumnRef(a2, c2))
+    m = _RE_CMP.match(text)
+    if m:
+        alias, col, op, num = m.groups()
+        return Comparison(ColumnRef(alias, col), _OP_MAP[op], float(num))
+    m = _RE_BETWEEN.match(text)
+    if m:
+        alias, col, lo, hi = m.groups()
+        return BetweenPredicate(ColumnRef(alias, col), float(lo), float(hi))
+    m = _RE_IN.match(text)
+    if m:
+        alias, col, items = m.groups()
+        values = tuple(float(v.strip()) for v in items.split(",") if v.strip())
+        return InPredicate(ColumnRef(alias, col), values)
+    raise QueryParseError(f"cannot parse WHERE conjunct: {text!r}")
+
+
+def _parse_select_item(text: str) -> AggregateSpec | ColumnRef:
+    m = _RE_AGG.match(text)
+    if m:
+        func, arg = m.group(1).lower(), m.group(2)
+        if arg == "*":
+            return AggregateSpec("count", None)
+        alias, col = arg.split(".")
+        return AggregateSpec(func, ColumnRef(alias, col))
+    m = re.match(rf"^{_COLREF}$", text)
+    if m:
+        return ColumnRef(m.group(1), m.group(2))
+    raise QueryParseError(f"cannot parse SELECT item: {text!r}")
+
+
+def parse_query(sql: str, name: str = "q") -> Query:
+    """Parse a restricted SQL SELECT into a :class:`Query`.
+
+    Supported grammar (the JOB shape)::
+
+        SELECT * | agg_list | group_cols, agg_list
+        FROM t1 [AS a1], t2 [AS a2], ...
+        WHERE conj AND conj AND ...
+        [GROUP BY a.col, ...] ;
+
+    where each ``conj`` is an equi-join ``a.x = b.y``, a comparison with
+    a numeric literal, ``BETWEEN``, or ``IN (...)``.
+    """
+    text = " ".join(sql.strip().rstrip(";").split())
+    m = re.match(
+        r"^SELECT\s+(?P<select>.*?)\s+FROM\s+(?P<from>.*?)"
+        r"(?:\s+WHERE\s+(?P<where>.*?))?(?:\s+GROUP\s+BY\s+(?P<group>.*?))?$",
+        text,
+        re.I,
+    )
+    if not m:
+        raise QueryParseError(f"not a SELECT statement: {sql!r}")
+
+    relations: Dict[str, str] = {}
+    for item in m.group("from").split(","):
+        parts = item.strip().split()
+        if len(parts) == 1:
+            table = alias = parts[0]
+        elif len(parts) == 3 and parts[1].upper() == "AS":
+            table, alias = parts[0], parts[2]
+        elif len(parts) == 2:
+            table, alias = parts
+        else:
+            raise QueryParseError(f"cannot parse FROM item: {item!r}")
+        if alias in relations:
+            raise QueryParseError(f"duplicate alias {alias!r}")
+        relations[alias] = table
+
+    selections: List[Predicate] = []
+    joins: List[JoinPredicate] = []
+    if m.group("where"):
+        for conjunct in _split_where(m.group("where")):
+            parsed = _parse_conjunct(conjunct)
+            if isinstance(parsed, JoinPredicate):
+                joins.append(parsed)
+            else:
+                selections.append(parsed)
+
+    group_by: List[ColumnRef] = []
+    if m.group("group"):
+        for item in m.group("group").split(","):
+            ref = _parse_select_item(item.strip())
+            if not isinstance(ref, ColumnRef):
+                raise QueryParseError("GROUP BY items must be column references")
+            group_by.append(ref)
+
+    aggregates: List[AggregateSpec] = []
+    select_text = m.group("select").strip()
+    if select_text != "*":
+        for item in select_text.split(","):
+            parsed = _parse_select_item(item.strip())
+            if isinstance(parsed, AggregateSpec):
+                aggregates.append(parsed)
+            elif parsed not in group_by:
+                group_by.append(parsed)
+
+    return Query(
+        name=name,
+        relations=relations,
+        selections=selections,
+        joins=joins,
+        group_by=group_by,
+        aggregates=aggregates,
+    )

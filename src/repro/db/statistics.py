@@ -1,0 +1,207 @@
+"""``ANALYZE``-style statistics: histograms, MCVs, distinct counts.
+
+Statistics are computed from a bounded random sample, like PostgreSQL's
+``ANALYZE``; estimation error from sampling, bucket-uniformity, and the
+independence assumption is *deliberate* — it is what makes the expert's
+cost model imperfect, which Section 4 of the paper depends on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.schema import NULL_INT
+from repro.db.table import Table
+
+__all__ = ["ColumnStats", "TableStats", "analyze_table"]
+
+DEFAULT_SAMPLE_SIZE = 30_000
+DEFAULT_N_BUCKETS = 100
+DEFAULT_N_MCVS = 25
+
+
+@dataclass
+class ColumnStats:
+    """Statistics for one column, mirroring ``pg_stats``."""
+
+    n_rows: int
+    null_frac: float
+    n_distinct: float
+    min_value: float
+    max_value: float
+    #: Most common values and their frequencies (fractions of all rows).
+    mcv_values: np.ndarray = field(default_factory=lambda: np.empty(0))
+    mcv_freqs: np.ndarray = field(default_factory=lambda: np.empty(0))
+    #: Equi-depth histogram bounds over non-MCV values (len = buckets + 1).
+    histogram_bounds: np.ndarray = field(default_factory=lambda: np.empty(0))
+    #: Fraction of rows not covered by MCVs (and not NULL).
+    hist_frac: float = 0.0
+
+    # ------------------------------------------------------------------
+    # Selectivity estimation
+    # ------------------------------------------------------------------
+    def selectivity_eq(self, value: float) -> float:
+        """P(col = value), PostgreSQL ``eqsel``-style."""
+        if self.n_rows == 0:
+            return 0.0
+        matches = np.nonzero(self.mcv_values == value)[0]
+        if matches.size:
+            return float(self.mcv_freqs[matches[0]])
+        remaining_distinct = max(self.n_distinct - len(self.mcv_values), 1.0)
+        return min(1.0, self.hist_frac / remaining_distinct)
+
+    def selectivity_range(
+        self,
+        lo: float | None,
+        hi: float | None,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+    ) -> float:
+        """P(lo <= col <= hi) with open ends allowed."""
+        if self.n_rows == 0:
+            return 0.0
+        total = 0.0
+        # MCV contribution is exact.
+        for value, freq in zip(self.mcv_values, self.mcv_freqs):
+            if self._in_range(value, lo, hi, lo_inclusive, hi_inclusive):
+                total += float(freq)
+        total += self.hist_frac * self._hist_range_frac(lo, hi)
+        return float(np.clip(total, 0.0, 1.0))
+
+    def selectivity_in(self, values: Sequence[float]) -> float:
+        return float(np.clip(sum(self.selectivity_eq(v) for v in values), 0.0, 1.0))
+
+    def selectivity_ne(self, value: float) -> float:
+        return float(np.clip(1.0 - self.null_frac - self.selectivity_eq(value), 0.0, 1.0))
+
+    @staticmethod
+    def _in_range(value, lo, hi, lo_inc, hi_inc) -> bool:
+        if lo is not None and (value < lo or (value == lo and not lo_inc)):
+            return False
+        if hi is not None and (value > hi or (value == hi and not hi_inc)):
+            return False
+        return True
+
+    def _hist_range_frac(self, lo: float | None, hi: float | None) -> float:
+        """Fraction of histogram mass inside [lo, hi] (uniform-in-bucket)."""
+        bounds = self.histogram_bounds
+        if len(bounds) < 2:
+            return 1.0 if (lo is None and hi is None) else 0.5
+        lo_pos = 0.0 if lo is None else self._hist_position(lo)
+        hi_pos = 1.0 if hi is None else self._hist_position(hi)
+        return max(0.0, hi_pos - lo_pos)
+
+    def _hist_position(self, value: float) -> float:
+        """Cumulative fraction of histogram mass below ``value``."""
+        bounds = self.histogram_bounds
+        n_buckets = len(bounds) - 1
+        if value <= bounds[0]:
+            return 0.0
+        if value >= bounds[-1]:
+            return 1.0
+        bucket = int(np.searchsorted(bounds, value, side="right")) - 1
+        bucket = min(bucket, n_buckets - 1)
+        lo_b, hi_b = bounds[bucket], bounds[bucket + 1]
+        within = 0.5 if hi_b == lo_b else (value - lo_b) / (hi_b - lo_b)
+        return (bucket + within) / n_buckets
+
+
+@dataclass
+class TableStats:
+    """Row count plus per-column statistics for one table."""
+
+    n_rows: int
+    n_pages: int
+    columns: Dict[str, ColumnStats]
+
+    def column(self, name: str) -> ColumnStats:
+        try:
+            return self.columns[name]
+        except KeyError:
+            raise KeyError(f"no statistics for column {name!r}") from None
+
+
+def _column_stats(
+    values: np.ndarray,
+    n_rows: int,
+    sample_ratio: float,
+    n_buckets: int,
+    n_mcvs: int,
+) -> ColumnStats:
+    is_float = values.dtype.kind == "f"
+    if is_float:
+        null_mask = np.isnan(values)
+    else:
+        null_mask = values == NULL_INT
+    non_null = values[~null_mask]
+    null_frac = float(null_mask.mean()) if len(values) else 0.0
+    if non_null.size == 0:
+        return ColumnStats(n_rows, null_frac, 0.0, 0.0, 0.0)
+
+    uniques, counts = np.unique(non_null, return_counts=True)
+    # Scale sampled distinct count to the full table (simple linear scale,
+    # a deliberate source of estimation error like real ANALYZE).
+    sample_distinct = len(uniques)
+    if sample_ratio >= 1.0:
+        n_distinct = float(sample_distinct)
+    else:
+        seen_once = float((counts == 1).sum())
+        # Values seen multiple times in a sample are likely common; scale
+        # only the singletons (a crude Goodman-style correction).
+        n_distinct = min(
+            float(n_rows),
+            sample_distinct + seen_once * (1.0 / sample_ratio - 1.0) * 0.5,
+        )
+
+    order = np.argsort(counts)[::-1]
+    n_mcv = min(n_mcvs, len(uniques))
+    mcv_idx = order[:n_mcv]
+    sample_n = len(non_null)
+    mcv_values = uniques[mcv_idx].astype(np.float64)
+    mcv_freqs = counts[mcv_idx] / sample_n * (1.0 - null_frac)
+
+    mcv_set_mask = np.isin(non_null, uniques[mcv_idx])
+    rest = non_null[~mcv_set_mask]
+    hist_frac = float((1.0 - null_frac) * (len(rest) / sample_n)) if sample_n else 0.0
+    if rest.size >= 2:
+        qs = np.linspace(0.0, 1.0, min(n_buckets, max(1, rest.size // 2)) + 1)
+        bounds = np.quantile(rest, qs)
+    else:
+        bounds = np.empty(0)
+
+    return ColumnStats(
+        n_rows=n_rows,
+        null_frac=null_frac,
+        n_distinct=max(1.0, n_distinct),
+        min_value=float(non_null.min()),
+        max_value=float(non_null.max()),
+        mcv_values=mcv_values,
+        mcv_freqs=mcv_freqs,
+        histogram_bounds=np.asarray(bounds, dtype=np.float64),
+        hist_frac=hist_frac,
+    )
+
+
+def analyze_table(
+    table: Table,
+    rng: np.random.Generator,
+    sample_size: int = DEFAULT_SAMPLE_SIZE,
+    n_buckets: int = DEFAULT_N_BUCKETS,
+    n_mcvs: int = DEFAULT_N_MCVS,
+) -> TableStats:
+    """Compute statistics for every column of ``table`` from a sample."""
+    n = table.n_rows
+    if n > sample_size:
+        sample_ids = rng.choice(n, size=sample_size, replace=False)
+        sample_ratio = sample_size / n
+    else:
+        sample_ids = np.arange(n)
+        sample_ratio = 1.0
+    columns = {
+        name: _column_stats(arr[sample_ids], n, sample_ratio, n_buckets, n_mcvs)
+        for name, arr in table.columns.items()
+    }
+    return TableStats(n_rows=n, n_pages=table.n_pages, columns=columns)

@@ -1,0 +1,34 @@
+"""Weight initializers.
+
+All initializers take the weight shape ``(fan_in, fan_out)`` and an
+explicit :class:`numpy.random.Generator` so that training runs are
+reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["he_init", "xavier_init", "zeros_init"]
+
+
+def xavier_init(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialization, suited to tanh layers."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fan_in and fan_out must be positive, got {fan_in}, {fan_out}")
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=(fan_in, fan_out))
+
+
+def he_init(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """He normal initialization, suited to ReLU layers."""
+    if fan_in <= 0 or fan_out <= 0:
+        raise ValueError(f"fan_in and fan_out must be positive, got {fan_in}, {fan_out}")
+    std = np.sqrt(2.0 / fan_in)
+    return rng.normal(0.0, std, size=(fan_in, fan_out))
+
+
+def zeros_init(fan_in: int, fan_out: int, rng: np.random.Generator) -> np.ndarray:
+    """All-zeros initialization (used for bias vectors and tests)."""
+    del rng  # deterministic; accepted for interface uniformity
+    return np.zeros((fan_in, fan_out))

@@ -1,0 +1,124 @@
+"""Losses and probability utilities for policy-gradient learning.
+
+The central primitive is the *masked* softmax: query-optimization action
+sets shrink as relations are combined (paper §3), so the policy network
+has a fixed-size output layer and invalid actions are masked to
+probability zero before sampling or computing gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "masked_softmax",
+    "masked_log_softmax",
+    "mse_loss",
+    "policy_gradient_loss",
+    "entropy",
+]
+
+_NEG_INF = -1e30
+
+
+def _apply_mask(logits: np.ndarray, mask: np.ndarray | None) -> np.ndarray:
+    logits = np.atleast_2d(np.asarray(logits, dtype=np.float64))
+    if mask is None:
+        return logits
+    mask = np.atleast_2d(np.asarray(mask, dtype=bool))
+    if mask.shape != logits.shape:
+        raise ValueError(f"mask shape {mask.shape} != logits shape {logits.shape}")
+    if not mask.any(axis=1).all():
+        raise ValueError("every row must have at least one valid action")
+    return np.where(mask, logits, _NEG_INF)
+
+
+def masked_softmax(logits: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+    """Softmax over valid actions only; invalid actions get probability 0."""
+    masked = _apply_mask(logits, mask)
+    shifted = masked - masked.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=1, keepdims=True)
+
+
+def masked_log_softmax(logits: np.ndarray, mask: np.ndarray | None = None) -> np.ndarray:
+    """Numerically stable log-softmax over valid actions.
+
+    Entries for invalid actions are a very large negative number, never
+    ``-inf``, so downstream arithmetic stays finite.
+    """
+    masked = _apply_mask(logits, mask)
+    shifted = masked - masked.max(axis=1, keepdims=True)
+    log_norm = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
+    return shifted - log_norm
+
+
+def entropy(probs: np.ndarray) -> np.ndarray:
+    """Per-row entropy of a probability matrix (zero-probability safe)."""
+    probs = np.atleast_2d(probs)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        term = np.where(probs > 0, probs * np.log(probs), 0.0)
+    return -term.sum(axis=1)
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> Tuple[float, np.ndarray]:
+    """Mean-squared error and its gradient w.r.t. ``pred``."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    if pred.shape != target.shape:
+        raise ValueError(f"shape mismatch: {pred.shape} vs {target.shape}")
+    diff = pred - target
+    loss = float(np.mean(diff**2))
+    grad = 2.0 * diff / diff.size
+    return loss, grad
+
+
+def policy_gradient_loss(
+    logits: np.ndarray,
+    actions: np.ndarray,
+    advantages: np.ndarray,
+    mask: np.ndarray | None = None,
+    entropy_coef: float = 0.0,
+) -> Tuple[float, np.ndarray]:
+    """REINFORCE-style surrogate loss and its gradient w.r.t. ``logits``.
+
+    Minimizes ``-mean(advantage * log pi(action))`` with an optional
+    entropy bonus. Returns ``(loss, dloss/dlogits)``; the gradient for an
+    invalid (masked) action is exactly zero.
+    """
+    logits = np.atleast_2d(logits)
+    actions = np.asarray(actions, dtype=np.int64).reshape(-1)
+    advantages = np.asarray(advantages, dtype=np.float64).reshape(-1)
+    n, k = logits.shape
+    if actions.shape[0] != n or advantages.shape[0] != n:
+        raise ValueError("actions/advantages must have one entry per logits row")
+    if (actions < 0).any() or (actions >= k).any():
+        raise ValueError("action index out of range")
+
+    probs = masked_softmax(logits, mask)
+    log_probs = masked_log_softmax(logits, mask)
+    picked = log_probs[np.arange(n), actions]
+    if mask is not None:
+        valid = np.atleast_2d(np.asarray(mask, dtype=bool))[np.arange(n), actions]
+        if not valid.all():
+            raise ValueError("a masked (invalid) action was taken")
+
+    pg_loss = -float(np.mean(advantages * picked))
+    # d(-adv * log p[a])/dlogits = -adv * (onehot(a) - p)
+    onehot = np.zeros_like(probs)
+    onehot[np.arange(n), actions] = 1.0
+    grad = -(advantages[:, None] * (onehot - probs)) / n
+
+    ent = entropy(probs)
+    loss = pg_loss - entropy_coef * float(np.mean(ent))
+    if entropy_coef != 0.0:
+        # d(-H)/dlogits = p * (log p + H)  (per row); zero where p == 0.
+        with np.errstate(divide="ignore"):
+            logp = np.where(probs > 0, np.log(probs), 0.0)
+        grad_ent = probs * (logp + ent[:, None]) / n
+        grad += entropy_coef * grad_ent
+    if mask is not None:
+        grad = np.where(np.atleast_2d(np.asarray(mask, dtype=bool)), grad, 0.0)
+    return loss, grad

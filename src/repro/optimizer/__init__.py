@@ -1,0 +1,40 @@
+"""The traditional ("expert") query optimizer.
+
+This package is the reproduction's PostgreSQL stand-in on the planning
+side: Selinger dynamic-programming join search up to a GEQO-style
+relation-count threshold, greedy bottom-up search beyond it, and
+cost-based selection of access paths, join operators, and aggregate
+operators. The paper uses this component three ways:
+
+- as the baseline ReJOIN is compared against (Figure 3),
+- as the completer that turns ReJOIN's join *order* into a full
+  physical plan ("the final join ordering is sent to the optimizer to
+  perform operator selection, index selection, etc." — §3),
+- as the expert whose decisions are recorded for learning from
+  demonstration (§5.1).
+"""
+
+from repro.optimizer.join_search import (
+    greedy_bottom_up,
+    random_join_tree,
+    selinger_dp,
+)
+from repro.optimizer.physical import (
+    build_physical_plan,
+    choose_access_path,
+    choose_aggregate_operator,
+    choose_join_operator,
+)
+from repro.optimizer.planner import Planner, PlannerResult
+
+__all__ = [
+    "Planner",
+    "PlannerResult",
+    "build_physical_plan",
+    "choose_access_path",
+    "choose_aggregate_operator",
+    "choose_join_operator",
+    "greedy_bottom_up",
+    "random_join_tree",
+    "selinger_dp",
+]

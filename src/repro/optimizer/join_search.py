@@ -1,0 +1,391 @@
+"""Join-order search: Selinger DP, greedy bottom-up, and random.
+
+The DP enumerator is exhaustive over connected subgraphs (bushy trees
+allowed), which is exponential in the number of relations — hence, like
+PostgreSQL's ``geqo_threshold``, the planner switches to the greedy
+O(n²) bottom-up algorithm for large queries. The paper leans on exactly
+this structure for Figure 3c: the expert's planning time grows steeply
+with relation count while ReJOIN's inference is one cheap forward pass
+per join.
+
+Join orders are scored with a lightweight operator-aware cost: for each
+candidate join the cheapest of the hash/merge/nested-loop formulas on
+*estimated* input and output rows. Physical operator selection proper
+happens afterwards in :mod:`repro.optimizer.physical`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.cardinality import QueryCardinalities
+from repro.db.costmodel import CostParams
+from repro.db.plans import JoinTree
+from repro.db.query import Query
+
+__all__ = [
+    "estimate_join_cost",
+    "selinger_dp",
+    "greedy_bottom_up",
+    "geqo_join_search",
+    "random_join_tree",
+]
+
+
+def estimate_join_cost(
+    left_rows: float,
+    right_rows: float,
+    out_rows: float,
+    has_equi_predicate: bool,
+    params: CostParams,
+) -> float:
+    """Cheapest join-operator cost estimate for one candidate join."""
+    nl = left_rows * right_rows * params.cpu_operator_cost
+    if not has_equi_predicate:
+        best = nl  # cross products can only run as nested loops
+    else:
+        hash_cost = (
+            min(left_rows, right_rows) * params.hash_build_cost
+            + max(left_rows, right_rows) * params.hash_probe_cost
+        )
+        sort = 0.0
+        for n in (left_rows, right_rows):
+            n = max(n, 2.0)
+            sort += 2.0 * n * math.log2(n) * params.cpu_operator_cost
+        merge = sort + (left_rows + right_rows) * params.cpu_operator_cost
+        best = min(nl, hash_cost, merge)
+    return best + out_rows * params.cpu_tuple_cost
+
+
+class _SearchContext:
+    """Shared scaffolding for the search algorithms."""
+
+    def __init__(
+        self,
+        query: Query,
+        cards: QueryCardinalities,
+        params: CostParams | None = None,
+    ) -> None:
+        self.query = query
+        self.cards = cards
+        self.params = params or CostParams()
+        self.aliases: List[str] = sorted(query.relations)
+        self.index: Dict[str, int] = {a: i for i, a in enumerate(self.aliases)}
+        # Adjacency bitmask per alias from the join graph.
+        self.adjacency = [0] * len(self.aliases)
+        for pred in query.joins:
+            i = self.index[pred.left.alias]
+            j = self.index[pred.right.alias]
+            self.adjacency[i] |= 1 << j
+            self.adjacency[j] |= 1 << i
+
+    def mask_of(self, tree: JoinTree) -> int:
+        mask = 0
+        for alias in tree.aliases:
+            mask |= 1 << self.index[alias]
+        return mask
+
+    def aliases_of(self, mask: int) -> List[str]:
+        return [a for i, a in enumerate(self.aliases) if mask & (1 << i)]
+
+    def connected(self, mask_a: int, mask_b: int) -> bool:
+        """True if some join predicate links the two alias sets."""
+        reach = 0
+        m = mask_a
+        while m:
+            low = m & -m
+            reach |= self.adjacency[low.bit_length() - 1]
+            m ^= low
+        return bool(reach & mask_b)
+
+    def rows(self, mask: int) -> float:
+        return self.cards.rows_for_aliases(frozenset(self.aliases_of(mask)))
+
+    def join_cost(self, mask_a: int, mask_b: int) -> float:
+        left = self.rows(mask_a)
+        right = self.rows(mask_b)
+        out = self.rows(mask_a | mask_b)
+        return estimate_join_cost(
+            left, right, out, self.connected(mask_a, mask_b), self.params
+        )
+
+    def scan_cost(self, alias: str) -> float:
+        rows = self.cards.base_rows(alias)
+        return rows * self.params.cpu_tuple_cost
+
+
+def selinger_dp(
+    query: Query,
+    cards: QueryCardinalities,
+    params: CostParams | None = None,
+    bushy: bool = True,
+) -> JoinTree:
+    """Exhaustive dynamic-programming join search (System R style).
+
+    Considers only connected sub-plans, so cross products appear only
+    when the query graph itself is disconnected — in that case each
+    connected component is optimized separately and the components are
+    cross-joined smallest-first, like PostgreSQL.
+    """
+    ctx = _SearchContext(query, cards, params)
+    components = _graph_components(ctx)
+    trees = [_dp_component(ctx, comp, bushy) for comp in components]
+    return _combine_components(ctx, trees)
+
+
+def _graph_components(ctx: _SearchContext) -> List[int]:
+    """Connected components of the join graph, as bitmasks."""
+    n = len(ctx.aliases)
+    seen = 0
+    components = []
+    for start in range(n):
+        bit = 1 << start
+        if seen & bit:
+            continue
+        frontier = bit
+        comp = 0
+        while frontier:
+            comp |= frontier
+            new = 0
+            m = frontier
+            while m:
+                low = m & -m
+                new |= ctx.adjacency[low.bit_length() - 1]
+                m ^= low
+            frontier = new & ~comp
+        components.append(comp)
+        seen |= comp
+    return components
+
+
+def _dp_component(ctx: _SearchContext, comp_mask: int, bushy: bool) -> JoinTree:
+    """DP over the connected subsets of one component."""
+    members = [i for i in range(len(ctx.aliases)) if comp_mask & (1 << i)]
+    best: Dict[int, Tuple[float, JoinTree]] = {}
+    for i in members:
+        alias = ctx.aliases[i]
+        best[1 << i] = (ctx.scan_cost(alias), JoinTree.leaf(alias))
+    if len(members) == 1:
+        return best[1 << members[0]][1]
+
+    subsets = _connected_subsets(ctx, comp_mask)
+    for mask in sorted(subsets, key=lambda m: bin(m).count("1")):
+        if bin(mask).count("1") < 2:
+            continue
+        best_cost = math.inf
+        best_tree: JoinTree | None = None
+        sub = (mask - 1) & mask
+        while sub:
+            rest = mask ^ sub
+            if rest and sub in best and rest in best:
+                # Left-deep mode: the right child must be a single relation.
+                if not bushy and bin(rest).count("1") > 1:
+                    sub = (sub - 1) & mask
+                    continue
+                if ctx.connected(sub, rest):
+                    cost = (
+                        best[sub][0]
+                        + best[rest][0]
+                        + ctx.join_cost(sub, rest)
+                    )
+                    if cost < best_cost:
+                        best_cost = cost
+                        best_tree = JoinTree.join(best[sub][1], best[rest][1])
+            sub = (sub - 1) & mask
+        if best_tree is not None:
+            best[mask] = (best_cost, best_tree)
+    return best[comp_mask][1]
+
+
+def _connected_subsets(ctx: _SearchContext, comp_mask: int) -> List[int]:
+    """All connected subsets of the component (grown breadth-first)."""
+    found = set()
+    members = [i for i in range(len(ctx.aliases)) if comp_mask & (1 << i)]
+    frontier = [1 << i for i in members]
+    found.update(frontier)
+    while frontier:
+        next_frontier = []
+        for mask in frontier:
+            neighbors = 0
+            m = mask
+            while m:
+                low = m & -m
+                neighbors |= ctx.adjacency[low.bit_length() - 1]
+                m ^= low
+            neighbors &= comp_mask & ~mask
+            while neighbors:
+                low = neighbors & -neighbors
+                grown = mask | low
+                if grown not in found:
+                    found.add(grown)
+                    next_frontier.append(grown)
+                neighbors ^= low
+        frontier = next_frontier
+    return list(found)
+
+
+def _combine_components(ctx: _SearchContext, trees: List[JoinTree]) -> JoinTree:
+    """Cross-join component plans, smallest estimated rows first."""
+    if not trees:
+        raise ValueError("no relations to join")
+    ordered = sorted(trees, key=lambda t: ctx.rows(ctx.mask_of(t)))
+    result = ordered[0]
+    for tree in ordered[1:]:
+        result = JoinTree.join(result, tree)
+    return result
+
+
+def greedy_bottom_up(
+    query: Query,
+    cards: QueryCardinalities,
+    params: CostParams | None = None,
+) -> JoinTree:
+    """Greedy O(n²)-style bottom-up join ordering.
+
+    Repeatedly merges the pair of components with the cheapest estimated
+    join (connected pairs strictly preferred over cross products) — the
+    algorithm the paper attributes to PostgreSQL's bottom-up enumerator
+    when contrasting its complexity with ReJOIN's O(n).
+    """
+    ctx = _SearchContext(query, cards, params)
+    components: List[JoinTree] = [JoinTree.leaf(a) for a in ctx.aliases]
+    while len(components) > 1:
+        best_pair: Tuple[int, int] | None = None
+        best_cost = math.inf
+        best_connected = False
+        for i in range(len(components)):
+            for j in range(i + 1, len(components)):
+                mask_i = ctx.mask_of(components[i])
+                mask_j = ctx.mask_of(components[j])
+                connected = ctx.connected(mask_i, mask_j)
+                if best_connected and not connected:
+                    continue
+                cost = ctx.join_cost(mask_i, mask_j)
+                better = (connected and not best_connected) or (
+                    connected == best_connected and cost < best_cost
+                )
+                if better:
+                    best_pair = (i, j)
+                    best_cost = cost
+                    best_connected = connected
+        i, j = best_pair  # type: ignore[misc] - n>=2 guarantees a pair
+        merged = JoinTree.join(components[i], components[j])
+        components = [
+            c for k, c in enumerate(components) if k not in (i, j)
+        ] + [merged]
+    return components[0]
+
+
+def geqo_join_search(
+    query: Query,
+    cards: QueryCardinalities,
+    params: CostParams | None = None,
+    rng: np.random.Generator | None = None,
+    pool_size: int | None = None,
+    generations: int | None = None,
+) -> JoinTree:
+    """Genetic join-order search, modeled on PostgreSQL's GEQO.
+
+    Individuals are relation permutations decoded into left-deep trees;
+    fitness is the same operator-aware cost the DP uses. A steady-state
+    loop breeds one child per generation via order crossover (OX) with
+    rank-biased parent selection, replacing the worst individual.
+
+    Like the real GEQO this is randomized and *suboptimal* — it trades
+    plan quality for tractable planning time on large queries. Both
+    properties matter to the paper: the optimality gap is the headroom
+    a learned optimizer exploits on big queries (Figure 3b), and the
+    pool×generations work is why expert planning time keeps growing
+    with the relation count (Figure 3c).
+    """
+    ctx = _SearchContext(query, cards, params)
+    rng = rng or np.random.default_rng(0)
+    n = len(ctx.aliases)
+    if n == 1:
+        return JoinTree.leaf(ctx.aliases[0])
+    pool_size = pool_size or max(16, 4 * n)
+    generations = generations or max(40, 8 * n)
+
+    def fitness(perm: np.ndarray) -> float:
+        total = ctx.scan_cost(ctx.aliases[perm[0]])
+        mask = 1 << int(perm[0])
+        for idx in perm[1:]:
+            bit = 1 << int(idx)
+            total += ctx.scan_cost(ctx.aliases[idx])
+            total += ctx.join_cost(mask, bit)
+            mask |= bit
+        return total
+
+    pool = [rng.permutation(n) for _ in range(pool_size)]
+    scores = np.array([fitness(p) for p in pool])
+
+    def ox_crossover(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        lo, hi = sorted(rng.choice(n, size=2, replace=False))
+        child = np.full(n, -1)
+        child[lo : hi + 1] = a[lo : hi + 1]
+        fill = [g for g in b if g not in set(child[lo : hi + 1].tolist())]
+        pos = 0
+        for i in range(n):
+            if child[i] == -1:
+                child[i] = fill[pos]
+                pos += 1
+        return child
+
+    ranks = np.arange(pool_size, dtype=np.float64)
+    for _ in range(generations):
+        order = np.argsort(scores)
+        # rank-biased parent choice (fitter ranks more likely)
+        weights = (pool_size - ranks) ** 2
+        weights /= weights.sum()
+        pa = pool[order[rng.choice(pool_size, p=weights)]]
+        pb = pool[order[rng.choice(pool_size, p=weights)]]
+        child = ox_crossover(pa, pb)
+        if rng.uniform() < 0.1:  # swap mutation
+            i, j = rng.choice(n, size=2, replace=False)
+            child[i], child[j] = child[j], child[i]
+        child_score = fitness(child)
+        worst = int(np.argmax(scores))
+        if child_score < scores[worst]:
+            pool[worst] = child
+            scores[worst] = child_score
+
+    best = pool[int(np.argmin(scores))]
+    return JoinTree.left_deep([ctx.aliases[i] for i in best])
+
+
+def random_join_tree(
+    query: Query,
+    rng: np.random.Generator,
+    avoid_cross_products: bool = True,
+) -> JoinTree:
+    """A random valid join tree (the §4 random-choice baseline).
+
+    With ``avoid_cross_products`` (default), only pairs linked by a join
+    predicate are merged when any such pair exists, matching how the
+    random baseline in the paper still produces *executable* plans.
+    """
+    components: List[JoinTree] = [JoinTree.leaf(a) for a in sorted(query.relations)]
+    while len(components) > 1:
+        pairs = [
+            (i, j)
+            for i in range(len(components))
+            for j in range(len(components))
+            if i != j
+        ]
+        if avoid_cross_products:
+            connected = [
+                (i, j)
+                for i, j in pairs
+                if query.joins_between(
+                    tuple(components[i].aliases), tuple(components[j].aliases)
+                )
+            ]
+            if connected:
+                pairs = connected
+        i, j = pairs[rng.integers(len(pairs))]
+        merged = JoinTree.join(components[i], components[j])
+        components = [c for k, c in enumerate(components) if k not in (i, j)] + [merged]
+    return components[0]

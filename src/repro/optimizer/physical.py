@@ -1,0 +1,205 @@
+"""Physical plan construction: access paths, join operators, aggregates.
+
+These are the later stages of the simplified optimization pipeline in
+the paper's Figure 8 (join ordering -> index selection -> join operator
+selection -> aggregate operator selection). Each chooser is cost-based:
+it builds the candidate operators and keeps the one the cost model
+prefers. ``build_physical_plan`` runs all stages below join ordering,
+which is exactly the "send the join ordering to the optimizer for
+operator selection, index selection, etc." step ReJOIN relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from repro.db.cardinality import QueryCardinalities
+from repro.db.costmodel import CostModel
+from repro.db.engine import Database
+from repro.db.plans import (
+    AGGREGATE_OPERATORS,
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    JoinTree,
+    MergeJoin,
+    NestedLoopJoin,
+    PhysicalPlan,
+    SeqScan,
+    SortAggregate,
+)
+from repro.db.predicates import (
+    BetweenPredicate,
+    Comparison,
+    CompareOp,
+    InPredicate,
+    JoinPredicate,
+    Predicate,
+)
+from repro.db.query import Query
+
+__all__ = [
+    "choose_access_path",
+    "choose_join_operator",
+    "choose_aggregate_operator",
+    "build_physical_plan",
+    "access_path_candidates",
+    "join_operator_candidates",
+]
+
+_RANGE_OPS = (CompareOp.LT, CompareOp.LE, CompareOp.GT, CompareOp.GE)
+
+
+def _btree_compatible(pred: Predicate) -> bool:
+    if isinstance(pred, Comparison):
+        return pred.op is CompareOp.EQ or pred.op in _RANGE_OPS
+    return isinstance(pred, (BetweenPredicate, InPredicate))
+
+
+def _hash_compatible(pred: Predicate) -> bool:
+    if isinstance(pred, Comparison):
+        return pred.op is CompareOp.EQ
+    return isinstance(pred, InPredicate)
+
+
+def access_path_candidates(
+    alias: str, query: Query, db: Database
+) -> Tuple[PhysicalPlan, ...]:
+    """All executable access paths for one relation of the query.
+
+    Always includes the sequential scan; adds one IndexScan per
+    (indexed column, compatible predicate, index kind) combination.
+    """
+    table = query.table_of(alias)
+    preds = tuple(query.selections_for(alias))
+    candidates: list[PhysicalPlan] = [SeqScan(alias, table, preds)]
+    for column in db.indexed_columns(table):
+        for pred in preds:
+            if pred.column.column != column:
+                continue
+            residual = tuple(p for p in preds if p is not pred)
+            if db.index_on(table, column, "btree") and _btree_compatible(pred):
+                candidates.append(
+                    IndexScan(alias, table, column, pred, residual, kind="btree")
+                )
+            if db.index_on(table, column, "hash") and _hash_compatible(pred):
+                candidates.append(
+                    IndexScan(alias, table, column, pred, residual, kind="hash")
+                )
+    return tuple(candidates)
+
+
+def choose_access_path(
+    alias: str,
+    query: Query,
+    db: Database,
+    cost_model: CostModel,
+    cards: QueryCardinalities,
+) -> PhysicalPlan:
+    """The cheapest access path for one relation."""
+    candidates = access_path_candidates(alias, query, db)
+    return min(candidates, key=lambda p: cost_model.cost(p, cards).total)
+
+
+def join_operator_candidates(
+    left: PhysicalPlan,
+    right: PhysicalPlan,
+    predicates: Tuple[JoinPredicate, ...],
+) -> Tuple[PhysicalPlan, ...]:
+    """All executable join operators for a (left, right, preds) triple.
+
+    Cross products admit only nested loops. Hash joins are considered in
+    both build orders.
+    """
+    if not predicates:
+        return (NestedLoopJoin(left, right, ()),)
+    return (
+        HashJoin(left, right, predicates),
+        HashJoin(right, left, predicates),
+        MergeJoin(left, right, predicates),
+        NestedLoopJoin(left, right, predicates),
+    )
+
+
+def choose_join_operator(
+    left: PhysicalPlan,
+    right: PhysicalPlan,
+    predicates: Tuple[JoinPredicate, ...],
+    cost_model: CostModel,
+    cards: QueryCardinalities,
+) -> PhysicalPlan:
+    """The cheapest join operator (including hash-join build order)."""
+    candidates = join_operator_candidates(left, right, predicates)
+    return min(candidates, key=lambda p: cost_model.cost(p, cards).total)
+
+
+def choose_aggregate_operator(
+    child: PhysicalPlan,
+    query: Query,
+    cost_model: CostModel,
+    cards: QueryCardinalities,
+) -> PhysicalPlan:
+    """Wrap ``child`` in the cheaper aggregate operator, if the query
+    aggregates; otherwise return ``child`` unchanged."""
+    if not query.aggregates and not query.group_by:
+        return child
+    group = tuple(query.group_by)
+    aggs = tuple(query.aggregates)
+    candidates = [cls(child, group, aggs) for cls in AGGREGATE_OPERATORS]
+    return min(candidates, key=lambda p: cost_model.cost(p, cards).total)
+
+
+def build_physical_plan(
+    tree: JoinTree,
+    query: Query,
+    db: Database,
+    cost_model: CostModel | None = None,
+    cards: QueryCardinalities | None = None,
+    access_paths: Dict[str, PhysicalPlan] | None = None,
+    join_operators: Dict[frozenset, type] | None = None,
+    aggregate_operator: type | None = None,
+    include_aggregate: bool = True,
+) -> PhysicalPlan:
+    """Turn a logical join tree into a full physical plan.
+
+    By default every choice is cost-based. Callers may pin decisions —
+    ``access_paths`` maps aliases to pre-chosen scans, ``join_operators``
+    maps a join node's alias set to an operator class,
+    ``aggregate_operator`` pins the aggregate class — which is how the
+    staged RL environments inject *learned* choices for some stages
+    while the traditional optimizer fills in the rest (paper §5.3.1).
+    """
+    cost_model = cost_model or db.cost_model()
+    cards = cards or db.cardinalities(query)
+    access_paths = access_paths or {}
+    join_operators = join_operators or {}
+
+    def build(node: JoinTree) -> PhysicalPlan:
+        if node.is_leaf:
+            pinned = access_paths.get(node.alias)
+            if pinned is not None:
+                return pinned
+            return choose_access_path(node.alias, query, db, cost_model, cards)
+        left = build(node.left)
+        right = build(node.right)
+        preds = tuple(
+            query.joins_between(tuple(left.aliases), tuple(right.aliases))
+        )
+        pinned_cls = join_operators.get(node.aliases)
+        if pinned_cls is not None:
+            if pinned_cls is not NestedLoopJoin and not preds:
+                # A learned choice may be infeasible (hash/merge require
+                # an equi-join predicate); degrade rather than crash.
+                return NestedLoopJoin(left, right, preds)
+            return pinned_cls(left, right, preds)
+        return choose_join_operator(left, right, preds, cost_model, cards)
+
+    plan = build(tree)
+    if include_aggregate:
+        if aggregate_operator is not None and (query.aggregates or query.group_by):
+            plan = aggregate_operator(
+                plan, tuple(query.group_by), tuple(query.aggregates)
+            )
+        else:
+            plan = choose_aggregate_operator(plan, query, cost_model, cards)
+    return plan

@@ -1,0 +1,107 @@
+"""The full traditional optimization pipeline.
+
+``Planner.optimize`` runs join-order search (exhaustive DP below the
+GEQO threshold, genetic search at or above it — like PostgreSQL), then
+physical selection, and reports the wall-clock planning time — the
+quantity on the y-axis of Figure 3c.
+"""
+
+from __future__ import annotations
+
+import time
+import zlib
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.db.costmodel import PlanCost
+from repro.db.engine import Database
+from repro.db.plans import JoinTree, PhysicalPlan
+from repro.db.query import Query
+from repro.optimizer.join_search import (
+    geqo_join_search,
+    greedy_bottom_up,
+    selinger_dp,
+)
+from repro.optimizer.physical import build_physical_plan
+
+__all__ = ["Planner", "PlannerResult"]
+
+#: PostgreSQL switches from exhaustive search to GEQO at 12 relations.
+DEFAULT_GEQO_THRESHOLD = 12
+
+
+@dataclass(frozen=True)
+class PlannerResult:
+    """Everything the experiments need to know about one optimization."""
+
+    query_name: str
+    join_tree: JoinTree
+    plan: PhysicalPlan
+    cost: PlanCost
+    planning_time_ms: float
+    used_exhaustive_search: bool
+
+
+class Planner:
+    """The traditional cost-based optimizer (the paper's "expert")."""
+
+    def __init__(
+        self,
+        db: Database,
+        geqo_threshold: int = DEFAULT_GEQO_THRESHOLD,
+        bushy: bool = False,
+    ) -> None:
+        """``bushy=False`` (default) restricts the expert to left-deep
+        join trees — the classic System R heuristic. This is what gives
+        a learned optimizer headroom to *beat* the expert on plan cost
+        (Figure 3b): ReJOIN explores bushy shapes the expert never
+        considers, just as the real ReJOIN out-planned PostgreSQL's
+        heuristically restricted search."""
+        if geqo_threshold < 2:
+            raise ValueError("geqo_threshold must be at least 2")
+        self.db = db
+        self.geqo_threshold = geqo_threshold
+        self.bushy = bushy
+
+    def choose_join_order(self, query: Query) -> JoinTree:
+        """Join-order search only (the first stage of Figure 8).
+
+        Below the threshold: exhaustive DP. At or above it: GEQO-style
+        genetic search, seeded deterministically per query name so
+        planning is reproducible.
+        """
+        cards = self.db.cardinalities(query)
+        if query.n_relations < self.geqo_threshold:
+            return selinger_dp(query, cards, self.db.cost_params, bushy=self.bushy)
+        seed = zlib.crc32(query.name.encode())
+        return geqo_join_search(
+            query, cards, self.db.cost_params, rng=np.random.default_rng(seed)
+        )
+
+    def complete_plan(
+        self, tree: JoinTree, query: Query, include_aggregate: bool = True
+    ) -> PhysicalPlan:
+        """Fill in access paths and operators for a given join order.
+
+        This is the service ReJOIN calls after choosing a join order.
+        """
+        return build_physical_plan(
+            tree, query, self.db, include_aggregate=include_aggregate
+        )
+
+    def optimize(self, query: Query) -> PlannerResult:
+        """Run the whole pipeline and time it."""
+        start = time.perf_counter()
+        tree = self.choose_join_order(query)
+        plan = self.complete_plan(tree, query)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        cost = self.db.plan_cost(plan, query)
+        return PlannerResult(
+            query_name=query.name,
+            join_tree=tree,
+            plan=plan,
+            cost=cost,
+            planning_time_ms=elapsed_ms,
+            used_exhaustive_search=query.n_relations < self.geqo_threshold,
+        )

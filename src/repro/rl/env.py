@@ -1,0 +1,101 @@
+"""Environment protocol and trajectory containers.
+
+Mirrors the paper's §2 framing: the environment reports the current
+state and the set of valid actions; the agent picks one; the
+environment returns a reward and the next state until a terminal state
+ends the episode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Protocol, Tuple
+
+import numpy as np
+
+__all__ = ["Environment", "StepResult", "Transition", "Trajectory", "rollout"]
+
+
+@dataclass
+class StepResult:
+    """What the environment returns after one action."""
+
+    state: np.ndarray
+    mask: np.ndarray
+    reward: float
+    done: bool
+    info: Dict[str, Any] = field(default_factory=dict)
+
+
+class Environment(Protocol):
+    """Episodic environment with a fixed-size masked discrete action space."""
+
+    @property
+    def state_dim(self) -> int: ...
+
+    @property
+    def n_actions(self) -> int: ...
+
+    def reset(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Start an episode; returns (state, action mask)."""
+        ...
+
+    def step(self, action: int) -> StepResult: ...
+
+
+@dataclass
+class Transition:
+    """One (s, mask, a, r) step, plus the behaviour policy's log-prob."""
+
+    state: np.ndarray
+    mask: np.ndarray
+    action: int
+    reward: float
+    log_prob: float = 0.0
+
+
+@dataclass
+class Trajectory:
+    """A full episode."""
+
+    transitions: List[Transition] = field(default_factory=list)
+    info: Dict[str, Any] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.transitions)
+
+    @property
+    def total_reward(self) -> float:
+        return sum(t.reward for t in self.transitions)
+
+    def returns(self, gamma: float = 1.0) -> np.ndarray:
+        """Discounted return from each step to the end of the episode."""
+        out = np.zeros(len(self.transitions))
+        acc = 0.0
+        for i in range(len(self.transitions) - 1, -1, -1):
+            acc = self.transitions[i].reward + gamma * acc
+            out[i] = acc
+        return out
+
+
+def rollout(
+    env: Environment,
+    act,
+    rng: np.random.Generator,
+    greedy: bool = False,
+    max_steps: int = 1000,
+) -> Trajectory:
+    """Run one episode with ``act(state, mask, rng, greedy) -> (a, logp)``."""
+    state, mask = env.reset()
+    trajectory = Trajectory()
+    for _ in range(max_steps):
+        action, log_prob = act(state, mask, rng, greedy)
+        result = env.step(action)
+        trajectory.transitions.append(
+            Transition(state, mask, action, result.reward, log_prob)
+        )
+        trajectory.info.update(result.info)
+        state, mask = result.state, result.mask
+        if result.done:
+            return trajectory
+    raise RuntimeError(f"episode exceeded {max_steps} steps — env not terminating?")

@@ -1,0 +1,79 @@
+"""A masked categorical policy over a fixed-size action layer.
+
+Implements the paper's §2 description directly: "each neuron in the
+action layer represents an action, and these outputs are normalized to
+form a probability distribution. The policy selects actions by sampling
+from this probability distribution" — with the mode available for pure
+exploitation (evaluation) and masking for invalid actions.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.nn.losses import masked_log_softmax, masked_softmax
+from repro.nn.network import MLP
+
+__all__ = ["CategoricalPolicy"]
+
+
+class CategoricalPolicy:
+    """Wraps a policy network with masked sampling and log-probs."""
+
+    def __init__(self, net: MLP) -> None:
+        self.net = net
+
+    @property
+    def n_actions(self) -> int:
+        return self.net.out_features
+
+    def probabilities(self, states: np.ndarray, masks: np.ndarray | None) -> np.ndarray:
+        logits = self.net.forward(states)
+        return masked_softmax(logits, self._fit_mask(masks, logits.shape))
+
+    def log_probabilities(
+        self, states: np.ndarray, masks: np.ndarray | None
+    ) -> np.ndarray:
+        logits = self.net.forward(states)
+        return masked_log_softmax(logits, self._fit_mask(masks, logits.shape))
+
+    def act(
+        self,
+        state: np.ndarray,
+        mask: np.ndarray | None,
+        rng: np.random.Generator,
+        greedy: bool = False,
+    ) -> Tuple[int, float]:
+        """Sample (or take the mode of) the action distribution.
+
+        Returns ``(action, log_prob_of_action)``.
+        """
+        probs = self.probabilities(state, None if mask is None else np.atleast_2d(mask))[0]
+        if greedy:
+            action = int(np.argmax(probs))
+        else:
+            action = int(rng.choice(len(probs), p=probs))
+        log_prob = float(np.log(max(probs[action], 1e-30)))
+        return action, log_prob
+
+    @staticmethod
+    def _fit_mask(masks: np.ndarray | None, shape) -> np.ndarray | None:
+        """Pad/validate masks whose action dimension lags a grown layer.
+
+        After :meth:`MLP.grow_outputs` (incremental learning), stored
+        trajectories may carry masks sized for the old action layer; the
+        new actions are simply invalid for those states.
+        """
+        if masks is None:
+            return None
+        masks = np.atleast_2d(np.asarray(masks, dtype=bool))
+        if masks.shape[1] < shape[1]:
+            pad = np.zeros((masks.shape[0], shape[1] - masks.shape[1]), dtype=bool)
+            masks = np.concatenate([masks, pad], axis=1)
+        elif masks.shape[1] > shape[1]:
+            raise ValueError(
+                f"mask has {masks.shape[1]} actions but the network only {shape[1]}"
+            )
+        return masks

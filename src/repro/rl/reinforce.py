@@ -1,0 +1,132 @@
+"""REINFORCE with a learned value baseline.
+
+The simplest policy-gradient method ([37] in the paper): maximize
+``E[G_t * log pi(a_t | s_t)]`` with a state-value baseline to cut
+variance. With the paper's sparse terminal rewards and gamma=1, every
+step of an episode shares the episode's terminal return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.losses import mse_loss, policy_gradient_loss
+from repro.nn.network import MLP
+from repro.rl.env import Trajectory
+from repro.rl.policy import CategoricalPolicy
+
+__all__ = ["ReinforceConfig", "ReinforceAgent"]
+
+
+@dataclass(frozen=True)
+class ReinforceConfig:
+    """REINFORCE hyperparameters (networks, learning rates, entropy)."""
+
+    hidden: Tuple[int, ...] = (128, 128)
+    lr: float = 1e-3
+    value_lr: float = 1e-3
+    gamma: float = 1.0
+    entropy_coef: float = 1e-2
+    normalize_advantages: bool = True
+    max_grad_norm: float = 5.0
+
+
+class ReinforceAgent:
+    """Policy-gradient agent with policy and value networks."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        n_actions: int,
+        rng: np.random.Generator,
+        config: ReinforceConfig | None = None,
+    ) -> None:
+        self.config = config or ReinforceConfig()
+        self.rng = rng
+        self.policy_net = MLP(
+            state_dim,
+            self.config.hidden,
+            n_actions,
+            rng=rng,
+            lr=self.config.lr,
+            max_grad_norm=self.config.max_grad_norm,
+        )
+        self.value_net = MLP(
+            state_dim,
+            self.config.hidden,
+            1,
+            rng=rng,
+            lr=self.config.value_lr,
+            max_grad_norm=self.config.max_grad_norm,
+        )
+        self.policy = CategoricalPolicy(self.policy_net)
+
+    # ------------------------------------------------------------------
+    def act(
+        self,
+        state: np.ndarray,
+        mask: np.ndarray | None,
+        rng: np.random.Generator | None = None,
+        greedy: bool = False,
+    ) -> Tuple[int, float]:
+        return self.policy.act(state, mask, rng or self.rng, greedy)
+
+    def state_value(self, states: np.ndarray) -> np.ndarray:
+        return self.value_net.forward(states)[:, 0]
+
+    # ------------------------------------------------------------------
+    def update(self, trajectories: Sequence[Trajectory]) -> dict:
+        """One gradient step on a batch of complete episodes."""
+        if not trajectories:
+            raise ValueError("need at least one trajectory")
+        states, masks, actions, returns = self._flatten(trajectories)
+        baselines = self.state_value(states)
+        advantages = returns - baselines
+        if self.config.normalize_advantages and len(advantages) > 1:
+            std = advantages.std()
+            if std > 1e-8:
+                advantages = (advantages - advantages.mean()) / std
+
+        policy_loss = self.policy_net.train_step(
+            states,
+            lambda logits: policy_gradient_loss(
+                logits, actions, advantages, masks, self.config.entropy_coef
+            ),
+        )
+        value_loss = self.value_net.train_step(
+            states, lambda out: mse_loss(out, returns[:, None])
+        )
+        return {
+            "policy_loss": policy_loss,
+            "value_loss": value_loss,
+            "mean_return": float(returns.mean()),
+            "n_steps": len(actions),
+        }
+
+    def _flatten(self, trajectories: Sequence[Trajectory]):
+        states: List[np.ndarray] = []
+        masks: List[np.ndarray] = []
+        actions: List[int] = []
+        returns: List[float] = []
+        n_actions = self.policy.n_actions
+        for trajectory in trajectories:
+            rets = trajectory.returns(self.config.gamma)
+            for transition, ret in zip(trajectory.transitions, rets):
+                states.append(transition.state)
+                mask = np.asarray(transition.mask, dtype=bool)
+                if mask.shape[0] < n_actions:  # grown action layer
+                    mask = np.concatenate(
+                        [mask, np.zeros(n_actions - mask.shape[0], dtype=bool)]
+                    )
+                masks.append(mask)
+                actions.append(transition.action)
+                returns.append(float(ret))
+        return (
+            np.asarray(states),
+            np.asarray(masks),
+            np.asarray(actions, dtype=np.int64),
+            np.asarray(returns),
+        )

@@ -1,0 +1,44 @@
+"""Scalar schedules for learning rates, entropy bonuses, exploration."""
+
+from __future__ import annotations
+
+__all__ = ["ConstantSchedule", "LinearSchedule", "ExponentialSchedule"]
+
+
+class ConstantSchedule:
+    """Always the same value."""
+
+    def __init__(self, value: float) -> None:
+        self.value = value
+
+    def __call__(self, step: int) -> float:
+        return self.value
+
+
+class LinearSchedule:
+    """Linear interpolation from ``start`` to ``end`` over ``horizon`` steps."""
+
+    def __init__(self, start: float, end: float, horizon: int) -> None:
+        if horizon <= 0:
+            raise ValueError("horizon must be positive")
+        self.start = start
+        self.end = end
+        self.horizon = horizon
+
+    def __call__(self, step: int) -> float:
+        frac = min(max(step, 0), self.horizon) / self.horizon
+        return self.start + (self.end - self.start) * frac
+
+
+class ExponentialSchedule:
+    """``start * decay**step``, floored at ``end``."""
+
+    def __init__(self, start: float, decay: float, end: float = 0.0) -> None:
+        if not 0 < decay <= 1:
+            raise ValueError("decay must be in (0, 1]")
+        self.start = start
+        self.decay = decay
+        self.end = end
+
+    def __call__(self, step: int) -> float:
+        return max(self.end, self.start * self.decay ** max(step, 0))

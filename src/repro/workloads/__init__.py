@@ -1,0 +1,36 @@
+"""Workloads: the JOB-lite benchmark and random query generation.
+
+The paper evaluates on the Join Order Benchmark (JOB) over IMDB — chosen
+because IMDB's skew and cross-column correlations make cardinality
+estimation genuinely hard (Leis et al. [17]). This package reproduces
+the *structural* properties of that setup at laptop scale:
+
+- :mod:`repro.workloads.imdb` — an IMDB-shaped 17-relation schema with
+  FK-consistent, Zipf-skewed, correlated synthetic data;
+- :mod:`repro.workloads.job` — JOB-style named query templates
+  (``1a`` … ``22d``), including the ten queries of Figure 3b;
+- :mod:`repro.workloads.generator` — random connected join queries of
+  any relation count (used for training mixes, the Figure 3c sweep, and
+  the low-relation-count curricula of §5.3.2).
+"""
+
+from repro.workloads.generator import RandomQueryGenerator, Workload
+from repro.workloads.imdb import imdb_foreign_keys, imdb_specs, make_imdb_database
+from repro.workloads.job import (
+    FIGURE_3B_QUERIES,
+    job_lite_queries,
+    job_lite_query,
+    job_lite_workload,
+)
+
+__all__ = [
+    "FIGURE_3B_QUERIES",
+    "RandomQueryGenerator",
+    "Workload",
+    "imdb_foreign_keys",
+    "imdb_specs",
+    "job_lite_queries",
+    "job_lite_query",
+    "job_lite_workload",
+    "make_imdb_database",
+]

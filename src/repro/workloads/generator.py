@@ -1,0 +1,290 @@
+"""Random query generation and workload containers.
+
+The generator grows connected join queries of an exact relation count by
+random walks over the schema's FK graph — the mechanism behind three of
+the paper's needs:
+
+- large training mixes beyond the fixed templates (§3's "continuously
+  learning as queries are sent"),
+- the relation-count sweep of Figure 3c (4-17 relations),
+- low-relation-count queries for the *relations* curriculum, which the
+  paper notes real workloads lack ("JOB has none"; queries "could be
+  synthetically generated" — §5.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.engine import Database
+from repro.db.predicates import (
+    BetweenPredicate,
+    ColumnRef,
+    CompareOp,
+    Comparison,
+    InPredicate,
+    JoinPredicate,
+    Predicate,
+)
+from repro.db.query import AggregateSpec, Query
+from repro.db.schema import DatabaseSchema
+
+__all__ = ["Workload", "RandomQueryGenerator"]
+
+
+@dataclass
+class Workload:
+    """An ordered, named collection of queries."""
+
+    name: str
+    queries: List[Query]
+
+    def __post_init__(self) -> None:
+        names = [q.name for q in self.queries]
+        if len(set(names)) != len(names):
+            raise ValueError(f"workload {self.name}: duplicate query names")
+        self._by_name: Dict[str, Query] = {q.name: q for q in self.queries}
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self) -> Iterator[Query]:
+        return iter(self.queries)
+
+    def __getitem__(self, key: int | str) -> Query:
+        if isinstance(key, str):
+            return self._by_name[key]
+        return self.queries[key]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def sample(self, rng: np.random.Generator) -> Query:
+        return self.queries[int(rng.integers(len(self.queries)))]
+
+    def split(
+        self, eval_fraction: float, rng: np.random.Generator
+    ) -> Tuple["Workload", "Workload"]:
+        """Random train/eval split (eval gets ``eval_fraction``)."""
+        if not 0 < eval_fraction < 1:
+            raise ValueError("eval_fraction must be in (0, 1)")
+        order = rng.permutation(len(self.queries))
+        n_eval = max(1, int(len(self.queries) * eval_fraction))
+        eval_idx = set(order[:n_eval].tolist())
+        train = [q for i, q in enumerate(self.queries) if i not in eval_idx]
+        evals = [q for i, q in enumerate(self.queries) if i in eval_idx]
+        return (
+            Workload(f"{self.name}-train", train),
+            Workload(f"{self.name}-eval", evals),
+        )
+
+    def filter(self, predicate) -> "Workload":
+        return Workload(self.name, [q for q in self.queries if predicate(q)])
+
+    def relation_counts(self) -> List[int]:
+        return sorted({q.n_relations for q in self.queries})
+
+
+class RandomQueryGenerator:
+    """Generates random connected SPJ(+aggregate) queries over a schema.
+
+    Needs the :class:`~repro.db.engine.Database` (not just the schema) so
+    predicate literals are drawn from real column statistics.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self.db = db
+        self.schema: DatabaseSchema = db.schema
+        self._fk_columns = {
+            (fk.src_table, fk.src_column) for fk in self.schema.foreign_keys
+        } | {(fk.dst_table, fk.dst_column) for fk in self.schema.foreign_keys}
+        # Attribute columns (non-PK, non-FK) are predicate candidates.
+        self._attr_columns: Dict[str, List[str]] = {}
+        for name, table in self.schema.tables.items():
+            attrs = [
+                c.name
+                for c in table.columns
+                if c.name != table.primary_key
+                and (name, c.name) not in self._fk_columns
+            ]
+            self._attr_columns[name] = attrs
+        self._edges = list(self.schema.foreign_keys)
+        self._edges_by_table: Dict[str, List] = {}
+        for fk in self._edges:
+            self._edges_by_table.setdefault(fk.src_table, []).append(fk)
+            self._edges_by_table.setdefault(fk.dst_table, []).append(fk)
+
+    # ------------------------------------------------------------------
+    def generate(
+        self,
+        rng: np.random.Generator,
+        n_relations: int,
+        name: str | None = None,
+        predicates_per_query: Tuple[int, int] = (1, 4),
+        aggregate_prob: float = 0.8,
+        group_by_prob: float = 0.2,
+    ) -> Query:
+        """One random connected query with exactly ``n_relations`` aliases."""
+        if n_relations < 1:
+            raise ValueError("n_relations must be at least 1")
+        relations, joins = self._grow_join_tree(rng, n_relations)
+        selections = self._random_selections(rng, relations, predicates_per_query)
+        group_by: List[ColumnRef] = []
+        aggregates: List[AggregateSpec] = []
+        if rng.uniform() < aggregate_prob:
+            aggregates.append(AggregateSpec("count", None))
+            agg_ref = self._random_attr_ref(rng, relations)
+            if agg_ref is not None:
+                aggregates.append(AggregateSpec("min", agg_ref))
+            if rng.uniform() < group_by_prob:
+                ref = self._random_attr_ref(rng, relations)
+                if ref is not None:
+                    group_by.append(ref)
+        return Query(
+            name=name or f"rand-{rng.integers(1 << 31)}",
+            relations=relations,
+            selections=selections,
+            joins=joins,
+            group_by=group_by,
+            aggregates=aggregates,
+        )
+
+    def workload(
+        self,
+        rng: np.random.Generator,
+        size: int,
+        relation_range: Tuple[int, int] = (3, 8),
+        name: str = "random",
+        **kwargs,
+    ) -> Workload:
+        """A workload of ``size`` random queries with uniformly drawn
+        relation counts in ``relation_range`` (inclusive)."""
+        lo, hi = relation_range
+        if lo > hi:
+            raise ValueError("relation_range must be (lo, hi) with lo <= hi")
+        queries = [
+            self.generate(
+                rng,
+                int(rng.integers(lo, hi + 1)),
+                name=f"{name}-{i}",
+                **kwargs,
+            )
+            for i in range(size)
+        ]
+        return Workload(name, queries)
+
+    # ------------------------------------------------------------------
+    def _grow_join_tree(
+        self, rng: np.random.Generator, n_relations: int
+    ) -> Tuple[Dict[str, str], List[JoinPredicate]]:
+        """Random connected alias graph with exactly n_relations aliases.
+
+        Repeated tables get fresh aliases (self-joins, like JOB's
+        multiple ``info_type`` instances).
+        """
+        # Start from a table with FK edges so growth is possible.
+        candidates = [t for t in self.schema.table_names if self._edges_by_table.get(t)]
+        if not candidates:
+            candidates = self.schema.table_names
+        start = candidates[int(rng.integers(len(candidates)))]
+        alias_counter: Dict[str, int] = {}
+
+        def fresh_alias(table: str) -> str:
+            alias_counter[table] = alias_counter.get(table, 0) + 1
+            count = alias_counter[table]
+            base = "".join(w[0] for w in table.split("_")) or table[:2]
+            return base if count == 1 else f"{base}{count}"
+
+        relations: Dict[str, str] = {}
+        start_alias = fresh_alias(start)
+        relations[start_alias] = start
+        joins: List[JoinPredicate] = []
+        while len(relations) < n_relations:
+            grown = False
+            aliases = sorted(relations)
+            order = rng.permutation(len(aliases))
+            for idx in order:
+                alias = aliases[idx]
+                table = relations[alias]
+                edges = self._edges_by_table.get(table, [])
+                if not edges:
+                    continue
+                fk = edges[int(rng.integers(len(edges)))]
+                if fk.src_table == table:
+                    new_table, my_col, new_col = fk.dst_table, fk.src_column, fk.dst_column
+                else:
+                    new_table, my_col, new_col = fk.src_table, fk.dst_column, fk.src_column
+                new_alias = fresh_alias(new_table)
+                relations[new_alias] = new_table
+                joins.append(
+                    JoinPredicate(ColumnRef(alias, my_col), ColumnRef(new_alias, new_col))
+                )
+                grown = True
+                break
+            if not grown:
+                raise RuntimeError(
+                    f"cannot grow a {n_relations}-relation query from {start!r}: "
+                    "join graph too sparse"
+                )
+        return relations, joins
+
+    def _random_selections(
+        self,
+        rng: np.random.Generator,
+        relations: Dict[str, str],
+        predicates_per_query: Tuple[int, int],
+    ) -> List[Predicate]:
+        lo, hi = predicates_per_query
+        n_preds = int(rng.integers(lo, hi + 1))
+        slots: List[Tuple[str, str]] = []
+        for alias in sorted(relations):
+            for column in self._attr_columns.get(relations[alias], []):
+                slots.append((alias, column))
+        if not slots:
+            return []
+        chosen = rng.choice(len(slots), size=min(n_preds, len(slots)), replace=False)
+        return [
+            self._random_predicate(rng, relations, *slots[int(i)]) for i in chosen
+        ]
+
+    def _random_predicate(
+        self,
+        rng: np.random.Generator,
+        relations: Dict[str, str],
+        alias: str,
+        column: str,
+    ) -> Predicate:
+        table = relations[alias]
+        stats = self.db.stats[table].columns[column]
+        lo, hi = stats.min_value, stats.max_value
+        ref = ColumnRef(alias, column)
+        kind = rng.choice(["eq", "range", "in", "gt"])
+        if hi <= lo:
+            kind = "eq"
+        if kind == "eq":
+            return Comparison(ref, CompareOp.EQ, float(int(rng.uniform(lo, hi + 1))))
+        if kind == "gt":
+            return Comparison(ref, CompareOp.GT, float(int(rng.uniform(lo, hi))))
+        if kind == "range":
+            a = rng.uniform(lo, hi)
+            b = rng.uniform(lo, hi)
+            return BetweenPredicate(ref, float(int(min(a, b))), float(int(max(a, b))))
+        count = int(rng.integers(2, 5))
+        values = sorted({int(rng.uniform(lo, hi + 1)) for _ in range(count)})
+        return InPredicate(ref, tuple(float(v) for v in values))
+
+    def _random_attr_ref(
+        self, rng: np.random.Generator, relations: Dict[str, str]
+    ) -> ColumnRef | None:
+        slots = [
+            (alias, column)
+            for alias in sorted(relations)
+            for column in self._attr_columns.get(relations[alias], [])
+        ]
+        if not slots:
+            return None
+        alias, column = slots[int(rng.integers(len(slots)))]
+        return ColumnRef(alias, column)

@@ -1,0 +1,265 @@
+"""The JOB-lite database: an IMDB-shaped schema with synthetic data.
+
+Seventeen relations mirroring the IMDB snapshot used by the Join Order
+Benchmark: a central ``title`` fact table, satellite fact tables
+(``cast_info``, ``movie_info``, ``movie_companies``, ``movie_keyword``,
+``movie_info_idx``, ``movie_link``, ``aka_name``) and small dimension
+tables (``kind_type``, ``info_type``, ``company_type``, ``role_type``,
+``link_type``, ``keyword``, ``company_name``, ``name``, ``char_name``).
+
+The data distributions carry the properties that make IMDB a hard
+optimization target:
+
+- Zipf-skewed foreign keys (a few famous movies/people attract most
+  facts),
+- correlated columns (``title.votes`` tracks ``production_year``;
+  ``movie_info.info_val`` tracks ``info_type_id``), which break the
+  estimator's independence assumption,
+- occasional NULLs (``cast_info.person_role_id``), matching IMDB.
+
+String-typed IMDB attributes are dictionary-encoded integers here (the
+workloads only ever compare them for equality/membership, so encoding
+preserves all query semantics).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.db.datagen import ColumnSpec, TableSpec
+from repro.db.engine import Database
+from repro.db.schema import DataType, ForeignKey
+
+__all__ = ["imdb_specs", "imdb_foreign_keys", "make_imdb_database", "TABLE_ALIASES"]
+
+#: Conventional JOB aliases for each table (used by templates and docs).
+TABLE_ALIASES = {
+    "title": "t",
+    "kind_type": "kt",
+    "info_type": "it",
+    "company_type": "ct",
+    "role_type": "rt",
+    "link_type": "lt",
+    "keyword": "k",
+    "company_name": "cn",
+    "name": "n",
+    "char_name": "chn",
+    "aka_name": "an",
+    "cast_info": "ci",
+    "movie_companies": "mc",
+    "movie_info": "mi",
+    "movie_info_idx": "mi_idx",
+    "movie_keyword": "mk",
+    "movie_link": "ml",
+}
+
+
+def imdb_specs(scale: float = 1.0) -> List[TableSpec]:
+    """Table specs for the JOB-lite database at the given scale factor.
+
+    ``scale=1.0`` is roughly 1/100 of real IMDB row counts — large enough
+    for meaningful skew and real index/seq-scan tradeoffs, small enough
+    that latency-reward experiments run in seconds.
+    """
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+
+    def rows(n: int) -> int:
+        return max(20, int(n * scale))
+
+    return [
+        # --- dimensions (fixed size: genuinely tiny lookup tables) -----
+        TableSpec(
+            "kind_type",
+            n_rows=7,
+            columns=[ColumnSpec("id", primary_key=True), ColumnSpec("kind", distinct=7)],
+        ),
+        TableSpec(
+            "info_type",
+            n_rows=40,
+            columns=[ColumnSpec("id", primary_key=True), ColumnSpec("info", distinct=40)],
+        ),
+        TableSpec(
+            "company_type",
+            n_rows=4,
+            columns=[ColumnSpec("id", primary_key=True), ColumnSpec("kind", distinct=4)],
+        ),
+        TableSpec(
+            "role_type",
+            n_rows=12,
+            columns=[ColumnSpec("id", primary_key=True), ColumnSpec("role", distinct=12)],
+        ),
+        TableSpec(
+            "link_type",
+            n_rows=18,
+            columns=[ColumnSpec("id", primary_key=True), ColumnSpec("link", distinct=18)],
+        ),
+        TableSpec(
+            "keyword",
+            n_rows=rows(8000),
+            columns=[
+                ColumnSpec("id", primary_key=True),
+                ColumnSpec("keyword", dtype=DataType.STR, distinct=rows(8000)),
+                ColumnSpec("phonetic_code", distinct=300, skew=0.8),
+            ],
+        ),
+        TableSpec(
+            "company_name",
+            n_rows=rows(6000),
+            columns=[
+                ColumnSpec("id", primary_key=True),
+                ColumnSpec("name", dtype=DataType.STR, distinct=rows(6000)),
+                ColumnSpec("country_code", distinct=120, skew=1.4),
+            ],
+        ),
+        TableSpec(
+            "name",
+            n_rows=rows(30000),
+            columns=[
+                ColumnSpec("id", primary_key=True),
+                ColumnSpec("name", dtype=DataType.STR, distinct=rows(30000)),
+                ColumnSpec("gender", distinct=3, skew=0.6),
+            ],
+        ),
+        TableSpec(
+            "char_name",
+            n_rows=rows(15000),
+            columns=[
+                ColumnSpec("id", primary_key=True),
+                ColumnSpec("name", dtype=DataType.STR, distinct=rows(15000)),
+            ],
+        ),
+        # --- facts ------------------------------------------------------
+        TableSpec(
+            "title",
+            n_rows=rows(25000),
+            columns=[
+                ColumnSpec("id", primary_key=True),
+                ColumnSpec("kind_id", fk_to="kind_type.id", skew=1.2),
+                ColumnSpec("production_year", distinct=140, skew=0.9),
+                # votes correlates with production_year: recent movies get
+                # more votes — an independence-assumption trap.
+                ColumnSpec(
+                    "votes", distinct=1000, correlated_with="production_year",
+                    noise_frac=0.15,
+                ),
+                ColumnSpec("episode_nr", distinct=100, skew=1.5, null_frac=0.4),
+            ],
+        ),
+        TableSpec(
+            "aka_name",
+            n_rows=rows(10000),
+            columns=[
+                ColumnSpec("id", primary_key=True),
+                ColumnSpec("person_id", fk_to="name.id", skew=0.9),
+                ColumnSpec("name", dtype=DataType.STR, distinct=rows(10000)),
+            ],
+        ),
+        TableSpec(
+            "cast_info",
+            n_rows=rows(90000),
+            columns=[
+                ColumnSpec("id", primary_key=True),
+                ColumnSpec("person_id", fk_to="name.id", skew=1.0),
+                ColumnSpec("movie_id", fk_to="title.id", skew=1.1),
+                ColumnSpec(
+                    "person_role_id", fk_to="char_name.id", skew=0.8, null_frac=0.3
+                ),
+                ColumnSpec("role_id", fk_to="role_type.id", skew=1.3),
+                ColumnSpec("nr_order", distinct=50, skew=1.0, null_frac=0.2),
+            ],
+        ),
+        TableSpec(
+            "movie_companies",
+            n_rows=rows(30000),
+            columns=[
+                ColumnSpec("id", primary_key=True),
+                ColumnSpec("movie_id", fk_to="title.id", skew=0.9),
+                ColumnSpec("company_id", fk_to="company_name.id", skew=1.2),
+                ColumnSpec("company_type_id", fk_to="company_type.id", skew=0.7),
+            ],
+        ),
+        TableSpec(
+            "movie_info",
+            n_rows=rows(50000),
+            columns=[
+                ColumnSpec("id", primary_key=True),
+                ColumnSpec("movie_id", fk_to="title.id", skew=1.0),
+                ColumnSpec("info_type_id", fk_to="info_type.id", skew=1.1),
+                # info values depend on the info type (runtime vs genre vs
+                # rating all live in one column in IMDB) — correlated.
+                ColumnSpec(
+                    "info_val", distinct=500, correlated_with="info_type_id",
+                    noise_frac=0.2,
+                ),
+            ],
+        ),
+        TableSpec(
+            "movie_info_idx",
+            n_rows=rows(15000),
+            columns=[
+                ColumnSpec("id", primary_key=True),
+                ColumnSpec("movie_id", fk_to="title.id", skew=0.8),
+                ColumnSpec("info_type_id", fk_to="info_type.id", skew=1.4),
+                ColumnSpec("info_val", distinct=100, skew=0.5),
+            ],
+        ),
+        TableSpec(
+            "movie_keyword",
+            n_rows=rows(40000),
+            columns=[
+                ColumnSpec("id", primary_key=True),
+                ColumnSpec("movie_id", fk_to="title.id", skew=1.2),
+                ColumnSpec("keyword_id", fk_to="keyword.id", skew=1.3),
+            ],
+        ),
+        TableSpec(
+            "movie_link",
+            n_rows=rows(3000),
+            columns=[
+                ColumnSpec("id", primary_key=True),
+                ColumnSpec("movie_id", fk_to="title.id", skew=0.7),
+                ColumnSpec("linked_movie_id", fk_to="title.id", skew=0.7),
+                ColumnSpec("link_type_id", fk_to="link_type.id", skew=0.8),
+            ],
+        ),
+    ]
+
+
+def imdb_foreign_keys() -> List[ForeignKey]:
+    """All FK edges of the JOB-lite join graph."""
+    edges = [
+        ("title", "kind_id", "kind_type", "id"),
+        ("aka_name", "person_id", "name", "id"),
+        ("cast_info", "person_id", "name", "id"),
+        ("cast_info", "movie_id", "title", "id"),
+        ("cast_info", "person_role_id", "char_name", "id"),
+        ("cast_info", "role_id", "role_type", "id"),
+        ("movie_companies", "movie_id", "title", "id"),
+        ("movie_companies", "company_id", "company_name", "id"),
+        ("movie_companies", "company_type_id", "company_type", "id"),
+        ("movie_info", "movie_id", "title", "id"),
+        ("movie_info", "info_type_id", "info_type", "id"),
+        ("movie_info_idx", "movie_id", "title", "id"),
+        ("movie_info_idx", "info_type_id", "info_type", "id"),
+        ("movie_keyword", "movie_id", "title", "id"),
+        ("movie_keyword", "keyword_id", "keyword", "id"),
+        ("movie_link", "movie_id", "title", "id"),
+        ("movie_link", "linked_movie_id", "title", "id"),
+        ("movie_link", "link_type_id", "link_type", "id"),
+    ]
+    return [ForeignKey(*edge) for edge in edges]
+
+
+def make_imdb_database(
+    scale: float = 1.0,
+    seed: int = 42,
+    sample_size: int = 30_000,
+) -> Database:
+    """Generate, analyze, and index the JOB-lite database."""
+    return Database.from_specs(
+        imdb_specs(scale),
+        imdb_foreign_keys(),
+        seed=seed,
+        sample_size=sample_size,
+    )

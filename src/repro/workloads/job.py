@@ -1,0 +1,556 @@
+"""JOB-lite: named query templates over the JOB-lite database.
+
+Twenty-two template families spanning 4-11 relations, each with four
+literal variants ``a``-``d`` — the JOB naming scheme (``1a`` … ``22d``,
+88 queries). The ten queries of the paper's Figure 3b (1a 1b 1c 1d 8c
+12b 13c 15a 16b 22c) all exist here.
+
+Like JOB, every query is a conjunctive equi-join block with selection
+predicates on attribute columns and a ``MIN``-style aggregate; a few
+families add a ``GROUP BY`` so the aggregate-operator pipeline stage
+(paper Figure 8) has a real choice to make. Variant literals are drawn
+deterministically from a per-(family, variant) seed, so the workload is
+identical on every run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.predicates import (
+    BetweenPredicate,
+    ColumnRef,
+    CompareOp,
+    Comparison,
+    InPredicate,
+    JoinPredicate,
+    Predicate,
+)
+from repro.db.query import AggregateSpec, Query
+from repro.workloads.generator import Workload
+
+__all__ = [
+    "FIGURE_3B_QUERIES",
+    "VARIANTS",
+    "job_lite_queries",
+    "job_lite_query",
+    "job_lite_workload",
+    "FAMILIES",
+]
+
+VARIANTS = ("a", "b", "c", "d")
+
+#: The queries shown in the paper's Figure 3b.
+FIGURE_3B_QUERIES = ("1a", "1b", "1c", "1d", "8c", "12b", "13c", "15a", "16b", "22c")
+
+#: Value domains for predicate columns: (lo, hi) inclusive.
+_DOMAINS: Dict[Tuple[str, str], Tuple[int, int]] = {
+    ("title", "production_year"): (0, 139),
+    ("title", "votes"): (0, 999),
+    ("title", "episode_nr"): (0, 99),
+    ("kind_type", "kind"): (0, 6),
+    ("info_type", "info"): (0, 39),
+    ("company_type", "kind"): (0, 3),
+    ("role_type", "role"): (0, 11),
+    ("link_type", "link"): (0, 17),
+    ("keyword", "phonetic_code"): (0, 299),
+    ("company_name", "country_code"): (0, 119),
+    ("name", "gender"): (0, 2),
+    ("cast_info", "nr_order"): (0, 49),
+    ("movie_info", "info_val"): (0, 499),
+    ("movie_info_idx", "info_val"): (0, 99),
+}
+
+
+@dataclass(frozen=True)
+class _Slot:
+    """A predicate slot: filled with a literal per variant."""
+
+    alias: str
+    table: str
+    column: str
+    kind: str  # 'eq' | 'range' | 'in' | 'gt' | 'lt'
+    #: Slots beyond the first `required` ones are included ~85% of the time.
+    optional: bool = False
+
+
+@dataclass(frozen=True)
+class _Family:
+    number: int
+    relations: Tuple[Tuple[str, str], ...]  # (alias, table)
+    joins: Tuple[Tuple[str, str, str, str], ...]  # (alias, col, alias, col)
+    slots: Tuple[_Slot, ...]
+    aggregates: Tuple[Tuple[str, str | None, str | None], ...] = (
+        ("min", "t", "production_year"),
+    )
+    group_by: Tuple[Tuple[str, str], ...] = ()
+
+    @property
+    def n_relations(self) -> int:
+        return len(self.relations)
+
+
+def _s(alias: str, table: str, column: str, kind: str, optional: bool = False) -> _Slot:
+    return _Slot(alias, table, column, kind, optional)
+
+
+# Join-edge shorthand used below.
+_T = ("t", "title")
+_KT = ("kt", "kind_type")
+_IT = ("it", "info_type")
+_CT = ("ct", "company_type")
+_RT = ("rt", "role_type")
+_LT = ("lt", "link_type")
+_K = ("k", "keyword")
+_CN = ("cn", "company_name")
+_N = ("n", "name")
+_CHN = ("chn", "char_name")
+_AN = ("an", "aka_name")
+_CI = ("ci", "cast_info")
+_MC = ("mc", "movie_companies")
+_MI = ("mi", "movie_info")
+_MIX = ("mi_idx", "movie_info_idx")
+_MK = ("mk", "movie_keyword")
+_ML = ("ml", "movie_link")
+
+# FK edges by alias (readable shorthand for joins).
+_J_MC_T = ("mc", "movie_id", "t", "id")
+_J_MC_CN = ("mc", "company_id", "cn", "id")
+_J_MC_CT = ("mc", "company_type_id", "ct", "id")
+_J_MI_T = ("mi", "movie_id", "t", "id")
+_J_MI_IT = ("mi", "info_type_id", "it", "id")
+_J_MIX_T = ("mi_idx", "movie_id", "t", "id")
+_J_MIX_IT = ("mi_idx", "info_type_id", "it", "id")
+_J_MK_T = ("mk", "movie_id", "t", "id")
+_J_MK_K = ("mk", "keyword_id", "k", "id")
+_J_CI_T = ("ci", "movie_id", "t", "id")
+_J_CI_N = ("ci", "person_id", "n", "id")
+_J_CI_CHN = ("ci", "person_role_id", "chn", "id")
+_J_CI_RT = ("ci", "role_id", "rt", "id")
+_J_T_KT = ("t", "kind_id", "kt", "id")
+_J_AN_N = ("an", "person_id", "n", "id")
+_J_ML_T = ("ml", "movie_id", "t", "id")
+_J_ML_LT = ("ml", "link_type_id", "lt", "id")
+
+
+FAMILIES: Tuple[_Family, ...] = (
+    _Family(
+        1,
+        (_T, _MC, _CT, _MIX, _IT),
+        (_J_MC_T, _J_MC_CT, _J_MIX_T, _J_MIX_IT),
+        (
+            _s("ct", "company_type", "kind", "eq"),
+            _s("it", "info_type", "info", "eq"),
+            _s("t", "title", "production_year", "range", optional=True),
+        ),
+    ),
+    _Family(
+        2,
+        (_CN, _MC, _T, _MK, _K),
+        (_J_MC_T, _J_MC_CN, _J_MK_T, _J_MK_K),
+        (
+            _s("cn", "company_name", "country_code", "eq"),
+            _s("k", "keyword", "phonetic_code", "eq"),
+        ),
+    ),
+    _Family(
+        3,
+        (_K, _MI, _MK, _T),
+        (_J_MK_K, _J_MK_T, _J_MI_T),
+        (
+            _s("k", "keyword", "phonetic_code", "in"),
+            _s("mi", "movie_info", "info_val", "range"),
+            _s("t", "title", "production_year", "gt", optional=True),
+        ),
+        group_by=(("k", "phonetic_code"),),
+        aggregates=(("min", "t", "production_year"), ("count", None, None)),
+    ),
+    _Family(
+        4,
+        (_IT, _K, _MIX, _MK, _T),
+        (_J_MIX_IT, _J_MIX_T, _J_MK_T, _J_MK_K),
+        (
+            _s("it", "info_type", "info", "eq"),
+            _s("k", "keyword", "phonetic_code", "eq"),
+            _s("mi_idx", "movie_info_idx", "info_val", "gt"),
+        ),
+        aggregates=(("min", "mi_idx", "info_val"),),
+    ),
+    _Family(
+        5,
+        (_CT, _IT, _MC, _MI, _T),
+        (_J_MC_T, _J_MC_CT, _J_MI_T, _J_MI_IT),
+        (
+            _s("ct", "company_type", "kind", "eq"),
+            _s("mi", "movie_info", "info_val", "range"),
+            _s("t", "title", "production_year", "range", optional=True),
+        ),
+    ),
+    _Family(
+        6,
+        (_CI, _K, _MK, _N, _T),
+        (_J_CI_T, _J_CI_N, _J_MK_T, _J_MK_K),
+        (
+            _s("k", "keyword", "phonetic_code", "eq"),
+            _s("n", "name", "gender", "eq"),
+            _s("t", "title", "production_year", "range", optional=True),
+        ),
+        group_by=(("n", "gender"),),
+        aggregates=(("count", None, None),),
+    ),
+    _Family(
+        7,
+        (_AN, _CI, _LT, _ML, _N, _T, _KT),
+        (_J_AN_N, _J_CI_N, _J_CI_T, _J_ML_T, _J_ML_LT, _J_T_KT),
+        (
+            _s("n", "name", "gender", "eq"),
+            _s("lt", "link_type", "link", "eq"),
+            _s("kt", "kind_type", "kind", "eq"),
+            _s("t", "title", "production_year", "range", optional=True),
+        ),
+    ),
+    _Family(
+        8,
+        (_CI, _CN, _MC, _N, _RT, _T),
+        (_J_CI_T, _J_CI_N, _J_CI_RT, _J_MC_T, _J_MC_CN),
+        (
+            _s("cn", "company_name", "country_code", "eq"),
+            _s("rt", "role_type", "role", "eq"),
+            _s("n", "name", "gender", "eq", optional=True),
+        ),
+    ),
+    _Family(
+        9,
+        (_AN, _CHN, _CI, _CN, _MC, _N, _RT, _T),
+        (_J_AN_N, _J_CI_CHN, _J_CI_T, _J_CI_N, _J_CI_RT, _J_MC_T, _J_MC_CN),
+        (
+            _s("cn", "company_name", "country_code", "eq"),
+            _s("rt", "role_type", "role", "eq"),
+            _s("n", "name", "gender", "eq"),
+            _s("t", "title", "production_year", "range", optional=True),
+        ),
+    ),
+    _Family(
+        10,
+        (_CHN, _CI, _CN, _CT, _MC, _RT, _T),
+        (_J_CI_CHN, _J_CI_RT, _J_CI_T, _J_MC_T, _J_MC_CN, _J_MC_CT),
+        (
+            _s("rt", "role_type", "role", "eq"),
+            _s("cn", "company_name", "country_code", "eq"),
+            _s("t", "title", "production_year", "gt"),
+            _s("ct", "company_type", "kind", "eq", optional=True),
+        ),
+    ),
+    _Family(
+        11,
+        (_CN, _CT, _K, _LT, _MC, _MK, _ML, _T),
+        (_J_MC_T, _J_MC_CN, _J_MC_CT, _J_MK_T, _J_MK_K, _J_ML_T, _J_ML_LT),
+        (
+            _s("cn", "company_name", "country_code", "eq"),
+            _s("lt", "link_type", "link", "in"),
+            _s("k", "keyword", "phonetic_code", "eq"),
+            _s("ct", "company_type", "kind", "eq", optional=True),
+        ),
+    ),
+    _Family(
+        12,
+        (_CN, _CT, ("it1", "info_type"), ("it2", "info_type"), _MC, _MI, _MIX, _T),
+        (
+            ("mi", "info_type_id", "it1", "id"),
+            ("mi_idx", "info_type_id", "it2", "id"),
+            _J_MI_T,
+            _J_MIX_T,
+            _J_MC_T,
+            _J_MC_CN,
+            _J_MC_CT,
+        ),
+        (
+            _s("it1", "info_type", "info", "eq"),
+            _s("it2", "info_type", "info", "eq"),
+            _s("cn", "company_name", "country_code", "eq"),
+            _s("mi", "movie_info", "info_val", "range", optional=True),
+            _s("mi_idx", "movie_info_idx", "info_val", "gt", optional=True),
+            _s("t", "title", "production_year", "range", optional=True),
+        ),
+    ),
+    _Family(
+        13,
+        (
+            _CN,
+            _CT,
+            ("it1", "info_type"),
+            ("it2", "info_type"),
+            _KT,
+            _MC,
+            _MI,
+            _MIX,
+            _T,
+        ),
+        (
+            ("mi", "info_type_id", "it1", "id"),
+            ("mi_idx", "info_type_id", "it2", "id"),
+            _J_MI_T,
+            _J_MIX_T,
+            _J_MC_T,
+            _J_MC_CN,
+            _J_MC_CT,
+            _J_T_KT,
+        ),
+        (
+            _s("it1", "info_type", "info", "eq"),
+            _s("it2", "info_type", "info", "eq"),
+            _s("cn", "company_name", "country_code", "eq"),
+            _s("kt", "kind_type", "kind", "eq"),
+            _s("mi", "movie_info", "info_val", "range", optional=True),
+        ),
+        aggregates=(("min", "mi_idx", "info_val"), ("min", "t", "production_year")),
+    ),
+    _Family(
+        14,
+        (("it1", "info_type"), ("it2", "info_type"), _K, _KT, _MI, _MIX, _MK, _T),
+        (
+            ("mi", "info_type_id", "it1", "id"),
+            ("mi_idx", "info_type_id", "it2", "id"),
+            _J_MI_T,
+            _J_MIX_T,
+            _J_MK_T,
+            _J_MK_K,
+            _J_T_KT,
+        ),
+        (
+            _s("kt", "kind_type", "kind", "eq"),
+            _s("k", "keyword", "phonetic_code", "in"),
+            _s("mi", "movie_info", "info_val", "range"),
+            _s("mi_idx", "movie_info_idx", "info_val", "lt", optional=True),
+            _s("t", "title", "production_year", "range", optional=True),
+        ),
+    ),
+    _Family(
+        15,
+        (_CN, _IT, _K, _MC, _MI, _MK, _T),
+        (_J_MC_T, _J_MC_CN, _J_MI_T, _J_MI_IT, _J_MK_T, _J_MK_K),
+        (
+            _s("cn", "company_name", "country_code", "eq"),
+            _s("it", "info_type", "info", "eq"),
+            _s("k", "keyword", "phonetic_code", "eq"),
+            _s("mi", "movie_info", "info_val", "range", optional=True),
+            _s("t", "title", "production_year", "gt", optional=True),
+        ),
+    ),
+    _Family(
+        16,
+        (_AN, _CI, _CN, _K, _MC, _MK, _N, _T),
+        (_J_AN_N, _J_CI_N, _J_CI_T, _J_MC_T, _J_MC_CN, _J_MK_T, _J_MK_K),
+        (
+            _s("cn", "company_name", "country_code", "eq"),
+            _s("k", "keyword", "phonetic_code", "eq"),
+        ),
+        group_by=(("cn", "country_code"),),
+        aggregates=(("count", None, None), ("min", "t", "production_year")),
+    ),
+    _Family(
+        17,
+        (_CI, _CN, _K, _MC, _MK, _N, _T),
+        (_J_CI_N, _J_CI_T, _J_MC_T, _J_MC_CN, _J_MK_T, _J_MK_K),
+        (
+            _s("cn", "company_name", "country_code", "eq"),
+            _s("k", "keyword", "phonetic_code", "in"),
+            _s("n", "name", "gender", "eq"),
+        ),
+    ),
+    _Family(
+        18,
+        (_CI, ("it1", "info_type"), ("it2", "info_type"), _MI, _MIX, _N, _T),
+        (
+            ("mi", "info_type_id", "it1", "id"),
+            ("mi_idx", "info_type_id", "it2", "id"),
+            _J_MI_T,
+            _J_MIX_T,
+            _J_CI_T,
+            _J_CI_N,
+        ),
+        (
+            _s("it1", "info_type", "info", "eq"),
+            _s("it2", "info_type", "info", "eq"),
+            _s("n", "name", "gender", "eq"),
+            _s("mi", "movie_info", "info_val", "gt", optional=True),
+        ),
+    ),
+    _Family(
+        19,
+        (_AN, _CHN, _CI, _CN, _IT, _MC, _MI, _N, _RT, _T),
+        (
+            _J_AN_N,
+            _J_CI_CHN,
+            _J_CI_N,
+            _J_CI_RT,
+            _J_CI_T,
+            _J_MC_T,
+            _J_MC_CN,
+            _J_MI_T,
+            _J_MI_IT,
+        ),
+        (
+            _s("cn", "company_name", "country_code", "eq"),
+            _s("it", "info_type", "info", "eq"),
+            _s("n", "name", "gender", "eq"),
+            _s("rt", "role_type", "role", "eq"),
+            _s("t", "title", "production_year", "range", optional=True),
+            _s("mi", "movie_info", "info_val", "range", optional=True),
+        ),
+    ),
+    _Family(
+        20,
+        (_CHN, _CI, _K, _KT, _MK, _N, _RT, _T),
+        (_J_CI_CHN, _J_CI_N, _J_CI_RT, _J_CI_T, _J_MK_T, _J_MK_K, _J_T_KT),
+        (
+            _s("kt", "kind_type", "kind", "eq"),
+            _s("k", "keyword", "phonetic_code", "eq"),
+            _s("n", "name", "gender", "eq"),
+            _s("rt", "role_type", "role", "eq", optional=True),
+        ),
+        group_by=(("kt", "kind"),),
+        aggregates=(("count", None, None),),
+    ),
+    _Family(
+        21,
+        (_CN, _CT, _K, _LT, _MC, _MI, _MK, _ML, _T, _KT),
+        (
+            _J_MC_T,
+            _J_MC_CN,
+            _J_MC_CT,
+            _J_MI_T,
+            _J_MK_T,
+            _J_MK_K,
+            _J_ML_T,
+            _J_ML_LT,
+            _J_T_KT,
+        ),
+        (
+            _s("cn", "company_name", "country_code", "eq"),
+            _s("lt", "link_type", "link", "in"),
+            _s("k", "keyword", "phonetic_code", "eq"),
+            _s("mi", "movie_info", "info_val", "range", optional=True),
+            _s("kt", "kind_type", "kind", "eq", optional=True),
+        ),
+    ),
+    _Family(
+        22,
+        (
+            _CN,
+            _CT,
+            ("it1", "info_type"),
+            ("it2", "info_type"),
+            _K,
+            _KT,
+            _MC,
+            _MI,
+            _MIX,
+            _MK,
+            _T,
+        ),
+        (
+            ("mi", "info_type_id", "it1", "id"),
+            ("mi_idx", "info_type_id", "it2", "id"),
+            _J_MI_T,
+            _J_MIX_T,
+            _J_MC_T,
+            _J_MC_CN,
+            _J_MC_CT,
+            _J_MK_T,
+            _J_MK_K,
+            _J_T_KT,
+        ),
+        (
+            _s("kt", "kind_type", "kind", "in"),
+            _s("cn", "company_name", "country_code", "eq"),
+            _s("k", "keyword", "phonetic_code", "in"),
+            _s("it1", "info_type", "info", "eq"),
+            _s("it2", "info_type", "info", "eq"),
+            _s("mi", "movie_info", "info_val", "range", optional=True),
+            _s("mi_idx", "movie_info_idx", "info_val", "gt", optional=True),
+            _s("t", "title", "production_year", "range", optional=True),
+        ),
+        aggregates=(("min", "t", "production_year"), ("min", "mi_idx", "info_val")),
+    ),
+)
+
+
+def _fill_slot(slot: _Slot, rng: np.random.Generator) -> Predicate:
+    lo, hi = _DOMAINS[(slot.table, slot.column)]
+    ref = ColumnRef(slot.alias, slot.column)
+    if slot.kind == "eq":
+        return Comparison(ref, CompareOp.EQ, int(rng.integers(lo, hi + 1)))
+    if slot.kind == "gt":
+        # keep some mass above the bound
+        cut = int(rng.integers(lo, lo + max(1, (hi - lo) * 3 // 4)))
+        return Comparison(ref, CompareOp.GT, cut)
+    if slot.kind == "lt":
+        cut = int(rng.integers(lo + max(1, (hi - lo) // 4), hi + 1))
+        return Comparison(ref, CompareOp.LT, cut)
+    if slot.kind == "range":
+        width = max(1, int((hi - lo) * rng.uniform(0.1, 0.5)))
+        start = int(rng.integers(lo, max(lo + 1, hi - width)))
+        return BetweenPredicate(ref, start, start + width)
+    if slot.kind == "in":
+        count = int(rng.integers(2, 5))
+        values = rng.choice(np.arange(lo, hi + 1), size=count, replace=False)
+        return InPredicate(ref, tuple(int(v) for v in sorted(values)))
+    raise ValueError(f"unknown slot kind {slot.kind!r}")
+
+
+def _build_query(family: _Family, variant: str) -> Query:
+    if variant not in VARIANTS:
+        raise ValueError(f"unknown variant {variant!r}")
+    seed = family.number * 1009 + VARIANTS.index(variant)
+    rng = np.random.default_rng(seed)
+    selections = []
+    for slot in family.slots:
+        if slot.optional and rng.uniform() > 0.85:
+            continue
+        selections.append(_fill_slot(slot, rng))
+    joins = [
+        JoinPredicate(ColumnRef(a, ac), ColumnRef(b, bc))
+        for a, ac, b, bc in family.joins
+    ]
+    aggregates = [
+        AggregateSpec(func, ColumnRef(alias, col) if alias else None)
+        for func, alias, col in family.aggregates
+    ]
+    group_by = [ColumnRef(alias, col) for alias, col in family.group_by]
+    return Query(
+        name=f"{family.number}{variant}",
+        relations=dict(family.relations),
+        selections=selections,
+        joins=joins,
+        group_by=group_by,
+        aggregates=aggregates,
+    )
+
+
+def job_lite_query(name: str) -> Query:
+    """Build one named JOB-lite query, e.g. ``job_lite_query("13c")``."""
+    number, variant = int(name[:-1]), name[-1]
+    for family in FAMILIES:
+        if family.number == number:
+            return _build_query(family, variant)
+    raise KeyError(f"no JOB-lite family {number}")
+
+
+def job_lite_queries(variants: Sequence[str] = VARIANTS) -> Dict[str, Query]:
+    """All JOB-lite queries for the requested variants, keyed by name."""
+    queries: Dict[str, Query] = {}
+    for family in FAMILIES:
+        for variant in variants:
+            q = _build_query(family, variant)
+            queries[q.name] = q
+    return queries
+
+
+def job_lite_workload(variants: Sequence[str] = VARIANTS) -> Workload:
+    """The JOB-lite workload as a :class:`Workload` (deterministic order)."""
+    queries = job_lite_queries(variants)
+    return Workload("job-lite", [queries[k] for k in sorted(queries)])

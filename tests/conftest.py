@@ -1,0 +1,75 @@
+"""Shared fixtures: a small synthetic database used across test modules."""
+
+import numpy as np
+import pytest
+
+from repro.db.datagen import ColumnSpec, TableSpec
+from repro.db.engine import Database
+from repro.db.schema import DataType, ForeignKey
+
+
+def small_specs():
+    """A 3-table chain: a <- b <- c, with skew and a correlated column."""
+    return [
+        TableSpec(
+            "a",
+            n_rows=80,
+            columns=[
+                ColumnSpec("id", primary_key=True),
+                ColumnSpec("x", distinct=10, skew=1.2),
+                ColumnSpec("y", distinct=40, correlated_with="x", noise_frac=0.2),
+                ColumnSpec("f", dtype=DataType.FLOAT, distinct=100),
+            ],
+        ),
+        TableSpec(
+            "b",
+            n_rows=200,
+            columns=[
+                ColumnSpec("id", primary_key=True),
+                ColumnSpec("a_id", fk_to="a.id", skew=0.8),
+                ColumnSpec("z", distinct=15, skew=0.5),
+            ],
+        ),
+        TableSpec(
+            "c",
+            n_rows=400,
+            columns=[
+                ColumnSpec("id", primary_key=True),
+                ColumnSpec("b_id", fk_to="b.id", skew=1.0),
+                ColumnSpec("w", distinct=8),
+            ],
+        ),
+    ]
+
+
+def small_fks():
+    return [
+        ForeignKey("b", "a_id", "a", "id"),
+        ForeignKey("c", "b_id", "b", "id"),
+    ]
+
+
+@pytest.fixture(scope="session")
+def small_db() -> Database:
+    return Database.from_specs(small_specs(), small_fks(), seed=7)
+
+
+@pytest.fixture(scope="session")
+def medium_db() -> Database:
+    """A single 20k-row table where index-vs-seqscan tradeoffs are real."""
+    specs = [
+        TableSpec(
+            "big",
+            n_rows=20_000,
+            columns=[
+                ColumnSpec("id", primary_key=True),
+                ColumnSpec("v", distinct=50, skew=1.0),
+            ],
+        )
+    ]
+    return Database.from_specs(specs, [], seed=11)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(0)

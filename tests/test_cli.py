@@ -1,0 +1,64 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_global_options(self):
+        args = build_parser().parse_args(["--scale", "0.1", "--seed", "3", "info"])
+        assert args.scale == 0.1
+        assert args.seed == 3
+        assert args.command == "info"
+
+    def test_fig3a_options(self):
+        args = build_parser().parse_args(["fig3a", "--episodes", "50"])
+        assert args.episodes == 50
+        assert args.save is None
+
+
+TINY = ["--scale", "0.02", "--seed", "1"]
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(TINY + ["info"]) == 0
+        out = capsys.readouterr().out
+        assert "title" in out
+        assert "total rows" in out
+
+    def test_plan(self, capsys):
+        assert main(TINY + ["plan", "1a"]) == 0
+        out = capsys.readouterr().out
+        assert "SELECT" in out
+        assert "latency=" in out
+
+    def test_fig3a_tiny_run_with_checkpoint(self, capsys, tmp_path):
+        save_dir = tmp_path / "agent"
+        assert main(TINY + ["fig3a", "--episodes", "30", "--save", str(save_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3a" in out
+        assert (save_dir / "meta.json").exists()
+
+    def test_fig3c_tiny_sweep(self, capsys):
+        assert main(TINY + ["fig3c", "--max-relations", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3c" in out
+        assert "rejoin" in out
+
+    def test_bootstrap_tiny(self, capsys):
+        assert (
+            main(TINY + ["bootstrap", "--phase1", "24", "--phase2", "12"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "reward jump at switch" in out
+        assert "naive" in out and "scaled" in out and "transfer" in out

@@ -1,0 +1,205 @@
+"""Tests for cost-model bootstrapping (§5.2) and incremental learning (§5.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.bootstrap import BootstrapConfig, BootstrapResult, BootstrapTrainer
+from repro.core.envs import Stage
+from repro.core.incremental import (
+    CurriculumPhase,
+    IncrementalTrainer,
+    flat_curriculum,
+    hybrid_curriculum,
+    pipeline_curriculum,
+    relations_curriculum,
+)
+from repro.db.query import parse_query
+from repro.workloads.generator import Workload
+
+
+@pytest.fixture(scope="module")
+def boot_workload(small_db):
+    queries = [
+        parse_query(
+            "SELECT * FROM a, b, c WHERE a.id = b.a_id AND b.id = c.b_id",
+            name="chain",
+        ),
+        parse_query("SELECT * FROM b, c WHERE b.id = c.b_id", name="bc"),
+    ]
+    return Workload("boot", queries)
+
+
+class TestBootstrapTrainer:
+    @pytest.mark.parametrize("mode", ["scaled", "naive", "transfer"])
+    def test_two_phase_run(self, small_db, boot_workload, mode):
+        config = BootstrapConfig(
+            phase1_episodes=24,
+            phase2_episodes=12,
+            calibration_episodes=4,
+            mode=mode,
+            batch_size=4,
+        )
+        trainer = BootstrapTrainer(
+            small_db, boot_workload, np.random.default_rng(0), config
+        )
+        result = trainer.run()
+        assert len(result.phase1_log) == 24
+        assert len(result.phase2_log) == 12
+        # phase 1 never executes; phase 2 always does
+        assert all(r.latency_ms is None for r in result.phase1_log.records)
+        assert all(r.latency_ms is not None for r in result.phase2_log.records)
+        assert len(result.calibration_pairs) == 4
+
+    def test_scaled_mode_keeps_scaler(self, small_db, boot_workload):
+        config = BootstrapConfig(
+            phase1_episodes=8, phase2_episodes=4, calibration_episodes=3,
+            mode="scaled", batch_size=4,
+        )
+        trainer = BootstrapTrainer(
+            small_db, boot_workload, np.random.default_rng(1), config
+        )
+        result = trainer.run()
+        assert result.scaler is not None and result.scaler.fitted
+
+    def test_transfer_mode_copies_trunk(self, small_db, boot_workload):
+        config = BootstrapConfig(
+            phase1_episodes=8, phase2_episodes=4, calibration_episodes=2,
+            mode="transfer", batch_size=4,
+        )
+        trainer = BootstrapTrainer(
+            small_db, boot_workload, np.random.default_rng(2), config
+        )
+        phase1_agent = trainer.agent
+        trainer.trainer.run(config.phase1_episodes)
+        scaler, _ = trainer._calibrate()
+        trainer._switch_reward(scaler)
+        assert trainer.agent is not phase1_agent
+        # trunk weights copied at switch time; head freshly initialized
+        old_trunk = phase1_agent.policy_net.linear_layers()[0].weight
+        new_trunk = trainer.agent.policy_net.linear_layers()[0].weight
+        old_head = phase1_agent.policy_net.linear_layers()[-1].weight
+        new_head = trainer.agent.policy_net.linear_layers()[-1].weight
+        assert np.array_equal(old_trunk, new_trunk)
+        assert not np.array_equal(old_head, new_head)
+
+    def test_regression_ratio(self, small_db, boot_workload):
+        config = BootstrapConfig(
+            phase1_episodes=12, phase2_episodes=12, calibration_episodes=2,
+            batch_size=4,
+        )
+        trainer = BootstrapTrainer(
+            small_db, boot_workload, np.random.default_rng(3), config
+        )
+        result = trainer.run()
+        ratio = result.regression_ratio(window=6)
+        assert ratio > 0
+
+    def test_regression_ratio_needs_episodes(self):
+        from repro.core.trainer import TrainingLog
+
+        result = BootstrapResult(TrainingLog(), TrainingLog(), None, [])
+        with pytest.raises(ValueError):
+            result.regression_ratio()
+
+
+class TestCurricula:
+    def test_pipeline_curriculum_unlocks_stages(self):
+        phases = pipeline_curriculum(episodes_per_phase=10, max_relations=6)
+        assert len(phases) == 4
+        assert phases[0].stages == Stage.JOIN_ORDER
+        assert phases[1].stages == Stage.JOIN_ORDER | Stage.ACCESS_PATH
+        assert phases[-1].stages == Stage.all()
+        assert all(p.max_relations == 6 for p in phases)
+
+    def test_relations_curriculum_grows_relations(self):
+        phases = relations_curriculum(10, relation_steps=(2, 4, 6))
+        assert [p.max_relations for p in phases] == [2, 4, 6]
+        assert all(p.stages == Stage.all() for p in phases)
+
+    def test_relations_curriculum_rejects_unsorted(self):
+        with pytest.raises(ValueError):
+            relations_curriculum(10, relation_steps=(4, 2))
+
+    def test_hybrid_grows_both(self):
+        phases = hybrid_curriculum(10, final_relations=8)
+        assert phases[0].stages == Stage.JOIN_ORDER
+        assert phases[0].max_relations == 2
+        assert phases[-1].stages == Stage.all()
+        assert phases[-1].max_relations == 8
+        rel = [p.max_relations for p in phases]
+        assert rel == sorted(rel)
+
+    def test_flat_single_phase(self):
+        phases = flat_curriculum(50, max_relations=7)
+        assert len(phases) == 1
+        assert phases[0].stages == Stage.all()
+
+    def test_phase_validation(self):
+        with pytest.raises(ValueError):
+            CurriculumPhase("bad", Stage.all(), 0, 10)
+        with pytest.raises(ValueError):
+            CurriculumPhase("bad", Stage.all(), 3, 0)
+        with pytest.raises(ValueError):
+            CurriculumPhase("bad", Stage.ACCESS_PATH, 3, 10)
+
+
+class TestIncrementalTrainer:
+    def test_runs_pipeline_curriculum(self, small_db):
+        trainer = IncrementalTrainer(
+            small_db,
+            np.random.default_rng(0),
+            queries_per_phase=6,
+            batch_size=4,
+        )
+        phases = pipeline_curriculum(episodes_per_phase=6, max_relations=3)
+        results = trainer.run(phases)
+        assert len(results) == 4
+        assert all(len(r.log) == 6 for r in results)
+        quality = trainer.final_quality(results, tail=6)
+        assert quality > 0
+
+    def test_action_growth_across_phases(self, small_db):
+        trainer = IncrementalTrainer(
+            small_db,
+            np.random.default_rng(1),
+            queries_per_phase=4,
+            batch_size=4,
+            grow_actions=True,
+        )
+        phases = pipeline_curriculum(episodes_per_phase=4, max_relations=3)
+        trainer.run(phases[:1])
+        out_after_phase1 = trainer.agent.policy_net.out_features
+        trainer.run(phases[1:2])
+        out_after_phase2 = trainer.agent.policy_net.out_features
+        assert out_after_phase2 == out_after_phase1 + 2  # access-path actions
+
+    def test_no_growth_preallocates_full_action_layer(self, small_db):
+        trainer = IncrementalTrainer(
+            small_db,
+            np.random.default_rng(2),
+            queries_per_phase=4,
+            batch_size=4,
+            grow_actions=False,
+        )
+        phases = pipeline_curriculum(episodes_per_phase=4, max_relations=3)
+        trainer.run(phases[:1])
+        first_size = trainer.agent.policy_net.out_features
+        trainer.run(phases[1:2])  # must not raise, must not grow
+        assert trainer.agent.policy_net.out_features == first_size
+        # pre-allocated for all stages: pairs + 2 + 3 + 2
+        assert first_size == trainer._featurizer.n_pair_actions + 7
+
+    def test_relations_curriculum_runs(self, small_db):
+        trainer = IncrementalTrainer(
+            small_db,
+            np.random.default_rng(3),
+            queries_per_phase=4,
+            batch_size=4,
+        )
+        results = trainer.run(relations_curriculum(4, relation_steps=(2, 3)))
+        assert [r.phase.max_relations for r in results] == [2, 3]
+
+    def test_empty_curriculum_rejected(self, small_db):
+        trainer = IncrementalTrainer(small_db, np.random.default_rng(4))
+        with pytest.raises(ValueError):
+            trainer.run([])

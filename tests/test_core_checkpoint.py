@@ -1,0 +1,91 @@
+"""Tests for repro.core.checkpoint."""
+
+import numpy as np
+import pytest
+
+from repro.core.checkpoint import load_agent, load_log, save_agent, save_log
+from repro.core.lfd import LfDAgent
+from repro.core.trainer import EpisodeRecord, TrainingLog
+from repro.rl.ppo import PPOAgent
+from repro.rl.reinforce import ReinforceAgent
+
+
+@pytest.mark.parametrize(
+    "cls,kind",
+    [(PPOAgent, "ppo"), (ReinforceAgent, "reinforce")],
+    ids=["ppo", "reinforce"],
+)
+class TestPolicyAgentCheckpoint:
+    def test_roundtrip_preserves_policy(self, tmp_path, cls, kind):
+        rng = np.random.default_rng(0)
+        agent = cls(10, 6, rng)
+        path = save_agent(agent, tmp_path / kind)
+        loaded = load_agent(path)
+        x = np.random.default_rng(1).normal(size=(4, 10))
+        assert np.allclose(agent.policy_net.forward(x), loaded.policy_net.forward(x))
+        assert np.allclose(agent.value_net.forward(x), loaded.value_net.forward(x))
+
+    def test_loaded_agent_acts_identically(self, tmp_path, cls, kind):
+        rng = np.random.default_rng(2)
+        agent = cls(10, 6, rng)
+        loaded = load_agent(save_agent(agent, tmp_path / kind))
+        state = np.ones(10)
+        mask = np.array([True, False, True, True, False, True])
+        a1, _ = agent.act(state, mask, np.random.default_rng(3), greedy=True)
+        a2, _ = loaded.act(state, mask, np.random.default_rng(3), greedy=True)
+        assert a1 == a2
+
+    def test_loaded_agent_trainable(self, tmp_path, cls, kind):
+        from repro.rl.env import Trajectory, Transition
+
+        agent = cls(10, 6, np.random.default_rng(4))
+        loaded = load_agent(save_agent(agent, tmp_path / kind))
+        t = Trajectory(
+            transitions=[
+                Transition(np.ones(10), np.ones(6, bool), 2, 1.0, -1.0),
+            ]
+        )
+        metrics = loaded.update([t])
+        assert np.isfinite(metrics["policy_loss"])
+
+
+class TestLfDCheckpoint:
+    def test_roundtrip(self, tmp_path):
+        agent = LfDAgent(8, 5, np.random.default_rng(0))
+        loaded = load_agent(save_agent(agent, tmp_path / "lfd"))
+        x = np.random.default_rng(1).normal(size=(3, 8))
+        assert np.allclose(
+            agent.predicted_log_latency(x), loaded.predicted_log_latency(x)
+        )
+        assert loaded.n_actions == 5
+
+
+class TestUnknownAgent:
+    def test_rejected(self, tmp_path):
+        with pytest.raises(TypeError):
+            save_agent(object(), tmp_path)
+
+
+class TestLogCheckpoint:
+    def make_log(self):
+        log = TrainingLog()
+        log.append(
+            EpisodeRecord(1, "q1", 0.5, 100.0, 80.0, None, None, False)
+        )
+        log.append(
+            EpisodeRecord(2, "q2", -1.0, 300.0, 100.0, 12.5, 10.0, True)
+        )
+        return log
+
+    def test_roundtrip(self, tmp_path):
+        log = self.make_log()
+        loaded = load_log(save_log(log, tmp_path / "log.json"))
+        assert len(loaded) == 2
+        assert loaded.records[0].query_name == "q1"
+        assert loaded.records[1].timed_out
+        assert list(loaded.relative_costs()) == list(log.relative_costs())
+        assert loaded.records[1].relative_latency == pytest.approx(1.25)
+
+    def test_empty_log(self, tmp_path):
+        loaded = load_log(save_log(TrainingLog(), tmp_path / "empty.json"))
+        assert len(loaded) == 0

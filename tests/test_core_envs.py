@@ -1,0 +1,250 @@
+"""Tests for the planning environments (join-order, staged, full-plan)."""
+
+import numpy as np
+import pytest
+
+from repro.core.envs import FullPlanEnv, JoinOrderEnv, Stage, StagedPlanEnv
+from repro.core.rewards import CostModelReward, ExpertBaseline, LatencyReward
+from repro.db.plans import IndexScan, SeqScan, _Aggregate, _Join
+from repro.db.query import parse_query
+from repro.rl.env import rollout
+from repro.workloads.generator import Workload
+
+
+@pytest.fixture(scope="module")
+def workload(small_db):
+    queries = [
+        parse_query(
+            "SELECT * FROM a, b, c WHERE a.id = b.a_id AND b.id = c.b_id",
+            name="chain",
+        ),
+        parse_query(
+            "SELECT COUNT(*) FROM a, b WHERE a.id = b.a_id AND b.z = 1 "
+            "GROUP BY a.x",
+            name="agg2",
+        ),
+        parse_query("SELECT * FROM b, c WHERE b.id = c.b_id AND c.w = 2", name="bc"),
+    ]
+    for q in queries:
+        q.validate_against(small_db.schema)
+    return Workload("env-test", queries)
+
+
+def random_policy(rng):
+    def act(state, mask, rng_, greedy):
+        valid = np.nonzero(mask)[0]
+        return int(rng.choice(valid)), 0.0
+
+    return act
+
+
+class TestJoinOrderEnv:
+    def test_episode_length_is_n_minus_one(self, small_db, workload):
+        env = JoinOrderEnv(small_db, workload, rng=np.random.default_rng(0))
+        rng = np.random.default_rng(1)
+        env.reset(workload["chain"])
+        trajectory = rollout(env, random_policy(rng), rng)
+        # rollout resets the env; use a fixed query via a fresh rollout
+        env2 = JoinOrderEnv(
+            small_db,
+            Workload("one", [workload["chain"]]),
+            rng=np.random.default_rng(0),
+        )
+        t = rollout(env2, random_policy(rng), rng)
+        assert len(t) == workload["chain"].n_relations - 1
+
+    def test_terminal_reward_only(self, small_db, workload):
+        env = JoinOrderEnv(
+            small_db,
+            Workload("one", [workload["chain"]]),
+            rng=np.random.default_rng(0),
+        )
+        rng = np.random.default_rng(2)
+        t = rollout(env, random_policy(rng), rng)
+        rewards = [tr.reward for tr in t.transitions]
+        assert all(r == 0.0 for r in rewards[:-1])
+        assert rewards[-1] != 0.0
+
+    def test_info_carries_plan_and_outcome(self, small_db, workload):
+        env = JoinOrderEnv(
+            small_db,
+            Workload("one", [workload["chain"]]),
+            rng=np.random.default_rng(0),
+        )
+        rng = np.random.default_rng(3)
+        t = rollout(env, random_policy(rng), rng)
+        assert "plan" in t.info and "outcome" in t.info and "tree" in t.info
+        assert t.info["tree"].aliases == frozenset(["a", "b", "c"])
+
+    def test_masks_forbid_cross_products(self, small_db, workload):
+        env = JoinOrderEnv(
+            small_db,
+            Workload("one", [workload["chain"]]),
+            rng=np.random.default_rng(0),
+            forbid_cross_products=True,
+        )
+        state, mask = env.reset()
+        # slots 0=a, 1=b, 2=c; (a, c) is not joined
+        idx = env.featurizer.pair_index[(0, 2)]
+        assert not mask[idx]
+
+    def test_reward_uses_cost_model_by_default(self, small_db, workload):
+        env = JoinOrderEnv(
+            small_db,
+            Workload("one", [workload["chain"]]),
+            rng=np.random.default_rng(0),
+        )
+        rng = np.random.default_rng(4)
+        t = rollout(env, random_policy(rng), rng)
+        outcome = t.info["outcome"]
+        assert outcome.cost is not None
+        assert not outcome.executed
+
+    def test_expert_actions_replayable(self, small_db, workload):
+        env = JoinOrderEnv(
+            small_db, workload, rng=np.random.default_rng(0)
+        )
+        query = workload["chain"]
+        actions = env.expert_actions(query)
+        state, mask = env.reset(query)
+        done = False
+        for action in actions:
+            assert mask[action], "expert action must be valid"
+            result = env.step(action)
+            state, mask = result.state, result.mask
+            done = result.done
+        assert done
+
+    def test_step_before_reset_raises(self, small_db, workload):
+        env = JoinOrderEnv(small_db, workload)
+        with pytest.raises(RuntimeError):
+            env.step(0)
+
+
+class TestStagedPlanEnv:
+    def test_join_order_stage_matches_join_env_layout(self, small_db, workload):
+        env = StagedPlanEnv(small_db, workload, stages=Stage.JOIN_ORDER)
+        assert env.n_actions == env.featurizer.n_pair_actions
+
+    def test_requires_join_order(self, small_db, workload):
+        with pytest.raises(ValueError):
+            StagedPlanEnv(small_db, workload, stages=Stage.ACCESS_PATH)
+
+    def test_action_count_for_prefixes(self, small_db, workload):
+        env = FullPlanEnv(small_db, workload)
+        p = env.featurizer.n_pair_actions
+        assert env.action_count_for(Stage.JOIN_ORDER) == p
+        assert env.action_count_for(Stage.JOIN_ORDER | Stage.ACCESS_PATH) == p + 2
+        assert env.action_count_for(Stage.all()) == p + 7
+        assert env.n_actions == p + 7
+
+    def test_full_episode_structure(self, small_db, workload):
+        """access choices, then (pair, op) pairs, then aggregate."""
+        env = FullPlanEnv(
+            small_db,
+            Workload("one", [workload["agg2"]]),
+            rng=np.random.default_rng(0),
+        )
+        rng = np.random.default_rng(5)
+        t = rollout(env, random_policy(rng), rng)
+        n = workload["agg2"].n_relations
+        # n access + (n-1) pairs + (n-1) ops + 1 aggregate
+        assert len(t) == n + 2 * (n - 1) + 1
+
+    def test_no_aggregate_decision_without_aggregates(self, small_db, workload):
+        env = FullPlanEnv(
+            small_db,
+            Workload("one", [workload["chain"]]),  # no aggregates
+            rng=np.random.default_rng(0),
+        )
+        rng = np.random.default_rng(6)
+        t = rollout(env, random_policy(rng), rng)
+        n = workload["chain"].n_relations
+        assert len(t) == n + 2 * (n - 1)
+
+    def test_learned_choices_land_in_plan(self, small_db, workload):
+        """Forcing NL + seq scans through the env must yield that plan."""
+        query = workload["bc"]
+        env = FullPlanEnv(
+            small_db, Workload("one", [query]), rng=np.random.default_rng(0)
+        )
+        state, mask = env.reset(query)
+        plan = None
+        while True:
+            # always pick: seq scan (access), first valid pair, NL operator
+            if mask[env._access_base] and env._phase == 0:
+                action = env._access_base
+            elif env._phase == 2:
+                action = env._join_op_base + 2  # nested loop
+            else:
+                action = int(np.nonzero(mask)[0][0])
+            result = env.step(action)
+            state, mask = result.state, result.mask
+            if result.done:
+                plan = result.info["plan"]
+                break
+        from repro.db.plans import NestedLoopJoin
+
+        joins = [n for n in plan.iter_nodes() if isinstance(n, _Join)]
+        scans = [n for n in plan.iter_nodes() if isinstance(n, (SeqScan, IndexScan))]
+        assert all(isinstance(j, NestedLoopJoin) for j in joins)
+        assert all(isinstance(s, SeqScan) for s in scans)
+
+    def test_invalid_action_rejected(self, small_db, workload):
+        env = FullPlanEnv(
+            small_db, Workload("one", [workload["chain"]]), rng=np.random.default_rng(0)
+        )
+        state, mask = env.reset()
+        invalid = int(np.nonzero(~mask)[0][0])
+        with pytest.raises(ValueError):
+            env.step(invalid)
+
+    def test_expert_actions_replay_to_expert_cost(self, small_db, workload):
+        query = workload["agg2"]
+        env = FullPlanEnv(
+            small_db, Workload("one", [query]), rng=np.random.default_rng(0)
+        )
+        actions = env.expert_actions(query)
+        state, mask = env.reset(query)
+        for action in actions:
+            assert mask[action], f"invalid expert action {action}"
+            result = env.step(action)
+            state, mask = result.state, result.mask
+        assert result.done
+        expert_cost = env.planner.optimize(query).cost.total
+        replayed_cost = result.info["outcome"].cost
+        assert replayed_cost == pytest.approx(expert_cost, rel=0.25)
+
+    def test_latency_reward_integration(self, small_db, workload):
+        env = FullPlanEnv(
+            small_db,
+            Workload("one", [workload["bc"]]),
+            reward_source=LatencyReward(small_db),
+            rng=np.random.default_rng(0),
+        )
+        rng = np.random.default_rng(7)
+        t = rollout(env, random_policy(rng), rng)
+        assert t.info["outcome"].executed
+        assert t.info["outcome"].latency_ms is not None
+
+    def test_aggregate_plan_root_matches_choice(self, small_db, workload):
+        query = workload["agg2"]
+        env = FullPlanEnv(
+            small_db, Workload("one", [query]), rng=np.random.default_rng(0)
+        )
+        state, mask = env.reset(query)
+        while True:
+            valid = np.nonzero(mask)[0]
+            # pick sort aggregate when offered
+            action = (
+                env._agg_base + 1
+                if mask[env._agg_base + 1] and env._phase == 3
+                else int(valid[0])
+            )
+            result = env.step(action)
+            state, mask = result.state, result.mask
+            if result.done:
+                break
+        from repro.db.plans import SortAggregate
+
+        assert isinstance(result.info["plan"], SortAggregate)

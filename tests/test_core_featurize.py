@@ -1,0 +1,174 @@
+"""Tests for repro.core.featurize: slot state and vectorization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.featurize import QueryFeaturizer, SlotState
+from repro.db.plans import JoinTree
+from repro.db.query import parse_query
+
+
+@pytest.fixture()
+def chain_query(small_db):
+    q = parse_query(
+        "SELECT * FROM a, b, c WHERE a.id = b.a_id AND b.id = c.b_id",
+        name="chain",
+    )
+    q.validate_against(small_db.schema)
+    return q
+
+
+@pytest.fixture()
+def featurizer(small_db):
+    return QueryFeaturizer(small_db.schema, max_relations=5)
+
+
+class TestSlotState:
+    def test_initial_slots(self, chain_query):
+        state = SlotState(chain_query, 5)
+        assert state.n_subtrees == 3
+        assert state.occupied == [0, 1, 2]
+        assert not state.done
+
+    def test_too_many_relations_rejected(self, chain_query):
+        with pytest.raises(ValueError):
+            SlotState(chain_query, 2)
+
+    def test_join_merges_to_min_slot(self, chain_query):
+        state = SlotState(chain_query, 5)
+        merged = state.join(2, 0)  # c joins a: left = slot 2 (c)
+        assert state.occupied == [0, 1]
+        assert state.slots[0] is merged
+        assert merged.left.alias == "c"
+        assert merged.right.alias == "a"
+
+    def test_join_empty_slot_rejected(self, chain_query):
+        state = SlotState(chain_query, 5)
+        with pytest.raises(ValueError):
+            state.join(0, 4)
+
+    def test_join_self_rejected(self, chain_query):
+        state = SlotState(chain_query, 5)
+        with pytest.raises(ValueError):
+            state.join(1, 1)
+
+    def test_tree_requires_done(self, chain_query):
+        state = SlotState(chain_query, 5)
+        with pytest.raises(RuntimeError):
+            state.tree()
+        state.join(0, 1)
+        state.join(0, 2)
+        assert state.done
+        assert state.tree().aliases == frozenset(["a", "b", "c"])
+
+    def test_connected(self, chain_query):
+        state = SlotState(chain_query, 5)
+        # slots: 0=a, 1=b, 2=c; a-b and b-c are joined, a-c is not
+        assert state.connected(0, 1)
+        assert state.connected(1, 2)
+        assert not state.connected(0, 2)
+
+
+class TestFeaturizer:
+    def test_state_dim_consistent(self, featurizer, chain_query, small_db):
+        state = SlotState(chain_query, featurizer.max_relations)
+        vec = featurizer.featurize(state, small_db.cardinalities(chain_query))
+        assert vec.shape == (featurizer.state_dim,)
+
+    def test_featurize_without_cards(self, featurizer, chain_query):
+        state = SlotState(chain_query, featurizer.max_relations)
+        vec = featurizer.featurize(state)
+        assert np.isfinite(vec).all()
+
+    def test_subtree_vector_depth_encoding(self, featurizer, chain_query):
+        leaf = JoinTree.leaf("a")
+        vec = featurizer.subtree_vector(leaf, chain_query)
+        idx = featurizer.table_index["a"]
+        assert vec[idx] == 1.0  # depth 0 -> 1/(0+1)
+        joined = JoinTree.join(leaf, JoinTree.leaf("b"))
+        vec2 = featurizer.subtree_vector(joined, chain_query)
+        assert vec2[idx] == 0.5  # depth 1 -> 1/2
+
+    def test_join_changes_state_vector(self, featurizer, chain_query):
+        state = SlotState(chain_query, featurizer.max_relations)
+        before = featurizer.featurize(state)
+        state.join(0, 1)
+        after = featurizer.featurize(state)
+        assert not np.array_equal(before, after)
+
+    def test_pair_mask_respects_connectivity(self, featurizer, chain_query):
+        state = SlotState(chain_query, featurizer.max_relations)
+        mask = featurizer.pair_mask(state, forbid_cross_products=True)
+        assert mask[featurizer.pair_index[(0, 1)]]  # a-b connected
+        assert not mask[featurizer.pair_index[(0, 2)]]  # a-c not connected
+
+    def test_pair_mask_cross_products_allowed(self, featurizer, chain_query):
+        state = SlotState(chain_query, featurizer.max_relations)
+        mask = featurizer.pair_mask(state, forbid_cross_products=False)
+        assert mask[featurizer.pair_index[(0, 2)]]
+
+    def test_pair_mask_cross_fallback_when_disconnected(self, featurizer, small_db):
+        q = parse_query("SELECT * FROM a, c", name="disc")
+        state = SlotState(q, featurizer.max_relations)
+        mask = featurizer.pair_mask(state, forbid_cross_products=True)
+        assert mask.any()  # cross products become legal as a last resort
+
+    def test_empty_slots_never_maskable(self, featurizer, chain_query):
+        state = SlotState(chain_query, featurizer.max_relations)
+        mask = featurizer.pair_mask(state, forbid_cross_products=False)
+        for (i, j), idx in featurizer.pair_index.items():
+            if i >= 3 or j >= 3:
+                assert not mask[idx]
+
+    def test_min_relations_rejected(self, small_db):
+        with pytest.raises(ValueError):
+            QueryFeaturizer(small_db.schema, max_relations=1)
+
+
+class TestActionsForTree:
+    def test_roundtrip_left_deep(self, featurizer, chain_query):
+        tree = JoinTree.left_deep(["a", "b", "c"])
+        actions = featurizer.actions_for_tree(tree, chain_query)
+        state = SlotState(chain_query, featurizer.max_relations)
+        for action in actions:
+            i, j = featurizer.decode_pair(action)
+            state.join(i, j)
+        assert state.done
+        assert state.tree().render() == tree.render()
+
+    def test_roundtrip_bushy(self, small_db):
+        q = parse_query(
+            "SELECT * FROM a, b, c WHERE a.id = b.a_id AND b.id = c.b_id",
+            name="q4",
+        )
+        featurizer = QueryFeaturizer(small_db.schema, max_relations=6)
+        tree = JoinTree.join(
+            JoinTree.join(JoinTree.leaf("b"), JoinTree.leaf("c")),
+            JoinTree.leaf("a"),
+        )
+        actions = featurizer.actions_for_tree(tree, q)
+        state = SlotState(q, featurizer.max_relations)
+        for action in actions:
+            i, j = featurizer.decode_pair(action)
+            state.join(i, j)
+        assert state.tree().render() == tree.render()
+
+    @given(st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_roundtrip_random_trees(self, small_db, seed):
+        from repro.optimizer.join_search import random_join_tree
+
+        q = parse_query(
+            "SELECT * FROM a, b, c WHERE a.id = b.a_id AND b.id = c.b_id",
+            name="qr",
+        )
+        featurizer = QueryFeaturizer(small_db.schema, max_relations=4)
+        tree = random_join_tree(q, np.random.default_rng(seed))
+        actions = featurizer.actions_for_tree(tree, q)
+        state = SlotState(q, featurizer.max_relations)
+        for action in actions:
+            i, j = featurizer.decode_pair(action)
+            state.join(i, j)
+        assert state.tree().render() == tree.render()

@@ -1,0 +1,155 @@
+"""Tests for learning from demonstration (paper §5.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DemonstrationSet,
+    ExpertBaseline,
+    JoinOrderEnv,
+    LfDAgent,
+    LfDConfig,
+    LfDTrainer,
+)
+from repro.core.lfd import _picked_mse
+from repro.core.rewards import LatencyReward
+from repro.db.query import parse_query
+from repro.workloads.generator import Workload
+
+
+@pytest.fixture(scope="module")
+def lfd_setup(small_db):
+    queries = [
+        parse_query(
+            "SELECT * FROM a, b, c WHERE a.id = b.a_id AND b.id = c.b_id",
+            name="chain",
+        ),
+        parse_query("SELECT * FROM b, c WHERE b.id = c.b_id", name="bc"),
+        parse_query("SELECT * FROM a, b WHERE a.id = b.a_id AND b.z = 1", name="ab"),
+    ]
+    workload = Workload("lfd", queries)
+    baseline = ExpertBaseline(small_db)
+    env = JoinOrderEnv(
+        small_db,
+        workload,
+        reward_source=LatencyReward(small_db, baseline=baseline),
+        rng=np.random.default_rng(0),
+    )
+    return env, workload, baseline
+
+
+class TestPickedMse:
+    def test_loss_and_gradient(self):
+        out = np.array([[1.0, 2.0], [3.0, 4.0]])
+        actions = np.array([0, 1])
+        targets = np.array([0.0, 4.0])
+        loss, grad = _picked_mse(out, actions, targets)
+        assert loss == pytest.approx(0.5)  # mean((1-0)^2, (4-4)^2)
+        assert grad[0, 0] == pytest.approx(1.0)
+        assert grad[0, 1] == 0.0
+        assert grad[1, 1] == pytest.approx(0.0)
+
+
+class TestDemonstrationCollection:
+    def test_collect_histories(self, lfd_setup):
+        env, workload, _ = lfd_setup
+        demos = DemonstrationSet.collect(env, list(workload))
+        assert len(demos) == 3
+        for demo in demos:
+            assert len(demo) == len(demo.states) == len(demo.masks)
+            assert demo.latency_ms > 0
+            assert not demo.timed_out  # the expert never times out
+
+    def test_episode_history_lengths(self, lfd_setup):
+        env, workload, _ = lfd_setup
+        demos = DemonstrationSet.collect(env, list(workload))
+        by_name = {d.query_name: d for d in demos}
+        assert len(by_name["chain"]) == 2  # 3 relations -> 2 joins
+        assert len(by_name["bc"]) == 1
+
+    def test_flatten_shapes(self, lfd_setup):
+        env, workload, _ = lfd_setup
+        demos = DemonstrationSet.collect(env, list(workload))
+        states, actions, targets = demos.flatten()
+        assert len(states) == len(actions) == len(targets) == sum(len(d) for d in demos)
+
+    def test_collect_requires_latency_reward(self, small_db, lfd_setup):
+        _, workload, _ = lfd_setup
+        cost_env = JoinOrderEnv(small_db, workload, rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            DemonstrationSet.collect(cost_env, list(workload))
+
+
+class TestLfDAgent:
+    def test_act_prefers_low_predicted_latency(self, lfd_setup):
+        env, _, _ = lfd_setup
+        agent = LfDAgent(env.state_dim, env.n_actions, np.random.default_rng(0))
+        state = np.zeros(env.state_dim)
+        mask = np.zeros(env.n_actions, dtype=bool)
+        mask[[2, 5]] = True
+        q = agent.predicted_log_latency(state)[0]
+        best = 2 if q[2] <= q[5] else 5
+        action, _ = agent.act(state, mask, greedy=True)
+        assert action == best
+
+    def test_epsilon_exploration(self, lfd_setup):
+        env, _, _ = lfd_setup
+        config = LfDConfig(epsilon=1.0)  # always explore
+        agent = LfDAgent(env.state_dim, env.n_actions, np.random.default_rng(0), config)
+        mask = np.zeros(env.n_actions, dtype=bool)
+        mask[[1, 3, 5]] = True
+        actions = {
+            agent.act(np.zeros(env.state_dim), mask)[0] for _ in range(30)
+        }
+        assert len(actions) > 1
+        assert actions <= {1, 3, 5}
+
+    def test_imitation_reduces_loss(self, lfd_setup):
+        env, workload, baseline = lfd_setup
+        demos = DemonstrationSet.collect(env, list(workload))
+        agent = LfDAgent(
+            env.state_dim, env.n_actions, np.random.default_rng(1),
+            LfDConfig(imitation_epochs=30),
+        )
+        trainer = LfDTrainer(env, agent, demos, baseline, np.random.default_rng(2))
+        losses = trainer.imitation_phase()
+        assert np.mean(losses[-5:]) < np.mean(losses[:5])
+
+
+class TestLfDTrainer:
+    def test_fine_tune_runs_and_logs(self, lfd_setup):
+        env, workload, baseline = lfd_setup
+        demos = DemonstrationSet.collect(env, list(workload))
+        agent = LfDAgent(
+            env.state_dim, env.n_actions, np.random.default_rng(3),
+            LfDConfig(imitation_epochs=15),
+        )
+        trainer = LfDTrainer(env, agent, demos, baseline, np.random.default_rng(4))
+        trainer.imitation_phase()
+        log = trainer.fine_tune(10)
+        assert len(log) == 10
+        assert all(r.latency_ms is not None for r in log.records)
+
+    def test_imitated_agent_avoids_catastrophes(self, lfd_setup):
+        """§5.1's headline property: phase-2 plans are never catastrophic."""
+        env, workload, baseline = lfd_setup
+        demos = DemonstrationSet.collect(env, list(workload))
+        agent = LfDAgent(
+            env.state_dim, env.n_actions, np.random.default_rng(5),
+            LfDConfig(imitation_epochs=30, epsilon=0.0),
+        )
+        trainer = LfDTrainer(env, agent, demos, baseline, np.random.default_rng(6))
+        trainer.imitation_phase()
+        log = trainer.fine_tune(15)
+        assert log.timeout_fraction() == 0.0
+
+    def test_slip_triggers_retraining(self, lfd_setup):
+        env, workload, baseline = lfd_setup
+        demos = DemonstrationSet.collect(env, list(workload))
+        config = LfDConfig(
+            imitation_epochs=2, slip_threshold=0.0, slip_window=2, retrain_epochs=1
+        )  # impossible threshold: every window triggers a retrain
+        agent = LfDAgent(env.state_dim, env.n_actions, np.random.default_rng(7), config)
+        trainer = LfDTrainer(env, agent, demos, baseline, np.random.default_rng(8))
+        trainer.fine_tune(6)
+        assert trainer.retrain_count >= 1

@@ -1,0 +1,179 @@
+"""Tests for repro.core.rewards."""
+
+import math
+
+import pytest
+
+from repro.core.bootstrap import RewardScaler
+from repro.core.rewards import (
+    CostModelReward,
+    ExpertBaseline,
+    LatencyReward,
+    ScaledLatencyReward,
+    shape_metric,
+)
+from repro.db.plans import HashJoin, NestedLoopJoin, SeqScan
+from repro.db.query import parse_query
+
+
+@pytest.fixture()
+def join_query(small_db):
+    q = parse_query("SELECT * FROM a, b WHERE a.id = b.a_id", name="jq")
+    q.validate_against(small_db.schema)
+    return q
+
+
+def good_plan(query):
+    return HashJoin(SeqScan("a", "a"), SeqScan("b", "b"), tuple(query.joins))
+
+
+def bad_plan(query):
+    return NestedLoopJoin(SeqScan("a", "a"), SeqScan("b", "b"), ())
+
+
+class TestShaping:
+    def test_reciprocal_is_paper_formula(self):
+        assert shape_metric(4.0, "reciprocal") == pytest.approx(0.25)
+
+    def test_neg_log(self):
+        assert shape_metric(math.e, "neg_log") == pytest.approx(-1.0)
+
+    def test_relative_zero_at_expert(self):
+        assert shape_metric(10.0, "relative", expert_metric=10.0) == pytest.approx(0.0)
+
+    def test_relative_positive_when_better(self):
+        assert shape_metric(5.0, "relative", expert_metric=10.0) > 0
+
+    def test_relative_requires_expert(self):
+        with pytest.raises(ValueError):
+            shape_metric(5.0, "relative")
+
+    def test_all_shapings_monotone(self):
+        for shaping in ("reciprocal", "neg_log"):
+            a = shape_metric(10.0, shaping)
+            b = shape_metric(100.0, shaping)
+            assert a > b  # lower metric => higher reward
+
+    def test_unknown_shaping(self):
+        with pytest.raises(ValueError):
+            shape_metric(1.0, "square")
+
+
+class TestExpertBaseline:
+    def test_cost_cached(self, small_db, join_query):
+        baseline = ExpertBaseline(small_db)
+        c1 = baseline.cost(join_query)
+        c2 = baseline.cost(join_query)
+        assert c1 == c2 > 0
+
+    def test_latency_positive(self, small_db, join_query):
+        baseline = ExpertBaseline(small_db)
+        assert baseline.latency(join_query) > 0
+
+
+class TestCostModelReward:
+    def test_better_plan_higher_reward(self, small_db, join_query):
+        reward = CostModelReward(small_db)
+        good = reward.evaluate(good_plan(join_query), join_query)
+        bad = reward.evaluate(bad_plan(join_query), join_query)
+        assert good.reward > bad.reward
+        assert not good.executed
+
+    def test_relative_needs_baseline(self, small_db):
+        with pytest.raises(ValueError):
+            CostModelReward(small_db, shaping="relative")
+
+    def test_relative_shaping(self, small_db, join_query):
+        baseline = ExpertBaseline(small_db)
+        reward = CostModelReward(small_db, "relative", baseline)
+        outcome = reward.evaluate(good_plan(join_query), join_query)
+        assert outcome.cost is not None
+
+
+class TestLatencyReward:
+    def test_executes_and_reports_latency(self, small_db, join_query):
+        reward = LatencyReward(small_db)
+        outcome = reward.evaluate(good_plan(join_query), join_query)
+        assert outcome.executed
+        assert outcome.latency_ms is not None and outcome.latency_ms > 0
+        assert not outcome.timed_out
+
+    def test_budget_censors_catastrophic(self, small_db):
+        q = parse_query("SELECT * FROM a, b, c", name="cross3")
+        plan = NestedLoopJoin(
+            NestedLoopJoin(SeqScan("a", "a"), SeqScan("b", "b"), ()),
+            SeqScan("c", "c"),
+            (),
+        )
+        reward = LatencyReward(small_db, budget_factor=2.0, min_budget_ms=0.1)
+        outcome = reward.evaluate(plan, q)
+        assert outcome.timed_out
+        assert outcome.latency_ms == reward.budget_for(q)
+
+    def test_bad_budget_factor(self, small_db):
+        with pytest.raises(ValueError):
+            LatencyReward(small_db, budget_factor=1.0)
+
+    def test_timed_out_reward_below_good(self, small_db, join_query):
+        reward = LatencyReward(small_db, budget_factor=2.0, min_budget_ms=0.1)
+        good = reward.evaluate(good_plan(join_query), join_query)
+        q = parse_query("SELECT * FROM a, c", name="x")
+        cross = NestedLoopJoin(SeqScan("a", "a"), SeqScan("c", "c"), ())
+        bad = reward.evaluate(cross, q)
+        assert good.reward > bad.reward
+
+
+class TestRewardScaler:
+    def test_paper_formula(self):
+        scaler = RewardScaler().fit([10, 50], [100, 200])
+        # r_l = Cmin + (l - Lmin)/(Lmax - Lmin) * (Cmax - Cmin)
+        assert scaler.scale(100) == pytest.approx(10)
+        assert scaler.scale(200) == pytest.approx(50)
+        assert scaler.scale(150) == pytest.approx(30)
+
+    def test_extrapolates_monotonically(self):
+        scaler = RewardScaler().fit([10, 50], [100, 200])
+        assert scaler.scale(400) > scaler.scale(200)
+
+    def test_degenerate_latency_range(self):
+        scaler = RewardScaler().fit([10, 50], [100, 100])
+        assert scaler.scale(123) == 10
+
+    def test_unfitted_rejects(self):
+        with pytest.raises(RuntimeError):
+            RewardScaler().scale(1.0)
+
+    def test_fit_validation(self):
+        with pytest.raises(ValueError):
+            RewardScaler().fit([], [])
+        with pytest.raises(ValueError):
+            RewardScaler().fit([1.0], [1.0, 2.0])
+
+
+class TestScaledLatencyReward:
+    def test_scaled_metric_in_cost_units(self, small_db, join_query):
+        latency = LatencyReward(small_db)
+        scaler = RewardScaler().fit([100, 1000], [1, 50])
+        reward = ScaledLatencyReward(latency, scaler)
+        outcome = reward.evaluate(good_plan(join_query), join_query)
+        assert outcome.executed
+        # metric must be the scaled value, not raw latency
+        assert outcome.metric == pytest.approx(scaler.scale(outcome.latency_ms))
+
+    def test_scale_continuity_with_cost_phase(self, small_db, join_query):
+        """The scaled phase-2 reward must live in the same numeric range
+        as the phase-1 cost reward — the whole point of §5.2."""
+        cost_reward = CostModelReward(small_db)
+        phase1 = cost_reward.evaluate(good_plan(join_query), join_query)
+        latency = LatencyReward(small_db)
+        lat = latency.evaluate(good_plan(join_query), join_query)
+        scaler = RewardScaler().fit(
+            [phase1.cost * 0.8, phase1.cost * 1.2],
+            [lat.latency_ms * 0.8, lat.latency_ms * 1.2],
+        )
+        phase2 = ScaledLatencyReward(latency, scaler).evaluate(
+            good_plan(join_query), join_query
+        )
+        assert abs(phase2.reward - phase1.reward) < abs(
+            shape_metric(lat.latency_ms, "neg_log") - phase1.reward
+        )

@@ -1,0 +1,121 @@
+"""Cross-phase behaviour of the staged environment and action growth.
+
+These tests pin down the contract incremental learning depends on:
+earlier action ids keep their meaning when later stages unlock, and
+trajectories recorded before a growth step remain usable afterwards.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.envs import Stage, StagedPlanEnv
+from repro.db.query import parse_query
+from repro.rl.env import rollout
+from repro.rl.reinforce import ReinforceAgent, ReinforceConfig
+from repro.workloads.generator import Workload
+
+
+@pytest.fixture(scope="module")
+def workload(small_db):
+    queries = [
+        parse_query(
+            "SELECT COUNT(*) FROM a, b, c WHERE a.id = b.a_id AND b.id = c.b_id",
+            name="agg3",
+        ),
+        parse_query("SELECT * FROM b, c WHERE b.id = c.b_id", name="bc"),
+    ]
+    for q in queries:
+        q.validate_against(small_db.schema)
+    return Workload("growth", queries)
+
+
+def random_act(state, mask, rng, greedy):
+    return int(rng.choice(np.nonzero(mask)[0])), 0.0
+
+
+class TestActionIdStability:
+    def test_pair_ids_identical_across_stage_sets(self, small_db, workload):
+        """The pair-action block occupies the same ids in every config."""
+        envs = {
+            stages: StagedPlanEnv(small_db, workload, stages=stages)
+            for stages in (
+                Stage.JOIN_ORDER,
+                Stage.JOIN_ORDER | Stage.ACCESS_PATH,
+                Stage.all(),
+            )
+        }
+        masks = {}
+        for stages, env in envs.items():
+            state, mask = env.reset(workload["bc"])
+            # skip access decisions to reach the pair phase
+            while env._phase == 0:
+                result = env.step(env._access_base)
+                mask = result.mask
+            masks[stages] = mask
+        p = envs[Stage.JOIN_ORDER].featurizer.n_pair_actions
+        for stages, mask in masks.items():
+            assert np.array_equal(
+                mask[:p], masks[Stage.JOIN_ORDER][:p]
+            ), f"pair mask differs under {stages}"
+
+    def test_prefix_growth_matches_layout(self, small_db, workload):
+        env_all = StagedPlanEnv(small_db, workload, stages=Stage.all())
+        p = env_all.featurizer.n_pair_actions
+        assert env_all._access_base == p
+        assert env_all._join_op_base == p + 2
+        assert env_all._agg_base == p + 5
+
+    def test_partial_stage_sets_compact_layout(self, small_db, workload):
+        env = StagedPlanEnv(
+            small_db, workload, stages=Stage.JOIN_ORDER | Stage.JOIN_OPERATOR
+        )
+        p = env.featurizer.n_pair_actions
+        assert env._access_base == -1
+        assert env._join_op_base == p
+        assert env.n_actions == p + 3
+
+
+class TestTrajectoriesAcrossGrowth:
+    def test_old_trajectories_trainable_after_growth(self, small_db, workload):
+        """Trajectories from the small action space must remain valid
+        training data after the policy's action layer grows."""
+        rng = np.random.default_rng(0)
+        env_small = StagedPlanEnv(
+            small_db, workload, stages=Stage.JOIN_ORDER,
+            rng=np.random.default_rng(1),
+        )
+        agent = ReinforceAgent(
+            env_small.state_dim, env_small.n_actions, rng, ReinforceConfig()
+        )
+        old_trajectories = [
+            rollout(env_small, random_act, rng) for _ in range(3)
+        ]
+        agent.policy_net.grow_outputs(5, rng)
+        metrics = agent.update(old_trajectories)
+        assert np.isfinite(metrics["policy_loss"])
+
+    def test_greedy_policy_never_picks_locked_actions(self, small_db, workload):
+        """After growth, masked (locked-stage) actions stay unpickable."""
+        rng = np.random.default_rng(2)
+        env = StagedPlanEnv(
+            small_db, workload, stages=Stage.JOIN_ORDER,
+            rng=np.random.default_rng(3),
+        )
+        agent = ReinforceAgent(env.state_dim, env.n_actions + 7, rng)
+        state, mask = env.reset()
+        for _ in range(10):
+            action, _ = agent.act(state, mask, rng)
+            assert action < env.n_actions
+            result = env.step(action)
+            state, mask = result.state, result.mask
+            if result.done:
+                state, mask = env.reset()
+
+
+class TestStateDimStability:
+    def test_state_dim_constant_across_stage_sets(self, small_db, workload):
+        dims = {
+            StagedPlanEnv(small_db, workload, stages=s).state_dim
+            for s in (Stage.JOIN_ORDER, Stage.all())
+        }
+        assert len(dims) == 1

@@ -1,0 +1,173 @@
+"""Tests for repro.core.trainer and repro.core.reporting."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExpertBaseline,
+    JoinOrderEnv,
+    Trainer,
+    TrainingConfig,
+    make_agent,
+)
+from repro.core.reporting import (
+    ascii_table,
+    bucket_means,
+    convergence_episode,
+    format_series,
+    geometric_mean,
+    moving_average,
+)
+from repro.core.trainer import EpisodeRecord, TrainingLog
+from repro.db.query import parse_query
+from repro.workloads.generator import Workload
+
+
+class TestReporting:
+    def test_moving_average_window(self):
+        avg = moving_average([1, 2, 3, 4], window=2)
+        assert list(avg) == [1.0, 1.5, 2.5, 3.5]
+
+    def test_moving_average_prefix(self):
+        avg = moving_average([2, 4, 6], window=10)
+        assert list(avg) == [2.0, 3.0, 4.0]
+
+    def test_moving_average_bad_window(self):
+        with pytest.raises(ValueError):
+            moving_average([1.0], 0)
+
+    def test_bucket_means(self):
+        series = bucket_means([1, 1, 3, 3, 5], bucket_size=2)
+        assert series == [(2, 1.0), (4, 3.0), (5, 5.0)]
+
+    def test_convergence_episode(self):
+        values = [10.0] * 10 + [1.0] * 20
+        ep = convergence_episode(values, threshold=1.5, window=5)
+        assert ep is not None
+        assert 10 <= ep <= 20
+
+    def test_convergence_never(self):
+        assert convergence_episode([10.0] * 30, 1.0, window=5) is None
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            geometric_mean([])
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_ascii_table_alignment(self):
+        table = ascii_table(["name", "value"], [["x", 1.5], ["longer", 22.0]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("name")
+        assert "-" in lines[1]
+
+    def test_format_series(self):
+        text = format_series([(100, 5.0), (200, 1.0)])
+        assert "100" in text and "5.00" in text
+
+
+def make_record(episode, cost, expert_cost, latency=None, expert_latency=None, timed_out=False):
+    return EpisodeRecord(
+        episode=episode,
+        query_name=f"q{episode}",
+        reward=0.0,
+        cost=cost,
+        expert_cost=expert_cost,
+        latency_ms=latency,
+        expert_latency_ms=expert_latency,
+        timed_out=timed_out,
+    )
+
+
+class TestTrainingLog:
+    def test_relative_cost(self):
+        log = TrainingLog()
+        log.append(make_record(1, 200.0, 100.0))
+        log.append(make_record(2, 100.0, 100.0))
+        assert list(log.relative_costs()) == [2.0, 1.0]
+
+    def test_relative_latency(self):
+        log = TrainingLog()
+        log.append(make_record(1, 1.0, 1.0, latency=50.0, expert_latency=25.0))
+        assert list(log.relative_latencies()) == [2.0]
+
+    def test_timeout_fraction(self):
+        log = TrainingLog()
+        log.append(make_record(1, 1.0, 1.0, timed_out=True))
+        log.append(make_record(2, 1.0, 1.0))
+        assert log.timeout_fraction() == 0.5
+        assert log.timeout_fraction(first_n=1) == 1.0
+
+    def test_series_and_convergence(self):
+        log = TrainingLog()
+        for i in range(20):
+            cost = 1000.0 if i < 10 else 100.0
+            log.append(make_record(i, cost, 100.0))
+        series = log.relative_cost_series(bucket_size=10)
+        assert series[0][1] == pytest.approx(10.0)
+        assert series[1][1] == pytest.approx(1.0)
+        assert log.converged_at(threshold=1.5, window=5) is not None
+
+    def test_tail_mean(self):
+        log = TrainingLog()
+        for i in range(10):
+            log.append(make_record(i, 100.0 * (i + 1), 100.0))
+        assert log.tail_mean_relative_cost(tail=2) == pytest.approx(9.5)
+
+    def test_tail_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            TrainingLog().tail_mean_relative_cost()
+
+
+@pytest.fixture(scope="module")
+def tiny_setup(small_db):
+    queries = [
+        parse_query(
+            "SELECT * FROM a, b, c WHERE a.id = b.a_id AND b.id = c.b_id",
+            name="chain",
+        ),
+        parse_query("SELECT * FROM b, c WHERE b.id = c.b_id", name="bc"),
+    ]
+    workload = Workload("tiny", queries)
+    rng = np.random.default_rng(0)
+    env = JoinOrderEnv(small_db, workload, rng=rng)
+    agent = make_agent(env, rng, "reinforce")
+    baseline = ExpertBaseline(small_db)
+    trainer = Trainer(env, agent, baseline, rng, TrainingConfig(batch_size=4))
+    return trainer, workload
+
+
+class TestTrainer:
+    def test_run_produces_records(self, tiny_setup):
+        trainer, workload = tiny_setup
+        log = trainer.run(12)
+        assert len(log) == 12
+        assert all(r.cost is not None for r in log.records)
+        assert all(r.expert_cost and r.expert_cost > 0 for r in log.records)
+
+    def test_log_appending(self, tiny_setup):
+        trainer, _ = tiny_setup
+        log = trainer.run(4)
+        log = trainer.run(4, log=log)
+        assert len(log) == 8
+        episodes = [r.episode for r in log.records]
+        assert episodes == sorted(episodes)
+
+    def test_evaluate_greedy_deterministic(self, tiny_setup):
+        trainer, workload = tiny_setup
+        r1 = trainer.evaluate(list(workload))
+        r2 = trainer.evaluate(list(workload))
+        assert set(r1) == {"chain", "bc"}
+        for name in r1:
+            assert r1[name].cost == r2[name].cost
+
+    def test_no_update_mode(self, tiny_setup):
+        """update=False must leave the policy untouched (pure evaluation)."""
+        trainer, workload = tiny_setup
+        weights_before = trainer.agent.policy_net.output_layer.weight.copy()
+        trainer.run(6, update=False)
+        assert np.array_equal(
+            weights_before, trainer.agent.policy_net.output_layer.weight
+        )

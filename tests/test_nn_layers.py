@@ -1,0 +1,203 @@
+"""Unit and gradient-check tests for repro.nn.layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Linear, ReLU, Sequential, Tanh
+from repro.nn.initializers import he_init, xavier_init, zeros_init
+
+
+def numerical_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar-valued f at x."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        f_plus = f()
+        x[idx] = orig - eps
+        f_minus = f()
+        x[idx] = orig
+        grad[idx] = (f_plus - f_minus) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+class TestInitializers:
+    def test_xavier_bounds(self):
+        rng = np.random.default_rng(0)
+        w = xavier_init(100, 50, rng)
+        limit = np.sqrt(6.0 / 150)
+        assert w.shape == (100, 50)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_he_statistics(self):
+        rng = np.random.default_rng(0)
+        w = he_init(1000, 200, rng)
+        assert abs(w.std() - np.sqrt(2.0 / 1000)) < 5e-3
+
+    def test_zeros(self):
+        w = zeros_init(3, 4, np.random.default_rng(0))
+        assert not w.any()
+
+    @pytest.mark.parametrize("fan_in,fan_out", [(0, 5), (5, 0), (-1, 3)])
+    def test_bad_dims_rejected(self, fan_in, fan_out):
+        with pytest.raises(ValueError):
+            xavier_init(fan_in, fan_out, np.random.default_rng(0))
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        layer = Linear(4, 3, np.random.default_rng(0))
+        out = layer.forward(np.ones((2, 4)))
+        assert out.shape == (2, 3)
+
+    def test_forward_1d_promoted(self):
+        layer = Linear(4, 3, np.random.default_rng(0))
+        assert layer.forward(np.ones(4)).shape == (1, 3)
+
+    def test_forward_wrong_width_raises(self):
+        layer = Linear(4, 3, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            layer.forward(np.ones((2, 5)))
+
+    def test_backward_before_forward_raises(self):
+        layer = Linear(4, 3, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            layer.backward(np.ones((1, 3)))
+
+    def test_weight_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        layer = Linear(5, 4, rng)
+        x = rng.normal(size=(3, 5))
+        target = rng.normal(size=(3, 4))
+
+        def loss():
+            out = layer.forward(x)
+            return 0.5 * float(((out - target) ** 2).sum())
+
+        layer.zero_grad()
+        out = layer.forward(x)
+        layer.backward(out - target)
+        num = numerical_grad(loss, layer.weight)
+        assert np.allclose(layer.grads["weight"], num, atol=1e-5)
+
+    def test_bias_gradient_matches_numerical(self):
+        rng = np.random.default_rng(2)
+        layer = Linear(5, 4, rng)
+        x = rng.normal(size=(3, 5))
+        target = rng.normal(size=(3, 4))
+
+        def loss():
+            out = layer.forward(x)
+            return 0.5 * float(((out - target) ** 2).sum())
+
+        layer.zero_grad()
+        out = layer.forward(x)
+        layer.backward(out - target)
+        num = numerical_grad(loss, layer.bias)
+        assert np.allclose(layer.grads["bias"], num, atol=1e-5)
+
+    def test_input_gradient_matches_numerical(self):
+        rng = np.random.default_rng(3)
+        layer = Linear(5, 4, rng)
+        x = rng.normal(size=(2, 5))
+        target = rng.normal(size=(2, 4))
+
+        def loss():
+            out = layer.forward(x)
+            return 0.5 * float(((out - target) ** 2).sum())
+
+        out = layer.forward(x)
+        grad_in = layer.backward(out - target)
+        num = numerical_grad(loss, x)
+        assert np.allclose(grad_in, num, atol=1e-5)
+
+    def test_grad_accumulates_until_zeroed(self):
+        rng = np.random.default_rng(4)
+        layer = Linear(3, 2, rng)
+        x = np.ones((1, 3))
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        first = layer.grads["weight"].copy()
+        layer.forward(x)
+        layer.backward(np.ones((1, 2)))
+        assert np.allclose(layer.grads["weight"], 2 * first)
+        layer.zero_grad()
+        assert not layer.grads["weight"].any()
+
+    def test_grow_outputs_preserves_existing(self):
+        rng = np.random.default_rng(5)
+        layer = Linear(3, 2, rng)
+        x = rng.normal(size=(4, 3))
+        before = layer.forward(x).copy()
+        layer.grow_outputs(3, rng)
+        after = layer.forward(x)
+        assert after.shape == (4, 5)
+        assert np.allclose(after[:, :2], before)
+        assert layer.out_features == 5
+
+    def test_grow_outputs_rejects_nonpositive(self):
+        layer = Linear(3, 2, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            layer.grow_outputs(0, np.random.default_rng(0))
+
+
+class TestActivations:
+    def test_relu_forward(self):
+        relu = ReLU()
+        out = relu.forward(np.array([[-1.0, 0.0, 2.0]]))
+        assert np.allclose(out, [[0.0, 0.0, 2.0]])
+
+    def test_relu_backward_gates(self):
+        relu = ReLU()
+        relu.forward(np.array([[-1.0, 0.5]]))
+        grad = relu.backward(np.array([[1.0, 1.0]]))
+        assert np.allclose(grad, [[0.0, 1.0]])
+
+    def test_tanh_gradient_matches_numerical(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(2, 3))
+        tanh = Tanh()
+
+        def loss():
+            return float(np.tanh(x).sum())
+
+        tanh.forward(x)
+        grad = tanh.backward(np.ones((2, 3)))
+        num = numerical_grad(loss, x)
+        assert np.allclose(grad, num, atol=1e-6)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            ReLU().backward(np.ones((1, 2)))
+        with pytest.raises(RuntimeError):
+            Tanh().backward(np.ones((1, 2)))
+
+
+class TestSequential:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Sequential([])
+
+    def test_end_to_end_gradient(self):
+        rng = np.random.default_rng(7)
+        net = Sequential([Linear(4, 8, rng), Tanh(), Linear(8, 2, rng)])
+        x = rng.normal(size=(3, 4))
+        target = rng.normal(size=(3, 2))
+
+        def loss():
+            return 0.5 * float(((net.forward(x) - target) ** 2).sum())
+
+        net.zero_grad()
+        out = net.forward(x)
+        net.backward(out - target)
+        for name, param in net.params.items():
+            num = numerical_grad(loss, param)
+            assert np.allclose(net.grads[name], num, atol=1e-4), name
+
+    def test_param_names_are_namespaced(self):
+        rng = np.random.default_rng(8)
+        net = Sequential([Linear(2, 2, rng), ReLU(), Linear(2, 1, rng)])
+        assert set(net.params) == {"0.weight", "0.bias", "2.weight", "2.bias"}

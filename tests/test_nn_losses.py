@@ -1,0 +1,175 @@
+"""Tests for repro.nn.losses, including hypothesis property tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.nn.losses import (
+    entropy,
+    masked_log_softmax,
+    masked_softmax,
+    mse_loss,
+    policy_gradient_loss,
+)
+
+finite_floats = st.floats(min_value=-50, max_value=50, allow_nan=False)
+
+
+@st.composite
+def logits_and_mask(draw):
+    n = draw(st.integers(1, 4))
+    k = draw(st.integers(1, 8))
+    logits = draw(
+        hnp.arrays(np.float64, (n, k), elements=finite_floats)
+    )
+    mask = draw(
+        hnp.arrays(np.bool_, (n, k), elements=st.booleans()).filter(
+            lambda m: m.any(axis=1).all()
+        )
+    )
+    return logits, mask
+
+
+class TestMaskedSoftmax:
+    @given(logits_and_mask())
+    @settings(max_examples=60, deadline=None)
+    def test_rows_sum_to_one(self, lm):
+        logits, mask = lm
+        probs = masked_softmax(logits, mask)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    @given(logits_and_mask())
+    @settings(max_examples=60, deadline=None)
+    def test_masked_entries_are_zero(self, lm):
+        logits, mask = lm
+        probs = masked_softmax(logits, mask)
+        assert np.all(probs[~mask] == 0.0)
+
+    @given(logits_and_mask())
+    @settings(max_examples=60, deadline=None)
+    def test_log_softmax_consistent_with_softmax(self, lm):
+        logits, mask = lm
+        probs = masked_softmax(logits, mask)
+        logp = masked_log_softmax(logits, mask)
+        assert np.allclose(np.exp(logp[mask]), probs[mask], atol=1e-10)
+
+    def test_no_mask_is_plain_softmax(self):
+        logits = np.array([[1.0, 2.0, 3.0]])
+        probs = masked_softmax(logits)
+        expected = np.exp(logits) / np.exp(logits).sum()
+        assert np.allclose(probs, expected)
+
+    def test_all_invalid_row_rejected(self):
+        with pytest.raises(ValueError):
+            masked_softmax(np.zeros((1, 3)), np.zeros((1, 3), dtype=bool))
+
+    def test_mask_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            masked_softmax(np.zeros((1, 3)), np.ones((1, 4), dtype=bool))
+
+    def test_extreme_logits_stable(self):
+        logits = np.array([[1000.0, -1000.0, 999.0]])
+        probs = masked_softmax(logits)
+        assert np.isfinite(probs).all()
+        assert np.allclose(probs.sum(), 1.0)
+
+
+class TestEntropy:
+    def test_uniform_is_max(self):
+        uniform = np.full((1, 4), 0.25)
+        assert np.isclose(entropy(uniform)[0], np.log(4))
+
+    def test_deterministic_is_zero(self):
+        probs = np.array([[1.0, 0.0, 0.0]])
+        assert np.isclose(entropy(probs)[0], 0.0)
+
+    @given(logits_and_mask())
+    @settings(max_examples=40, deadline=None)
+    def test_entropy_nonnegative(self, lm):
+        logits, mask = lm
+        probs = masked_softmax(logits, mask)
+        assert (entropy(probs) >= -1e-12).all()
+
+
+class TestMSE:
+    def test_zero_at_target(self):
+        x = np.array([1.0, 2.0])
+        loss, grad = mse_loss(x, x)
+        assert loss == 0.0
+        assert not grad.any()
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(0)
+        pred = rng.normal(size=(3, 2))
+        target = rng.normal(size=(3, 2))
+        _, grad = mse_loss(pred, target)
+        eps = 1e-6
+        for idx in np.ndindex(pred.shape):
+            p = pred.copy()
+            p[idx] += eps
+            up, _ = mse_loss(p, target)
+            p[idx] -= 2 * eps
+            down, _ = mse_loss(p, target)
+            assert np.isclose(grad[idx], (up - down) / (2 * eps), atol=1e-6)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            mse_loss(np.zeros(3), np.zeros(4))
+
+
+class TestPolicyGradientLoss:
+    def _numerical(self, logits, actions, advantages, mask, entropy_coef=0.0):
+        eps = 1e-6
+        grad = np.zeros_like(logits)
+        for idx in np.ndindex(logits.shape):
+            up = logits.copy()
+            up[idx] += eps
+            down = logits.copy()
+            down[idx] -= eps
+            lu, _ = policy_gradient_loss(up, actions, advantages, mask, entropy_coef)
+            ld, _ = policy_gradient_loss(down, actions, advantages, mask, entropy_coef)
+            grad[idx] = (lu - ld) / (2 * eps)
+        return grad
+
+    def test_gradient_matches_numerical(self):
+        rng = np.random.default_rng(1)
+        logits = rng.normal(size=(3, 5))
+        actions = np.array([0, 2, 4])
+        advantages = rng.normal(size=3)
+        _, grad = policy_gradient_loss(logits, actions, advantages)
+        num = self._numerical(logits, actions, advantages, None)
+        assert np.allclose(grad, num, atol=1e-5)
+
+    def test_gradient_with_mask_and_entropy(self):
+        rng = np.random.default_rng(2)
+        logits = rng.normal(size=(2, 4))
+        mask = np.array([[True, True, False, True], [True, False, True, True]])
+        actions = np.array([1, 2])
+        advantages = np.array([0.5, -1.5])
+        _, grad = policy_gradient_loss(logits, actions, advantages, mask, 0.01)
+        num = self._numerical(logits, actions, advantages, mask, 0.01)
+        assert np.allclose(grad, num, atol=1e-5)
+
+    def test_masked_action_gradient_zero(self):
+        logits = np.zeros((1, 3))
+        mask = np.array([[True, True, False]])
+        _, grad = policy_gradient_loss(logits, np.array([0]), np.array([1.0]), mask)
+        assert grad[0, 2] == 0.0
+
+    def test_positive_advantage_reinforces_action(self):
+        logits = np.zeros((1, 3))
+        _, grad = policy_gradient_loss(logits, np.array([1]), np.array([2.0]))
+        # gradient descent step -grad increases the chosen logit
+        assert grad[0, 1] < 0
+        assert grad[0, 0] > 0 and grad[0, 2] > 0
+
+    def test_invalid_action_index_rejected(self):
+        with pytest.raises(ValueError):
+            policy_gradient_loss(np.zeros((1, 3)), np.array([3]), np.array([1.0]))
+
+    def test_taking_masked_action_rejected(self):
+        mask = np.array([[True, False]])
+        with pytest.raises(ValueError):
+            policy_gradient_loss(np.zeros((1, 2)), np.array([1]), np.array([1.0]), mask)

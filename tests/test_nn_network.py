@@ -1,0 +1,119 @@
+"""Tests for the MLP facade: training, surgery, transfer, persistence."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP
+from repro.nn.losses import mse_loss, policy_gradient_loss
+
+
+def make_mlp(out=3, seed=0, **kw):
+    return MLP(4, [16, 16], out, rng=np.random.default_rng(seed), **kw)
+
+
+class TestTraining:
+    def test_learns_linear_regression(self):
+        rng = np.random.default_rng(0)
+        true_w = rng.normal(size=(4, 1))
+        x = rng.normal(size=(256, 4))
+        y = x @ true_w
+        model = MLP(4, [32], 1, rng=rng, lr=5e-3)
+        losses = []
+        for _ in range(400):
+            idx = rng.integers(0, 256, size=32)
+            loss = model.train_step(x[idx], lambda out, t=y[idx]: mse_loss(out, t))
+            losses.append(loss)
+        assert np.mean(losses[-20:]) < 0.05 * np.mean(losses[:20])
+
+    def test_learns_classification_via_policy_gradient(self):
+        # Supervised classification expressed as PG with advantage=1:
+        # maximizing log-prob of the correct label.
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(300, 4))
+        labels = (x[:, 0] + x[:, 1] > 0).astype(int)
+        model = MLP(4, [32], 2, rng=rng, lr=1e-2)
+        for _ in range(300):
+            idx = rng.integers(0, 300, size=64)
+            model.train_step(
+                x[idx],
+                lambda out, a=labels[idx]: policy_gradient_loss(
+                    out, a, np.ones(len(a))
+                ),
+            )
+        preds = model.forward(x).argmax(axis=1)
+        assert (preds == labels).mean() > 0.9
+
+    def test_tanh_activation_supported(self):
+        model = make_mlp(activation="tanh")
+        assert model.forward(np.zeros(4)).shape == (1, 3)
+
+    def test_unknown_activation_rejected(self):
+        with pytest.raises(ValueError):
+            make_mlp(activation="gelu")
+
+
+class TestSurgery:
+    def test_grow_outputs_preserves_old_logits(self):
+        model = make_mlp(out=3)
+        x = np.random.default_rng(2).normal(size=(5, 4))
+        before = model.forward(x).copy()
+        model.grow_outputs(2, np.random.default_rng(3))
+        after = model.forward(x)
+        assert after.shape == (5, 5)
+        assert np.allclose(after[:, :3], before)
+        assert model.out_features == 5
+
+    def test_training_continues_after_growth(self):
+        rng = np.random.default_rng(4)
+        model = make_mlp(out=2, seed=4)
+        model.train_step(rng.normal(size=(8, 4)), lambda o: mse_loss(o, np.zeros((8, 2))))
+        model.grow_outputs(3, rng)
+        loss = model.train_step(
+            rng.normal(size=(8, 4)), lambda o: mse_loss(o, np.zeros((8, 5)))
+        )
+        assert np.isfinite(loss)
+
+
+class TestTransfer:
+    def test_copy_all_matching(self):
+        a = make_mlp(seed=5)
+        b = make_mlp(seed=6)
+        b.copy_weights_from(a)
+        x = np.random.default_rng(7).normal(size=(3, 4))
+        assert np.allclose(a.forward(x), b.forward(x))
+
+    def test_copy_hidden_layers_only(self):
+        # Transfer-learning variant of §5.2: same trunk, new head size.
+        a = make_mlp(out=3, seed=8)
+        b = make_mlp(out=7, seed=9)
+        b.copy_weights_from(a, layers=[0, 1])
+        assert np.allclose(
+            a.linear_layers()[0].weight, b.linear_layers()[0].weight
+        )
+        assert b.linear_layers()[2].weight.shape == (16, 7)
+
+    def test_mismatched_explicit_layer_raises(self):
+        a = make_mlp(out=3, seed=10)
+        b = make_mlp(out=7, seed=11)
+        with pytest.raises(ValueError):
+            b.copy_weights_from(a, layers=[-1])
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path):
+        model = make_mlp(seed=12)
+        path = tmp_path / "model.npz"
+        model.save(path)
+        loaded = MLP.load(path)
+        x = np.random.default_rng(13).normal(size=(6, 4))
+        assert np.allclose(model.forward(x), loaded.forward(x))
+        assert loaded.hidden == model.hidden
+        assert loaded.activation == model.activation
+
+    def test_clone_identical_but_independent(self):
+        model = make_mlp(seed=14)
+        twin = model.clone()
+        x = np.random.default_rng(15).normal(size=(2, 4))
+        assert np.allclose(model.forward(x), twin.forward(x))
+        twin.train_step(x, lambda o: mse_loss(o, np.zeros((2, 3))))
+        assert not np.allclose(model.forward(x), twin.forward(x))

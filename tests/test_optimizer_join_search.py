@@ -1,0 +1,236 @@
+"""Tests for repro.optimizer.join_search."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.db.plans import JoinTree
+from repro.db.query import parse_query
+from repro.optimizer.join_search import (
+    _SearchContext,
+    estimate_join_cost,
+    geqo_join_search,
+    greedy_bottom_up,
+    random_join_tree,
+    selinger_dp,
+)
+from repro.db.costmodel import CostParams
+
+
+@pytest.fixture()
+def chain_query(small_db):
+    q = parse_query(
+        "SELECT * FROM a, b, c WHERE a.id = b.a_id AND b.id = c.b_id",
+        name="chain",
+    )
+    q.validate_against(small_db.schema)
+    return q
+
+
+def all_join_trees(aliases):
+    """Every binary join tree over the aliases (exhaustive reference)."""
+    if len(aliases) == 1:
+        yield JoinTree.leaf(aliases[0])
+        return
+    items = list(aliases)
+    for size in range(1, len(items)):
+        for left_set in itertools.combinations(items, size):
+            right_set = [a for a in items if a not in left_set]
+            if items[0] not in left_set:
+                continue  # canonical split: avoids mirror duplicates
+            for left in all_join_trees(list(left_set)):
+                for right in all_join_trees(right_set):
+                    yield JoinTree.join(left, right)
+
+
+def tree_cost(ctx, tree):
+    """Score a tree with the same cost measure the DP uses."""
+    if tree.is_leaf:
+        return ctx.scan_cost(tree.alias)
+    left_cost = tree_cost(ctx, tree.left)
+    right_cost = tree_cost(ctx, tree.right)
+    return (
+        left_cost
+        + right_cost
+        + ctx.join_cost(ctx.mask_of(tree.left), ctx.mask_of(tree.right))
+    )
+
+
+class TestEstimateJoinCost:
+    params = CostParams()
+
+    def test_cross_product_is_nested_loop(self):
+        cross = estimate_join_cost(1000, 1000, 1e6, False, self.params)
+        equi = estimate_join_cost(1000, 1000, 1000, True, self.params)
+        assert cross > equi
+
+    def test_output_rows_add_cost(self):
+        small = estimate_join_cost(100, 100, 10, True, self.params)
+        large = estimate_join_cost(100, 100, 10_000, True, self.params)
+        assert large > small
+
+
+class TestSelingerDP:
+    def test_covers_all_relations(self, small_db, chain_query):
+        cards = small_db.cardinalities(chain_query)
+        tree = selinger_dp(chain_query, cards)
+        assert tree.aliases == frozenset(["a", "b", "c"])
+
+    def test_optimal_vs_exhaustive(self, small_db, chain_query):
+        """DP must match brute-force enumeration on its own cost measure."""
+        cards = small_db.cardinalities(chain_query)
+        ctx = _SearchContext(chain_query, cards)
+        dp_tree = selinger_dp(chain_query, cards)
+        best = min(
+            tree_cost(ctx, t) for t in all_join_trees(sorted(chain_query.relations))
+        )
+        assert tree_cost(ctx, dp_tree) == pytest.approx(best)
+
+    def test_avoids_cross_products_on_connected_graph(self, small_db, chain_query):
+        cards = small_db.cardinalities(chain_query)
+        tree = selinger_dp(chain_query, cards)
+        for join in tree.iter_joins():
+            preds = chain_query.joins_between(
+                tuple(join.left.aliases), tuple(join.right.aliases)
+            )
+            assert preds, f"cross product at {join.render()}"
+
+    def test_disconnected_graph_cross_joined(self, small_db):
+        q = parse_query("SELECT * FROM a, c", name="disc")
+        cards = small_db.cardinalities(q)
+        tree = selinger_dp(q, cards)
+        assert tree.aliases == frozenset(["a", "c"])
+
+    def test_left_deep_only_mode(self, small_db, chain_query):
+        cards = small_db.cardinalities(chain_query)
+        tree = selinger_dp(chain_query, cards, bushy=False)
+        # every right child must be a leaf
+        for join in tree.iter_joins():
+            assert join.right.is_leaf
+
+    def test_single_relation(self, small_db):
+        q = parse_query("SELECT * FROM a", name="one")
+        cards = small_db.cardinalities(q)
+        tree = selinger_dp(q, cards)
+        assert tree.is_leaf and tree.alias == "a"
+
+
+class TestGreedy:
+    def test_covers_all_relations(self, small_db, chain_query):
+        cards = small_db.cardinalities(chain_query)
+        tree = greedy_bottom_up(chain_query, cards)
+        assert tree.aliases == frozenset(["a", "b", "c"])
+
+    def test_prefers_connected_pairs(self, small_db, chain_query):
+        cards = small_db.cardinalities(chain_query)
+        tree = greedy_bottom_up(chain_query, cards)
+        for join in tree.iter_joins():
+            preds = chain_query.joins_between(
+                tuple(join.left.aliases), tuple(join.right.aliases)
+            )
+            assert preds
+
+    def test_handles_disconnected(self, small_db):
+        q = parse_query("SELECT * FROM a, c", name="disc2")
+        cards = small_db.cardinalities(q)
+        tree = greedy_bottom_up(q, cards)
+        assert tree.aliases == frozenset(["a", "c"])
+
+    def test_no_worse_than_worst_dp_factor(self, small_db, chain_query):
+        """Greedy is heuristic but should stay within a sane factor of DP."""
+        cards = small_db.cardinalities(chain_query)
+        ctx = _SearchContext(chain_query, cards)
+        dp = tree_cost(ctx, selinger_dp(chain_query, cards))
+        greedy = tree_cost(ctx, greedy_bottom_up(chain_query, cards))
+        assert greedy <= dp * 10
+
+
+class TestGeqo:
+    def test_covers_all_relations(self, small_db, chain_query):
+        cards = small_db.cardinalities(chain_query)
+        tree = geqo_join_search(
+            chain_query, cards, rng=np.random.default_rng(0)
+        )
+        assert tree.aliases == frozenset(["a", "b", "c"])
+
+    def test_left_deep_output(self, small_db, chain_query):
+        cards = small_db.cardinalities(chain_query)
+        tree = geqo_join_search(chain_query, cards, rng=np.random.default_rng(1))
+        for join in tree.iter_joins():
+            assert join.right.is_leaf
+
+    def test_deterministic_given_seed(self, small_db, chain_query):
+        cards = small_db.cardinalities(chain_query)
+        t1 = geqo_join_search(chain_query, cards, rng=np.random.default_rng(5))
+        t2 = geqo_join_search(chain_query, cards, rng=np.random.default_rng(5))
+        assert t1.render() == t2.render()
+
+    def test_single_relation(self, small_db):
+        q = parse_query("SELECT * FROM a", name="one")
+        cards = small_db.cardinalities(q)
+        tree = geqo_join_search(q, cards, rng=np.random.default_rng(0))
+        assert tree.is_leaf
+
+    def test_finds_near_optimal_on_tiny_query(self, small_db, chain_query):
+        """With 3 relations the GA should land close to the DP optimum."""
+        cards = small_db.cardinalities(chain_query)
+        ctx = _SearchContext(chain_query, cards)
+        dp = tree_cost(ctx, selinger_dp(chain_query, cards, bushy=False))
+        ga = tree_cost(
+            ctx, geqo_join_search(chain_query, cards, rng=np.random.default_rng(2))
+        )
+        assert ga <= dp * 1.5
+
+    def test_work_scales_with_pool_and_generations(self, small_db, chain_query):
+        import time
+
+        cards = small_db.cardinalities(chain_query)
+        t0 = time.perf_counter()
+        geqo_join_search(
+            chain_query, cards, rng=np.random.default_rng(3),
+            pool_size=8, generations=8,
+        )
+        small = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        geqo_join_search(
+            chain_query, cards, rng=np.random.default_rng(3),
+            pool_size=64, generations=400,
+        )
+        large = time.perf_counter() - t0
+        assert large > small
+
+
+class TestRandom:
+    def test_valid_tree(self, small_db, chain_query):
+        rng = np.random.default_rng(0)
+        tree = random_join_tree(chain_query, rng)
+        assert tree.aliases == frozenset(["a", "b", "c"])
+
+    def test_different_seeds_vary(self, small_db, chain_query):
+        trees = {
+            random_join_tree(chain_query, np.random.default_rng(s)).render()
+            for s in range(20)
+        }
+        assert len(trees) > 1
+
+    def test_avoids_cross_products_when_possible(self, small_db, chain_query):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            tree = random_join_tree(chain_query, rng)
+            for join in tree.iter_joins():
+                assert chain_query.joins_between(
+                    tuple(join.left.aliases), tuple(join.right.aliases)
+                )
+
+    def test_cross_products_allowed_when_requested(self, small_db, chain_query):
+        rng = np.random.default_rng(2)
+        seen_cross = False
+        for _ in range(50):
+            tree = random_join_tree(chain_query, rng, avoid_cross_products=False)
+            for join in tree.iter_joins():
+                if not chain_query.joins_between(
+                    tuple(join.left.aliases), tuple(join.right.aliases)
+                ):
+                    seen_cross = True
+        assert seen_cross

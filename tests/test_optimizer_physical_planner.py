@@ -1,0 +1,218 @@
+"""Tests for repro.optimizer.physical and repro.optimizer.planner."""
+
+import pytest
+
+from repro.db.plans import (
+    HashJoin,
+    IndexScan,
+    JoinTree,
+    MergeJoin,
+    NestedLoopJoin,
+    SeqScan,
+)
+from repro.db.query import parse_query
+from repro.optimizer.physical import (
+    access_path_candidates,
+    build_physical_plan,
+    choose_access_path,
+    choose_aggregate_operator,
+    choose_join_operator,
+    join_operator_candidates,
+)
+from repro.optimizer.planner import Planner
+from tests.helpers import brute_force_count
+
+
+@pytest.fixture()
+def chain_query(small_db):
+    q = parse_query(
+        "SELECT * FROM a, b, c WHERE a.id = b.a_id AND b.id = c.b_id",
+        name="chain",
+    )
+    q.validate_against(small_db.schema)
+    return q
+
+
+class TestAccessPaths:
+    def test_seq_scan_always_candidate(self, small_db):
+        q = parse_query("SELECT * FROM a", name="q")
+        cands = access_path_candidates("a", q, small_db)
+        assert any(isinstance(c, SeqScan) for c in cands)
+        assert len(cands) == 1  # no predicates -> no index paths
+
+    def test_index_candidates_on_indexed_predicate(self, small_db):
+        q = parse_query("SELECT * FROM b WHERE b.a_id = 3", name="q")
+        cands = access_path_candidates("b", q, small_db)
+        kinds = {c.kind for c in cands if isinstance(c, IndexScan)}
+        assert kinds == {"btree", "hash"}
+
+    def test_range_predicate_btree_only(self, small_db):
+        q = parse_query("SELECT * FROM b WHERE b.a_id > 3", name="q")
+        cands = access_path_candidates("b", q, small_db)
+        kinds = [c.kind for c in cands if isinstance(c, IndexScan)]
+        assert kinds == ["btree"]
+
+    def test_unindexed_predicate_no_index_path(self, small_db):
+        q = parse_query("SELECT * FROM a WHERE a.x = 1", name="q")
+        cands = access_path_candidates("a", q, small_db)
+        assert all(isinstance(c, SeqScan) for c in cands)
+
+    def test_choose_access_path_selective(self, medium_db):
+        q = parse_query("SELECT * FROM big WHERE big.id = 7", name="q")
+        chosen = choose_access_path(
+            "big", q, medium_db, medium_db.cost_model(), medium_db.cardinalities(q)
+        )
+        assert isinstance(chosen, IndexScan)
+
+    def test_chosen_paths_execute_identically(self, small_db):
+        q = parse_query("SELECT * FROM b WHERE b.a_id = 3", name="q")
+        cands = access_path_candidates("b", q, small_db)
+        counts = {small_db.execute_plan(c, q).rows for c in cands}
+        assert len(counts) == 1
+
+
+class TestJoinOperators:
+    def test_cross_product_only_nested_loop(self, small_db):
+        left = SeqScan("a", "a")
+        right = SeqScan("c", "c")
+        cands = join_operator_candidates(left, right, ())
+        assert len(cands) == 1
+        assert isinstance(cands[0], NestedLoopJoin)
+
+    def test_equi_join_all_operators(self, small_db, chain_query):
+        left = SeqScan("a", "a")
+        right = SeqScan("b", "b")
+        preds = tuple(chain_query.joins_between(["a"], ["b"]))
+        cands = join_operator_candidates(left, right, preds)
+        types = {type(c) for c in cands}
+        assert types == {HashJoin, MergeJoin, NestedLoopJoin}
+        assert len(cands) == 4  # both hash build orders
+
+    def test_choose_join_operator_prefers_hash_at_scale(self, small_db, chain_query):
+        left = SeqScan("b", "b")
+        right = SeqScan("c", "c")
+        preds = tuple(chain_query.joins_between(["b"], ["c"]))
+        chosen = choose_join_operator(
+            left, right, preds, small_db.cost_model(),
+            small_db.cardinalities(chain_query),
+        )
+        assert isinstance(chosen, (HashJoin, MergeJoin))
+
+
+class TestAggregateChoice:
+    def test_no_aggregate_passthrough(self, small_db):
+        q = parse_query("SELECT * FROM a", name="q")
+        child = SeqScan("a", "a")
+        assert (
+            choose_aggregate_operator(
+                child, q, small_db.cost_model(), small_db.cardinalities(q)
+            )
+            is child
+        )
+
+    def test_aggregate_wrapped(self, small_db):
+        q = parse_query("SELECT COUNT(*) FROM a", name="q")
+        child = SeqScan("a", "a")
+        plan = choose_aggregate_operator(
+            child, q, small_db.cost_model(), small_db.cardinalities(q)
+        )
+        assert plan is not child
+        assert plan.children == (child,)
+
+
+class TestBuildPhysicalPlan:
+    def test_all_predicates_attached(self, small_db, chain_query):
+        tree = JoinTree.left_deep(["a", "b", "c"])
+        plan = build_physical_plan(tree, chain_query, small_db)
+        attached = []
+        for node in plan.iter_nodes():
+            if hasattr(node, "predicates") and not isinstance(node, (SeqScan, IndexScan)):
+                attached.extend(node.predicates)
+        assert len(attached) == len(chain_query.joins)
+
+    def test_pinned_access_path_respected(self, small_db, chain_query):
+        tree = JoinTree.left_deep(["a", "b", "c"])
+        pinned = SeqScan("a", "a", tuple(chain_query.selections_for("a")))
+        plan = build_physical_plan(
+            tree, chain_query, small_db, access_paths={"a": pinned}
+        )
+        scans = [n for n in plan.iter_nodes() if isinstance(n, SeqScan)]
+        assert any(n is pinned for n in scans)
+
+    def test_pinned_join_operator_respected(self, small_db, chain_query):
+        tree = JoinTree.left_deep(["a", "b", "c"])
+        plan = build_physical_plan(
+            tree,
+            chain_query,
+            small_db,
+            join_operators={frozenset(["a", "b"]): MergeJoin},
+        )
+        joins = [n for n in plan.iter_nodes() if isinstance(n, MergeJoin)]
+        assert any(n.aliases == frozenset(["a", "b"]) for n in joins)
+
+    def test_infeasible_pinned_operator_degrades(self, small_db):
+        q = parse_query("SELECT * FROM a, c", name="cross")
+        tree = JoinTree.join(JoinTree.leaf("a"), JoinTree.leaf("c"))
+        plan = build_physical_plan(
+            tree, q, small_db, join_operators={frozenset(["a", "c"]): HashJoin}
+        )
+        assert isinstance(plan, NestedLoopJoin)
+
+    def test_plan_executes_correctly(self, small_db, chain_query):
+        tree = JoinTree.left_deep(["c", "b", "a"])
+        plan = build_physical_plan(tree, chain_query, small_db)
+        result = small_db.execute_plan(plan, chain_query)
+        assert result.rows == brute_force_count(small_db, chain_query)
+
+
+class TestPlanner:
+    def test_optimize_end_to_end(self, small_db, chain_query):
+        planner = Planner(small_db)
+        result = planner.optimize(chain_query)
+        assert result.cost.total > 0
+        assert result.planning_time_ms > 0
+        assert result.used_exhaustive_search
+        executed = small_db.execute_plan(result.plan, chain_query)
+        assert executed.rows == brute_force_count(small_db, chain_query)
+
+    def test_geqo_threshold_switches_algorithm(self, small_db, chain_query):
+        planner = Planner(small_db, geqo_threshold=2)
+        result = planner.optimize(chain_query)
+        assert not result.used_exhaustive_search
+
+    def test_complete_plan_for_given_order(self, small_db, chain_query):
+        planner = Planner(small_db)
+        tree = JoinTree.left_deep(["c", "b", "a"])
+        plan = planner.complete_plan(tree, chain_query)
+        assert plan.aliases == frozenset(["a", "b", "c"])
+
+    def test_aggregate_query_gets_aggregate_root(self, small_db):
+        q = parse_query(
+            "SELECT COUNT(*) FROM a, b WHERE a.id = b.a_id", name="agg"
+        )
+        planner = Planner(small_db)
+        result = planner.optimize(q)
+        from repro.db.plans import _Aggregate
+
+        assert isinstance(result.plan, _Aggregate)
+        executed = small_db.execute_plan(result.plan, q)
+        assert executed.aggregates["COUNT(*)"][0] == brute_force_count(small_db, q)
+
+    def test_bad_threshold_rejected(self, small_db):
+        with pytest.raises(ValueError):
+            Planner(small_db, geqo_threshold=1)
+
+    def test_expert_beats_random_on_cost(self, small_db, chain_query):
+        import numpy as np
+
+        from repro.optimizer.join_search import random_join_tree
+
+        planner = Planner(small_db)
+        expert = planner.optimize(chain_query).cost.total
+        rng = np.random.default_rng(3)
+        random_costs = []
+        for _ in range(10):
+            tree = random_join_tree(chain_query, rng, avoid_cross_products=False)
+            plan = planner.complete_plan(tree, chain_query)
+            random_costs.append(small_db.plan_cost(plan, chain_query).total)
+        assert expert <= min(random_costs) * 1.05
