@@ -15,10 +15,15 @@ Subpackages
 - :mod:`repro.core` — the paper's contribution: ReJOIN featurization
   and environments, reward signals, trainers for learning from
   demonstration (§5.1), cost-model bootstrapping (§5.2), and
-  incremental curricula (§5.3).
+  incremental curricula (§5.3),
+- :mod:`repro.serving` — optimizer-as-a-service: plan cache on
+  canonical query fingerprints, micro-batched inference, guardrail
+  fallback to the expert plan, and online experience collection for
+  hands-free retraining.
 
 Command line: ``python -m repro --help`` regenerates the paper's
-figures from the terminal. See README.md, DESIGN.md, and EXPERIMENTS.md.
+figures from the terminal; ``python -m repro serve-bench`` drives the
+serving layer. See README.md.
 """
 
 __version__ = "1.0.0"

@@ -11,7 +11,10 @@ code. Commands mirror the benchmark harness but expose the knobs
 - ``fig3c``      — planning-time sweep over relation counts,
 - ``lfd``        — §5.1 learning-from-demonstration comparison,
 - ``bootstrap``  — §5.2 reward-switch comparison,
-- ``incremental``— §5.3 curricula comparison.
+- ``incremental``— §5.3 curricula comparison,
+- ``serve-bench``— drive a synthetic request stream through the
+  optimizer service (throughput, latency percentiles, cache hit rate,
+  fallback rate, hands-free retraining from served experience).
 """
 
 from __future__ import annotations
@@ -37,7 +40,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--seed", type=int, default=42, help="database seed")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="build the JOB-lite database and summarize it")
+    info = sub.add_parser("info", help="build the JOB-lite database and summarize it")
+    info.add_argument(
+        "--probe", type=int, default=0, metavar="N",
+        help="serve N sample queries twice through a fresh optimizer "
+        "service so the printed counters show a live cache hit rate",
+    )
 
     plan = sub.add_parser("plan", help="optimize one JOB-lite query")
     plan.add_argument("query", help="query name, e.g. 13c")
@@ -62,6 +70,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     inc = sub.add_parser("incremental", help="§5.3 curricula comparison")
     inc.add_argument("--episodes-per-phase", type=int, default=60)
+
+    serve = sub.add_parser(
+        "serve-bench",
+        help="benchmark the optimizer service on a synthetic request stream",
+    )
+    serve.add_argument("--requests", type=int, default=256,
+                       help="total requests in the stream")
+    serve.add_argument("--burst", type=int, default=32,
+                       help="concurrent requests per micro-batch")
+    serve.add_argument("--episodes", type=int, default=100,
+                       help="pre-training episodes for the served policy")
+    serve.add_argument("--cache-capacity", type=int, default=512)
+    serve.add_argument("--threshold", type=float, default=1.5,
+                       help="guardrail fallback threshold (learned/expert cost)")
+    serve.add_argument("--zipf", type=float, default=1.3,
+                       help="request-stream skew (Zipf exponent, >1)")
     return parser
 
 
@@ -82,7 +106,49 @@ def _cmd_info(args) -> int:
     ]
     print(ascii_table(["table", "rows", "pages", "indexed columns"], rows))
     print(f"\ntotal rows: {db.total_rows():,}")
+
+    if args.probe > 0:
+        from repro.workloads import job_lite_workload
+
+        service = _make_service(db)
+        probes = list(
+            job_lite_workload(variants=("a",)).filter(lambda q: q.n_relations <= 8)
+        )[: args.probe]
+        # Two passes: the second pass hits the plans the first cached.
+        service.optimize_batch(probes)
+        service.optimize_batch(probes)
+        print("\nserving counters:")
+        print(ascii_table(
+            ["counter", "value"], sorted(service.counters().items())
+        ))
+    else:
+        print("\nserving counters: run with --probe N to serve sample "
+              "queries and inspect live cache/fallback rates")
     return 0
+
+
+def _make_service(db, agent=None, planner=None, featurizer=None,
+                  reward_source=None, **config_kwargs):
+    """An :class:`OptimizerService` over ``db`` (untrained policy unless
+    an agent is given — counters and routing behave the same either way)."""
+    from repro.core.featurize import QueryFeaturizer
+    from repro.optimizer import Planner
+    from repro.rl.ppo import PPOAgent
+    from repro.serving import OptimizerService, ServingConfig
+
+    featurizer = featurizer or QueryFeaturizer(db.schema)
+    if agent is None:
+        agent = PPOAgent(
+            featurizer.state_dim, featurizer.n_pair_actions, np.random.default_rng(0)
+        )
+    return OptimizerService(
+        db,
+        agent,
+        planner=planner or Planner(db, geqo_threshold=8),
+        featurizer=featurizer,
+        config=ServingConfig(**config_kwargs),
+        reward_source=reward_source,
+    )
 
 
 def _cmd_plan(args) -> int:
@@ -307,6 +373,74 @@ def _cmd_incremental(args) -> int:
     return 0
 
 
+def _cmd_serve_bench(args) -> int:
+    from repro.core.reporting import ascii_table
+
+    # Validate before the (expensive) database build and pre-training.
+    if args.zipf <= 1.0:
+        print("serve-bench: --zipf must be > 1", file=sys.stderr)
+        return 2
+    if args.threshold <= 0:
+        print("serve-bench: --threshold must be positive", file=sys.stderr)
+        return 2
+    if args.requests < 0 or args.burst < 1 or args.cache_capacity < 1:
+        print("serve-bench: --requests must be >= 0, --burst and "
+              "--cache-capacity >= 1", file=sys.stderr)
+        return 2
+
+    db, env, agent, trainer, _baseline, _log = _trained_setup(args, args.episodes)
+    service = _make_service(
+        db,
+        agent=agent,
+        planner=env.planner,
+        featurizer=env.featurizer,
+        # Reuse the training reward so experience collected while serving
+        # is on the same scale the policy (and value net) learned on.
+        reward_source=env.reward_source,
+        cache_capacity=args.cache_capacity,
+        regression_threshold=args.threshold,
+        max_batch_size=args.burst,
+    )
+
+    # Synthetic request stream: Zipf-skewed repetition over the workload,
+    # like production traffic where a few query shapes dominate.
+    rng = np.random.default_rng(args.seed)
+    workload = env.workload
+    stream = [
+        workload[int((rank - 1) % len(workload))]
+        for rank in rng.zipf(args.zipf, size=args.requests)
+    ]
+
+    print(f"serving {args.requests} requests in bursts of {args.burst}...")
+    start = time.perf_counter()
+    for burst_start in range(0, len(stream), args.burst):
+        service.optimize_batch(stream[burst_start : burst_start + args.burst])
+    total_s = time.perf_counter() - start
+
+    latency = service.latency_summary()
+    counters = service.counters()
+    print(ascii_table(
+        ["metric", "value"],
+        [
+            ("throughput (req/s)", f"{args.requests / total_s:.1f}"),
+            ("p50 latency (ms)", f"{latency['p50_ms']:.2f}"),
+            ("p95 latency (ms)", f"{latency['p95_ms']:.2f}"),
+            ("cache hit rate", f"{counters['cache_hit_rate'] * 100:.1f}%"),
+            ("fallback rate", f"{counters['fallback_rate'] * 100:.1f}%"),
+        ],
+    ))
+    print("\nservice counters:")
+    print(ascii_table(["counter", "value"], sorted(counters.items())))
+
+    if service.experience is not None and len(service.experience):
+        episodes = service.experience.drain()
+        replay_log = trainer.replay(episodes)
+        print(f"\nhands-free retraining: replayed {len(replay_log)} served "
+              f"episodes into the policy "
+              f"(median reward {np.median(replay_log.rewards()):.2f})")
+    return 0
+
+
 _COMMANDS = {
     "info": _cmd_info,
     "plan": _cmd_plan,
@@ -316,6 +450,7 @@ _COMMANDS = {
     "lfd": _cmd_lfd,
     "bootstrap": _cmd_bootstrap,
     "incremental": _cmd_incremental,
+    "serve-bench": _cmd_serve_bench,
 }
 
 

@@ -142,15 +142,38 @@ class Trainer:
     ) -> TrainingLog:
         """Train for ``episodes`` episodes (appending to ``log`` if given)."""
         episodes = episodes or self.config.episodes
-        log = log or TrainingLog()
-        batch: List[Trajectory] = []
-        for _ in range(episodes):
-            trajectory = rollout(
+        trajectories = (
+            rollout(
                 self.env,
                 self.agent.act,
                 self.rng,
                 max_steps=self.config.max_steps_per_episode,
             )
+            for _ in range(episodes)
+        )
+        return self._learn(trajectories, log, update)
+
+    def replay(
+        self,
+        trajectories: Sequence[Trajectory],
+        log: TrainingLog | None = None,
+        update: bool = True,
+    ) -> TrainingLog:
+        """Learn from trajectories collected elsewhere (the serving
+        layer's experience buffer): record each served episode and run
+        the same batched policy updates as :meth:`run`. Empty
+        trajectories (single-relation queries) are skipped."""
+        return self._learn(
+            (t for t in trajectories if t.transitions), log, update
+        )
+
+    def _learn(
+        self, trajectories, log: TrainingLog | None, update: bool
+    ) -> TrainingLog:
+        """Record every trajectory and update the agent in batches."""
+        log = log or TrainingLog()
+        batch: List[Trajectory] = []
+        for trajectory in trajectories:
             log.append(self._record(trajectory))
             batch.append(trajectory)
             if update and len(batch) >= self.config.batch_size:

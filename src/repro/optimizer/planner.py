@@ -90,6 +90,23 @@ class Planner:
             tree, query, self.db, include_aggregate=include_aggregate
         )
 
+    def evaluate_tree(self, tree: JoinTree, query: Query) -> PlannerResult:
+        """Complete and cost a join order chosen elsewhere (e.g. by the
+        learned policy). Same result shape as :meth:`optimize`, so the
+        serving layer can compare learned and expert plans uniformly."""
+        start = time.perf_counter()
+        plan = self.complete_plan(tree, query)
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        cost = self.db.plan_cost(plan, query)
+        return PlannerResult(
+            query_name=query.name,
+            join_tree=tree,
+            plan=plan,
+            cost=cost,
+            planning_time_ms=elapsed_ms,
+            used_exhaustive_search=False,
+        )
+
     def optimize(self, query: Query) -> PlannerResult:
         """Run the whole pipeline and time it."""
         start = time.perf_counter()

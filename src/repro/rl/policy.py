@@ -58,6 +58,38 @@ class CategoricalPolicy:
         log_prob = float(np.log(max(probs[action], 1e-30)))
         return action, log_prob
 
+    def act_batch(
+        self,
+        states: np.ndarray,
+        masks: np.ndarray | None,
+        rng: np.random.Generator | None = None,
+        greedy: bool = True,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`act` over a whole batch of states.
+
+        One forward pass serves every row — this is the primitive the
+        serving layer's micro-batch engine builds on. Returns
+        ``(actions, log_probs)`` arrays of length ``len(states)``.
+        """
+        states = np.atleast_2d(np.asarray(states, dtype=float))
+        probs = self.probabilities(states, masks)
+        if greedy:
+            actions = np.argmax(probs, axis=1)
+        else:
+            if rng is None:
+                raise ValueError("sampling mode needs an rng")
+            # Inverse-CDF sampling per row, vectorized. Scaling the draw
+            # by the row total keeps it strictly below the last cumsum
+            # entry, and counting entries <= draw skips zero-probability
+            # (masked) prefixes — so a masked action is never selected.
+            cumulative = np.cumsum(probs, axis=1)
+            draws = rng.random(len(states)) * cumulative[:, -1]
+            actions = (cumulative <= draws[:, None]).sum(axis=1)
+        log_probs = np.log(
+            np.maximum(probs[np.arange(len(states)), actions], 1e-30)
+        )
+        return actions.astype(np.int64), log_probs
+
     @staticmethod
     def _fit_mask(masks: np.ndarray | None, shape) -> np.ndarray | None:
         """Pad/validate masks whose action dimension lags a grown layer.

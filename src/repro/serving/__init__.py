@@ -1,0 +1,45 @@
+"""Optimizer-as-a-service: the serving layer over the learned policy.
+
+The training stack (``repro.core``) produces a policy; this package
+puts it behind a production-shaped ``optimize(query)`` API:
+
+- :mod:`repro.serving.fingerprint` — canonical query fingerprints
+  (alias-, order-, and name-independent cache keys);
+- :mod:`repro.serving.cache` — LRU+TTL plan cache with hit/miss/
+  eviction statistics and invalidation on statistics refresh;
+- :mod:`repro.serving.batching` — micro-batched greedy rollout that
+  scores every in-flight query's state in one stacked forward pass;
+- :mod:`repro.serving.router` — Bao/Neo-style guardrail that falls
+  back to the expert plan on predicted cost regressions;
+- :mod:`repro.serving.experience` — replay buffer of served rollouts
+  for hands-free retraining via ``Trainer.replay``;
+- :mod:`repro.serving.service` — :class:`OptimizerService`, the front
+  end that wires the four together.
+
+Command line: ``python -m repro serve-bench`` drives a synthetic
+request stream and reports throughput, latency percentiles, cache hit
+rate, and fallback rate.
+"""
+
+from repro.serving.batching import MicroBatchEngine, RolloutRecord
+from repro.serving.cache import CacheStats, PlanCache
+from repro.serving.experience import ExperienceBuffer
+from repro.serving.fingerprint import canonical_alias_map, canonical_text, fingerprint
+from repro.serving.router import GuardrailDecision, GuardrailRouter
+from repro.serving.service import OptimizerService, ServedPlan, ServingConfig
+
+__all__ = [
+    "CacheStats",
+    "ExperienceBuffer",
+    "GuardrailDecision",
+    "GuardrailRouter",
+    "MicroBatchEngine",
+    "OptimizerService",
+    "PlanCache",
+    "RolloutRecord",
+    "ServedPlan",
+    "ServingConfig",
+    "canonical_alias_map",
+    "canonical_text",
+    "fingerprint",
+]

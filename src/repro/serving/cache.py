@@ -1,0 +1,114 @@
+"""An LRU+TTL plan cache with operator-visible statistics.
+
+The cache is deliberately engine-agnostic: keys are canonical query
+fingerprints (:mod:`repro.serving.fingerprint`) and values are whatever
+the service wants to remember about a served plan. The clock is
+injectable so TTL behaviour is testable without sleeping.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Tuple
+
+__all__ = ["CacheStats", "PlanCache"]
+
+
+@dataclass
+class CacheStats:
+    """Counters an operator needs to judge cache health."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expirations: int = 0
+    invalidations: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "cache_hits": self.hits,
+            "cache_misses": self.misses,
+            "cache_evictions": self.evictions,
+            "cache_expirations": self.expirations,
+            "cache_invalidations": self.invalidations,
+            "cache_hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class PlanCache:
+    """LRU cache with optional TTL, keyed by query fingerprint."""
+
+    def __init__(
+        self,
+        capacity: int = 512,
+        ttl_s: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive (or None to disable)")
+        self.capacity = capacity
+        self.ttl_s = ttl_s
+        self.clock = clock
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, Tuple[Any, float]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Any | None:
+        """Return the cached value or None; refreshes LRU recency."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        value, inserted_at = entry
+        if self.ttl_s is not None and self.clock() - inserted_at > self.ttl_s:
+            del self._entries[key]
+            self.stats.expirations += 1
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def put(self, key: str, value: Any) -> None:
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = (value, self.clock())
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def invalidate(self, key: str) -> bool:
+        """Drop one entry (e.g. after a schema change for its tables)."""
+        if key in self._entries:
+            del self._entries[key]
+            self.stats.invalidations += 1
+            return True
+        return False
+
+    def clear(self) -> int:
+        """Drop everything (statistics refresh); returns entries dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        self.stats.invalidations += dropped
+        return dropped
+
+    def keys(self):
+        """Current keys, least- to most-recently used."""
+        return list(self._entries)

@@ -1,0 +1,63 @@
+"""Online experience collection for hands-free retraining.
+
+The paper's end state is an optimizer that keeps learning from the
+queries it serves ("continuously learning as queries are sent"). The
+service records every policy rollout it serves as a full trajectory —
+(state, mask, action, terminal reward) plus the ``outcome``/``query``
+info the :class:`~repro.core.trainer.Trainer` needs — into this bounded
+replay buffer. A periodic job drains the buffer into
+``Trainer.replay`` and the policy improves without anyone labelling
+anything.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List
+
+import numpy as np
+
+from repro.rl.env import Trajectory
+
+__all__ = ["ExperienceBuffer"]
+
+
+class ExperienceBuffer:
+    """A bounded FIFO of served-query trajectories."""
+
+    def __init__(self, capacity: int = 10_000) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.added = 0
+        self.dropped = 0
+        self._trajectories: Deque[Trajectory] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self._trajectories)
+
+    def add(self, trajectory: Trajectory) -> None:
+        if len(self._trajectories) == self.capacity:
+            self.dropped += 1
+        self._trajectories.append(trajectory)
+        self.added += 1
+
+    def drain(self) -> List[Trajectory]:
+        """Remove and return everything, oldest first."""
+        out = list(self._trajectories)
+        self._trajectories.clear()
+        return out
+
+    def sample(self, rng: np.random.Generator, n: int) -> List[Trajectory]:
+        """``n`` trajectories without replacement (all of them if fewer)."""
+        if n >= len(self._trajectories):
+            return list(self._trajectories)
+        picks = rng.choice(len(self._trajectories), size=n, replace=False)
+        return [self._trajectories[int(i)] for i in picks]
+
+    def as_dict(self) -> dict:
+        return {
+            "experience_size": len(self),
+            "experience_added": self.added,
+            "experience_dropped": self.dropped,
+        }

@@ -1,0 +1,153 @@
+"""Canonical query fingerprints for the plan cache.
+
+Two textually different queries that describe the same SPJ(+aggregate)
+block — different alias names, reordered WHERE conjuncts, swapped join
+predicate sides, permuted IN lists — must map to the same cache entry,
+or the plan cache silently degrades into a string-match cache.
+
+The canonicalization is a colour-refinement pass over the alias graph
+(the same 1-WL idea used by graph-isomorphism heuristics):
+
+1. each alias starts with a colour derived from its table and the
+   *name-free* renderings of its selection/grouping/aggregate usage;
+2. colours are refined by hashing in the sorted multiset of
+   ``(my column, partner column, partner colour)`` join incidences,
+   for as many rounds as there are aliases;
+3. aliases are renamed ``r0, r1, ...`` in sorted final-colour order and
+   the whole query is re-rendered with sorted conjuncts and sorted
+   join-predicate sides.
+
+Aliases that remain tied after refinement are genuinely symmetric
+(automorphic), so either assignment renders the same canonical text.
+The fingerprint is the SHA-256 of that text.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+from repro.db.predicates import (
+    BetweenPredicate,
+    Comparison,
+    InPredicate,
+    Predicate,
+)
+from repro.db.query import Query
+
+__all__ = ["canonical_alias_map", "canonical_text", "fingerprint"]
+
+
+def _digest(text: str) -> str:
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def _selection_signature(pred: Predicate) -> str:
+    """Render a selection predicate with the alias stripped out."""
+    column = pred.column.column
+    if isinstance(pred, Comparison):
+        return f"?.{column} {pred.op.value} {pred.value:g}"
+    if isinstance(pred, BetweenPredicate):
+        return f"?.{column} BETWEEN {pred.lo:g} AND {pred.hi:g}"
+    if isinstance(pred, InPredicate):
+        values = ",".join(f"{v:g}" for v in sorted(pred.values))
+        return f"?.{column} IN ({values})"
+    # Unknown predicate type: fall back to its own rendering minus the
+    # alias prefix, so new predicate kinds degrade gracefully.
+    rendered = pred.render()
+    prefix = f"{pred.column.alias}."
+    return "?." + rendered[len(prefix):] if rendered.startswith(prefix) else rendered
+
+
+def _initial_colors(query: Query) -> Dict[str, str]:
+    colors: Dict[str, str] = {}
+    agg_by_alias: Dict[str, List[str]] = {}
+    for agg in query.aggregates:
+        if agg.column is not None:
+            agg_by_alias.setdefault(agg.column.alias, []).append(
+                f"A:{agg.func}:{agg.column.column}"
+            )
+    group_by_alias: Dict[str, List[str]] = {}
+    for ref in query.group_by:
+        group_by_alias.setdefault(ref.alias, []).append(f"G:{ref.column}")
+    for alias, table in query.relations.items():
+        parts = sorted(_selection_signature(p) for p in query.selections_for(alias))
+        parts += sorted(agg_by_alias.get(alias, []))
+        parts += sorted(group_by_alias.get(alias, []))
+        colors[alias] = _digest(f"{table}|{';'.join(parts)}")
+    return colors
+
+
+def _refine(query: Query, colors: Dict[str, str]) -> Dict[str, str]:
+    """One Weisfeiler-Lehman round over the join incidences."""
+    incidences: Dict[str, List[str]] = {alias: [] for alias in query.relations}
+    for join in query.joins:
+        left, right = join.left, join.right
+        incidences[left.alias].append(
+            f"{left.column}~{right.column}:{colors[right.alias]}"
+        )
+        incidences[right.alias].append(
+            f"{right.column}~{left.column}:{colors[left.alias]}"
+        )
+    return {
+        alias: _digest(colors[alias] + "|" + ",".join(sorted(items)))
+        for alias, items in incidences.items()
+    }
+
+
+def canonical_alias_map(query: Query) -> Dict[str, str]:
+    """alias -> canonical name (``r0``, ``r1``, ...).
+
+    Fingerprint-equivalent queries get the same canonical names for
+    structurally matching aliases, so composing one query's map with
+    another's inverse yields the alias translation between them (used
+    by the serving cache to remap cached plans).
+    """
+    colors = _initial_colors(query)
+    for _ in range(len(query.relations)):
+        colors = _refine(query, colors)
+    order = sorted(query.relations, key=lambda alias: (colors[alias], alias))
+    return {alias: f"r{k}" for k, alias in enumerate(order)}
+
+
+def canonical_text(query: Query, alias_map: Dict[str, str] | None = None) -> str:
+    """A name-independent, order-independent rendering of the query."""
+    names = alias_map or canonical_alias_map(query)
+    from_items = sorted(
+        f"{table} AS {names[alias]}" for alias, table in query.relations.items()
+    )
+    join_items = sorted(
+        " = ".join(
+            sorted(
+                (
+                    f"{names[join.left.alias]}.{join.left.column}",
+                    f"{names[join.right.alias]}.{join.right.column}",
+                )
+            )
+        )
+        for join in query.joins
+    )
+    selection_items = sorted(
+        _selection_signature(p).replace("?.", f"{names[p.column.alias]}.", 1)
+        for p in query.selections
+    )
+    group_items = sorted(f"{names[r.alias]}.{r.column}" for r in query.group_by)
+    agg_items = sorted(
+        f"{a.func}({'*' if a.column is None else names[a.column.alias] + '.' + a.column.column})"
+        for a in query.aggregates
+    )
+    return (
+        f"FROM {', '.join(from_items)}"
+        f" WHERE {' AND '.join(join_items + selection_items)}"
+        f" GROUP BY {', '.join(group_items)}"
+        f" SELECT {', '.join(agg_items)}"
+    )
+
+
+def fingerprint(query: Query, alias_map: Dict[str, str] | None = None) -> str:
+    """SHA-256 hex digest of the canonical text (the cache key).
+
+    Pass ``alias_map`` (from :func:`canonical_alias_map`) to avoid
+    recomputing the canonicalization when both are needed.
+    """
+    return _digest(canonical_text(query, alias_map))

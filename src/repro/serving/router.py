@@ -1,0 +1,95 @@
+"""Guardrail routing between the learned plan and the expert plan.
+
+A learned optimizer in production needs a safety net: Neo keeps
+PostgreSQL on standby, Bao only picks among hinted plans the expert
+already vetted. Here the guardrail compares the learned plan's
+predicted cost against the expert planner's plan for the same query and
+serves the expert plan whenever the predicted regression exceeds a
+threshold. Expert results are memoized per fingerprint so the guardrail
+adds at most one expert optimization per distinct query shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.db.query import Query
+from repro.optimizer.planner import Planner, PlannerResult
+
+__all__ = ["GuardrailDecision", "GuardrailRouter"]
+
+
+@dataclass(frozen=True)
+class GuardrailDecision:
+    """Outcome of one learned-vs-expert comparison."""
+
+    use_learned: bool
+    learned_cost: float
+    expert_cost: float | None
+    threshold: float | None
+
+    @property
+    def predicted_regression(self) -> float | None:
+        if not self.expert_cost:
+            return None
+        return self.learned_cost / self.expert_cost
+
+
+class GuardrailRouter:
+    """Falls back to the expert when the learned plan looks too expensive."""
+
+    def __init__(
+        self,
+        planner: Planner,
+        regression_threshold: float | None = 1.2,
+    ) -> None:
+        """``regression_threshold`` is the max tolerated ratio of learned
+        predicted cost to expert cost; ``None`` disables the guardrail
+        entirely (the expert is never even consulted)."""
+        if regression_threshold is not None and regression_threshold <= 0:
+            raise ValueError("regression_threshold must be positive or None")
+        self.planner = planner
+        self.regression_threshold = regression_threshold
+        self.decisions = 0
+        self.fallbacks = 0
+        self._expert_results: Dict[str, PlannerResult] = {}
+
+    def expert_result(self, query: Query, key: str | None = None) -> PlannerResult:
+        """The expert plan for ``query``, memoized by fingerprint."""
+        key = key or query.name
+        result = self._expert_results.get(key)
+        if result is None:
+            result = self.planner.optimize(query)
+            self._expert_results[key] = result
+        return result
+
+    def decide(
+        self, query: Query, learned_cost: float, key: str | None = None
+    ) -> GuardrailDecision:
+        self.decisions += 1
+        if self.regression_threshold is None:
+            return GuardrailDecision(
+                use_learned=True,
+                learned_cost=learned_cost,
+                expert_cost=None,
+                threshold=None,
+            )
+        expert_cost = self.expert_result(query, key).cost.total
+        use_learned = learned_cost <= expert_cost * self.regression_threshold
+        if not use_learned:
+            self.fallbacks += 1
+        return GuardrailDecision(
+            use_learned=use_learned,
+            learned_cost=learned_cost,
+            expert_cost=expert_cost,
+            threshold=self.regression_threshold,
+        )
+
+    def invalidate(self) -> None:
+        """Drop memoized expert plans (statistics changed under them)."""
+        self._expert_results.clear()
+
+    @property
+    def fallback_rate(self) -> float:
+        return self.fallbacks / self.decisions if self.decisions else 0.0

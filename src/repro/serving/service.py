@@ -1,0 +1,366 @@
+"""The optimizer-as-a-service front end.
+
+``OptimizerService.optimize`` answers one request; ``optimize_batch``
+answers a concurrent burst. Behind the single API sit four cooperating
+parts:
+
+1. the **plan cache** — canonical-fingerprint keyed LRU (+TTL), so a
+   repeated query shape costs a dictionary lookup, not a rollout;
+2. the **micro-batch engine** — cache misses in a burst are rolled out
+   in lockstep with stacked forward passes;
+3. the **guardrail router** — every learned plan is compared against
+   the expert's plan cost and replaced by the expert plan when the
+   predicted regression exceeds the configured threshold;
+4. the **experience buffer** — every policy rollout is recorded as a
+   trajectory with its terminal reward, ready for
+   ``Trainer.replay`` to retrain the policy hands-free.
+
+Queries wider than the featurizer supports are routed straight to the
+expert planner (and still cached), so the service never refuses a
+request.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Sequence
+
+import numpy as np
+
+from repro.core.featurize import QueryFeaturizer
+from repro.core.rewards import CostModelReward, PlanOutcome
+from repro.db.engine import Database
+from repro.db.plans import JoinTree, PhysicalPlan
+from repro.db.query import Query
+from repro.optimizer.planner import Planner
+from repro.rl.env import Trajectory
+from repro.serving.batching import MicroBatchEngine, RolloutRecord
+from repro.serving.cache import PlanCache
+from repro.serving.experience import ExperienceBuffer
+from repro.serving.fingerprint import canonical_alias_map, fingerprint
+from repro.serving.router import GuardrailDecision, GuardrailRouter
+
+__all__ = ["ServingConfig", "ServedPlan", "OptimizerService"]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs an operator tunes without touching code."""
+
+    cache_capacity: int = 512
+    cache_ttl_s: float | None = None
+    #: Max tolerated learned/expert predicted-cost ratio; None disables
+    #: the guardrail (the expert is never consulted on the serve path).
+    regression_threshold: float | None = 1.2
+    max_batch_size: int = 64
+    forbid_cross_products: bool = False
+    collect_experience: bool = True
+    experience_capacity: int = 10_000
+    #: Per-request latency samples kept for percentile reporting.
+    latency_window: int = 8192
+
+
+@dataclass(frozen=True)
+class ServedPlan:
+    """The service's answer to one optimization request."""
+
+    query_name: str
+    fingerprint: str
+    plan: PhysicalPlan
+    cost: float
+    #: "cache" | "policy" | "fallback" | "expert"
+    source: str
+    latency_ms: float
+    decision: GuardrailDecision | None = None
+
+
+@dataclass
+class _CacheEntry:
+    """A cached answer plus what is needed to serve it to an
+    alias-renamed (fingerprint-equivalent) requester: the join tree and
+    the origin query's alias -> canonical-name map."""
+
+    plan: PhysicalPlan
+    cost: float
+    origin: str  # the source that first produced this plan
+    tree: JoinTree
+    alias_map: Dict[str, str]
+
+
+@dataclass
+class ServiceStats:
+    requests: int = 0
+    batches: int = 0
+    policy_served: int = 0
+    fallbacks: int = 0
+    expert_served: int = 0
+    cache_served: int = 0
+
+    @property
+    def fallback_rate(self) -> float:
+        return self.fallbacks / self.requests if self.requests else 0.0
+
+
+def _rename_tree(tree: JoinTree, rename: Dict[str, str]) -> JoinTree:
+    """Rebuild a join tree with every leaf alias translated."""
+    if tree.is_leaf:
+        return JoinTree.leaf(rename[tree.alias])
+    return JoinTree.join(
+        _rename_tree(tree.left, rename), _rename_tree(tree.right, rename)
+    )
+
+
+class OptimizerService:
+    """Fronts the learned policy and the expert planner behind one API."""
+
+    def __init__(
+        self,
+        db: Database,
+        agent_or_policy,
+        planner: Planner | None = None,
+        featurizer: QueryFeaturizer | None = None,
+        config: ServingConfig | None = None,
+        reward_source=None,
+        clock=time.monotonic,
+    ) -> None:
+        self.db = db
+        # Agents (PPO/REINFORCE) carry their CategoricalPolicy in .policy;
+        # a bare policy object is accepted too.
+        self.policy = getattr(agent_or_policy, "policy", agent_or_policy)
+        self.planner = planner or Planner(db)
+        self.featurizer = featurizer or QueryFeaturizer(db.schema)
+        self.config = config or ServingConfig()
+        self.reward_source = reward_source or CostModelReward(db)
+        self.stats = ServiceStats()
+        self.cache = PlanCache(
+            capacity=self.config.cache_capacity,
+            ttl_s=self.config.cache_ttl_s,
+            clock=clock,
+        )
+        self.router = GuardrailRouter(self.planner, self.config.regression_threshold)
+        self.engine = MicroBatchEngine(
+            self.policy,
+            self.featurizer,
+            db,
+            max_batch_size=self.config.max_batch_size,
+            forbid_cross_products=self.config.forbid_cross_products,
+        )
+        self.experience: ExperienceBuffer | None = (
+            ExperienceBuffer(self.config.experience_capacity)
+            if self.config.collect_experience
+            else None
+        )
+        self._latencies: Deque[float] = deque(maxlen=self.config.latency_window)
+        self._pending: List[Query] = []
+
+    # ------------------------------------------------------------------
+    # Request paths
+    # ------------------------------------------------------------------
+    def optimize(self, query: Query) -> ServedPlan:
+        """Answer one request (a micro-batch of one)."""
+        return self.optimize_batch([query])[0]
+
+    def submit(self, query: Query) -> int:
+        """Queue a request for the next :meth:`flush`; returns its slot."""
+        self._pending.append(query)
+        return len(self._pending) - 1
+
+    def flush(self) -> List[ServedPlan]:
+        """Serve every queued request as one micro-batch."""
+        pending, self._pending = self._pending, []
+        return self.optimize_batch(pending) if pending else []
+
+    def optimize_batch(self, queries: Sequence[Query]) -> List[ServedPlan]:
+        """Serve a concurrent burst: cache first, then batched rollout."""
+        if not queries:
+            return []
+        start = time.perf_counter()
+        self.stats.batches += 1
+        maps = [canonical_alias_map(q) for q in queries]
+        fps = [fingerprint(q, m) for q, m in zip(queries, maps)]
+        answers: Dict[int, tuple] = {}  # idx -> (source, plan, cost, decision)
+        rollout_fp: Dict[str, List[int]] = {}
+        for idx, (query, fp) in enumerate(zip(queries, fps)):
+            if fp in rollout_fp:  # duplicate inside this burst
+                rollout_fp[fp].append(idx)
+                continue
+            entry = self.cache.get(fp)
+            if entry is not None:
+                answers[idx] = self._serve_hit(query, maps[idx], entry)
+            elif query.n_relations > self.featurizer.max_relations:
+                answers[idx] = self._expert_direct(query, maps[idx], fp)
+            else:
+                rollout_fp[fp] = [idx]
+
+        if rollout_fp:
+            indices = [idxs[0] for idxs in rollout_fp.values()]
+            records = self.engine.rollout([queries[i] for i in indices])
+            for idxs, record in zip(rollout_fp.values(), records):
+                first = idxs[0]
+                answer, entry = self._serve_rollout(record, maps[first], fps[first])
+                answers[first] = answer
+                # Alias-renamed duplicates of the same fingerprint still
+                # need their plan expressed in their own aliases.
+                source, _plan, _cost, decision = answer
+                for idx in idxs[1:]:
+                    _, plan, cost, _ = self._serve_hit(
+                        queries[idx], maps[idx], entry
+                    )
+                    answers[idx] = (source, plan, cost, decision)
+
+        latency_ms = (time.perf_counter() - start) * 1000.0
+        served: List[ServedPlan] = []
+        for idx, (query, fp) in enumerate(zip(queries, fps)):
+            source, plan, cost, decision = answers[idx]
+            self.stats.requests += 1
+            self._count(source)
+            self._latencies.append(latency_ms)
+            served.append(
+                ServedPlan(
+                    query_name=query.name,
+                    fingerprint=fp,
+                    plan=plan,
+                    cost=cost,
+                    source=source,
+                    latency_ms=latency_ms,
+                    decision=decision,
+                )
+            )
+        return served
+
+    # ------------------------------------------------------------------
+    def _serve_hit(self, query: Query, names: Dict[str, str], entry: _CacheEntry) -> tuple:
+        """Serve a cached entry, translating it into the requester's
+        aliases when the hit came from an alias-renamed equivalent."""
+        if names == entry.alias_map:
+            return ("cache", entry.plan, entry.cost, None)
+        # canonical name -> requester alias, composed with the origin's
+        # alias -> canonical map, gives origin alias -> requester alias.
+        requester_of = {canon: alias for alias, canon in names.items()}
+        rename = {
+            origin_alias: requester_of[canon]
+            for origin_alias, canon in entry.alias_map.items()
+        }
+        tree = _rename_tree(entry.tree, rename)
+        result = self.planner.evaluate_tree(tree, query)
+        return ("cache", result.plan, result.cost.total, None)
+
+    def _expert_direct(self, query: Query, names: Dict[str, str], fp: str) -> tuple:
+        """Oversize queries bypass the policy entirely."""
+        result = self.router.expert_result(query, fp)
+        entry = _CacheEntry(
+            plan=result.plan,
+            cost=result.cost.total,
+            origin="expert",
+            tree=result.join_tree,
+            alias_map=names,
+        )
+        self.cache.put(fp, entry)
+        return ("expert", entry.plan, entry.cost, None)
+
+    def _serve_rollout(
+        self, record: RolloutRecord, names: Dict[str, str], fp: str
+    ) -> tuple:
+        query = record.query
+        learned = self.planner.evaluate_tree(record.tree, query)
+        decision = self.router.decide(query, learned.cost.total, fp)
+        if decision.use_learned:
+            source = "policy"
+            entry = _CacheEntry(
+                plan=learned.plan,
+                cost=learned.cost.total,
+                origin=source,
+                tree=record.tree,
+                alias_map=names,
+            )
+        else:
+            source = "fallback"
+            expert = self.router.expert_result(query, fp)
+            entry = _CacheEntry(
+                plan=expert.plan,
+                cost=expert.cost.total,
+                origin=source,
+                tree=expert.join_tree,
+                alias_map=names,
+            )
+        self.cache.put(fp, entry)
+        if self.experience is not None and record.transitions:
+            self._collect(record, learned.plan, fp, source)
+        return (source, entry.plan, entry.cost, decision), entry
+
+    def _collect(
+        self, record: RolloutRecord, learned_plan: PhysicalPlan, fp: str, source: str
+    ) -> None:
+        """Score the *learned* plan (even when the expert was served) and
+        store the rollout as a terminal-reward trajectory."""
+        outcome: PlanOutcome = self.reward_source.evaluate(learned_plan, record.query)
+        last = record.transitions[-1]
+        record.transitions[-1] = type(last)(
+            last.state, last.mask, last.action, outcome.reward, last.log_prob
+        )
+        self.experience.add(
+            Trajectory(
+                transitions=record.transitions,
+                info={
+                    "outcome": outcome,
+                    "query": record.query,
+                    "plan": learned_plan,
+                    "tree": record.tree,
+                    "fingerprint": fp,
+                    "source": source,
+                },
+            )
+        )
+
+    def _count(self, source: str) -> None:
+        if source == "cache":
+            self.stats.cache_served += 1
+        elif source == "policy":
+            self.stats.policy_served += 1
+        elif source == "fallback":
+            self.stats.fallbacks += 1
+        else:
+            self.stats.expert_served += 1
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def refresh_statistics(self, seed: int = 1, sample_size: int = 30_000) -> None:
+        """Re-ANALYZE the database and invalidate every cached decision
+        that depended on the old statistics."""
+        self.db.analyze(seed=seed, sample_size=sample_size)
+        self.cache.clear()
+        self.router.invalidate()
+
+    def latency_summary(self) -> Dict[str, float]:
+        """p50/p95/mean of recent per-request latencies (ms)."""
+        if not self._latencies:
+            return {"p50_ms": 0.0, "p95_ms": 0.0, "mean_ms": 0.0}
+        samples = np.asarray(self._latencies)
+        return {
+            "p50_ms": float(np.percentile(samples, 50)),
+            "p95_ms": float(np.percentile(samples, 95)),
+            "mean_ms": float(samples.mean()),
+        }
+
+    def counters(self) -> Dict[str, float]:
+        """Everything an operator can inspect (``repro info``)."""
+        out: Dict[str, float] = {
+            "requests": self.stats.requests,
+            "batches": self.stats.batches,
+            "served_from_cache": self.stats.cache_served,
+            "served_from_policy": self.stats.policy_served,
+            "served_from_fallback": self.stats.fallbacks,
+            "served_from_expert": self.stats.expert_served,
+            "fallback_rate": round(self.stats.fallback_rate, 4),
+            "guardrail_decisions": self.router.decisions,
+            "forward_passes": self.engine.forward_passes,
+            "states_scored": self.engine.states_scored,
+            "cache_size": len(self.cache),
+        }
+        out.update(self.cache.stats.as_dict())
+        if self.experience is not None:
+            out.update(self.experience.as_dict())
+        return out

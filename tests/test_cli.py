@@ -25,6 +25,22 @@ class TestParser:
         assert args.episodes == 50
         assert args.save is None
 
+    def test_serve_bench_rejects_bad_knobs_before_building(self, capsys):
+        assert main(TINY + ["serve-bench", "--zipf", "1.0"]) == 2
+        assert main(TINY + ["serve-bench", "--threshold", "-1"]) == 2
+        assert main(TINY + ["serve-bench", "--burst", "0"]) == 2
+        # Validation fires before the database build starts.
+        assert "building" not in capsys.readouterr().out
+
+    def test_serve_bench_options(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--requests", "64", "--burst", "8", "--threshold", "2.0"]
+        )
+        assert args.requests == 64
+        assert args.burst == 8
+        assert args.threshold == 2.0
+        assert args.cache_capacity == 512
+
 
 TINY = ["--scale", "0.02", "--seed", "1"]
 
@@ -54,6 +70,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Figure 3c" in out
         assert "rejoin" in out
+
+    def test_info_probe_reports_hit_rate(self, capsys):
+        assert main(TINY + ["info", "--probe", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "serving counters" in out
+        assert "cache_hit_rate" in out
+        # Two passes over the probes: the second is all hits.
+        assert "0.50" in out
+
+    def test_serve_bench_tiny(self, capsys):
+        assert main(
+            TINY + ["serve-bench", "--requests", "24", "--burst", "8",
+                    "--episodes", "8"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "throughput (req/s)" in out
+        assert "p95 latency (ms)" in out
+        assert "cache hit rate" in out
+        assert "fallback rate" in out
+        assert "hands-free retraining" in out
 
     def test_bootstrap_tiny(self, capsys):
         assert (

@@ -157,6 +157,35 @@ class TestCategoricalPolicy:
         with pytest.raises(ValueError):
             policy.probabilities(np.zeros((1, 4)), np.ones((1, 7), dtype=bool))
 
+    def test_act_batch_greedy_matches_act(self):
+        policy = self.make()
+        states = np.random.default_rng(4).normal(size=(5, 4))
+        masks = np.ones((5, 3), dtype=bool)
+        actions, log_probs = policy.act_batch(states, masks, greedy=True)
+        for row in range(5):
+            action, logp = policy.act(
+                states[row], masks[row], np.random.default_rng(0), greedy=True
+            )
+            assert actions[row] == action
+            assert log_probs[row] == pytest.approx(logp)
+
+    def test_act_batch_sampling_never_picks_masked_action(self):
+        policy = self.make()
+        rng = np.random.default_rng(7)
+        # Only the middle action is valid: zero-probability prefix and
+        # suffix are exactly the inverse-CDF edge cases.
+        masks = np.tile(np.array([False, True, False]), (8, 1))
+        states = rng.normal(size=(8, 4))
+        for _ in range(50):
+            actions, log_probs = policy.act_batch(states, masks, rng, greedy=False)
+            assert np.all(actions == 1)
+            assert np.all(log_probs == pytest.approx(0.0))
+
+    def test_act_batch_sampling_requires_rng(self):
+        policy = self.make()
+        with pytest.raises(ValueError):
+            policy.act_batch(np.zeros((1, 4)), None, rng=None, greedy=False)
+
 
 def train_agent(agent, episodes=300, batch=8, seed=0):
     rng = np.random.default_rng(seed)

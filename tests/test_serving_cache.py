@@ -1,0 +1,106 @@
+"""Tests for the LRU+TTL plan cache (repro.serving.cache)."""
+
+import pytest
+
+from repro.serving import PlanCache
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestLRU:
+    def test_hit_and_miss_counting(self):
+        cache = PlanCache(capacity=4)
+        assert cache.get("k") is None
+        cache.put("k", "plan")
+        assert cache.get("k") == "plan"
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_eviction_order_is_least_recently_used(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a's recency
+        cache.put("c", 3)  # evicts b, not a
+        assert cache.stats.evictions == 1
+        assert "b" not in cache
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+
+    def test_put_existing_key_updates_without_eviction(self):
+        cache = PlanCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0
+        assert cache.get("a") == 10
+        # "a" is now most recent, so adding a third key evicts "b".
+        cache.put("c", 3)
+        assert "b" not in cache
+
+    def test_keys_in_recency_order(self):
+        cache = PlanCache(capacity=3)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.get("a")
+        assert cache.keys() == ["b", "a"]
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(capacity=0)
+        with pytest.raises(ValueError):
+            PlanCache(ttl_s=0)
+
+
+class TestTTL:
+    def test_entry_expires_after_ttl(self):
+        clock = FakeClock()
+        cache = PlanCache(capacity=4, ttl_s=10.0, clock=clock)
+        cache.put("k", "plan")
+        clock.advance(9.0)
+        assert cache.get("k") == "plan"
+        clock.advance(2.0)
+        assert cache.get("k") is None
+        assert cache.stats.expirations == 1
+        assert "k" not in cache
+
+    def test_no_ttl_never_expires(self):
+        clock = FakeClock()
+        cache = PlanCache(capacity=4, ttl_s=None, clock=clock)
+        cache.put("k", "plan")
+        clock.advance(1e9)
+        assert cache.get("k") == "plan"
+
+
+class TestInvalidation:
+    def test_invalidate_single_key(self):
+        cache = PlanCache(capacity=4)
+        cache.put("a", 1)
+        assert cache.invalidate("a") is True
+        assert cache.invalidate("a") is False
+        assert cache.stats.invalidations == 1
+        assert cache.get("a") is None
+
+    def test_clear_counts_all_entries(self):
+        cache = PlanCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.clear() == 2
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2
+
+    def test_stats_dict_shape(self):
+        stats = PlanCache(capacity=4).stats.as_dict()
+        assert {"cache_hits", "cache_misses", "cache_evictions",
+                "cache_hit_rate"} <= set(stats)

@@ -1,0 +1,273 @@
+"""Tests for the serving subsystem: micro-batching, guardrail routing,
+experience round-trip, and the OptimizerService front end."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExpertBaseline, Trainer, TrainingConfig
+from repro.core.featurize import QueryFeaturizer
+from repro.db.query import parse_query
+from repro.optimizer.planner import Planner
+from repro.rl.ppo import PPOAgent
+from repro.serving import MicroBatchEngine, OptimizerService, ServingConfig
+
+CHAIN = "SELECT * FROM a, b, c WHERE a.id = b.a_id AND b.id = c.b_id"
+CHAIN_RENAMED = "SELECT * FROM a AS u, b AS v, c AS w2 WHERE w2.b_id = v.id AND v.a_id = u.id"
+BC = "SELECT * FROM b, c WHERE b.id = c.b_id"
+AB = "SELECT * FROM a, b WHERE a.id = b.a_id"
+OVERSIZE = (
+    "SELECT * FROM a, b AS b1, b AS b2, c "
+    "WHERE b1.a_id = a.id AND b2.a_id = a.id AND c.b_id = b1.id"
+)
+
+
+@pytest.fixture(scope="module")
+def featurizer(small_db):
+    return QueryFeaturizer(small_db.schema, max_relations=3)
+
+
+@pytest.fixture(scope="module")
+def agent(small_db, featurizer):
+    return PPOAgent(
+        featurizer.state_dim, featurizer.n_pair_actions, np.random.default_rng(3)
+    )
+
+
+def make_service(small_db, agent, featurizer, **config_kwargs):
+    return OptimizerService(
+        small_db,
+        agent,
+        planner=Planner(small_db),
+        featurizer=featurizer,
+        config=ServingConfig(**config_kwargs),
+    )
+
+
+class TestBatchedInference:
+    def test_batched_rollout_matches_sequential(self, small_db, agent, featurizer):
+        queries = [
+            parse_query(CHAIN, "chain"),
+            parse_query(BC, "bc"),
+            parse_query(AB, "ab"),
+        ]
+        engine = MicroBatchEngine(agent.policy, featurizer, small_db)
+        batched = engine.rollout(queries)
+        for query, record in zip(queries, batched):
+            solo = engine.rollout([query])[0]
+            assert record.tree.render() == solo.tree.render()
+            assert [t.action for t in record.transitions] == [
+                t.action for t in solo.transitions
+            ]
+
+    def test_mixed_relation_counts_retire_independently(
+        self, small_db, agent, featurizer
+    ):
+        queries = [parse_query(CHAIN, "chain"), parse_query(BC, "bc")]
+        engine = MicroBatchEngine(agent.policy, featurizer, small_db)
+        records = engine.rollout(queries)
+        assert len(records[0].transitions) == 2  # 3 relations -> 2 joins
+        assert len(records[1].transitions) == 1
+        # Lockstep: round 1 scores both queries, round 2 only the chain.
+        assert engine.states_scored == 3
+
+    def test_chunking_respects_max_batch_size(self, small_db, agent, featurizer):
+        queries = [parse_query(BC, f"bc{i}") for i in range(5)]
+        engine = MicroBatchEngine(agent.policy, featurizer, small_db, max_batch_size=2)
+        engine.rollout(queries)
+        assert engine.forward_passes == 3  # ceil(5 / 2)
+
+    def test_sampling_rollout_never_picks_masked_action(
+        self, small_db, agent, featurizer
+    ):
+        # With only a handful of valid pairs per state, many sampled
+        # rollouts would crash on SlotState.join if a masked
+        # (zero-probability) action ever slipped through act_batch.
+        queries = [parse_query(CHAIN, f"chain{i}") for i in range(4)]
+        engine = MicroBatchEngine(agent.policy, featurizer, small_db)
+        rng = np.random.default_rng(11)
+        for _ in range(25):
+            records = engine.rollout(queries, greedy=False, rng=rng)
+            for record in records:
+                assert record.tree.n_leaves == 3
+
+
+class TestCacheBehaviour:
+    def test_second_request_hits_cache(self, small_db, agent, featurizer):
+        service = make_service(small_db, agent, featurizer)
+        first = service.optimize(parse_query(CHAIN, "chain"))
+        second = service.optimize(parse_query(CHAIN, "chain"))
+        assert first.source in ("policy", "fallback")
+        assert second.source == "cache"
+        assert second.cost == first.cost
+        assert service.counters()["cache_hits"] == 1
+
+    def test_equivalent_query_shares_entry(self, small_db, agent, featurizer):
+        service = make_service(small_db, agent, featurizer)
+        first = service.optimize(parse_query(CHAIN, "chain"))
+        renamed = service.optimize(parse_query(CHAIN_RENAMED, "other-name"))
+        assert renamed.source == "cache"
+        assert renamed.fingerprint == first.fingerprint
+
+    def test_renamed_hit_served_in_requester_aliases(self, small_db, agent, featurizer):
+        service = make_service(small_db, agent, featurizer)
+        original = parse_query(CHAIN, "chain")
+        requester = parse_query(CHAIN_RENAMED, "renamed")
+        service.optimize(original)
+        served = service.optimize(requester)
+        assert served.source == "cache"
+        # The plan must speak the requester's aliases, not the origin's...
+        assert served.plan.aliases == frozenset(requester.relations)
+        # ...and be directly usable against the requester's query.
+        assert small_db.plan_cost(served.plan, requester).total == pytest.approx(
+            served.cost
+        )
+        result = small_db.execute_plan(served.plan, requester)
+        assert result.rows >= 0
+
+    def test_renamed_duplicates_within_one_burst(self, small_db, agent, featurizer):
+        service = make_service(small_db, agent, featurizer)
+        original = parse_query(CHAIN, "chain")
+        requester = parse_query(CHAIN_RENAMED, "renamed")
+        first, second = service.optimize_batch([original, requester])
+        assert first.fingerprint == second.fingerprint
+        assert second.plan.aliases == frozenset(requester.relations)
+        assert small_db.plan_cost(second.plan, requester).total > 0
+
+    def test_duplicates_within_burst_computed_once(self, small_db, agent, featurizer):
+        service = make_service(small_db, agent, featurizer)
+        q = parse_query(CHAIN, "chain")
+        served = service.optimize_batch([q, q, q])
+        assert len({r.source for r in served}) == 1  # one shared answer
+        assert service.stats.requests == 3
+        assert service.engine.states_scored == 2  # single rollout of one query
+
+    def test_refresh_statistics_invalidates(self, small_db, agent, featurizer):
+        service = make_service(small_db, agent, featurizer)
+        service.optimize(parse_query(CHAIN, "chain"))
+        assert len(service.cache) == 1
+        service.refresh_statistics(sample_size=500)
+        assert len(service.cache) == 0
+        assert service.cache.stats.invalidations == 1
+        again = service.optimize(parse_query(CHAIN, "chain"))
+        assert again.source != "cache"
+
+
+class TestGuardrail:
+    def test_impossible_threshold_always_falls_back(self, small_db, agent, featurizer):
+        # No plan beats the expert by 1e6x, so a deliberately bad (well,
+        # any) policy must be routed to the expert plan.
+        service = make_service(
+            small_db, agent, featurizer, regression_threshold=1e-6
+        )
+        served = service.optimize(parse_query(CHAIN, "chain"))
+        assert served.source == "fallback"
+        assert served.decision is not None
+        assert not served.decision.use_learned
+        assert served.cost == served.decision.expert_cost
+        assert service.counters()["fallback_rate"] == 1.0
+
+    def test_disabled_guardrail_serves_policy_plan(self, small_db, agent, featurizer):
+        service = make_service(
+            small_db, agent, featurizer, regression_threshold=None
+        )
+        served = service.optimize(parse_query(CHAIN, "chain"))
+        assert served.source == "policy"
+        assert served.decision.expert_cost is None
+        assert service.router.fallbacks == 0
+
+    def test_generous_threshold_accepts_learned_plan(self, small_db, agent, featurizer):
+        service = make_service(
+            small_db, agent, featurizer, regression_threshold=1e9
+        )
+        served = service.optimize(parse_query(CHAIN, "chain"))
+        assert served.source == "policy"
+        assert served.decision.use_learned
+        assert served.decision.predicted_regression is not None
+
+    def test_oversize_query_served_by_expert(self, small_db, agent, featurizer):
+        service = make_service(small_db, agent, featurizer)
+        served = service.optimize(parse_query(OVERSIZE, "wide"))
+        assert served.source == "expert"
+        # And it is cached like any other answer.
+        assert service.optimize(parse_query(OVERSIZE, "wide")).source == "cache"
+
+
+class TestExperienceRoundTrip:
+    def test_served_rollouts_retrain_the_policy(self, small_db, featurizer):
+        rng = np.random.default_rng(5)
+        agent = PPOAgent(featurizer.state_dim, featurizer.n_pair_actions, rng)
+        service = make_service(
+            small_db, agent, featurizer, regression_threshold=None
+        )
+        for name, sql in [("chain", CHAIN), ("bc", BC), ("ab", AB)]:
+            service.optimize(parse_query(sql, name))
+        assert len(service.experience) == 3
+        trajectories = service.experience.drain()
+        assert len(service.experience) == 0
+        for trajectory in trajectories:
+            assert trajectory.info["outcome"].cost is not None
+            assert trajectory.transitions[-1].reward != 0.0
+
+        trainer = Trainer(
+            None, agent, ExpertBaseline(small_db), rng, TrainingConfig(batch_size=2)
+        )
+        weights_before = agent.policy_net.output_layer.weight.copy()
+        log = trainer.replay(trajectories)
+        assert len(log) == 3
+        assert all(r.cost is not None and r.expert_cost for r in log.records)
+        assert not np.array_equal(
+            weights_before, agent.policy_net.output_layer.weight
+        )
+
+    def test_replay_without_update_only_records(self, small_db, featurizer):
+        rng = np.random.default_rng(6)
+        agent = PPOAgent(featurizer.state_dim, featurizer.n_pair_actions, rng)
+        service = make_service(
+            small_db, agent, featurizer, regression_threshold=None
+        )
+        service.optimize(parse_query(CHAIN, "chain"))
+        trainer = Trainer(None, agent, ExpertBaseline(small_db), rng)
+        weights_before = agent.policy_net.output_layer.weight.copy()
+        log = trainer.replay(service.experience.drain(), update=False)
+        assert len(log) == 1
+        assert np.array_equal(weights_before, agent.policy_net.output_layer.weight)
+
+    def test_collection_disabled(self, small_db, agent, featurizer):
+        service = make_service(
+            small_db, agent, featurizer, collect_experience=False
+        )
+        service.optimize(parse_query(CHAIN, "chain"))
+        assert service.experience is None
+        assert "experience_size" not in service.counters()
+
+
+class TestServiceFrontEnd:
+    def test_submit_flush_micro_batches(self, small_db, agent, featurizer):
+        service = make_service(small_db, agent, featurizer)
+        service.submit(parse_query(CHAIN, "chain"))
+        service.submit(parse_query(BC, "bc"))
+        served = service.flush()
+        assert len(served) == 2
+        assert service.stats.batches == 1
+        assert service.flush() == []
+
+    def test_single_relation_query(self, small_db, agent, featurizer):
+        service = make_service(small_db, agent, featurizer)
+        served = service.optimize(parse_query("SELECT * FROM a WHERE a.x > 3", "s"))
+        assert served.cost > 0
+        # No joins means no transitions: nothing to learn from.
+        assert len(service.experience) == 0
+
+    def test_latency_summary_populated(self, small_db, agent, featurizer):
+        service = make_service(small_db, agent, featurizer)
+        service.optimize(parse_query(CHAIN, "chain"))
+        summary = service.latency_summary()
+        assert summary["p95_ms"] >= summary["p50_ms"] > 0.0
+
+    def test_counters_expose_operator_view(self, small_db, agent, featurizer):
+        service = make_service(small_db, agent, featurizer)
+        service.optimize(parse_query(CHAIN, "chain"))
+        counters = service.counters()
+        for key in ("requests", "cache_hit_rate", "fallback_rate",
+                    "served_from_policy", "forward_passes"):
+            assert key in counters
