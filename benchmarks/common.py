@@ -28,6 +28,7 @@ from repro.core import (
 )
 from repro.core.rewards import CostModelReward
 from repro.db.engine import Database
+from repro.optimizer.memo import SubPlanCostMemo
 from repro.optimizer.planner import Planner
 from repro.rl.ppo import PPOConfig
 from repro.workloads import job_lite_workload, make_imdb_database
@@ -83,7 +84,11 @@ EXPERT_GEQO_THRESHOLD = 8
 
 @lru_cache(maxsize=1)
 def get_expert_planner() -> Planner:
-    return Planner(get_database(), geqo_threshold=EXPERT_GEQO_THRESHOLD)
+    return Planner(
+        get_database(),
+        geqo_threshold=EXPERT_GEQO_THRESHOLD,
+        cost_memo=SubPlanCostMemo(),
+    )
 
 
 @lru_cache(maxsize=1)

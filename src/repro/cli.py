@@ -132,7 +132,7 @@ def _make_service(db, agent=None, planner=None, featurizer=None,
     """An :class:`OptimizerService` over ``db`` (untrained policy unless
     an agent is given — counters and routing behave the same either way)."""
     from repro.core.featurize import QueryFeaturizer
-    from repro.optimizer import Planner
+    from repro.optimizer import Planner, SubPlanCostMemo
     from repro.rl.ppo import PPOAgent
     from repro.serving import OptimizerService, ServingConfig
 
@@ -144,7 +144,8 @@ def _make_service(db, agent=None, planner=None, featurizer=None,
     return OptimizerService(
         db,
         agent,
-        planner=planner or Planner(db, geqo_threshold=8),
+        planner=planner
+        or Planner(db, geqo_threshold=8, cost_memo=SubPlanCostMemo()),
         featurizer=featurizer,
         config=ServingConfig(**config_kwargs),
         reward_source=reward_source,
@@ -175,12 +176,12 @@ def _trained_setup(args, episodes: int):
         make_agent,
     )
     from repro.core.rewards import CostModelReward
-    from repro.optimizer import Planner
+    from repro.optimizer import Planner, SubPlanCostMemo
     from repro.rl.ppo import PPOConfig
     from repro.workloads import job_lite_workload
 
     db = _database(args)
-    planner = Planner(db, geqo_threshold=8)
+    planner = Planner(db, geqo_threshold=8, cost_memo=SubPlanCostMemo())
     baseline = ExpertBaseline(db, planner)
     workload = job_lite_workload(variants=("a", "b", "c")).filter(
         lambda q: q.n_relations <= 11

@@ -18,10 +18,11 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.core.featurize import QueryFeaturizer, SlotState
+from repro.core.featurize import EpisodeEncoder, QueryFeaturizer, SlotState
 from repro.core.rewards import CostModelReward, PlanOutcome
 from repro.db.engine import Database
 from repro.db.query import Query
+from repro.optimizer.memo import SubPlanCostMemo
 from repro.optimizer.planner import Planner
 from repro.rl.env import StepResult
 from repro.workloads.generator import Workload
@@ -44,7 +45,9 @@ class JoinOrderEnv:
     ) -> None:
         self.db = db
         self.workload = workload
-        self.planner = planner or Planner(db)
+        # The default planner carries a sub-plan cost memo so repeated
+        # join trees across episodes are completed and costed once.
+        self.planner = planner or Planner(db, cost_memo=SubPlanCostMemo())
         self.reward_source = reward_source or CostModelReward(db)
         max_rel = max((q.n_relations for q in workload), default=2)
         self.featurizer = featurizer or QueryFeaturizer(
@@ -54,6 +57,7 @@ class JoinOrderEnv:
         self.forbid_cross_products = forbid_cross_products
         self._state: SlotState | None = None
         self._cards = None
+        self._encoder: EpisodeEncoder | None = None
 
     # ------------------------------------------------------------------
     @property
@@ -71,30 +75,54 @@ class JoinOrderEnv:
         return self._state.query
 
     # ------------------------------------------------------------------
+    def spawn(self) -> "JoinOrderEnv":
+        """An independent episode runner sharing every heavy component
+        (database, workload, planner with its cost memo, reward source,
+        featurizer, rng stream) — what the vectorized trainer steps in
+        lockstep."""
+        return JoinOrderEnv(
+            self.db,
+            self.workload,
+            reward_source=self.reward_source,
+            featurizer=self.featurizer,
+            planner=self.planner,
+            rng=self.rng,
+            forbid_cross_products=self.forbid_cross_products,
+        )
+
+    # ------------------------------------------------------------------
     def reset(self, query: Query | None = None) -> Tuple[np.ndarray, np.ndarray]:
         query = query or self.workload.sample(self.rng)
         self._state = SlotState(query, self.featurizer.max_relations)
         self._cards = self.db.cardinalities(query)
+        self._encoder = self.featurizer.encoder(self._state, self._cards)
         return self._observe()
 
     def _observe(self) -> Tuple[np.ndarray, np.ndarray]:
-        state_vec = self.featurizer.featurize(self._state, self._cards)
-        mask = self.featurizer.pair_mask(self._state, self.forbid_cross_products)
-        return state_vec, mask
+        return (
+            self._encoder.vector(),
+            self._encoder.pair_mask(self.forbid_cross_products),
+        )
 
     def step(self, action: int) -> StepResult:
         if self._state is None:
             raise RuntimeError("environment not reset")
         i, j = self.featurizer.decode_pair(action)
-        self._state.join(i, j)
+        self._encoder.join(i, j)
         if not self._state.done:
             state_vec, mask = self._observe()
             return StepResult(state_vec, mask, 0.0, False)
 
         tree = self._state.tree()
-        plan = self.planner.complete_plan(tree, self.query)
-        outcome: PlanOutcome = self.reward_source.evaluate(plan, self.query)
-        state_vec, _ = self._observe()
+        evaluate_tree = getattr(self.reward_source, "evaluate_tree", None)
+        if evaluate_tree is not None:
+            # Cost-model rewards route through the planner's (memoized)
+            # tree costing; repeated trees are answered from the memo.
+            outcome, plan = evaluate_tree(tree, self.query, self.planner, self._cards)
+        else:
+            plan = self.planner.complete_plan(tree, self.query, cards=self._cards)
+            outcome: PlanOutcome = self.reward_source.evaluate(plan, self.query)
+        state_vec = self._encoder.vector()
         # Terminal mask: no valid actions remain; keep one bit set so
         # downstream batch code never sees an all-invalid row.
         mask = np.zeros(self.n_actions, dtype=bool)

@@ -26,7 +26,7 @@ from typing import Dict, List, Tuple
 
 import numpy as np
 
-from repro.core.featurize import QueryFeaturizer, SlotState
+from repro.core.featurize import EpisodeEncoder, QueryFeaturizer, SlotState
 from repro.core.rewards import CostModelReward, PlanOutcome
 from repro.db.engine import Database
 from repro.db.plans import (
@@ -127,6 +127,7 @@ class StagedPlanEnv:
     def _reset_episode_state(self) -> None:
         self._state: SlotState | None = None
         self._cards = None
+        self._encoder: EpisodeEncoder | None = None
         self._phase = _PHASE_PAIR
         self._pending_access: List[str] = []
         self._pending_join: JoinTree | None = None
@@ -163,11 +164,28 @@ class StagedPlanEnv:
         return n
 
     # ------------------------------------------------------------------
+    def spawn(self) -> "StagedPlanEnv":
+        """An independent episode runner over the same components (for
+        lockstep vectorized collection). Stage configuration carries
+        over, so a spawned ``FullPlanEnv`` behaves identically."""
+        return StagedPlanEnv(
+            self.db,
+            self.workload,
+            stages=self.stages,
+            reward_source=self.reward_source,
+            featurizer=self.featurizer,
+            planner=self.planner,
+            rng=self.rng,
+            forbid_cross_products=self.forbid_cross_products,
+        )
+
+    # ------------------------------------------------------------------
     def reset(self, query: Query | None = None) -> Tuple[np.ndarray, np.ndarray]:
         query = query or self.workload.sample(self.rng)
         self._reset_episode_state()
         self._state = SlotState(query, self.featurizer.max_relations)
         self._cards = self.db.cardinalities(query)
+        self._encoder = self.featurizer.encoder(self._state, self._cards)
         if self.stages & Stage.ACCESS_PATH:
             self._phase = _PHASE_ACCESS
             self._pending_access = sorted(query.relations)
@@ -179,7 +197,7 @@ class StagedPlanEnv:
     # Observation
     # ------------------------------------------------------------------
     def _observe(self) -> Tuple[np.ndarray, np.ndarray]:
-        base = self.featurizer.featurize(self._state, self._cards)
+        base = self._encoder.vector()
         n_tables = len(self.featurizer.tables)
         phase = np.zeros(_N_PHASES)
         phase[self._phase] = 1.0
@@ -205,13 +223,13 @@ class StagedPlanEnv:
             if self._index_candidates(self._pending_access[0]):
                 mask[self._access_base + 1] = True
         elif self._phase == _PHASE_PAIR:
-            mask[: self.featurizer.n_pair_actions] = self.featurizer.pair_mask(
-                self._state, self.forbid_cross_products
+            mask[: self.featurizer.n_pair_actions] = self._encoder.pair_mask(
+                self.forbid_cross_products
             )
         elif self._phase == _PHASE_JOIN_OP:
             preds = self.query.joins_between(
-                tuple(self._pending_join.left.aliases),
-                tuple(self._pending_join.right.aliases),
+                self._pending_join.left.aliases,
+                self._pending_join.right.aliases,
             )
             if preds:
                 mask[self._join_op_base : self._join_op_base + 3] = True
@@ -270,7 +288,7 @@ class StagedPlanEnv:
 
     def _step_pair(self, action: int) -> None:
         i, j = self.featurizer.decode_pair(action)
-        merged = self._state.join(i, j)
+        merged = self._encoder.join(i, j)
         if self.stages & Stage.JOIN_OPERATOR:
             self._pending_join = merged
             self._phase = _PHASE_JOIN_OP

@@ -35,7 +35,7 @@ from repro.db.plans import JoinTree
 from repro.db.query import Query
 from repro.db.schema import DatabaseSchema
 
-__all__ = ["QueryFeaturizer", "SlotState"]
+__all__ = ["EpisodeEncoder", "QueryFeaturizer", "SlotState"]
 
 
 class SlotState:
@@ -86,9 +86,7 @@ class SlotState:
         left, right = self.slots[i], self.slots[j]
         if left is None or right is None:
             return False
-        return bool(
-            self.query.joins_between(tuple(left.aliases), tuple(right.aliases))
-        )
+        return bool(self.query.joins_between(left.aliases, right.aliases))
 
 
 class QueryFeaturizer:
@@ -137,6 +135,12 @@ class QueryFeaturizer:
         self.pair_index: Dict[Tuple[int, int], int] = {
             p: k for k, p in enumerate(self.pair_actions)
         }
+        # (i, j) -> action id as an array, for vectorized mask assembly.
+        self._pair_index_matrix = np.full(
+            (max_relations, max_relations), -1, dtype=np.int64
+        )
+        for k, (i, j) in enumerate(self.pair_actions):
+            self._pair_index_matrix[i, j] = k
 
     # ------------------------------------------------------------------
     @property
@@ -232,6 +236,12 @@ class QueryFeaturizer:
     def decode_pair(self, action: int) -> Tuple[int, int]:
         return self.pair_actions[action]
 
+    def encoder(
+        self, state: SlotState, cards: QueryCardinalities | None = None
+    ) -> "EpisodeEncoder":
+        """A stateful incremental encoder for one episode over ``state``."""
+        return EpisodeEncoder(self, state, cards)
+
     def actions_for_tree(self, tree: JoinTree, query: Query) -> List[int]:
         """The pair-action sequence that reproduces ``tree`` from scratch.
 
@@ -250,3 +260,100 @@ class QueryFeaturizer:
             state.join(i, j)
             slot_of[join.aliases] = min(i, j)
         return actions
+
+
+class EpisodeEncoder:
+    """Stateful per-episode featurization — the incremental fast path.
+
+    :meth:`QueryFeaturizer.featurize` rebuilds the whole state vector
+    (static query blocks included) on every call, and
+    :meth:`QueryFeaturizer.pair_mask` re-derives slot connectivity from
+    the join predicates on every call. During an episode only the two
+    slot rows touched by a join action actually change, so this encoder:
+
+    - caches the static blocks (join graph, predicate flags,
+      selectivities) once at construction;
+    - maintains the tree matrix in place, refreshing only the merged
+      slot's row and zeroing the freed slot's row on :meth:`join`;
+    - maintains a slot-connectivity matrix incrementally — merging two
+      slots ORs their connectivity rows, since a predicate links the
+      merged forest exactly when it linked either part.
+
+    :meth:`vector` and :meth:`pair_mask` are bitwise-identical to the
+    stateless methods (the parity tests assert this); route all joins
+    through :meth:`join` so the caches stay consistent.
+    """
+
+    def __init__(
+        self,
+        featurizer: QueryFeaturizer,
+        state: SlotState,
+        cards: QueryCardinalities | None = None,
+    ) -> None:
+        f = featurizer
+        self.featurizer = f
+        self.state = state
+        self.cards = cards
+        query = state.query
+        flags, sels = f._predicate_features(query, cards)
+        self._static = np.concatenate([f._join_graph_features(query), flags, sels])
+        self._tree = np.zeros((f.max_relations, f._n_tables + 1))
+        for slot in state.occupied:
+            self._refresh_row(slot)
+        self._conn = np.zeros((f.max_relations, f.max_relations), dtype=bool)
+        occupied = state.occupied
+        if all(state.slots[i].is_leaf for i in occupied):
+            slot_of = {state.slots[i].alias: i for i in occupied}
+            for pred in query.joins:
+                i, j = slot_of[pred.left.alias], slot_of[pred.right.alias]
+                if i != j:
+                    self._conn[i, j] = self._conn[j, i] = True
+        else:  # adopted mid-episode: derive connectivity from scratch
+            for i in occupied:
+                for j in occupied:
+                    if i < j and state.connected(i, j):
+                        self._conn[i, j] = self._conn[j, i] = True
+
+    def _refresh_row(self, slot: int) -> None:
+        f = self.featurizer
+        subtree = self.state.slots[slot]
+        row = self._tree[slot]
+        row[:] = 0.0
+        row[: f._n_tables] = f.subtree_vector(subtree, self.state.query)
+        if self.cards is not None and f.include_cardinality:
+            rows = self.cards.rows_for_aliases(subtree.aliases)
+            row[f._n_tables] = np.log10(max(rows, 1.0)) / 10.0
+
+    def join(self, i: int, j: int) -> JoinTree:
+        """Apply the pair action and update every cached block it touches."""
+        merged = self.state.join(i, j)
+        lo, hi = min(i, j), max(i, j)
+        self._conn[lo] |= self._conn[hi]
+        self._conn[:, lo] |= self._conn[:, hi]
+        self._conn[hi, :] = False
+        self._conn[:, hi] = False
+        self._conn[lo, lo] = False
+        self._refresh_row(lo)
+        self._tree[hi] = 0.0
+        return merged
+
+    def vector(self) -> np.ndarray:
+        """The full state vector (a fresh array, safe to store)."""
+        return np.concatenate([self._tree.ravel(), self._static])
+
+    def pair_mask(self, forbid_cross_products: bool = True) -> np.ndarray:
+        """Validity mask over pair actions, from the cached connectivity."""
+        f = self.featurizer
+        mask = np.zeros(f.n_pair_actions, dtype=bool)
+        occupied = np.asarray(self.state.occupied, dtype=np.int64)
+        if len(occupied) < 2:
+            return mask
+        rows, cols = occupied[:, None], occupied[None, :]
+        connected = self._conn[rows, cols]
+        if forbid_cross_products and connected.any():
+            allowed = connected
+        else:
+            allowed = np.ones_like(connected)
+        np.fill_diagonal(allowed, False)
+        mask[f._pair_index_matrix[rows, cols][allowed]] = True
+        return mask

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Literal
+from typing import Dict, Literal, Tuple
 
 from repro.db.engine import Database
 from repro.db.plans import PhysicalPlan
@@ -118,6 +118,31 @@ class CostModelReward:
 
     def evaluate(self, plan: PhysicalPlan, query: Query) -> PlanOutcome:
         cost = self.db.plan_cost(plan, query).total
+        return self._outcome_for_cost(cost, query)
+
+    def evaluate_tree(
+        self, tree, query: Query, planner: Planner, cards=None
+    ) -> Tuple[PlanOutcome, PhysicalPlan]:
+        """Score a finished join order through the planner's tree costing.
+
+        Same outcome as completing the plan and calling :meth:`evaluate`
+        — bitwise-equal cost — but routed through
+        :meth:`Planner.evaluate_tree`, so a planner with a sub-plan cost
+        memo answers repeated trees without rebuilding or re-costing
+        them. The environments prefer this entry point when the reward
+        source offers it.
+        """
+        if planner.db is not self.db:
+            # The planner wraps a different database than this reward —
+            # its memoized costs would be computed under the wrong
+            # statistics. Preserve the pre-memo semantics: the planner
+            # builds the plan, THIS reward's database scores it.
+            plan = planner.complete_plan(tree, query)
+            return self.evaluate(plan, query), plan
+        result = planner.evaluate_tree(tree, query, cards=cards)
+        return self._outcome_for_cost(result.cost.total, query), result.plan
+
+    def _outcome_for_cost(self, cost: float, query: Query) -> PlanOutcome:
         expert = self.baseline.cost(query) if self.baseline else None
         reward = shape_metric(cost, self.shaping, expert)
         return PlanOutcome(reward=reward, metric=cost, cost=cost, executed=False)

@@ -18,6 +18,7 @@ from repro.core.reporting import bucket_means, convergence_episode, moving_avera
 from repro.core.rewards import ExpertBaseline, PlanOutcome
 from repro.db.query import Query
 from repro.rl.env import Trajectory, Transition, rollout
+from repro.rl.vector_env import VectorRolloutEngine
 
 __all__ = ["TrainingConfig", "EpisodeRecord", "TrainingLog", "Trainer"]
 
@@ -29,6 +30,12 @@ class TrainingConfig:
     episodes: int = 1000
     batch_size: int = 8
     max_steps_per_episode: int = 200
+    #: Collect episodes in lockstep batches of ``batch_size`` with one
+    #: stacked forward pass per step (the update cadence is unchanged:
+    #: both paths update on every ``batch_size`` complete episodes).
+    #: Falls back to sequential collection automatically when the env
+    #: cannot be cloned (``spawn``) or the agent has no batched policy.
+    vectorized: bool = True
 
 
 @dataclass(frozen=True)
@@ -134,6 +141,24 @@ class Trainer:
         self._episode_counter = 0
 
     # ------------------------------------------------------------------
+    def _vector_engine(self) -> VectorRolloutEngine | None:
+        """A lockstep engine over env clones, or None when unsupported.
+
+        Built fresh per call: ``spawn`` captures the env's *current*
+        reward source, and trainers like the §5.2 bootstrap swap it
+        between runs.
+        """
+        if not self.config.vectorized:
+            return None
+        policy = getattr(self.agent, "policy", None)
+        if policy is None or not hasattr(policy, "act_batch"):
+            return None
+        if not hasattr(self.env, "spawn"):
+            return None
+        width = max(1, self.config.batch_size)
+        envs = [self.env] + [self.env.spawn() for _ in range(width - 1)]
+        return VectorRolloutEngine(envs, policy)
+
     def run(
         self,
         episodes: int | None = None,
@@ -142,16 +167,37 @@ class Trainer:
     ) -> TrainingLog:
         """Train for ``episodes`` episodes (appending to ``log`` if given)."""
         episodes = episodes or self.config.episodes
-        trajectories = (
-            rollout(
-                self.env,
-                self.agent.act,
+        engine = self._vector_engine()
+        if engine is None:
+            trajectories = (
+                rollout(
+                    self.env,
+                    self.agent.act,
+                    self.rng,
+                    max_steps=self.config.max_steps_per_episode,
+                )
+                for _ in range(episodes)
+            )
+            return self._learn(trajectories, log, update)
+        # Lockstep collection: each wave is exactly one update batch,
+        # collected under one policy — the same schedule the sequential
+        # path follows, minus per-episode forward passes.
+        log = log or TrainingLog()
+        remaining = episodes
+        while remaining > 0:
+            wave = min(self.config.batch_size, remaining)
+            batch = engine.collect(
+                wave,
                 self.rng,
+                greedy=False,
                 max_steps=self.config.max_steps_per_episode,
             )
-            for _ in range(episodes)
-        )
-        return self._learn(trajectories, log, update)
+            for trajectory in batch:
+                log.append(self._record(trajectory))
+            if update:
+                self.agent.update(batch)
+            remaining -= wave
+        return log
 
     def replay(
         self,
@@ -206,6 +252,20 @@ class Trainer:
         self, queries: Sequence[Query], greedy: bool = True
     ) -> Dict[str, EpisodeRecord]:
         """Greedy (mode) evaluation on fixed queries, no learning."""
+        queries = list(queries)
+        engine = self._vector_engine()
+        if engine is not None:
+            trajectories = engine.collect(
+                len(queries),
+                self.rng,
+                greedy=greedy,
+                max_steps=self.config.max_steps_per_episode,
+                queries=queries,
+            )
+            return {
+                query.name: self._record(trajectory)
+                for query, trajectory in zip(queries, trajectories)
+            }
         results: Dict[str, EpisodeRecord] = {}
         for query in queries:
             trajectory = self._rollout_query(query, greedy)

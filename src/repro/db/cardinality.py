@@ -193,6 +193,19 @@ class QueryCardinalities:
         return self.rows_for_aliases(tree.aliases)
 
     # Physical plans -----------------------------------------------------
+    def join_rows(self, plan: "_Join", left_rows: float, right_rows: float) -> float:
+        """Join output estimate from already-known child estimates.
+
+        The single home of the join-row arithmetic: :meth:`plan_rows`
+        recurses into it, and the cost model calls it directly with the
+        child rows it already carries in ``PlanCost.rows`` — same
+        numbers either way, no re-walk of the subplan.
+        """
+        rows = left_rows * right_rows
+        for pred in plan.predicates:
+            rows *= self.join_selectivity(pred)
+        return max(1.0, rows)
+
     def plan_rows(self, plan: PhysicalPlan) -> float:
         """Estimated output rows of a physical operator.
 
@@ -210,17 +223,24 @@ class QueryCardinalities:
             # so identity-keyed caches would collide when the allocator
             # reuses addresses, and structural keys cost as much as the
             # recursion itself (which is linear in plan size).
-            rows = self.plan_rows(plan.left) * self.plan_rows(plan.right)
-            for pred in plan.predicates:
-                rows *= self.join_selectivity(pred)
-            return max(1.0, rows)
+            return self.join_rows(
+                plan, self.plan_rows(plan.left), self.plan_rows(plan.right)
+            )
         if isinstance(plan, _Aggregate):
             return self.aggregate_groups(plan)
         raise TypeError(f"unknown plan node {type(plan).__name__}")
 
-    def aggregate_groups(self, plan: "_Aggregate") -> float:
-        """Estimated group count: capped product of group-key distincts."""
-        input_rows = self.plan_rows(plan.child)
+    def aggregate_groups(
+        self, plan: "_Aggregate", input_rows: float | None = None
+    ) -> float:
+        """Estimated group count: capped product of group-key distincts.
+
+        ``input_rows`` lets a caller that already knows the child's row
+        estimate (the cost model carries it in ``PlanCost.rows``) skip
+        re-deriving it from the plan tree.
+        """
+        if input_rows is None:
+            input_rows = self.plan_rows(plan.child)
         if not plan.group_by:
             return 1.0
         distinct = 1.0

@@ -76,22 +76,47 @@ class CostModel:
         self.stats = stats
         self.params = params or CostParams()
 
-    def cost(self, plan: PhysicalPlan, cards: QueryCardinalities) -> PlanCost:
-        """Total cost of ``plan`` under the given per-query estimates."""
+    def cost(
+        self,
+        plan: PhysicalPlan,
+        cards: QueryCardinalities,
+        cache: dict | None = None,
+    ) -> PlanCost:
+        """Total cost of ``plan`` under the given per-query estimates.
+
+        ``cache`` is an optional caller-owned memo (``id(node) ->
+        (node, PlanCost)``). Operator selection costs many candidate
+        parents over the *same* child subplans; sharing one cache across
+        those calls makes plan construction O(nodes) instead of
+        O(nodes²). Entries keep a reference to their node, so a hit is
+        only served while the node is provably the same object.
+        """
+        if cache is not None:
+            entry = cache.get(id(plan))
+            if entry is not None and entry[0] is plan:
+                return entry[1]
+        result = self._dispatch(plan, cards, cache)
+        if cache is not None:
+            cache[id(plan)] = (plan, result)
+        return result
+
+    def _dispatch(
+        self, plan: PhysicalPlan, cards: QueryCardinalities, cache: dict | None
+    ) -> PlanCost:
         if isinstance(plan, SeqScan):
             return self._seq_scan(plan, cards)
         if isinstance(plan, IndexScan):
             return self._index_scan(plan, cards)
         if isinstance(plan, NestedLoopJoin):
-            return self._nested_loop(plan, cards)
+            return self._nested_loop(plan, cards, cache)
         if isinstance(plan, HashJoin):
-            return self._hash_join(plan, cards)
+            return self._hash_join(plan, cards, cache)
         if isinstance(plan, MergeJoin):
-            return self._merge_join(plan, cards)
+            return self._merge_join(plan, cards, cache)
         if isinstance(plan, HashAggregate):
-            return self._hash_aggregate(plan, cards)
+            return self._hash_aggregate(plan, cards, cache)
         if isinstance(plan, SortAggregate):
-            return self._sort_aggregate(plan, cards)
+            return self._sort_aggregate(plan, cards, cache)
         raise TypeError(f"unknown plan node {type(plan).__name__}")
 
     # ------------------------------------------------------------------
@@ -138,11 +163,25 @@ class CostModel:
     # ------------------------------------------------------------------
     # Joins
     # ------------------------------------------------------------------
-    def _nested_loop(self, plan: NestedLoopJoin, cards: QueryCardinalities) -> PlanCost:
+    @staticmethod
+    def _join_rows(plan, left: PlanCost, right: PlanCost, cards: QueryCardinalities) -> float:
+        """Join output estimate without re-walking the subplan.
+
+        ``PlanCost.rows`` of each child IS ``cards.plan_rows`` of that
+        node, so handing the known child rows to the estimator's own
+        :meth:`~repro.db.cardinality.QueryCardinalities.join_rows` gives
+        the same number in O(1) — which matters when operator selection
+        costs several candidate parents over the same children.
+        """
+        return cards.join_rows(plan, left.rows, right.rows)
+
+    def _nested_loop(
+        self, plan: NestedLoopJoin, cards: QueryCardinalities, cache: dict | None = None
+    ) -> PlanCost:
         p = self.params
-        left = self.cost(plan.left, cards)
-        right = self.cost(plan.right, cards)
-        out_rows = cards.plan_rows(plan)
+        left = self.cost(plan.left, cards, cache)
+        right = self.cost(plan.right, cards, cache)
+        out_rows = self._join_rows(plan, left, right, cards)
         # Inner is materialized once, then rescanned per outer tuple.
         rescan = max(0.0, left.rows - 1.0) * right.rows * p.cpu_operator_cost
         compare = left.rows * right.rows * p.cpu_operator_cost * max(
@@ -157,11 +196,13 @@ class CostModel:
         )
         return PlanCost(left.startup, total, out_rows)
 
-    def _hash_join(self, plan: HashJoin, cards: QueryCardinalities) -> PlanCost:
+    def _hash_join(
+        self, plan: HashJoin, cards: QueryCardinalities, cache: dict | None = None
+    ) -> PlanCost:
         p = self.params
-        build = self.cost(plan.left, cards)
-        probe = self.cost(plan.right, cards)
-        out_rows = cards.plan_rows(plan)
+        build = self.cost(plan.left, cards, cache)
+        probe = self.cost(plan.right, cards, cache)
+        out_rows = self._join_rows(plan, build, probe, cards)
         startup = build.total + build.rows * p.hash_build_cost
         total = (
             startup
@@ -175,11 +216,13 @@ class CostModel:
         rows = max(rows, 2.0)
         return 2.0 * rows * math.log2(rows) * self.params.cpu_operator_cost
 
-    def _merge_join(self, plan: MergeJoin, cards: QueryCardinalities) -> PlanCost:
+    def _merge_join(
+        self, plan: MergeJoin, cards: QueryCardinalities, cache: dict | None = None
+    ) -> PlanCost:
         p = self.params
-        left = self.cost(plan.left, cards)
-        right = self.cost(plan.right, cards)
-        out_rows = cards.plan_rows(plan)
+        left = self.cost(plan.left, cards, cache)
+        right = self.cost(plan.right, cards, cache)
+        out_rows = self._join_rows(plan, left, right, cards)
         sort = self._sort_cost(left.rows) + self._sort_cost(right.rows)
         startup = left.total + right.total + sort
         merge = (left.rows + right.rows) * p.cpu_operator_cost
@@ -192,20 +235,24 @@ class CostModel:
     def _agg_width(self, plan) -> int:
         return max(1, len(plan.group_by) + len(plan.aggregates))
 
-    def _hash_aggregate(self, plan: HashAggregate, cards: QueryCardinalities) -> PlanCost:
+    def _hash_aggregate(
+        self, plan: HashAggregate, cards: QueryCardinalities, cache: dict | None = None
+    ) -> PlanCost:
         p = self.params
-        child = self.cost(plan.child, cards)
-        groups = cards.aggregate_groups(plan)
+        child = self.cost(plan.child, cards, cache)
+        groups = cards.aggregate_groups(plan, input_rows=child.rows)
         cpu = child.rows * p.cpu_operator_cost * self._agg_width(plan)
         cpu += child.rows * p.hash_build_cost * (1 if plan.group_by else 0)
         startup = child.total + cpu
         total = startup + groups * p.cpu_tuple_cost
         return PlanCost(startup, total, groups)
 
-    def _sort_aggregate(self, plan: SortAggregate, cards: QueryCardinalities) -> PlanCost:
+    def _sort_aggregate(
+        self, plan: SortAggregate, cards: QueryCardinalities, cache: dict | None = None
+    ) -> PlanCost:
         p = self.params
-        child = self.cost(plan.child, cards)
-        groups = cards.aggregate_groups(plan)
+        child = self.cost(plan.child, cards, cache)
+        groups = cards.aggregate_groups(plan, input_rows=child.rows)
         sort = self._sort_cost(child.rows) if plan.group_by else 0.0
         cpu = child.rows * p.cpu_operator_cost * self._agg_width(plan)
         startup = child.total + sort + cpu

@@ -8,6 +8,7 @@ and an executor.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
 
@@ -38,6 +39,20 @@ class Database:
     hash_indexes: Dict[Tuple[str, str], HashIndex] = field(default_factory=dict)
     cost_params: CostParams = field(default_factory=CostParams)
     sim_params: SimParams = field(default_factory=SimParams)
+    #: Identity-keyed LRU of per-query cardinality estimates. A
+    #: :class:`QueryCardinalities` memoizes its own subtree estimates, so
+    #: sharing one instance per query object across an episode (and
+    #: across episodes over a fixed workload) turns repeated estimation
+    #: into dictionary lookups. Dropped wholesale on :meth:`analyze`.
+    _cards_cache: "OrderedDict[int, Tuple[Query, QueryCardinalities]]" = field(
+        default_factory=OrderedDict, init=False, repr=False, compare=False
+    )
+    #: Bumped by every :meth:`analyze`. Derived caches that outlive this
+    #: object's statistics (the planner's sub-plan cost memo) compare
+    #: epochs instead of relying on every holder to invalidate manually.
+    stats_epoch: int = field(default=0, init=False, repr=False, compare=False)
+
+    _CARDS_CACHE_CAPACITY = 512
 
     # ------------------------------------------------------------------
     # Construction
@@ -73,6 +88,9 @@ class Database:
             name: analyze_table(table, rng, sample_size=sample_size)
             for name, table in self.tables.items()
         }
+        # Cached estimates were derived from the replaced statistics.
+        self._cards_cache.clear()
+        self.stats_epoch += 1
 
     def build_default_indexes(self) -> None:
         """B-tree every primary key and FK endpoint; hash every FK column.
@@ -133,7 +151,22 @@ class Database:
         return CardinalityEstimator(self.schema, self.stats)
 
     def cardinalities(self, query: Query) -> QueryCardinalities:
-        return self.estimator().for_query(query)
+        """Per-query estimates, cached by query identity.
+
+        The identity check (``is``, not equality) means a mutated or
+        re-parsed query object always gets fresh estimates; only the
+        exact same object — an episode loop, a workload replayed across
+        episodes — shares the memoized instance.
+        """
+        entry = self._cards_cache.get(id(query))
+        if entry is not None and entry[0] is query:
+            self._cards_cache.move_to_end(id(query))
+            return entry[1]
+        cards = self.estimator().for_query(query)
+        self._cards_cache[id(query)] = (query, cards)
+        while len(self._cards_cache) > self._CARDS_CACHE_CAPACITY:
+            self._cards_cache.popitem(last=False)
+        return cards
 
     def cost_model(self) -> CostModel:
         return CostModel(self.schema, self.stats, self.cost_params)
@@ -153,9 +186,14 @@ class Database:
     # ------------------------------------------------------------------
     # Convenience entry points
     # ------------------------------------------------------------------
-    def plan_cost(self, plan: PhysicalPlan, query: Query) -> PlanCost:
+    def plan_cost(
+        self,
+        plan: PhysicalPlan,
+        query: Query,
+        cards: QueryCardinalities | None = None,
+    ) -> PlanCost:
         """Cost-model opinion of a plan (the ReJOIN reward signal)."""
-        return self.cost_model().cost(plan, self.cardinalities(query))
+        return self.cost_model().cost(plan, cards or self.cardinalities(query))
 
     def execute_plan(
         self, plan: PhysicalPlan, query: Query, budget_ms: float = float("inf")

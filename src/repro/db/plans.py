@@ -13,6 +13,7 @@ The paper's agents act on two plan representations:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Callable, Dict, Iterator, List, Tuple
 
 from repro.db.predicates import ColumnRef, JoinPredicate, Predicate
@@ -132,7 +133,15 @@ class JoinTree:
 
 
 class PhysicalPlan:
-    """Base class for physical operator nodes."""
+    """Base class for physical operator nodes.
+
+    ``aliases`` is a :func:`~functools.cached_property` on every node
+    type: operator selection and join-predicate routing consult it
+    constantly, and recomputing the recursive union on each access made
+    plan construction quadratic in plan size. (``cached_property``
+    writes straight into ``__dict__``, which sidesteps the frozen-
+    dataclass ``__setattr__`` guard — the value is derived, not state.)
+    """
 
     @property
     def aliases(self) -> frozenset:
@@ -160,7 +169,7 @@ class SeqScan(PhysicalPlan):
     table: str
     predicates: Tuple[Predicate, ...] = ()
 
-    @property
+    @cached_property
     def aliases(self) -> frozenset:
         return frozenset((self.alias,))
 
@@ -198,7 +207,7 @@ class IndexScan(PhysicalPlan):
                 f"index column {self.index_column!r}"
             )
 
-    @property
+    @cached_property
     def aliases(self) -> frozenset:
         return frozenset((self.alias,))
 
@@ -229,7 +238,7 @@ class _Join(PhysicalPlan):
                     f"predicate {pred.render()} does not connect the join inputs"
                 )
 
-    @property
+    @cached_property
     def aliases(self) -> frozenset:
         return self.left.aliases | self.right.aliases
 
@@ -288,7 +297,7 @@ class _Aggregate(PhysicalPlan):
     group_by: Tuple[ColumnRef, ...] = ()
     aggregates: Tuple[AggregateSpec, ...] = ()
 
-    @property
+    @cached_property
     def aliases(self) -> frozenset:
         return self.child.aliases
 

@@ -25,6 +25,7 @@ __all__ = [
     "InPredicate",
     "JoinPredicate",
     "Predicate",
+    "predicate_signature",
 ]
 
 
@@ -127,6 +128,30 @@ class InPredicate:
 
 #: Any selection predicate usable in a WHERE conjunction.
 Predicate = Comparison | BetweenPredicate | InPredicate
+
+
+def predicate_signature(pred: "Predicate") -> str:
+    """Render a selection predicate with the alias stripped out.
+
+    The shared cache-key primitive: query fingerprints and sub-plan
+    cost memo keys both need a name-free rendering that two equivalent
+    predicates produce identically. Constants use ``repr`` (full float
+    precision) so predicates that differ only past the sixth
+    significant digit never share a key.
+    """
+    column = pred.column.column
+    if isinstance(pred, Comparison):
+        return f"?.{column} {pred.op.value} {pred.value!r}"
+    if isinstance(pred, BetweenPredicate):
+        return f"?.{column} BETWEEN {pred.lo!r} AND {pred.hi!r}"
+    if isinstance(pred, InPredicate):
+        values = ",".join(repr(v) for v in sorted(pred.values))
+        return f"?.{column} IN ({values})"
+    # Unknown predicate type: fall back to its own rendering minus the
+    # alias prefix, so new predicate kinds degrade gracefully.
+    rendered = pred.render()
+    prefix = f"{pred.column.alias}."
+    return "?." + rendered[len(prefix):] if rendered.startswith(prefix) else rendered
 
 
 @dataclass(frozen=True)

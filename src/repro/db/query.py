@@ -94,6 +94,11 @@ class Query:
     def joins_between(
         self, left_aliases: Sequence[str], right_aliases: Sequence[str]
     ) -> List[JoinPredicate]:
+        """Join predicates linking the two alias collections.
+
+        Sets/frozensets make the membership tests O(1); tuples and lists
+        work too (hot callers pass ``JoinTree.aliases`` frozensets).
+        """
         return [j for j in self.joins if j.connects(left_aliases, right_aliases)]
 
     def join_graph(self) -> nx.Graph:

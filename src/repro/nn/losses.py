@@ -15,6 +15,7 @@ import numpy as np
 __all__ = [
     "masked_softmax",
     "masked_log_softmax",
+    "masked_softmax_and_log",
     "mse_loss",
     "policy_gradient_loss",
     "entropy",
@@ -53,6 +54,23 @@ def masked_log_softmax(logits: np.ndarray, mask: np.ndarray | None = None) -> np
     shifted = masked - masked.max(axis=1, keepdims=True)
     log_norm = np.log(np.exp(shifted).sum(axis=1, keepdims=True))
     return shifted - log_norm
+
+
+def masked_softmax_and_log(
+    logits: np.ndarray, mask: np.ndarray | None = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Both distributions from one shift/exp/normalize pass.
+
+    Policy-gradient losses need probabilities (for gradients and
+    entropy) *and* log-probabilities (for the surrogate) of the same
+    logits; computing them together halves the softmax work without
+    changing a single bit of either result.
+    """
+    masked = _apply_mask(logits, mask)
+    shifted = masked - masked.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    norm = exp.sum(axis=1, keepdims=True)
+    return exp / norm, shifted - np.log(norm)
 
 
 def entropy(probs: np.ndarray) -> np.ndarray:
@@ -97,8 +115,7 @@ def policy_gradient_loss(
     if (actions < 0).any() or (actions >= k).any():
         raise ValueError("action index out of range")
 
-    probs = masked_softmax(logits, mask)
-    log_probs = masked_log_softmax(logits, mask)
+    probs, log_probs = masked_softmax_and_log(logits, mask)
     picked = log_probs[np.arange(n), actions]
     if mask is not None:
         valid = np.atleast_2d(np.asarray(mask, dtype=bool))[np.arange(n), actions]

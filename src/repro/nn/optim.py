@@ -137,12 +137,17 @@ class Adam(Optimizer):
             v = self._v.get(name)
             if m is None or m.shape != g.shape:
                 m = np.zeros_like(g)
+                self._m[name] = m
             if v is None or v.shape != g.shape:
                 v = np.zeros_like(g)
-            m = self.beta1 * m + (1 - self.beta1) * g
-            v = self.beta2 * v + (1 - self.beta2) * g**2
-            self._m[name] = m
-            self._v[name] = v
-            m_hat = m / b1t
-            v_hat = v / b2t
-            param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+                self._v[name] = v
+            # In-place moment updates: same arithmetic (and bit results)
+            # as `beta*m + (1-beta)*g`, without reallocating the moment
+            # buffers on every step — the optimizer was allocation-bound.
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * g**2
+            update = self.lr * (m / b1t)
+            update /= np.sqrt(v / b2t) + self.eps
+            param -= update

@@ -19,6 +19,7 @@ from repro.optimizer.join_search import (
     random_join_tree,
     selinger_dp,
 )
+from repro.optimizer.memo import SubPlanCostMemo, tree_keys
 from repro.optimizer.physical import (
     build_physical_plan,
     choose_access_path,
@@ -30,7 +31,9 @@ from repro.optimizer.planner import Planner, PlannerResult
 __all__ = [
     "Planner",
     "PlannerResult",
+    "SubPlanCostMemo",
     "build_physical_plan",
+    "tree_keys",
     "choose_access_path",
     "choose_aggregate_operator",
     "choose_join_operator",

@@ -1,0 +1,180 @@
+"""Cross-episode sub-plan cost memoization (ROADMAP: "cross-query
+sub-plan memoization").
+
+Training converges onto a small set of join trees per query, and the
+serving layer replays cached trees for fingerprint-equivalent queries —
+in both cases the expensive part of scoring a finished join order
+(physical completion plus cost-model evaluation) was recomputed from
+scratch every time. This module memoizes those results, keyed by a
+*structural* fingerprint of the logical join (sub)tree:
+
+- a **leaf** is labelled by its table plus the name-free signatures of
+  its selection predicates (full-precision constants, so predicates
+  differing in any digit never collide);
+- a **join** is labelled by its children's digests plus the join
+  predicates that connect them, with predicate endpoints rendered as
+  *leaf positions* inside the subtree (position, not alias, so the
+  label is well-defined even for self-joins);
+- the **memo key** additionally pins the in-order alias tuple, so a
+  cached physical plan — which embeds alias names — is only ever served
+  to a requester whose aliases match.
+
+Everything the cost model consumes (table statistics, selections, join
+predicates, tree shape, aggregate spec) is part of the key, so a memo
+hit returns costs bitwise-equal to uncached evaluation. Keys say
+nothing about statistics *freshness*: clear the memo whenever the
+database is re-ANALYZEd (the serving layer does this on
+``refresh_statistics``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.db.costmodel import PlanCost
+from repro.db.plans import JoinTree, PhysicalPlan
+from repro.db.predicates import predicate_signature
+from repro.db.query import Query
+
+__all__ = ["MemoEntry", "SubPlanCostMemo", "tree_keys"]
+
+
+def _digest(text: str) -> str:
+    return hashlib.blake2b(text.encode(), digest_size=16).hexdigest()
+
+
+def tree_keys(
+    tree: JoinTree, query: Query, include_aggregate: bool = True
+) -> Tuple[Dict[int, str], str]:
+    """Memo keys for every node of ``tree`` plus the full-plan root key.
+
+    Returns ``(node_keys, root_key)`` where ``node_keys`` maps
+    ``id(node)`` to the node's key (valid while ``tree`` is alive) and
+    ``root_key`` extends the root node's key with the query's aggregate
+    block, which only the complete plan carries.
+    """
+    node_keys: Dict[int, str] = {}
+
+    def walk(node: JoinTree) -> Tuple[str, Tuple[str, ...]]:
+        if node.is_leaf:
+            sels = ";".join(
+                sorted(predicate_signature(p) for p in query.selections_for(node.alias))
+            )
+            digest = _digest(f"L|{query.table_of(node.alias)}|{sels}")
+            leaves: Tuple[str, ...] = (node.alias,)
+        else:
+            left_digest, left_leaves = walk(node.left)
+            right_digest, right_leaves = walk(node.right)
+            leaves = left_leaves + right_leaves
+            position = {alias: k for k, alias in enumerate(leaves)}
+            left_aliases, right_aliases = node.left.aliases, node.right.aliases
+            edges = []
+            for pred in query.joins:
+                a, b = pred.left, pred.right
+                if a.alias in left_aliases and b.alias in right_aliases:
+                    pass
+                elif b.alias in left_aliases and a.alias in right_aliases:
+                    a, b = b, a
+                else:
+                    continue
+                edges.append(
+                    f"{position[a.alias]}.{a.column}~{position[b.alias]}.{b.column}"
+                )
+            digest = _digest(f"J|{left_digest}|{right_digest}|{','.join(sorted(edges))}")
+        node_keys[id(node)] = _digest(digest + "|" + ",".join(leaves))
+        return digest, leaves
+
+    root_digest, leaves = walk(tree)
+    agg = ""
+    if include_aggregate:
+        group = ",".join(sorted(f"{r.alias}.{r.column}" for r in query.group_by))
+        aggs = ",".join(sorted(a.render() for a in query.aggregates))
+        agg = f"|G:{group}|A:{aggs}"
+    root_key = _digest(root_digest + "|" + ",".join(leaves) + agg)
+    return node_keys, root_key
+
+
+@dataclass(frozen=True)
+class MemoEntry:
+    """A completed physical (sub)plan and its cost-model verdict."""
+
+    plan: PhysicalPlan
+    cost: PlanCost
+
+
+class SubPlanCostMemo:
+    """LRU memo from sub-tree keys to completed, costed sub-plans.
+
+    Shared across episodes (training) and requests (serving): attach one
+    instance to a :class:`~repro.optimizer.planner.Planner` and every
+    ``evaluate_tree``/``complete_plan`` call reuses whatever join
+    fragments earlier calls already costed. Counters are operator-facing
+    (``repro info`` prints them through the service).
+    """
+
+    def __init__(self, capacity: int = 8192) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        #: The ``Database.stats_epoch`` the entries were computed under;
+        #: :meth:`sync_epoch` drops them when the statistics move on.
+        self.epoch = 0
+        self._entries: "OrderedDict[str, MemoEntry]" = OrderedDict()
+
+    def sync_epoch(self, epoch: int) -> None:
+        """Drop every entry if the database statistics epoch changed.
+
+        Called by the planner on each use, so a ``Database.analyze()``
+        invalidates every attached memo without each holder (envs, CLI,
+        benches, the serving layer) having to remember to."""
+        if epoch != self.epoch:
+            self.clear()
+            self.epoch = epoch
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> MemoEntry | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: str, plan: PhysicalPlan, cost: PlanCost) -> MemoEntry:
+        entry = MemoEntry(plan=plan, cost=cost)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+        self._entries[key] = entry
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+        return entry
+
+    def clear(self) -> int:
+        """Drop every entry (statistics refresh); returns entries dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "costmemo_hits": self.hits,
+            "costmemo_misses": self.misses,
+            "costmemo_evictions": self.evictions,
+            "costmemo_size": len(self._entries),
+            "costmemo_hit_rate": round(self.hit_rate, 4),
+        }

@@ -95,10 +95,11 @@ def choose_access_path(
     db: Database,
     cost_model: CostModel,
     cards: QueryCardinalities,
+    cost_cache: dict | None = None,
 ) -> PhysicalPlan:
     """The cheapest access path for one relation."""
     candidates = access_path_candidates(alias, query, db)
-    return min(candidates, key=lambda p: cost_model.cost(p, cards).total)
+    return min(candidates, key=lambda p: cost_model.cost(p, cards, cost_cache).total)
 
 
 def join_operator_candidates(
@@ -127,10 +128,11 @@ def choose_join_operator(
     predicates: Tuple[JoinPredicate, ...],
     cost_model: CostModel,
     cards: QueryCardinalities,
+    cost_cache: dict | None = None,
 ) -> PhysicalPlan:
     """The cheapest join operator (including hash-join build order)."""
     candidates = join_operator_candidates(left, right, predicates)
-    return min(candidates, key=lambda p: cost_model.cost(p, cards).total)
+    return min(candidates, key=lambda p: cost_model.cost(p, cards, cost_cache).total)
 
 
 def choose_aggregate_operator(
@@ -138,6 +140,7 @@ def choose_aggregate_operator(
     query: Query,
     cost_model: CostModel,
     cards: QueryCardinalities,
+    cost_cache: dict | None = None,
 ) -> PhysicalPlan:
     """Wrap ``child`` in the cheaper aggregate operator, if the query
     aggregates; otherwise return ``child`` unchanged."""
@@ -146,7 +149,7 @@ def choose_aggregate_operator(
     group = tuple(query.group_by)
     aggs = tuple(query.aggregates)
     candidates = [cls(child, group, aggs) for cls in AGGREGATE_OPERATORS]
-    return min(candidates, key=lambda p: cost_model.cost(p, cards).total)
+    return min(candidates, key=lambda p: cost_model.cost(p, cards, cost_cache).total)
 
 
 def build_physical_plan(
@@ -159,6 +162,9 @@ def build_physical_plan(
     join_operators: Dict[frozenset, type] | None = None,
     aggregate_operator: type | None = None,
     include_aggregate: bool = True,
+    memo=None,
+    cost_cache: dict | None = None,
+    memo_keys: Dict[int, str] | None = None,
 ) -> PhysicalPlan:
     """Turn a logical join tree into a full physical plan.
 
@@ -168,31 +174,65 @@ def build_physical_plan(
     ``aggregate_operator`` pins the aggregate class — which is how the
     staged RL environments inject *learned* choices for some stages
     while the traditional optimizer fills in the rest (paper §5.3.1).
+
+    ``memo`` is an optional :class:`~repro.optimizer.memo.SubPlanCostMemo`
+    shared across calls: sub-trees already completed and costed for an
+    earlier tree (or an earlier episode) are reused instead of rebuilt.
+    It only applies on the fully cost-based path — pinned choices are
+    the environment's to make, not the memo's. ``cost_cache`` is the
+    per-call :meth:`CostModel.cost` cache; pass your own dict to also
+    reuse the node costs when costing the finished plan.
     """
     cost_model = cost_model or db.cost_model()
     cards = cards or db.cardinalities(query)
+    use_memo = memo is not None and not access_paths and not join_operators
     access_paths = access_paths or {}
     join_operators = join_operators or {}
+    if cost_cache is None:
+        cost_cache = {}
+    node_keys: Dict[int, str] = memo_keys or {}
+    if use_memo and not node_keys:
+        from repro.optimizer.memo import tree_keys
+
+        node_keys, _root = tree_keys(tree, query, include_aggregate=False)
 
     def build(node: JoinTree) -> PhysicalPlan:
+        if use_memo:
+            entry = memo.get(node_keys[id(node)])
+            if entry is not None:
+                # Seed the cost cache so candidate parents do not
+                # re-descend into an already-costed subtree.
+                cost_cache[id(entry.plan)] = (entry.plan, entry.cost)
+                return entry.plan
         if node.is_leaf:
             pinned = access_paths.get(node.alias)
             if pinned is not None:
                 return pinned
-            return choose_access_path(node.alias, query, db, cost_model, cards)
-        left = build(node.left)
-        right = build(node.right)
-        preds = tuple(
-            query.joins_between(tuple(left.aliases), tuple(right.aliases))
-        )
-        pinned_cls = join_operators.get(node.aliases)
-        if pinned_cls is not None:
-            if pinned_cls is not NestedLoopJoin and not preds:
-                # A learned choice may be infeasible (hash/merge require
-                # an equi-join predicate); degrade rather than crash.
-                return NestedLoopJoin(left, right, preds)
-            return pinned_cls(left, right, preds)
-        return choose_join_operator(left, right, preds, cost_model, cards)
+            built = choose_access_path(
+                node.alias, query, db, cost_model, cards, cost_cache
+            )
+        else:
+            left = build(node.left)
+            right = build(node.right)
+            preds = tuple(query.joins_between(left.aliases, right.aliases))
+            pinned_cls = join_operators.get(node.aliases)
+            if pinned_cls is not None:
+                if pinned_cls is not NestedLoopJoin and not preds:
+                    # A learned choice may be infeasible (hash/merge require
+                    # an equi-join predicate); degrade rather than crash.
+                    return NestedLoopJoin(left, right, preds)
+                return pinned_cls(left, right, preds)
+            else:
+                built = choose_join_operator(
+                    left, right, preds, cost_model, cards, cost_cache
+                )
+        if use_memo:
+            memo.put(
+                node_keys[id(node)],
+                built,
+                cost_model.cost(built, cards, cost_cache),
+            )
+        return built
 
     plan = build(tree)
     if include_aggregate:
@@ -201,5 +241,5 @@ def build_physical_plan(
                 plan, tuple(query.group_by), tuple(query.aggregates)
             )
         else:
-            plan = choose_aggregate_operator(plan, query, cost_model, cards)
+            plan = choose_aggregate_operator(plan, query, cost_model, cards, cost_cache)
     return plan

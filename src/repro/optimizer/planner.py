@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.db.cardinality import QueryCardinalities
 from repro.db.costmodel import PlanCost
 from repro.db.engine import Database
 from repro.db.plans import JoinTree, PhysicalPlan
@@ -23,6 +24,7 @@ from repro.optimizer.join_search import (
     greedy_bottom_up,
     selinger_dp,
 )
+from repro.optimizer.memo import SubPlanCostMemo, tree_keys
 from repro.optimizer.physical import build_physical_plan
 
 __all__ = ["Planner", "PlannerResult"]
@@ -51,18 +53,26 @@ class Planner:
         db: Database,
         geqo_threshold: int = DEFAULT_GEQO_THRESHOLD,
         bushy: bool = False,
+        cost_memo: SubPlanCostMemo | None = None,
     ) -> None:
         """``bushy=False`` (default) restricts the expert to left-deep
         join trees — the classic System R heuristic. This is what gives
         a learned optimizer headroom to *beat* the expert on plan cost
         (Figure 3b): ReJOIN explores bushy shapes the expert never
         considers, just as the real ReJOIN out-planned PostgreSQL's
-        heuristically restricted search."""
+        heuristically restricted search.
+
+        ``cost_memo`` (optional) memoizes completed-and-costed
+        (sub)plans across :meth:`evaluate_tree`/:meth:`complete_plan`
+        calls, keyed by structural join-tree fingerprints — repeated
+        trees (a converged policy, a replayed cache entry) are costed
+        once. Clear it whenever the database is re-ANALYZEd."""
         if geqo_threshold < 2:
             raise ValueError("geqo_threshold must be at least 2")
         self.db = db
         self.geqo_threshold = geqo_threshold
         self.bushy = bushy
+        self.cost_memo = cost_memo
 
     def choose_join_order(self, query: Query) -> JoinTree:
         """Join-order search only (the first stage of Figure 8).
@@ -80,30 +90,78 @@ class Planner:
         )
 
     def complete_plan(
-        self, tree: JoinTree, query: Query, include_aggregate: bool = True
+        self,
+        tree: JoinTree,
+        query: Query,
+        include_aggregate: bool = True,
+        cards: QueryCardinalities | None = None,
     ) -> PhysicalPlan:
         """Fill in access paths and operators for a given join order.
 
         This is the service ReJOIN calls after choosing a join order.
         """
+        if self.cost_memo is not None:
+            self.cost_memo.sync_epoch(self.db.stats_epoch)
         return build_physical_plan(
-            tree, query, self.db, include_aggregate=include_aggregate
+            tree,
+            query,
+            self.db,
+            cards=cards,
+            include_aggregate=include_aggregate,
+            memo=self.cost_memo,
         )
 
-    def evaluate_tree(self, tree: JoinTree, query: Query) -> PlannerResult:
+    def evaluate_tree(
+        self, tree: JoinTree, query: Query, cards: QueryCardinalities | None = None
+    ) -> PlannerResult:
         """Complete and cost a join order chosen elsewhere (e.g. by the
         learned policy). Same result shape as :meth:`optimize`, so the
-        serving layer can compare learned and expert plans uniformly."""
+        serving layer can compare learned and expert plans uniformly.
+
+        With a ``cost_memo`` attached, a repeated tree is answered from
+        the memo — bitwise-equal plan and cost, no rebuild, no
+        re-costing — and on a miss every completed sub-tree is recorded
+        for the next caller.
+        """
         start = time.perf_counter()
-        plan = self.complete_plan(tree, query)
-        elapsed_ms = (time.perf_counter() - start) * 1000.0
-        cost = self.db.plan_cost(plan, query)
+        memo = self.cost_memo
+        root_key = None
+        node_keys = None
+        if memo is not None:
+            memo.sync_epoch(self.db.stats_epoch)
+            node_keys, root_key = tree_keys(tree, query)
+            entry = memo.get(root_key)
+            if entry is not None:
+                return PlannerResult(
+                    query_name=query.name,
+                    join_tree=tree,
+                    plan=entry.plan,
+                    cost=entry.cost,
+                    planning_time_ms=(time.perf_counter() - start) * 1000.0,
+                    used_exhaustive_search=False,
+                )
+        cards = cards or self.db.cardinalities(query)
+        cost_model = self.db.cost_model()
+        cost_cache: dict = {}
+        plan = build_physical_plan(
+            tree,
+            query,
+            self.db,
+            cost_model=cost_model,
+            cards=cards,
+            memo=memo,
+            cost_cache=cost_cache,
+            memo_keys=node_keys,
+        )
+        cost = cost_model.cost(plan, cards, cost_cache)
+        if memo is not None:
+            memo.put(root_key, plan, cost)
         return PlannerResult(
             query_name=query.name,
             join_tree=tree,
             plan=plan,
             cost=cost,
-            planning_time_ms=elapsed_ms,
+            planning_time_ms=(time.perf_counter() - start) * 1000.0,
             used_exhaustive_search=False,
         )
 
@@ -111,9 +169,10 @@ class Planner:
         """Run the whole pipeline and time it."""
         start = time.perf_counter()
         tree = self.choose_join_order(query)
-        plan = self.complete_plan(tree, query)
+        cards = self.db.cardinalities(query)
+        plan = self.complete_plan(tree, query, cards=cards)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
-        cost = self.db.plan_cost(plan, query)
+        cost = self.db.plan_cost(plan, query, cards=cards)
         return PlannerResult(
             query_name=query.name,
             join_tree=tree,

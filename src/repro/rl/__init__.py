@@ -13,6 +13,7 @@ from repro.rl.policy import CategoricalPolicy
 from repro.rl.ppo import PPOAgent, PPOConfig
 from repro.rl.reinforce import ReinforceAgent, ReinforceConfig
 from repro.rl.schedules import ConstantSchedule, ExponentialSchedule, LinearSchedule
+from repro.rl.vector_env import VectorRolloutEngine
 
 __all__ = [
     "CategoricalPolicy",
@@ -27,5 +28,6 @@ __all__ = [
     "StepResult",
     "Trajectory",
     "Transition",
+    "VectorRolloutEngine",
     "rollout",
 ]

@@ -13,7 +13,7 @@ from typing import Tuple
 
 import numpy as np
 
-from repro.nn.losses import masked_log_softmax, masked_softmax
+from repro.nn.losses import masked_log_softmax, masked_softmax, masked_softmax_and_log
 from repro.nn.network import MLP
 
 __all__ = ["CategoricalPolicy"]
@@ -39,6 +39,19 @@ class CategoricalPolicy:
         logits = self.net.forward(states)
         return masked_log_softmax(logits, self._fit_mask(masks, logits.shape))
 
+    def distributions(
+        self, states: np.ndarray, masks: np.ndarray | None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """``(probabilities, log_probabilities)`` from ONE forward pass.
+
+        Callers that need both (sampling with log-prob bookkeeping,
+        policy updates) should use this instead of calling
+        :meth:`probabilities` and :meth:`log_probabilities` separately,
+        which would run the network twice on the same states.
+        """
+        logits = self.net.forward(states)
+        return masked_softmax_and_log(logits, self._fit_mask(masks, logits.shape))
+
     def act(
         self,
         state: np.ndarray,
@@ -48,15 +61,15 @@ class CategoricalPolicy:
     ) -> Tuple[int, float]:
         """Sample (or take the mode of) the action distribution.
 
+        A 1-row :meth:`act_batch`, so the sampling logic (inverse-CDF,
+        mask safety) lives in exactly one place.
         Returns ``(action, log_prob_of_action)``.
         """
-        probs = self.probabilities(state, None if mask is None else np.atleast_2d(mask))[0]
-        if greedy:
-            action = int(np.argmax(probs))
-        else:
-            action = int(rng.choice(len(probs), p=probs))
-        log_prob = float(np.log(max(probs[action], 1e-30)))
-        return action, log_prob
+        masks = None if mask is None else np.atleast_2d(mask)
+        actions, log_probs = self.act_batch(
+            np.atleast_2d(np.asarray(state, dtype=float)), masks, rng, greedy
+        )
+        return int(actions[0]), float(log_probs[0])
 
     def act_batch(
         self,
@@ -65,14 +78,15 @@ class CategoricalPolicy:
         rng: np.random.Generator | None = None,
         greedy: bool = True,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        """Vectorized :meth:`act` over a whole batch of states.
+        """Vectorized action selection over a whole batch of states.
 
-        One forward pass serves every row — this is the primitive the
-        serving layer's micro-batch engine builds on. Returns
-        ``(actions, log_probs)`` arrays of length ``len(states)``.
+        One forward pass serves every row — this is the primitive both
+        the serving layer's micro-batch engine and the trainer's vector
+        rollout engine build on. Returns ``(actions, log_probs)``
+        arrays of length ``len(states)``.
         """
         states = np.atleast_2d(np.asarray(states, dtype=float))
-        probs = self.probabilities(states, masks)
+        probs, log_probs = self.distributions(states, masks)
         if greedy:
             actions = np.argmax(probs, axis=1)
         else:
@@ -85,10 +99,8 @@ class CategoricalPolicy:
             cumulative = np.cumsum(probs, axis=1)
             draws = rng.random(len(states)) * cumulative[:, -1]
             actions = (cumulative <= draws[:, None]).sum(axis=1)
-        log_probs = np.log(
-            np.maximum(probs[np.arange(len(states)), actions], 1e-30)
-        )
-        return actions.astype(np.int64), log_probs
+        picked_log_probs = log_probs[np.arange(len(states)), actions]
+        return actions.astype(np.int64), picked_log_probs
 
     @staticmethod
     def _fit_mask(masks: np.ndarray | None, shape) -> np.ndarray | None:

@@ -15,7 +15,7 @@ from typing import List, Sequence, Tuple
 
 import numpy as np
 
-from repro.nn.losses import entropy, masked_log_softmax, masked_softmax, mse_loss
+from repro.nn.losses import entropy, masked_softmax_and_log, mse_loss
 from repro.nn.network import MLP
 from repro.rl.env import Trajectory
 from repro.rl.policy import CategoricalPolicy
@@ -56,8 +56,7 @@ def _ppo_loss(
     active *and* binding, the gradient is zero.
     """
     n, k = logits.shape
-    probs = masked_softmax(logits, masks)
-    log_probs = masked_log_softmax(logits, masks)
+    probs, log_probs = masked_softmax_and_log(logits, masks)
     picked = log_probs[np.arange(n), actions]
     ratio = np.exp(picked - old_log_probs)
     clipped = np.clip(ratio, 1.0 - clip_eps, 1.0 + clip_eps)

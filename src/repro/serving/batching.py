@@ -68,20 +68,26 @@ class MicroBatchEngine:
         greedy: bool = True,
         rng: np.random.Generator | None = None,
     ) -> List[RolloutRecord]:
-        """Roll every query to a complete join tree, batching inference."""
+        """Roll every query to a complete join tree, batching inference.
+
+        Each query gets a stateful :class:`EpisodeEncoder`, so per round
+        only the slot rows touched by the previous join are re-derived
+        instead of re-vectorizing every forest from scratch.
+        """
         states = [SlotState(q, self.featurizer.max_relations) for q in queries]
-        cards = [self.db.cardinalities(q) for q in queries]
+        encoders = [
+            self.featurizer.encoder(s, self.db.cardinalities(q))
+            for q, s in zip(queries, states)
+        ]
         records = [RolloutRecord(query=q, tree=None) for q in queries]
         active = [i for i, s in enumerate(states) if not s.done]
         while active:
             for start in range(0, len(active), self.max_batch_size):
                 chunk = active[start : start + self.max_batch_size]
-                feats = np.stack(
-                    [self.featurizer.featurize(states[i], cards[i]) for i in chunk]
-                )
+                feats = np.stack([encoders[i].vector() for i in chunk])
                 masks = np.stack(
                     [
-                        self.featurizer.pair_mask(states[i], self.forbid_cross_products)
+                        encoders[i].pair_mask(self.forbid_cross_products)
                         for i in chunk
                     ]
                 )
@@ -95,7 +101,7 @@ class MicroBatchEngine:
                             feats[row], masks[row], action, 0.0, float(log_probs[row])
                         )
                     )
-                    states[i].join(*self.featurizer.decode_pair(action))
+                    encoders[i].join(*self.featurizer.decode_pair(action))
             active = [i for i in active if not states[i].done]
         for record, state in zip(records, states):
             record.tree = state.tree()

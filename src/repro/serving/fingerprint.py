@@ -27,12 +27,7 @@ from __future__ import annotations
 import hashlib
 from typing import Dict, List
 
-from repro.db.predicates import (
-    BetweenPredicate,
-    Comparison,
-    InPredicate,
-    Predicate,
-)
+from repro.db.predicates import predicate_signature as _selection_signature
 from repro.db.query import Query
 
 __all__ = ["canonical_alias_map", "canonical_text", "fingerprint"]
@@ -40,23 +35,6 @@ __all__ = ["canonical_alias_map", "canonical_text", "fingerprint"]
 
 def _digest(text: str) -> str:
     return hashlib.sha256(text.encode()).hexdigest()
-
-
-def _selection_signature(pred: Predicate) -> str:
-    """Render a selection predicate with the alias stripped out."""
-    column = pred.column.column
-    if isinstance(pred, Comparison):
-        return f"?.{column} {pred.op.value} {pred.value:g}"
-    if isinstance(pred, BetweenPredicate):
-        return f"?.{column} BETWEEN {pred.lo:g} AND {pred.hi:g}"
-    if isinstance(pred, InPredicate):
-        values = ",".join(f"{v:g}" for v in sorted(pred.values))
-        return f"?.{column} IN ({values})"
-    # Unknown predicate type: fall back to its own rendering minus the
-    # alias prefix, so new predicate kinds degrade gracefully.
-    rendered = pred.render()
-    prefix = f"{pred.column.alias}."
-    return "?." + rendered[len(prefix):] if rendered.startswith(prefix) else rendered
 
 
 def _initial_colors(query: Query) -> Dict[str, str]:

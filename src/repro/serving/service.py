@@ -34,6 +34,7 @@ from repro.core.rewards import CostModelReward, PlanOutcome
 from repro.db.engine import Database
 from repro.db.plans import JoinTree, PhysicalPlan
 from repro.db.query import Query
+from repro.optimizer.memo import SubPlanCostMemo
 from repro.optimizer.planner import Planner
 from repro.rl.env import Trajectory
 from repro.serving.batching import MicroBatchEngine, RolloutRecord
@@ -129,7 +130,7 @@ class OptimizerService:
         # Agents (PPO/REINFORCE) carry their CategoricalPolicy in .policy;
         # a bare policy object is accepted too.
         self.policy = getattr(agent_or_policy, "policy", agent_or_policy)
-        self.planner = planner or Planner(db)
+        self.planner = planner or Planner(db, cost_memo=SubPlanCostMemo())
         self.featurizer = featurizer or QueryFeaturizer(db.schema)
         self.config = config or ServingConfig()
         self.reward_source = reward_source or CostModelReward(db)
@@ -333,6 +334,9 @@ class OptimizerService:
         self.db.analyze(seed=seed, sample_size=sample_size)
         self.cache.clear()
         self.router.invalidate()
+        memo = getattr(self.planner, "cost_memo", None)
+        if memo is not None:
+            memo.clear()
 
     def latency_summary(self) -> Dict[str, float]:
         """p50/p95/mean of recent per-request latencies (ms)."""
@@ -361,6 +365,9 @@ class OptimizerService:
             "cache_size": len(self.cache),
         }
         out.update(self.cache.stats.as_dict())
+        memo = getattr(self.planner, "cost_memo", None)
+        if memo is not None:
+            out.update(memo.as_dict())
         if self.experience is not None:
             out.update(self.experience.as_dict())
         return out

@@ -1,0 +1,92 @@
+"""Parity tests for the incremental episode encoder.
+
+The encoder exists purely for speed: every vector and mask it produces
+must be bitwise-identical to what the stateless
+``QueryFeaturizer.featurize``/``pair_mask`` pair would compute on the
+same forest. These tests drive random episodes and compare after every
+join.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.featurize import QueryFeaturizer, SlotState
+from repro.workloads.generator import RandomQueryGenerator
+
+
+@pytest.fixture()
+def gen(small_db):
+    return RandomQueryGenerator(small_db)
+
+
+def random_episode_states(db, gen, rng, n_relations, forbid):
+    """Yield (encoder, reference SlotState) pairs stepping one episode
+    with random valid actions, comparing after every join."""
+    query = gen.generate(rng, n_relations, name=f"par-{n_relations}")
+    featurizer = QueryFeaturizer(db.schema, max_relations=max(n_relations, 2))
+    cards = db.cardinalities(query)
+    state = featurizer.encoder(SlotState(query, featurizer.max_relations), cards)
+    reference = SlotState(query, featurizer.max_relations)
+    return featurizer, cards, state, reference
+
+
+class TestEncoderParity:
+    @pytest.mark.parametrize("forbid", [True, False])
+    @pytest.mark.parametrize("n_relations", [2, 3, 4, 6])
+    def test_vector_and_mask_bitwise_equal_all_episode(
+        self, small_db, gen, rng, n_relations, forbid
+    ):
+        featurizer, cards, encoder, reference = random_episode_states(
+            small_db, gen, rng, n_relations, forbid
+        )
+        while True:
+            expected_vec = featurizer.featurize(reference, cards)
+            expected_mask = featurizer.pair_mask(reference, forbid)
+            got_vec = encoder.vector()
+            got_mask = encoder.pair_mask(forbid)
+            assert np.array_equal(expected_vec, got_vec)
+            assert (expected_vec == got_vec).all()  # bitwise, incl. -0.0 etc.
+            assert np.array_equal(expected_mask, got_mask)
+            if reference.done:
+                break
+            valid = np.nonzero(expected_mask)[0]
+            action = int(valid[int(rng.integers(len(valid)))])
+            i, j = featurizer.decode_pair(action)
+            encoder.join(i, j)
+            reference.join(i, j)
+
+    def test_vector_is_fresh_array_each_call(self, small_db, gen, rng):
+        featurizer, cards, encoder, _ = random_episode_states(
+            small_db, gen, rng, 3, True
+        )
+        first = encoder.vector()
+        second = encoder.vector()
+        assert first is not second
+        second[:] = -1.0
+        assert not np.array_equal(first, second)
+
+    def test_join_keeps_state_and_connectivity_in_sync(self, small_db, gen, rng):
+        featurizer, cards, encoder, reference = random_episode_states(
+            small_db, gen, rng, 4, True
+        )
+        state = encoder.state
+        while not state.done:
+            mask = encoder.pair_mask(True)
+            valid = np.nonzero(mask)[0]
+            i, j = featurizer.decode_pair(int(valid[0]))
+            merged = encoder.join(i, j)
+            assert state.slots[min(i, j)] is merged
+            # connectivity matches the ground-truth predicate check
+            for a in state.occupied:
+                for b in state.occupied:
+                    if a != b:
+                        assert encoder._conn[a, b] == state.connected(a, b)
+
+    def test_without_cardinalities(self, small_db, gen, rng):
+        query = gen.generate(rng, 3, name="nocards")
+        featurizer = QueryFeaturizer(small_db.schema, max_relations=3)
+        encoder = featurizer.encoder(SlotState(query, 3), None)
+        reference = SlotState(query, 3)
+        assert np.array_equal(
+            featurizer.featurize(reference, None), encoder.vector()
+        )

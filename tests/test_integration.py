@@ -169,7 +169,10 @@ class TestEndToEndTraining:
         )
         agent = make_agent(env, rng, "ppo")
         trainer = Trainer(env, agent, baseline, rng, TrainingConfig(batch_size=8))
-        log = trainer.run(250)
+        # 400 episodes finish in under a second with lockstep collection
+        # and give the improvement signal a comfortable margin over the
+        # episode-to-episode noise of a 10-query workload.
+        log = trainer.run(400)
         rel = log.relative_costs()
         assert np.median(rel[-60:]) < np.median(rel[:60])
 

@@ -1,0 +1,178 @@
+"""Lockstep vectorized collection: parity with the sequential path.
+
+The vector engine is a throughput device, not a semantics change: with
+a fixed seed, greedy collection must produce the same plans, the same
+terminal rewards, and the same per-episode records the sequential path
+produces. Sampling mode shares the same masking guarantees.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ExpertBaseline,
+    JoinOrderEnv,
+    Trainer,
+    TrainingConfig,
+    make_agent,
+)
+from repro.core.envs import Stage, StagedPlanEnv
+from repro.core.rewards import CostModelReward
+from repro.rl.vector_env import VectorRolloutEngine
+from repro.workloads.generator import RandomQueryGenerator
+
+
+@pytest.fixture()
+def gen(small_db):
+    return RandomQueryGenerator(small_db)
+
+
+@pytest.fixture()
+def workload(small_db, gen):
+    return gen.workload(
+        np.random.default_rng(5), size=6, relation_range=(2, 5), name="vec"
+    )
+
+
+def make_trainer(small_db, workload, vectorized, batch_size=4, seed=9):
+    rng = np.random.default_rng(seed)
+    baseline = ExpertBaseline(small_db)
+    env = JoinOrderEnv(
+        small_db,
+        workload,
+        reward_source=CostModelReward(small_db, "relative", baseline),
+        rng=rng,
+        forbid_cross_products=False,
+    )
+    agent = make_agent(env, rng, "reinforce")
+    trainer = Trainer(
+        env, agent, baseline, rng,
+        TrainingConfig(batch_size=batch_size, vectorized=vectorized),
+    )
+    return env, agent, trainer
+
+
+class TestGreedyParity:
+    def test_evaluate_matches_sequential(self, small_db, workload):
+        queries = list(workload)
+        _, _, seq = make_trainer(small_db, workload, vectorized=False)
+        _, _, vec = make_trainer(small_db, workload, vectorized=True)
+        seq_records = seq.evaluate(queries, greedy=True)
+        vec_records = vec.evaluate(queries, greedy=True)
+        assert set(seq_records) == set(vec_records)
+        for name in seq_records:
+            assert vec_records[name].cost == seq_records[name].cost
+            assert vec_records[name].reward == seq_records[name].reward
+
+    def test_greedy_collection_same_trees(self, small_db, workload):
+        """Engine-level parity: same greedy trees as one-by-one rollout."""
+        env, agent, _ = make_trainer(small_db, workload, vectorized=True)
+        queries = list(workload)
+        engine = VectorRolloutEngine(
+            [env] + [env.spawn() for _ in range(3)], agent.policy
+        )
+        batched = engine.collect(len(queries), greedy=True, queries=queries)
+        solo_engine = VectorRolloutEngine([env.spawn()], agent.policy)
+        solo = [
+            solo_engine.collect(1, greedy=True, queries=[q])[0] for q in queries
+        ]
+        for one, many in zip(solo, batched):
+            assert one.info["tree"].render() == many.info["tree"].render()
+            assert one.total_reward == many.total_reward
+
+
+class TestVectorizedTraining:
+    def test_log_preserves_per_episode_records_in_order(self, small_db, workload):
+        _, _, trainer = make_trainer(small_db, workload, vectorized=True)
+        log = trainer.run(10)
+        assert len(log) == 10
+        episodes = [r.episode for r in log.records]
+        assert episodes == sorted(episodes)
+        assert all(r.cost is not None for r in log.records)
+        assert all(r.expert_cost and r.expert_cost > 0 for r in log.records)
+
+    def test_update_changes_weights_and_update_false_does_not(
+        self, small_db, workload
+    ):
+        _, agent, trainer = make_trainer(small_db, workload, vectorized=True)
+        before = agent.policy_net.output_layer.weight.copy()
+        trainer.run(8, update=False)
+        assert np.array_equal(before, agent.policy_net.output_layer.weight)
+        trainer.run(8, update=True)
+        assert not np.array_equal(before, agent.policy_net.output_layer.weight)
+
+    def test_deterministic_given_seed(self, small_db, workload):
+        def run():
+            _, _, trainer = make_trainer(small_db, workload, vectorized=True)
+            return trainer.run(12).rewards()
+
+        assert np.array_equal(run(), run())
+
+    def test_staged_env_spawn_supported(self, small_db, workload):
+        rng = np.random.default_rng(4)
+        baseline = ExpertBaseline(small_db)
+        env = StagedPlanEnv(
+            small_db, workload, stages=Stage.JOIN_ORDER | Stage.JOIN_OPERATOR,
+            rng=rng, forbid_cross_products=False,
+        )
+        agent = make_agent(env, rng, "reinforce")
+        trainer = Trainer(
+            env, agent, baseline, rng, TrainingConfig(batch_size=4)
+        )
+        log = trainer.run(8)
+        assert len(log) == 8
+
+    def test_falls_back_without_spawn(self, small_db, workload):
+        class NoSpawn:
+            pass
+
+        _, _, trainer = make_trainer(small_db, workload, vectorized=True)
+        trainer.env = NoSpawn()
+        assert trainer._vector_engine() is None
+        trainer.env = object()
+        trainer.config = TrainingConfig(vectorized=False)
+        assert trainer._vector_engine() is None
+
+
+class TestEngineEdgeCases:
+    def test_zero_episodes(self, small_db, workload):
+        env, agent, _ = make_trainer(small_db, workload, vectorized=True)
+        engine = VectorRolloutEngine([env], agent.policy)
+        assert engine.collect(0, greedy=True) == []
+
+    def test_more_episodes_than_envs_refills_slots(self, small_db, workload):
+        env, agent, _ = make_trainer(small_db, workload, vectorized=True)
+        engine = VectorRolloutEngine([env, env.spawn()], agent.policy)
+        queries = list(workload) * 2
+        trajectories = engine.collect(
+            len(queries), greedy=True, queries=queries
+        )
+        assert len(trajectories) == len(queries)
+        assert all(t is not None and t.transitions for t in trajectories)
+
+    def test_nonterminating_env_raises(self, small_db, workload):
+        from repro.rl.env import StepResult
+
+        class Loop:
+            def reset(self):
+                return np.zeros(2), np.ones(2, dtype=bool)
+
+            def step(self, action):
+                return StepResult(np.zeros(2), np.ones(2, dtype=bool), 0.0, False)
+
+        env, agent, _ = make_trainer(small_db, workload, vectorized=True)
+
+        class TinyPolicy:
+            def act_batch(self, states, masks, rng=None, greedy=True):
+                return (
+                    np.zeros(len(states), dtype=np.int64),
+                    np.zeros(len(states)),
+                )
+
+        engine = VectorRolloutEngine([Loop()], TinyPolicy())
+        with pytest.raises(RuntimeError):
+            engine.collect(1, greedy=True, max_steps=5)
+
+    def test_requires_envs(self):
+        with pytest.raises(ValueError):
+            VectorRolloutEngine([], policy=None)
