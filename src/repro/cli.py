@@ -86,6 +86,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="guardrail fallback threshold (learned/expert cost)")
     serve.add_argument("--zipf", type=float, default=1.3,
                        help="request-stream skew (Zipf exponent, >1)")
+    serve.add_argument("--concurrency", type=int, default=1,
+                       help="client threads driving the stream; >1 serves "
+                       "through the concurrent front end (default 1: the "
+                       "synchronous optimize_batch path)")
+    serve.add_argument("--shards", type=int, default=2,
+                       help="worker shards behind the front end "
+                       "(consistent-hashed by query fingerprint)")
+    serve.add_argument("--max-delay-ms", type=float, default=2.0,
+                       help="batch-or-timeout deadline: a pending request "
+                       "is flushed after at most this long even without a "
+                       "full batch")
     return parser
 
 
@@ -110,17 +121,19 @@ def _cmd_info(args) -> int:
     if args.probe > 0:
         from repro.workloads import job_lite_workload
 
-        service = _make_service(db)
         probes = list(
             job_lite_workload(variants=("a",)).filter(lambda q: q.n_relations <= 8)
         )[: args.probe]
+        # Serve through the concurrent front end so the printed counters
+        # are the per-shard rollup an operator would see in production.
         # Two passes: the second pass hits the plans the first cached.
-        service.optimize_batch(probes)
-        service.optimize_batch(probes)
-        print("\nserving counters:")
-        print(ascii_table(
-            ["counter", "value"], sorted(service.counters().items())
-        ))
+        with _make_frontend(db) as frontend:
+            frontend.optimize_batch(probes)
+            frontend.optimize_batch(probes)
+            counters = frontend.counters()
+        print("\nserving counters (rolled up over "
+              f"{int(counters['frontend_shards'])} shards):")
+        print(ascii_table(["counter", "value"], sorted(counters.items())))
     else:
         print("\nserving counters: run with --probe N to serve sample "
               "queries and inspect live cache/fallback rates")
@@ -148,6 +161,35 @@ def _make_service(db, agent=None, planner=None, featurizer=None,
         or Planner(db, geqo_threshold=8, cost_memo=SubPlanCostMemo()),
         featurizer=featurizer,
         config=ServingConfig(**config_kwargs),
+        reward_source=reward_source,
+    )
+
+
+def _make_frontend(db, agent=None, featurizer=None, reward_source=None,
+                   n_shards=2, max_batch=16, max_delay_ms=2.0, **config_kwargs):
+    """A :class:`ServingFrontEnd` over ``db``: batch-or-timeout flusher
+    in front of ``n_shards`` fingerprint-sharded worker services."""
+    from repro.core.featurize import QueryFeaturizer
+    from repro.optimizer import Planner, SubPlanCostMemo
+    from repro.rl.ppo import PPOAgent
+    from repro.serving import FrontEndConfig, ServingConfig, ServingFrontEnd
+
+    featurizer = featurizer or QueryFeaturizer(db.schema)
+    if agent is None:
+        agent = PPOAgent(
+            featurizer.state_dim, featurizer.n_pair_actions, np.random.default_rng(0)
+        )
+    return ServingFrontEnd.build(
+        db,
+        agent,
+        featurizer=featurizer,
+        serving_config=ServingConfig(**config_kwargs),
+        config=FrontEndConfig(
+            n_shards=n_shards, max_batch=max_batch, max_delay_ms=max_delay_ms
+        ),
+        planner_factory=lambda: Planner(
+            db, geqo_threshold=8, cost_memo=SubPlanCostMemo()
+        ),
         reward_source=reward_source,
     )
 
@@ -388,20 +430,12 @@ def _cmd_serve_bench(args) -> int:
         print("serve-bench: --requests must be >= 0, --burst and "
               "--cache-capacity >= 1", file=sys.stderr)
         return 2
+    if args.concurrency < 1 or args.shards < 1 or args.max_delay_ms < 0:
+        print("serve-bench: --concurrency and --shards must be >= 1, "
+              "--max-delay-ms >= 0", file=sys.stderr)
+        return 2
 
     db, env, agent, trainer, _baseline, _log = _trained_setup(args, args.episodes)
-    service = _make_service(
-        db,
-        agent=agent,
-        planner=env.planner,
-        featurizer=env.featurizer,
-        # Reuse the training reward so experience collected while serving
-        # is on the same scale the policy (and value net) learned on.
-        reward_source=env.reward_source,
-        cache_capacity=args.cache_capacity,
-        regression_threshold=args.threshold,
-        max_batch_size=args.burst,
-    )
 
     # Synthetic request stream: Zipf-skewed repetition over the workload,
     # like production traffic where a few query shapes dominate.
@@ -412,14 +446,15 @@ def _cmd_serve_bench(args) -> int:
         for rank in rng.zipf(args.zipf, size=args.requests)
     ]
 
-    print(f"serving {args.requests} requests in bursts of {args.burst}...")
-    start = time.perf_counter()
-    for burst_start in range(0, len(stream), args.burst):
-        service.optimize_batch(stream[burst_start : burst_start + args.burst])
-    total_s = time.perf_counter() - start
+    if args.concurrency > 1:
+        total_s, latency, counters, episodes = _serve_concurrent(
+            args, db, env, agent, stream
+        )
+    else:
+        total_s, latency, counters, episodes = _serve_synchronous(
+            args, db, env, agent, stream
+        )
 
-    latency = service.latency_summary()
-    counters = service.counters()
     print(ascii_table(
         ["metric", "value"],
         [
@@ -433,13 +468,95 @@ def _cmd_serve_bench(args) -> int:
     print("\nservice counters:")
     print(ascii_table(["counter", "value"], sorted(counters.items())))
 
-    if service.experience is not None and len(service.experience):
-        episodes = service.experience.drain()
+    if episodes:
         replay_log = trainer.replay(episodes)
         print(f"\nhands-free retraining: replayed {len(replay_log)} served "
               f"episodes into the policy "
               f"(median reward {np.median(replay_log.rewards()):.2f})")
     return 0
+
+
+def _serve_synchronous(args, db, env, agent, stream):
+    """The pre-batched burst loop (one caller, ``optimize_batch`` bursts)."""
+    service = _make_service(
+        db,
+        agent=agent,
+        planner=env.planner,
+        featurizer=env.featurizer,
+        # Reuse the training reward so experience collected while serving
+        # is on the same scale the policy (and value net) learned on.
+        reward_source=env.reward_source,
+        cache_capacity=args.cache_capacity,
+        regression_threshold=args.threshold,
+        max_batch_size=args.burst,
+    )
+    print(f"serving {args.requests} requests in bursts of {args.burst}...")
+    start = time.perf_counter()
+    for burst_start in range(0, len(stream), args.burst):
+        service.optimize_batch(stream[burst_start : burst_start + args.burst])
+    total_s = time.perf_counter() - start
+    episodes = (
+        service.experience.drain()
+        if service.experience is not None and len(service.experience)
+        else []
+    )
+    return total_s, service.latency_summary(), service.counters(), episodes
+
+
+def _serve_concurrent(args, db, env, agent, stream):
+    """Open-loop client threads submitting through the front end."""
+    import threading
+
+    frontend = _make_frontend(
+        db,
+        agent=agent,
+        featurizer=env.featurizer,
+        reward_source=env.reward_source,
+        n_shards=args.shards,
+        max_batch=args.burst,
+        max_delay_ms=args.max_delay_ms,
+        cache_capacity=args.cache_capacity,
+        regression_threshold=args.threshold,
+        max_batch_size=args.burst,
+    )
+    futures = [None] * len(stream)
+    submit_errors = []
+
+    def client(offset: int) -> None:
+        # Open loop: submit without waiting for responses; the flusher
+        # decides when batches form.
+        try:
+            for i in range(offset, len(stream), args.concurrency):
+                futures[i] = frontend.submit(stream[i])
+        except Exception as exc:  # e.g. backpressure rejection
+            submit_errors.append(exc)
+
+    threads = [
+        threading.Thread(target=client, args=(k,), name=f"client-{k}")
+        for k in range(args.concurrency)
+    ]
+    print(f"serving {args.requests} requests from {args.concurrency} "
+          f"open-loop clients over {args.shards} shards "
+          f"(max_batch={args.burst}, max_delay={args.max_delay_ms}ms)...")
+    try:
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if submit_errors:
+            raise RuntimeError(
+                f"{len(submit_errors)} client thread(s) failed to submit"
+            ) from submit_errors[0]
+        for future in futures:
+            future.result()
+        total_s = time.perf_counter() - start
+        latency = frontend.latency_summary()
+        counters = frontend.counters()
+        episodes = frontend.drain_experience()
+    finally:
+        frontend.close()
+    return total_s, latency, counters, episodes
 
 
 _COMMANDS = {

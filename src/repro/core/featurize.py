@@ -339,15 +339,37 @@ class EpisodeEncoder:
 
     def vector(self) -> np.ndarray:
         """The full state vector (a fresh array, safe to store)."""
-        return np.concatenate([self._tree.ravel(), self._static])
+        out = np.empty(self._tree.size + self._static.size)
+        self.vector_into(out)
+        return out
+
+    def vector_into(self, out: np.ndarray) -> None:
+        """Write the state vector into a caller-owned row.
+
+        The micro-batch engines stack many states per forward pass;
+        writing straight into the batch matrix skips the per-state
+        concatenate-then-stack double copy of :meth:`vector`.
+        """
+        split = self._tree.size
+        out[:split] = self._tree.ravel()
+        out[split:] = self._static
 
     def pair_mask(self, forbid_cross_products: bool = True) -> np.ndarray:
         """Validity mask over pair actions, from the cached connectivity."""
+        mask = np.zeros(self.featurizer.n_pair_actions, dtype=bool)
+        self.pair_mask_into(mask, forbid_cross_products)
+        return mask
+
+    def pair_mask_into(
+        self, out: np.ndarray, forbid_cross_products: bool = True
+    ) -> None:
+        """Write the pair-action mask into a caller-owned boolean row
+        (assumed zeroed or reused — it is fully overwritten)."""
         f = self.featurizer
-        mask = np.zeros(f.n_pair_actions, dtype=bool)
+        out[:] = False
         occupied = np.asarray(self.state.occupied, dtype=np.int64)
         if len(occupied) < 2:
-            return mask
+            return
         rows, cols = occupied[:, None], occupied[None, :]
         connected = self._conn[rows, cols]
         if forbid_cross_products and connected.any():
@@ -355,5 +377,4 @@ class EpisodeEncoder:
         else:
             allowed = np.ones_like(connected)
         np.fill_diagonal(allowed, False)
-        mask[f._pair_index_matrix[rows, cols][allowed]] = True
-        return mask
+        out[f._pair_index_matrix[rows, cols][allowed]] = True

@@ -193,16 +193,20 @@ class QueryCardinalities:
         return self.rows_for_aliases(tree.aliases)
 
     # Physical plans -----------------------------------------------------
-    def join_rows(self, plan: "_Join", left_rows: float, right_rows: float) -> float:
+    def join_rows(
+        self, predicates, left_rows: float, right_rows: float
+    ) -> float:
         """Join output estimate from already-known child estimates.
 
         The single home of the join-row arithmetic: :meth:`plan_rows`
         recurses into it, and the cost model calls it directly with the
         child rows it already carries in ``PlanCost.rows`` — same
-        numbers either way, no re-walk of the subplan.
+        numbers either way, no re-walk of the subplan. Takes the join's
+        predicate tuple (not a plan node), so operator selection can
+        estimate candidates before any node object exists.
         """
         rows = left_rows * right_rows
-        for pred in plan.predicates:
+        for pred in predicates:
             rows *= self.join_selectivity(pred)
         return max(1.0, rows)
 
@@ -224,7 +228,7 @@ class QueryCardinalities:
             # reuses addresses, and structural keys cost as much as the
             # recursion itself (which is linear in plan size).
             return self.join_rows(
-                plan, self.plan_rows(plan.left), self.plan_rows(plan.right)
+                plan.predicates, self.plan_rows(plan.left), self.plan_rows(plan.right)
             )
         if isinstance(plan, _Aggregate):
             return self.aggregate_groups(plan)

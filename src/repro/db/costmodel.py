@@ -173,44 +173,27 @@ class CostModel:
         the same number in O(1) — which matters when operator selection
         costs several candidate parents over the same children.
         """
-        return cards.join_rows(plan, left.rows, right.rows)
+        return cards.join_rows(plan.predicates, left.rows, right.rows)
 
     def _nested_loop(
         self, plan: NestedLoopJoin, cards: QueryCardinalities, cache: dict | None = None
     ) -> PlanCost:
-        p = self.params
         left = self.cost(plan.left, cards, cache)
         right = self.cost(plan.right, cards, cache)
         out_rows = self._join_rows(plan, left, right, cards)
-        # Inner is materialized once, then rescanned per outer tuple.
-        rescan = max(0.0, left.rows - 1.0) * right.rows * p.cpu_operator_cost
-        compare = left.rows * right.rows * p.cpu_operator_cost * max(
-            1, len(plan.predicates)
+        return self._nested_loop_from_children(
+            len(plan.predicates), out_rows, left, right
         )
-        total = (
-            left.total
-            + right.total
-            + rescan
-            + compare
-            + out_rows * p.cpu_tuple_cost
-        )
-        return PlanCost(left.startup, total, out_rows)
 
     def _hash_join(
         self, plan: HashJoin, cards: QueryCardinalities, cache: dict | None = None
     ) -> PlanCost:
-        p = self.params
         build = self.cost(plan.left, cards, cache)
         probe = self.cost(plan.right, cards, cache)
         out_rows = self._join_rows(plan, build, probe, cards)
-        startup = build.total + build.rows * p.hash_build_cost
-        total = (
-            startup
-            + probe.total
-            + probe.rows * p.hash_probe_cost * max(1, len(plan.predicates))
-            + out_rows * p.cpu_tuple_cost
+        return self._hash_join_from_children(
+            len(plan.predicates), out_rows, build, probe
         )
-        return PlanCost(startup, total, out_rows)
 
     def _sort_cost(self, rows: float) -> float:
         rows = max(rows, 2.0)
@@ -219,15 +202,95 @@ class CostModel:
     def _merge_join(
         self, plan: MergeJoin, cards: QueryCardinalities, cache: dict | None = None
     ) -> PlanCost:
-        p = self.params
         left = self.cost(plan.left, cards, cache)
         right = self.cost(plan.right, cards, cache)
         out_rows = self._join_rows(plan, left, right, cards)
+        return self._merge_join_from_children(
+            len(plan.predicates), out_rows, left, right
+        )
+
+    def _nested_loop_from_children(
+        self, n_preds: int, out_rows: float, left: PlanCost, right: PlanCost
+    ) -> PlanCost:
+        p = self.params
+        rescan = max(0.0, left.rows - 1.0) * right.rows * p.cpu_operator_cost
+        compare = left.rows * right.rows * p.cpu_operator_cost * max(1, n_preds)
+        total = (
+            left.total + right.total + rescan + compare + out_rows * p.cpu_tuple_cost
+        )
+        return PlanCost(left.startup, total, out_rows)
+
+    def _hash_join_from_children(
+        self, n_preds: int, out_rows: float, build: PlanCost, probe: PlanCost
+    ) -> PlanCost:
+        p = self.params
+        startup = build.total + build.rows * p.hash_build_cost
+        total = (
+            startup
+            + probe.total
+            + probe.rows * p.hash_probe_cost * max(1, n_preds)
+            + out_rows * p.cpu_tuple_cost
+        )
+        return PlanCost(startup, total, out_rows)
+
+    def _merge_join_from_children(
+        self, n_preds: int, out_rows: float, left: PlanCost, right: PlanCost
+    ) -> PlanCost:
+        p = self.params
         sort = self._sort_cost(left.rows) + self._sort_cost(right.rows)
         startup = left.total + right.total + sort
         merge = (left.rows + right.rows) * p.cpu_operator_cost
         total = startup + merge + out_rows * p.cpu_tuple_cost
         return PlanCost(startup, total, out_rows)
+
+    def join_candidate_costs(
+        self,
+        predicates,
+        left: PlanCost,
+        right: PlanCost,
+        cards: QueryCardinalities,
+    ):
+        """Costs of every executable join operator over already-costed
+        children, without constructing a single candidate node.
+
+        Operator selection is the serving/training hot path: costing a
+        candidate via :meth:`cost` means allocating the node, validating
+        it, and re-dispatching into the child recursion, three or four
+        times per join — only to throw all but one node away. The child
+        ``PlanCost`` values carry everything the join formulas consume
+        (total, startup, rows), so the candidate costs here are
+        arithmetic only and **identical float-for-float** to
+        :meth:`cost` of the constructed node (the formulas are the same
+        expressions; ``_join_rows`` is commutative in its child order).
+
+        Returns ``[(cost, operator_cls, build_left_first), ...]`` in the
+        same candidate order :func:`~repro.optimizer.physical.join_operator_candidates`
+        enumerates, so ``min`` tie-breaking is unchanged. Cross products
+        (no predicates) admit only nested loops.
+        """
+        out_rows = cards.join_rows(predicates, left.rows, right.rows)
+        n_preds = len(predicates)
+        nested = self._nested_loop_from_children(n_preds, out_rows, left, right)
+        if not predicates:
+            return [(nested, NestedLoopJoin, True)]
+        return [
+            (
+                self._hash_join_from_children(n_preds, out_rows, left, right),
+                HashJoin,
+                True,
+            ),
+            (
+                self._hash_join_from_children(n_preds, out_rows, right, left),
+                HashJoin,
+                False,
+            ),
+            (
+                self._merge_join_from_children(n_preds, out_rows, left, right),
+                MergeJoin,
+                True,
+            ),
+            (nested, NestedLoopJoin, True),
+        ]
 
     # ------------------------------------------------------------------
     # Aggregates

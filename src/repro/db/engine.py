@@ -8,6 +8,7 @@ and an executor.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence, Tuple
@@ -47,10 +48,23 @@ class Database:
     _cards_cache: "OrderedDict[int, Tuple[Query, QueryCardinalities]]" = field(
         default_factory=OrderedDict, init=False, repr=False, compare=False
     )
+    #: Guards ``_cards_cache``: concurrent worker shards estimate
+    #: cardinalities for different queries at the same time, and an
+    #: unlocked OrderedDict corrupts under interleaved move_to_end/pop.
+    _cards_lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
     #: Bumped by every :meth:`analyze`. Derived caches that outlive this
     #: object's statistics (the planner's sub-plan cost memo) compare
     #: epochs instead of relying on every holder to invalidate manually.
     stats_epoch: int = field(default=0, init=False, repr=False, compare=False)
+    #: Per-table statistics epochs, bumped for exactly the tables each
+    #: :meth:`analyze` recomputed — the key to *partial* invalidation:
+    #: a derived cache holding per-table provenance can evict only what
+    #: a table-scoped ANALYZE actually staled.
+    table_epochs: Dict[str, int] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     _CARDS_CACHE_CAPACITY = 512
 
@@ -81,16 +95,50 @@ class Database:
             db.build_default_indexes()
         return db
 
-    def analyze(self, seed: int = 1, sample_size: int = 30_000) -> None:
-        """Recompute statistics for every table (like ``ANALYZE``)."""
+    def analyze(
+        self,
+        seed: int = 1,
+        sample_size: int = 30_000,
+        tables: Sequence[str] | None = None,
+    ) -> None:
+        """Recompute statistics (like ``ANALYZE`` / ``ANALYZE table``).
+
+        With ``tables`` given, only those tables are re-sampled — the
+        cheap maintenance path after a localized data change. Either
+        way the global ``stats_epoch`` and the per-table
+        ``table_epochs`` move, so derived caches can tell exactly which
+        statistics shifted under them.
+        """
+        names = list(self.tables) if tables is None else list(tables)
+        unknown = [name for name in names if name not in self.tables]
+        if unknown:
+            raise KeyError(f"cannot ANALYZE unknown tables: {unknown}")
         rng = np.random.default_rng(seed)
-        self.stats = {
-            name: analyze_table(table, rng, sample_size=sample_size)
-            for name, table in self.tables.items()
-        }
-        # Cached estimates were derived from the replaced statistics.
-        self._cards_cache.clear()
-        self.stats_epoch += 1
+        # Build the refreshed statistics aside and swap the whole dict
+        # in one assignment: an estimator or cost model constructed
+        # mid-refresh captured the old dict and keeps a complete,
+        # self-consistent view (one epoch behind) instead of a torn mix
+        # of old and new per-table statistics.
+        new_stats = dict(self.stats)
+        for name in names:
+            new_stats[name] = analyze_table(
+                self.tables[name], rng, sample_size=sample_size
+            )
+        self.stats = new_stats
+        # Cached estimates were derived from the replaced statistics;
+        # the per-query cache is cheap to rebuild, so drop it wholesale
+        # rather than tracking which queries touch which tables here.
+        # Clear and epoch bumps are one atomic step under the cache
+        # lock, so a concurrent cardinalities() miss that snapshotted
+        # the old epoch can never re-insert a stale estimate after the
+        # clear. table_epochs moves before stats_epoch: a reader that
+        # observes the new global epoch is guaranteed to observe the
+        # new per-table epochs too (readers read stats_epoch first).
+        with self._cards_lock:
+            self._cards_cache.clear()
+            for name in names:
+                self.table_epochs[name] = self.table_epochs.get(name, 0) + 1
+            self.stats_epoch += 1
 
     def build_default_indexes(self) -> None:
         """B-tree every primary key and FK endpoint; hash every FK column.
@@ -158,14 +206,24 @@ class Database:
         exact same object — an episode loop, a workload replayed across
         episodes — shares the memoized instance.
         """
-        entry = self._cards_cache.get(id(query))
-        if entry is not None and entry[0] is query:
-            self._cards_cache.move_to_end(id(query))
-            return entry[1]
+        with self._cards_lock:
+            entry = self._cards_cache.get(id(query))
+            if entry is not None and entry[0] is query:
+                self._cards_cache.move_to_end(id(query))
+                return entry[1]
+            epoch = self.stats_epoch
+        # Estimate outside the lock: concurrent shards estimating
+        # different queries must not serialize on each other. Racing
+        # duplicates for the same query are harmless (last write wins).
         cards = self.estimator().for_query(query)
-        self._cards_cache[id(query)] = (query, cards)
-        while len(self._cards_cache) > self._CARDS_CACHE_CAPACITY:
-            self._cards_cache.popitem(last=False)
+        with self._cards_lock:
+            if self.stats_epoch == epoch:
+                # Skip the insert if an analyze() slipped in while we
+                # estimated — caching a pre-ANALYZE estimate after the
+                # clear would serve stale numbers until eviction.
+                self._cards_cache[id(query)] = (query, cards)
+                while len(self._cards_cache) > self._CARDS_CACHE_CAPACITY:
+                    self._cards_cache.popitem(last=False)
         return cards
 
     def cost_model(self) -> CostModel:

@@ -30,9 +30,10 @@ database is re-ANALYZEd (the serving layer does this on
 from __future__ import annotations
 
 import hashlib
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
 
 from repro.db.costmodel import PlanCost
 from repro.db.plans import JoinTree, PhysicalPlan
@@ -99,10 +100,16 @@ def tree_keys(
 
 @dataclass(frozen=True)
 class MemoEntry:
-    """A completed physical (sub)plan and its cost-model verdict."""
+    """A completed physical (sub)plan and its cost-model verdict.
+
+    ``tables`` records which base tables the fragment reads, so a
+    table-scoped statistics refresh can evict exactly the fragments it
+    staled (None = unknown, evicted on any partial invalidation).
+    """
 
     plan: PhysicalPlan
     cost: PlanCost
+    tables: FrozenSet[str] | None = None
 
 
 class SubPlanCostMemo:
@@ -113,6 +120,10 @@ class SubPlanCostMemo:
     ``evaluate_tree``/``complete_plan`` call reuses whatever join
     fragments earlier calls already costed. Counters are operator-facing
     (``repro info`` prints them through the service).
+
+    Every operation takes one re-entrant lock, so a memo may be shared
+    by concurrent worker shards (or hammered by tests) and its counters
+    stay exact: ``hits + misses`` always equals lookups performed.
     """
 
     def __init__(self, capacity: int = 8192) -> None:
@@ -122,59 +133,135 @@ class SubPlanCostMemo:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Fragments evicted by table-scoped (partial) invalidation.
+        self.invalidations_partial = 0
         #: The ``Database.stats_epoch`` the entries were computed under;
-        #: :meth:`sync_epoch` drops them when the statistics move on.
+        #: :meth:`sync_epoch` drops stale entries when it moves on.
         self.epoch = 0
+        self._lock = threading.RLock()
         self._entries: "OrderedDict[str, MemoEntry]" = OrderedDict()
+        #: Per-table epochs at the last sync; lets a table-scoped
+        #: ``ANALYZE`` evict only the fragments reading those tables.
+        self._table_epochs: Dict[str, int] = {}
 
-    def sync_epoch(self, epoch: int) -> None:
-        """Drop every entry if the database statistics epoch changed.
+    def sync_epoch(
+        self, epoch: int, table_epochs: Mapping[str, int] | None = None
+    ) -> None:
+        """Reconcile with the database statistics epoch.
 
         Called by the planner on each use, so a ``Database.analyze()``
         invalidates every attached memo without each holder (envs, CLI,
-        benches, the serving layer) having to remember to."""
-        if epoch != self.epoch:
-            self.clear()
+        benches, the serving layer) having to remember to. With
+        ``table_epochs`` (``Database.table_epochs``) the reconciliation
+        is surgical: only fragments touching a table whose epoch moved
+        are dropped. Without it, everything goes."""
+        with self._lock:
+            if epoch == self.epoch:
+                return
+            if table_epochs is None:
+                self._entries.clear()
+            else:
+                # Snapshot once: the caller may hand us the database's
+                # live dict, which a concurrent ANALYZE mutates.
+                snapshot = dict(table_epochs)
+                changed = frozenset(
+                    table
+                    for table, table_epoch in snapshot.items()
+                    if self._table_epochs.get(table) != table_epoch
+                )
+                self._drop_tables(changed)
+                self._table_epochs = snapshot
             self.epoch = epoch
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def get(self, key: str) -> MemoEntry | None:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
-
-    def put(self, key: str, plan: PhysicalPlan, cost: PlanCost) -> MemoEntry:
-        entry = MemoEntry(plan=plan, cost=cost)
-        if key in self._entries:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
             self._entries.move_to_end(key)
-        self._entries[key] = entry
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.evictions += 1
-        return entry
+            self.hits += 1
+            return entry
+
+    def put(
+        self,
+        key: str,
+        plan: PhysicalPlan,
+        cost: PlanCost,
+        tables: Iterable[str] | None = None,
+        epoch: int | None = None,
+    ) -> MemoEntry:
+        """Insert a costed fragment.
+
+        ``epoch`` (when given) is the statistics epoch the fragment was
+        computed under: if the memo has since synced past it — an
+        ANALYZE landed mid-computation — the entry is returned but NOT
+        cached, so stale fragments cannot outlive the invalidation that
+        just ran.
+        """
+        entry = MemoEntry(
+            plan=plan,
+            cost=cost,
+            tables=None if tables is None else frozenset(tables),
+        )
+        with self._lock:
+            if epoch is not None and epoch != self.epoch:
+                return entry
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = entry
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+            return entry
+
+    def _drop_tables(self, changed: FrozenSet[str]) -> int:
+        """Drop fragments reading any changed table (lock held)."""
+        if not changed:
+            return 0
+        doomed = [
+            key
+            for key, entry in self._entries.items()
+            if entry.tables is None or entry.tables & changed
+        ]
+        for key in doomed:
+            del self._entries[key]
+        self.invalidations_partial += len(doomed)
+        return len(doomed)
+
+    def invalidate_tables(self, tables: Iterable[str]) -> int:
+        """Drop only fragments touching ``tables``; returns the count.
+
+        Untagged fragments are dropped too — no provenance means their
+        staleness cannot be ruled out.
+        """
+        with self._lock:
+            return self._drop_tables(frozenset(tables))
 
     def clear(self) -> int:
         """Drop every entry (statistics refresh); returns entries dropped."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            return dropped
 
     @property
     def hit_rate(self) -> float:
-        lookups = self.hits + self.misses
-        return self.hits / lookups if lookups else 0.0
+        with self._lock:
+            lookups = self.hits + self.misses
+            return self.hits / lookups if lookups else 0.0
 
     def as_dict(self) -> Dict[str, float]:
-        return {
-            "costmemo_hits": self.hits,
-            "costmemo_misses": self.misses,
-            "costmemo_evictions": self.evictions,
-            "costmemo_size": len(self._entries),
-            "costmemo_hit_rate": round(self.hit_rate, 4),
-        }
+        with self._lock:
+            return {
+                "costmemo_hits": self.hits,
+                "costmemo_misses": self.misses,
+                "costmemo_evictions": self.evictions,
+                "costmemo_invalidations_partial": self.invalidations_partial,
+                "costmemo_size": len(self._entries),
+                "costmemo_hit_rate": round(self.hit_rate, 4),
+            }

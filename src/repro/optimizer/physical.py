@@ -130,9 +130,25 @@ def choose_join_operator(
     cards: QueryCardinalities,
     cost_cache: dict | None = None,
 ) -> PhysicalPlan:
-    """The cheapest join operator (including hash-join build order)."""
-    candidates = join_operator_candidates(left, right, predicates)
-    return min(candidates, key=lambda p: cost_model.cost(p, cards, cost_cache).total)
+    """The cheapest join operator (including hash-join build order).
+
+    Candidates are scored from the children's costs alone
+    (:meth:`CostModel.join_candidate_costs`) and only the winner is
+    constructed — same costs, same tie-breaking as costing every
+    candidate node, minus three node allocations per join.
+    """
+    left_cost = cost_model.cost(left, cards, cost_cache)
+    right_cost = cost_model.cost(right, cards, cost_cache)
+    scored = cost_model.join_candidate_costs(predicates, left_cost, right_cost, cards)
+    cost, operator_cls, left_first = min(scored, key=lambda entry: entry[0].total)
+    node = (
+        operator_cls(left, right, predicates)
+        if left_first
+        else operator_cls(right, left, predicates)
+    )
+    if cost_cache is not None:
+        cost_cache[id(node)] = (node, cost)
+    return node
 
 
 def choose_aggregate_operator(
@@ -165,6 +181,7 @@ def build_physical_plan(
     memo=None,
     cost_cache: dict | None = None,
     memo_keys: Dict[int, str] | None = None,
+    memo_epoch: int | None = None,
 ) -> PhysicalPlan:
     """Turn a logical join tree into a full physical plan.
 
@@ -231,6 +248,8 @@ def build_physical_plan(
                 node_keys[id(node)],
                 built,
                 cost_model.cost(built, cards, cost_cache),
+                tables=frozenset(query.table_of(a) for a in node.aliases),
+                epoch=memo_epoch,
             )
         return built
 

@@ -100,8 +100,10 @@ class Planner:
 
         This is the service ReJOIN calls after choosing a join order.
         """
+        epoch = None
         if self.cost_memo is not None:
-            self.cost_memo.sync_epoch(self.db.stats_epoch)
+            epoch = self.db.stats_epoch
+            self.cost_memo.sync_epoch(epoch, self.db.table_epochs)
         return build_physical_plan(
             tree,
             query,
@@ -109,6 +111,7 @@ class Planner:
             cards=cards,
             include_aggregate=include_aggregate,
             memo=self.cost_memo,
+            memo_epoch=epoch,
         )
 
     def evaluate_tree(
@@ -127,8 +130,10 @@ class Planner:
         memo = self.cost_memo
         root_key = None
         node_keys = None
+        epoch = None
         if memo is not None:
-            memo.sync_epoch(self.db.stats_epoch)
+            epoch = self.db.stats_epoch
+            memo.sync_epoch(epoch, self.db.table_epochs)
             node_keys, root_key = tree_keys(tree, query)
             entry = memo.get(root_key)
             if entry is not None:
@@ -152,10 +157,17 @@ class Planner:
             memo=memo,
             cost_cache=cost_cache,
             memo_keys=node_keys,
+            memo_epoch=epoch,
         )
         cost = cost_model.cost(plan, cards, cost_cache)
         if memo is not None:
-            memo.put(root_key, plan, cost)
+            memo.put(
+                root_key,
+                plan,
+                cost,
+                tables=frozenset(query.table_of(a) for a in tree.aliases),
+                epoch=epoch,
+            )
         return PlannerResult(
             query_name=query.name,
             join_tree=tree,

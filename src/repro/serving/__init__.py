@@ -13,32 +13,46 @@ puts it behind a production-shaped ``optimize(query)`` API:
   back to the expert plan on predicted cost regressions;
 - :mod:`repro.serving.experience` — replay buffer of served rollouts
   for hands-free retraining via ``Trainer.replay``;
-- :mod:`repro.serving.service` — :class:`OptimizerService`, the front
-  end that wires the four together.
+- :mod:`repro.serving.service` — :class:`OptimizerService`, the
+  synchronous engine that wires the four together (one per shard);
+- :mod:`repro.serving.sharding` — consistent-hash ring routing query
+  fingerprints to worker shards;
+- :mod:`repro.serving.frontend` — :class:`ServingFrontEnd`, the
+  concurrent queue-and-flush front end: ``submit()`` returns a future,
+  a background flusher batches on a batch-or-timeout deadline, and N
+  worker shards (each a private ``OptimizerService``) serve the
+  flushes.
 
 Command line: ``python -m repro serve-bench`` drives a synthetic
-request stream and reports throughput, latency percentiles, cache hit
-rate, and fallback rate.
+request stream (multi-threaded and open-loop with ``--concurrency``)
+and reports throughput, latency percentiles, cache hit rate, and
+fallback rate.
 """
 
 from repro.serving.batching import MicroBatchEngine, RolloutRecord
 from repro.serving.cache import CacheStats, PlanCache
 from repro.serving.experience import ExperienceBuffer
 from repro.serving.fingerprint import canonical_alias_map, canonical_text, fingerprint
+from repro.serving.frontend import FrontEndConfig, FrontEndStats, ServingFrontEnd
 from repro.serving.router import GuardrailDecision, GuardrailRouter
 from repro.serving.service import OptimizerService, ServedPlan, ServingConfig
+from repro.serving.sharding import HashRing
 
 __all__ = [
     "CacheStats",
     "ExperienceBuffer",
+    "FrontEndConfig",
+    "FrontEndStats",
     "GuardrailDecision",
     "GuardrailRouter",
+    "HashRing",
     "MicroBatchEngine",
     "OptimizerService",
     "PlanCache",
     "RolloutRecord",
     "ServedPlan",
     "ServingConfig",
+    "ServingFrontEnd",
     "canonical_alias_map",
     "canonical_text",
     "fingerprint",

@@ -61,6 +61,12 @@ class MicroBatchEngine:
         #: Forward passes made / states scored, for throughput reporting.
         self.forward_passes = 0
         self.states_scored = 0
+        #: Optional lock serializing ``policy.act_batch`` calls. The nn
+        #: layers stash activations on ``self`` during ``forward`` (for
+        #: backprop), so a policy object shared by engines on different
+        #: threads needs its forward passes serialized; the concurrent
+        #: front end installs one lock per distinct policy object.
+        self.inference_lock = None
 
     def rollout(
         self,
@@ -81,17 +87,23 @@ class MicroBatchEngine:
         ]
         records = [RolloutRecord(query=q, tree=None) for q in queries]
         active = [i for i, s in enumerate(states) if not s.done]
+        state_dim = self.featurizer.state_dim
+        n_actions = self.featurizer.n_pair_actions
         while active:
             for start in range(0, len(active), self.max_batch_size):
                 chunk = active[start : start + self.max_batch_size]
-                feats = np.stack([encoders[i].vector() for i in chunk])
-                masks = np.stack(
-                    [
-                        encoders[i].pair_mask(self.forbid_cross_products)
-                        for i in chunk
-                    ]
-                )
-                actions, log_probs = self.policy.act_batch(feats, masks, rng, greedy)
+                feats = np.empty((len(chunk), state_dim))
+                masks = np.empty((len(chunk), n_actions), dtype=bool)
+                for row, i in enumerate(chunk):
+                    encoders[i].vector_into(feats[row])
+                    encoders[i].pair_mask_into(masks[row], self.forbid_cross_products)
+                if self.inference_lock is not None:
+                    with self.inference_lock:
+                        actions, log_probs = self.policy.act_batch(
+                            feats, masks, rng, greedy
+                        )
+                else:
+                    actions, log_probs = self.policy.act_batch(feats, masks, rng, greedy)
                 self.forward_passes += 1
                 self.states_scored += len(chunk)
                 for row, i in enumerate(chunk):

@@ -4,14 +4,26 @@ The cache is deliberately engine-agnostic: keys are canonical query
 fingerprints (:mod:`repro.serving.fingerprint`) and values are whatever
 the service wants to remember about a served plan. The clock is
 injectable so TTL behaviour is testable without sleeping.
+
+Two serving-layer needs shape the implementation:
+
+- **thread safety** — worker shards, the flusher, and operator threads
+  (``counters()``, ``refresh_statistics``) touch the cache
+  concurrently, so every operation (including its stats update) runs
+  under one re-entrant lock and the counters stay exact;
+- **partial invalidation** — entries can be tagged with the tables the
+  cached plan reads, and :meth:`invalidate_tables` evicts only the
+  entries touching re-analyzed tables instead of dropping the whole
+  cache.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, FrozenSet, Iterable, Tuple
 
 __all__ = ["CacheStats", "PlanCache"]
 
@@ -25,6 +37,8 @@ class CacheStats:
     evictions: int = 0
     expirations: int = 0
     invalidations: int = 0
+    #: Entries evicted by table-scoped (partial) invalidation only.
+    invalidations_partial: int = 0
 
     @property
     def lookups(self) -> int:
@@ -41,12 +55,13 @@ class CacheStats:
             "cache_evictions": self.evictions,
             "cache_expirations": self.expirations,
             "cache_invalidations": self.invalidations,
+            "cache_invalidations_partial": self.invalidations_partial,
             "cache_hit_rate": round(self.hit_rate, 4),
         }
 
 
 class PlanCache:
-    """LRU cache with optional TTL, keyed by query fingerprint."""
+    """Thread-safe LRU cache with optional TTL, keyed by fingerprint."""
 
     def __init__(
         self,
@@ -62,53 +77,90 @@ class PlanCache:
         self.ttl_s = ttl_s
         self.clock = clock
         self.stats = CacheStats()
-        self._entries: "OrderedDict[str, Tuple[Any, float]]" = OrderedDict()
+        # One re-entrant lock covers the entry map and the stats, so a
+        # lookup and its counter bump are a single atomic step even when
+        # worker shards and operator threads race.
+        self._lock = threading.RLock()
+        # key -> (value, inserted_at, tables the cached plan touches)
+        self._entries: "OrderedDict[str, Tuple[Any, float, FrozenSet[str] | None]]" = (
+            OrderedDict()
+        )
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str) -> Any | None:
         """Return the cached value or None; refreshes LRU recency."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.stats.misses += 1
-            return None
-        value, inserted_at = entry
-        if self.ttl_s is not None and self.clock() - inserted_at > self.ttl_s:
-            del self._entries[key]
-            self.stats.expirations += 1
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
-
-    def put(self, key: str, value: Any) -> None:
-        if key in self._entries:
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.stats.misses += 1
+                return None
+            value, inserted_at, _tables = entry
+            if self.ttl_s is not None and self.clock() - inserted_at > self.ttl_s:
+                del self._entries[key]
+                self.stats.expirations += 1
+                self.stats.misses += 1
+                return None
             self._entries.move_to_end(key)
-        self._entries[key] = (value, self.clock())
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+            self.stats.hits += 1
+            return value
+
+    def put(self, key: str, value: Any, tables: Iterable[str] | None = None) -> None:
+        """Insert ``value``; ``tables`` tags the entry for
+        :meth:`invalidate_tables` (None means "unknown — evict on any
+        partial invalidation", the conservative default)."""
+        tagged = None if tables is None else frozenset(tables)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = (value, self.clock(), tagged)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def invalidate(self, key: str) -> bool:
         """Drop one entry (e.g. after a schema change for its tables)."""
-        if key in self._entries:
-            del self._entries[key]
-            self.stats.invalidations += 1
-            return True
-        return False
+        with self._lock:
+            if key in self._entries:
+                del self._entries[key]
+                self.stats.invalidations += 1
+                return True
+            return False
+
+    def invalidate_tables(self, tables: Iterable[str]) -> int:
+        """Drop only the entries touching any of ``tables``.
+
+        Untagged entries (inserted with ``tables=None``) are dropped
+        too — with no provenance recorded, staleness must be assumed.
+        Returns the number of entries dropped.
+        """
+        changed = frozenset(tables)
+        with self._lock:
+            doomed = [
+                key
+                for key, (_v, _t, tagged) in self._entries.items()
+                if tagged is None or tagged & changed
+            ]
+            for key in doomed:
+                del self._entries[key]
+            self.stats.invalidations_partial += len(doomed)
+            return len(doomed)
 
     def clear(self) -> int:
         """Drop everything (statistics refresh); returns entries dropped."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        self.stats.invalidations += dropped
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += dropped
+            return dropped
 
     def keys(self):
         """Current keys, least- to most-recently used."""
-        return list(self._entries)
+        with self._lock:
+            return list(self._entries)

@@ -12,6 +12,7 @@ anything.
 
 from __future__ import annotations
 
+import threading
 from collections import deque
 from typing import Deque, List
 
@@ -23,7 +24,11 @@ __all__ = ["ExperienceBuffer"]
 
 
 class ExperienceBuffer:
-    """A bounded FIFO of served-query trajectories."""
+    """A bounded FIFO of served-query trajectories.
+
+    Thread-safe: worker shards append while a retraining job drains, so
+    mutations and their counters move under one lock.
+    """
 
     def __init__(self, capacity: int = 10_000) -> None:
         if capacity < 1:
@@ -31,33 +36,39 @@ class ExperienceBuffer:
         self.capacity = capacity
         self.added = 0
         self.dropped = 0
+        self._lock = threading.Lock()
         self._trajectories: Deque[Trajectory] = deque(maxlen=capacity)
 
     def __len__(self) -> int:
-        return len(self._trajectories)
+        with self._lock:
+            return len(self._trajectories)
 
     def add(self, trajectory: Trajectory) -> None:
-        if len(self._trajectories) == self.capacity:
-            self.dropped += 1
-        self._trajectories.append(trajectory)
-        self.added += 1
+        with self._lock:
+            if len(self._trajectories) == self.capacity:
+                self.dropped += 1
+            self._trajectories.append(trajectory)
+            self.added += 1
 
     def drain(self) -> List[Trajectory]:
         """Remove and return everything, oldest first."""
-        out = list(self._trajectories)
-        self._trajectories.clear()
-        return out
+        with self._lock:
+            out = list(self._trajectories)
+            self._trajectories.clear()
+            return out
 
     def sample(self, rng: np.random.Generator, n: int) -> List[Trajectory]:
         """``n`` trajectories without replacement (all of them if fewer)."""
-        if n >= len(self._trajectories):
-            return list(self._trajectories)
-        picks = rng.choice(len(self._trajectories), size=n, replace=False)
-        return [self._trajectories[int(i)] for i in picks]
+        with self._lock:
+            if n >= len(self._trajectories):
+                return list(self._trajectories)
+            picks = rng.choice(len(self._trajectories), size=n, replace=False)
+            return [self._trajectories[int(i)] for i in picks]
 
     def as_dict(self) -> dict:
-        return {
-            "experience_size": len(self),
-            "experience_added": self.added,
-            "experience_dropped": self.dropped,
-        }
+        with self._lock:
+            return {
+                "experience_size": len(self._trajectories),
+                "experience_added": self.added,
+                "experience_dropped": self.dropped,
+            }

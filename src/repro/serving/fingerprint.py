@@ -82,8 +82,18 @@ def canonical_alias_map(query: Query) -> Dict[str, str]:
     by the serving cache to remap cached plans).
     """
     colors = _initial_colors(query)
+    distinct = len(set(colors.values()))
     for _ in range(len(query.relations)):
         colors = _refine(query, colors)
+        refined = len(set(colors.values()))
+        # Refinement only ever splits colour classes (the new colour
+        # hashes in the old one), so an unchanged count means the
+        # partition is stable and further rounds cannot move it. Two
+        # equivalent queries refine in lockstep, so they stop at the
+        # same round and keep identical fingerprints.
+        if refined == distinct:
+            break
+        distinct = refined
     order = sorted(query.relations, key=lambda alias: (colors[alias], alias))
     return {alias: f"r{k}" for k, alias in enumerate(order)}
 

@@ -1,0 +1,557 @@
+"""The concurrent serving front end: batch-or-timeout + sharded workers.
+
+``OptimizerService`` answers a burst only when callers arrive
+pre-batched; production traffic arrives as independent concurrent
+requests. This front end converts the serving path from call-and-return
+to queue-and-flush:
+
+1. ``submit(query)`` fingerprints the query, routes it to a worker
+   shard via a consistent-hash ring, and returns a
+   :class:`concurrent.futures.Future` immediately;
+2. a background **flusher** drains the pending queue on a
+   *batch-or-timeout* deadline — it flushes as soon as ``max_batch``
+   submissions accumulate, or when the oldest submission has waited
+   ``max_delay_ms``, whichever comes first — so a lone query is never
+   stuck waiting for filler and a burst is never served one by one;
+3. each flush is split by shard and dispatched to **N worker threads**,
+   one :class:`~repro.serving.service.OptimizerService` each. Because
+   the ring keys on the canonical query fingerprint, every
+   fingerprint-equivalent query lands on the same shard's plan cache,
+   guardrail memo, and experience buffer — shard-private caches need no
+   cross-shard coherence, yet still see every repeat of "their" query
+   shapes.
+
+Micro-batched inference inside each shard is what amortizes the
+policy's forward passes across the concurrent callers; the front end
+exists to manufacture those batches out of unbatched traffic.
+
+Lifecycle: ``drain()`` blocks until every accepted submission has
+resolved; ``close()`` additionally stops the flusher and workers
+(flushing everything still queued first, so every future returned by
+``submit`` resolves — with a plan or an error — never dangles). The
+class is a context manager; ``submit`` after ``close`` raises.
+"""
+
+from __future__ import annotations
+
+import copy
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass
+from queue import Empty, SimpleQueue
+from typing import Deque, Dict, List, Sequence
+
+import numpy as np
+
+from repro.db.query import Query
+from repro.serving.fingerprint import canonical_alias_map, fingerprint
+from repro.serving.service import OptimizerService, ServedPlan, ServingConfig
+from repro.serving.sharding import HashRing
+
+__all__ = ["FrontEndConfig", "FrontEndStats", "ServingFrontEnd"]
+
+#: Sentinel telling a worker thread its queue is finished.
+_STOP = object()
+
+
+@dataclass(frozen=True)
+class FrontEndConfig:
+    """Knobs for the concurrent front end."""
+
+    #: Worker shards (each owns a private OptimizerService).
+    n_shards: int = 2
+    #: Flush as soon as this many submissions are pending...
+    max_batch: int = 32
+    #: ...or when the oldest pending submission has waited this long.
+    max_delay_ms: float = 2.0
+    #: Backpressure: max submissions accepted but not yet resolved.
+    max_pending: int = 65_536
+    #: Virtual nodes per shard on the consistent-hash ring.
+    hash_replicas: int = 64
+    #: Submit-to-resolve latency samples kept for percentiles.
+    latency_window: int = 8192
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.max_delay_ms < 0:
+            raise ValueError("max_delay_ms must be non-negative")
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be at least 1")
+
+
+@dataclass
+class FrontEndStats:
+    """Flusher/queue health counters (per-shard serving counters live on
+    each shard's service and are rolled up by :meth:`ServingFrontEnd.counters`)."""
+
+    submitted: int = 0
+    flushes: int = 0
+    #: Flushes triggered by a full batch...
+    flushes_size: int = 0
+    #: ...by the max_delay deadline on a partial batch...
+    flushes_deadline: int = 0
+    #: ...or by drain()/close() forcing everything out.
+    flushes_drain: int = 0
+    #: Sum of flush sizes, for mean flush occupancy.
+    occupancy_sum: int = 0
+    #: Batches actually served by workers (a worker coalesces every
+    #: dispatch waiting in its queue into one serve call, so under
+    #: backlog the served occupancy exceeds the flush occupancy).
+    served_batches: int = 0
+    served_occupancy_sum: int = 0
+    rejected: int = 0
+
+    @property
+    def batch_occupancy_mean(self) -> float:
+        return self.occupancy_sum / self.flushes if self.flushes else 0.0
+
+    @property
+    def served_occupancy_mean(self) -> float:
+        return (
+            self.served_occupancy_sum / self.served_batches
+            if self.served_batches
+            else 0.0
+        )
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "frontend_submitted": self.submitted,
+            "frontend_flushes": self.flushes,
+            "frontend_flushes_size": self.flushes_size,
+            "frontend_flushes_deadline": self.flushes_deadline,
+            "frontend_flushes_drain": self.flushes_drain,
+            "frontend_rejected": self.rejected,
+            "frontend_batch_occupancy_mean": round(self.batch_occupancy_mean, 2),
+            "frontend_served_batches": self.served_batches,
+            "frontend_served_occupancy_mean": round(self.served_occupancy_mean, 2),
+        }
+
+
+@dataclass
+class _Submission:
+    """One accepted request travelling from queue to shard to future."""
+
+    query: Query
+    fp: str
+    alias_map: Dict[str, str]
+    shard: int
+    future: "Future[ServedPlan]"
+    submitted_at: float
+
+
+class ServingFrontEnd:
+    """Queue-and-flush concurrency over per-shard optimizer services.
+
+    ``services`` is one :class:`OptimizerService` per shard; use
+    :meth:`build` to construct a standard set (shard-private planners,
+    memos, and policy copies) from a database and an agent. Services
+    must not share mutable inference state — the constructor installs a
+    per-policy-object lock on each shard's micro-batch engine as a
+    safety net, so even a shared policy stays correct (just serialized).
+    """
+
+    def __init__(
+        self,
+        services: Sequence[OptimizerService],
+        config: FrontEndConfig | None = None,
+    ) -> None:
+        if not services:
+            raise ValueError("need at least one shard service")
+        self.config = config or FrontEndConfig(n_shards=len(services))
+        if self.config.n_shards != len(services):
+            raise ValueError(
+                f"config says {self.config.n_shards} shards but "
+                f"{len(services)} services were given"
+            )
+        self.services = list(services)
+        self.ring = HashRing(self.config.n_shards, self.config.hash_replicas)
+        self.stats = FrontEndStats()
+        self.clock = time.monotonic
+        # The nn layers stash forward activations on the policy object,
+        # so concurrent forward passes on one shared policy would read
+        # each other's state; one lock per distinct policy object keeps
+        # distinct-policy shards fully parallel and shared-policy
+        # setups merely serialized at the forward pass.
+        locks: Dict[int, threading.Lock] = {}
+        for service in self.services:
+            policy = service.engine.policy
+            service.engine.inference_lock = locks.setdefault(
+                id(policy), threading.Lock()
+            )
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._pending: Deque[_Submission] = deque()
+        self._inflight = 0
+        self._flush_asap = False
+        self._closing = False
+        self._closed = False
+        self._latencies: Deque[float] = deque(maxlen=self.config.latency_window)
+        self._queues: List["SimpleQueue"] = [
+            SimpleQueue() for _ in range(self.config.n_shards)
+        ]
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop,
+                args=(shard,),
+                name=f"serving-shard-{shard}",
+                daemon=True,
+            )
+            for shard in range(self.config.n_shards)
+        ]
+        for worker in self._workers:
+            worker.start()
+        self._flusher = threading.Thread(
+            target=self._flusher_loop, name="serving-flusher", daemon=True
+        )
+        self._flusher.start()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        db,
+        agent_or_policy,
+        featurizer=None,
+        serving_config: ServingConfig | None = None,
+        config: FrontEndConfig | None = None,
+        planner_factory=None,
+        reward_source=None,
+    ) -> "ServingFrontEnd":
+        """A front end with the standard shard setup.
+
+        Each shard gets its own :class:`~repro.optimizer.planner.Planner`
+        (with a private sub-plan cost memo) and its own deep copy of the
+        policy, so shards never contend on mutable planner or inference
+        state. ``planner_factory()`` overrides the per-shard planner.
+        """
+        from repro.core.featurize import QueryFeaturizer
+        from repro.optimizer.memo import SubPlanCostMemo
+        from repro.optimizer.planner import Planner
+
+        config = config or FrontEndConfig()
+        featurizer = featurizer or QueryFeaturizer(db.schema)
+        policy = getattr(agent_or_policy, "policy", agent_or_policy)
+        make_planner = planner_factory or (
+            lambda: Planner(db, cost_memo=SubPlanCostMemo())
+        )
+        services = [
+            OptimizerService(
+                db,
+                policy if shard == 0 else copy.deepcopy(policy),
+                planner=make_planner(),
+                featurizer=featurizer,
+                config=serving_config,
+                reward_source=reward_source,
+            )
+            for shard in range(config.n_shards)
+        ]
+        return cls(services, config=config)
+
+    # ------------------------------------------------------------------
+    # Request path
+    # ------------------------------------------------------------------
+    def submit(self, query: Query) -> "Future[ServedPlan]":
+        """Queue one request; the returned future resolves to its
+        :class:`ServedPlan` (or to the error that served it)."""
+        # Reject before canonicalizing: a saturated or closed front end
+        # must turn submissions away in O(1), not after paying the WL
+        # refinement that is the most expensive part of admission. The
+        # check re-runs after canonicalization, which stays
+        # authoritative against races.
+        with self._work:
+            self._check_accepting()
+        # Canonicalize in the caller's thread: routing needs the
+        # fingerprint anyway, and the shard reuses both instead of
+        # recomputing them.
+        names = canonical_alias_map(query)
+        fp = fingerprint(query, names)
+        submission = _Submission(
+            query=query,
+            fp=fp,
+            alias_map=names,
+            shard=self.ring.shard_for(fp),
+            future=Future(),
+            submitted_at=self.clock(),
+        )
+        with self._work:
+            self._check_accepting()
+            self._pending.append(submission)
+            self._inflight += 1
+            self.stats.submitted += 1
+            self._work.notify_all()
+        return submission.future
+
+    def _check_accepting(self) -> None:
+        """Raise if the front end cannot take another submission.
+
+        Call with ``self._work`` held: the rejected counter is a
+        read-modify-write and the counters are promised to be exact.
+        """
+        if self._closing:
+            raise RuntimeError(
+                "submit() after close(): front end no longer accepts work"
+            )
+        if self._inflight >= self.config.max_pending:
+            self.stats.rejected += 1
+            raise RuntimeError(
+                f"backpressure: {self._inflight} submissions in flight "
+                f"(max_pending={self.config.max_pending})"
+            )
+
+    def optimize(self, query: Query, timeout: float | None = None) -> ServedPlan:
+        """Synchronous wrapper: submit and wait (the old one-call API)."""
+        return self.submit(query).result(timeout)
+
+    def optimize_batch(
+        self, queries: Sequence[Query], timeout: float | None = None
+    ) -> List[ServedPlan]:
+        """Synchronous wrapper: submit all, wait for all, submit order."""
+        futures = [self.submit(query) for query in queries]
+        return [future.result(timeout) for future in futures]
+
+    # ------------------------------------------------------------------
+    # Flusher / workers
+    # ------------------------------------------------------------------
+    def _flusher_loop(self) -> None:
+        while True:
+            with self._work:
+                while not self._pending and not self._closing:
+                    self._work.wait()
+                if not self._pending:  # closing with nothing queued
+                    break
+                deadline = (
+                    self._pending[0].submitted_at + self.config.max_delay_ms / 1000.0
+                )
+                while True:
+                    if len(self._pending) >= self.config.max_batch:
+                        reason = "size"
+                        break
+                    if self._closing or self._flush_asap:
+                        reason = "drain"
+                        break
+                    remaining = deadline - self.clock()
+                    if remaining <= 0:
+                        reason = "deadline"
+                        break
+                    self._work.wait(remaining)
+                take = min(len(self._pending), self.config.max_batch)
+                batch = [self._pending.popleft() for _ in range(take)]
+                self.stats.flushes += 1
+                self.stats.occupancy_sum += take
+                if reason == "size":
+                    self.stats.flushes_size += 1
+                elif reason == "deadline":
+                    self.stats.flushes_deadline += 1
+                else:
+                    self.stats.flushes_drain += 1
+            # Dispatch outside the lock: queue puts never block, and
+            # workers must be able to grab the lock to finish batches.
+            by_shard: Dict[int, List[_Submission]] = {}
+            for submission in batch:
+                by_shard.setdefault(submission.shard, []).append(submission)
+            for shard, submissions in by_shard.items():
+                self._queues[shard].put(submissions)
+
+    def _worker_loop(self, shard: int) -> None:
+        service = self.services[shard]
+        queue = self._queues[shard]
+        stop = False
+        while not stop:
+            submissions = queue.get()
+            if submissions is _STOP:
+                break
+            submissions = list(submissions)
+            # Coalesce: when this worker fell behind, several flusher
+            # dispatches are waiting in its queue — serving them as one
+            # micro-batch is the whole point of the front end, so drain
+            # up to max_batch before running the rollout.
+            while len(submissions) < self.config.max_batch:
+                try:
+                    extra = queue.get_nowait()
+                except Empty:
+                    break
+                if extra is _STOP:
+                    stop = True
+                    break
+                submissions.extend(extra)
+            # Transition futures to RUNNING; a future the caller already
+            # cancelled is dropped here (set_result on it would raise
+            # InvalidStateError and kill the worker).
+            live = [
+                s for s in submissions if s.future.set_running_or_notify_cancel()
+            ]
+            try:
+                served = service.optimize_batch(
+                    [s.query for s in live],
+                    fingerprints=[s.fp for s in live],
+                    alias_maps=[s.alias_map for s in live],
+                )
+            except BaseException as exc:  # resolve, never dangle
+                for submission in live:
+                    submission.future.set_exception(exc)
+            else:
+                for submission, plan in zip(live, served):
+                    submission.future.set_result(plan)
+            now = self.clock()
+            with self._work:
+                # Latency and occupancy describe what was actually
+                # served; cancelled submissions only release inflight.
+                for submission in live:
+                    self._latencies.append((now - submission.submitted_at) * 1000.0)
+                self._inflight -= len(submissions)
+                if live:
+                    self.stats.served_batches += 1
+                    self.stats.served_occupancy_sum += len(live)
+                self._work.notify_all()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def drain(self, timeout: float | None = None) -> None:
+        """Block until every accepted submission has resolved.
+
+        Pending submissions are flushed immediately (no deadline wait).
+        Raises ``TimeoutError`` if ``timeout`` seconds pass first; the
+        front end keeps serving either way.
+        """
+        deadline = None if timeout is None else self.clock() + timeout
+        with self._work:
+            self._flush_asap = True
+            self._work.notify_all()
+            try:
+                while self._inflight > 0:
+                    remaining = None if deadline is None else deadline - self.clock()
+                    if remaining is not None and remaining <= 0:
+                        raise TimeoutError(
+                            f"drain timed out with {self._inflight} in flight"
+                        )
+                    self._work.wait(remaining)
+            finally:
+                self._flush_asap = False
+
+    def close(self, timeout: float | None = None) -> None:
+        """Stop accepting work, serve everything queued, stop threads.
+
+        Every future handed out before ``close`` resolves: the flusher
+        drains the pending queue into the shard queues before exiting,
+        and each worker finishes its queue before seeing the stop
+        sentinel. Idempotent.
+        """
+        with self._work:
+            if self._closed:
+                return
+            self._closing = True
+            self._work.notify_all()
+        self._flusher.join(timeout)
+        if self._flusher.is_alive():
+            # The flusher may still be dispatching pending submissions;
+            # stopping workers now would strand those futures. Leave
+            # everything running and let the caller retry close().
+            raise TimeoutError(
+                "close() timed out waiting for the flusher; retry close()"
+            )
+        for queue in self._queues:
+            queue.put(_STOP)
+        for worker in self._workers:
+            worker.join(timeout)
+            if worker.is_alive():
+                raise TimeoutError(
+                    f"close() timed out waiting for {worker.name}; retry close()"
+                )
+        self._closed = True
+
+    def __enter__(self) -> "ServingFrontEnd":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+    def refresh_statistics(
+        self,
+        seed: int = 1,
+        sample_size: int = 30_000,
+        tables: Sequence[str] | None = None,
+    ) -> None:
+        """Re-ANALYZE the shared database once and invalidate every
+        shard's caches (all of them, or only the entries reading
+        ``tables`` when given). Safe to call while shards are serving —
+        the caches are thread-safe, and in-flight requests complete
+        against a consistent view at worst one refresh behind.
+        """
+        self.services[0].db.analyze(seed=seed, sample_size=sample_size, tables=tables)
+        for service in self.services:
+            service.invalidate_statistics_caches(tables=tables)
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def drain_experience(self):
+        """Collected trajectories from every shard, oldest first per
+        shard (feed to ``Trainer.replay`` for hands-free retraining)."""
+        out = []
+        for service in self.services:
+            if service.experience is not None:
+                out.extend(service.experience.drain())
+        return out
+
+    def latency_summary(self) -> Dict[str, float]:
+        """p50/p95/mean submit-to-resolve latency (queueing included)."""
+        with self._work:
+            samples = list(self._latencies)
+        if not samples:
+            return {"p50_ms": 0.0, "p95_ms": 0.0, "mean_ms": 0.0}
+        arr = np.asarray(samples)
+        return {
+            "p50_ms": float(np.percentile(arr, 50)),
+            "p95_ms": float(np.percentile(arr, 95)),
+            "mean_ms": float(arr.mean()),
+        }
+
+    def counters(self) -> Dict[str, float]:
+        """Front-end stats plus every shard's counters rolled up.
+
+        Count-like shard counters are summed; the derived rates are
+        recomputed from the summed numerators/denominators so the
+        rollup is exact, not an average of averages. Per-shard request
+        counts are also exposed (``shard0_requests``, ...), which is
+        how an operator sees the consistent-hash load split.
+        """
+        rolled: Dict[str, float] = {}
+        per_shard = [service.counters() for service in self.services]
+        for counters in per_shard:
+            for key, value in counters.items():
+                if key.endswith("_rate"):
+                    continue
+                rolled[key] = rolled.get(key, 0) + value
+        lookups = rolled.get("cache_hits", 0) + rolled.get("cache_misses", 0)
+        rolled["cache_hit_rate"] = (
+            round(rolled.get("cache_hits", 0) / lookups, 4) if lookups else 0.0
+        )
+        requests = rolled.get("requests", 0)
+        rolled["fallback_rate"] = (
+            round(rolled.get("served_from_fallback", 0) / requests, 4)
+            if requests
+            else 0.0
+        )
+        memo_lookups = rolled.get("costmemo_hits", 0) + rolled.get(
+            "costmemo_misses", 0
+        )
+        if memo_lookups:
+            rolled["costmemo_hit_rate"] = round(
+                rolled.get("costmemo_hits", 0) / memo_lookups, 4
+            )
+        for shard, counters in enumerate(per_shard):
+            rolled[f"shard{shard}_requests"] = counters.get("requests", 0)
+        rolled.update(self.stats.as_dict())
+        rolled["frontend_shards"] = self.config.n_shards
+        return rolled

@@ -11,8 +11,9 @@ adds at most one expert optimization per distinct query shape.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, FrozenSet, Iterable
 
 from repro.db.query import Query
 from repro.optimizer.planner import Planner, PlannerResult
@@ -53,15 +54,31 @@ class GuardrailRouter:
         self.regression_threshold = regression_threshold
         self.decisions = 0
         self.fallbacks = 0
+        # The memo may be invalidated from an operator thread while a
+        # worker thread is filling it; guard both maps together.
+        self._lock = threading.Lock()
         self._expert_results: Dict[str, PlannerResult] = {}
+        #: Which base tables each memoized expert plan reads, so a
+        #: table-scoped statistics refresh can evict surgically.
+        self._tables: Dict[str, FrozenSet[str]] = {}
 
     def expert_result(self, query: Query, key: str | None = None) -> PlannerResult:
         """The expert plan for ``query``, memoized by fingerprint."""
         key = key or query.name
-        result = self._expert_results.get(key)
+        with self._lock:
+            result = self._expert_results.get(key)
         if result is None:
+            # Optimize outside the lock: the expert search is the slow
+            # part and must not serialize unrelated shards.
+            epoch = self.planner.db.stats_epoch
             result = self.planner.optimize(query)
-            self._expert_results[key] = result
+            with self._lock:
+                if self.planner.db.stats_epoch == epoch:
+                    # Don't memoize a plan computed under statistics an
+                    # ANALYZE replaced mid-optimization: it would
+                    # survive the invalidation that just ran.
+                    self._expert_results[key] = result
+                    self._tables[key] = frozenset(query.relations.values())
         return result
 
     def decide(
@@ -88,7 +105,23 @@ class GuardrailRouter:
 
     def invalidate(self) -> None:
         """Drop memoized expert plans (statistics changed under them)."""
-        self._expert_results.clear()
+        with self._lock:
+            self._expert_results.clear()
+            self._tables.clear()
+
+    def invalidate_tables(self, tables: Iterable[str]) -> int:
+        """Drop only expert plans reading any of ``tables``."""
+        changed = frozenset(tables)
+        with self._lock:
+            doomed = [
+                key
+                for key, tagged in self._tables.items()
+                if tagged & changed
+            ]
+            for key in doomed:
+                del self._expert_results[key]
+                del self._tables[key]
+            return len(doomed)
 
     @property
     def fallback_rate(self) -> float:

@@ -61,6 +61,10 @@ class ServingConfig:
     experience_capacity: int = 10_000
     #: Per-request latency samples kept for percentile reporting.
     latency_window: int = 8192
+    #: Max queries queued via :meth:`OptimizerService.submit` awaiting a
+    #: :meth:`~OptimizerService.flush` — backpressure instead of an
+    #: unbounded pending list.
+    max_pending: int = 4096
 
 
 @dataclass(frozen=True)
@@ -155,6 +159,11 @@ class OptimizerService:
         )
         self._latencies: Deque[float] = deque(maxlen=self.config.latency_window)
         self._pending: List[Query] = []
+        #: Identities of queries in the pending window, for an O(1)
+        #: duplicate-submission check (objects stay alive in _pending,
+        #: so ids cannot be recycled while tracked here).
+        self._pending_ids: set = set()
+        self._closed = False
 
     # ------------------------------------------------------------------
     # Request paths
@@ -164,23 +173,82 @@ class OptimizerService:
         return self.optimize_batch([query])[0]
 
     def submit(self, query: Query) -> int:
-        """Queue a request for the next :meth:`flush`; returns its slot."""
+        """Queue a request for the next :meth:`flush`; returns its slot.
+
+        The slot is the query's index in the list :meth:`flush` returns
+        — results always come back in submit order. Raises
+        ``RuntimeError`` once the service is closed or the pending queue
+        is full (``ServingConfig.max_pending``), and ``ValueError`` on a
+        duplicate submission of the same query object within one
+        pending window (a double-submit bug in the caller: each slot
+        must resolve to exactly one request).
+        """
+        if self._closed:
+            raise RuntimeError("submit() after close(): service no longer accepts work")
+        if len(self._pending) >= self.config.max_pending:
+            raise RuntimeError(
+                f"pending queue full ({self.config.max_pending}); flush() first"
+            )
+        if id(query) in self._pending_ids:
+            raise ValueError(
+                f"query {query.name!r} already submitted in this pending window"
+            )
         self._pending.append(query)
+        self._pending_ids.add(id(query))
         return len(self._pending) - 1
 
     def flush(self) -> List[ServedPlan]:
-        """Serve every queued request as one micro-batch."""
+        """Serve every queued request as one micro-batch.
+
+        Plans come back in submit order: ``flush()[slot]`` is the
+        answer for the submission that returned ``slot``.
+        """
         pending, self._pending = self._pending, []
+        self._pending_ids.clear()
         return self.optimize_batch(pending) if pending else []
 
-    def optimize_batch(self, queries: Sequence[Query]) -> List[ServedPlan]:
-        """Serve a concurrent burst: cache first, then batched rollout."""
+    def close(self) -> List[ServedPlan]:
+        """Serve whatever is still pending, then refuse new work.
+
+        Idempotent; returns the final flush so no submitted query is
+        ever silently dropped.
+        """
+        served = self.flush()
+        self._closed = True
+        return served
+
+    def optimize_batch(
+        self,
+        queries: Sequence[Query],
+        fingerprints: Sequence[str] | None = None,
+        alias_maps: Sequence[Dict[str, str]] | None = None,
+    ) -> List[ServedPlan]:
+        """Serve a concurrent burst: cache first, then batched rollout.
+
+        ``fingerprints``/``alias_maps`` let a caller that already
+        canonicalized the queries (the concurrent front end computes
+        fingerprints to route submissions to shards) skip recomputing
+        them here; both must align with ``queries`` index-for-index.
+        """
         if not queries:
             return []
         start = time.perf_counter()
+        # Plans computed in this batch are cached only if the database
+        # statistics do not move underneath it — a refresh_statistics
+        # racing the batch must not have its invalidation undone by a
+        # late insert of a pre-ANALYZE plan.
+        epoch = self.db.stats_epoch
         self.stats.batches += 1
-        maps = [canonical_alias_map(q) for q in queries]
-        fps = [fingerprint(q, m) for q, m in zip(queries, maps)]
+        maps = (
+            list(alias_maps)
+            if alias_maps is not None
+            else [canonical_alias_map(q) for q in queries]
+        )
+        fps = (
+            list(fingerprints)
+            if fingerprints is not None
+            else [fingerprint(q, m) for q, m in zip(queries, maps)]
+        )
         answers: Dict[int, tuple] = {}  # idx -> (source, plan, cost, decision)
         rollout_fp: Dict[str, List[int]] = {}
         for idx, (query, fp) in enumerate(zip(queries, fps)):
@@ -191,7 +259,7 @@ class OptimizerService:
             if entry is not None:
                 answers[idx] = self._serve_hit(query, maps[idx], entry)
             elif query.n_relations > self.featurizer.max_relations:
-                answers[idx] = self._expert_direct(query, maps[idx], fp)
+                answers[idx] = self._expert_direct(query, maps[idx], fp, epoch)
             else:
                 rollout_fp[fp] = [idx]
 
@@ -200,7 +268,9 @@ class OptimizerService:
             records = self.engine.rollout([queries[i] for i in indices])
             for idxs, record in zip(rollout_fp.values(), records):
                 first = idxs[0]
-                answer, entry = self._serve_rollout(record, maps[first], fps[first])
+                answer, entry = self._serve_rollout(
+                    record, maps[first], fps[first], epoch
+                )
                 answers[first] = answer
                 # Alias-renamed duplicates of the same fingerprint still
                 # need their plan expressed in their own aliases.
@@ -248,7 +318,9 @@ class OptimizerService:
         result = self.planner.evaluate_tree(tree, query)
         return ("cache", result.plan, result.cost.total, None)
 
-    def _expert_direct(self, query: Query, names: Dict[str, str], fp: str) -> tuple:
+    def _expert_direct(
+        self, query: Query, names: Dict[str, str], fp: str, epoch: int
+    ) -> tuple:
         """Oversize queries bypass the policy entirely."""
         result = self.router.expert_result(query, fp)
         entry = _CacheEntry(
@@ -258,11 +330,12 @@ class OptimizerService:
             tree=result.join_tree,
             alias_map=names,
         )
-        self.cache.put(fp, entry)
+        if self.db.stats_epoch == epoch:
+            self.cache.put(fp, entry, tables=query.relations.values())
         return ("expert", entry.plan, entry.cost, None)
 
     def _serve_rollout(
-        self, record: RolloutRecord, names: Dict[str, str], fp: str
+        self, record: RolloutRecord, names: Dict[str, str], fp: str, epoch: int
     ) -> tuple:
         query = record.query
         learned = self.planner.evaluate_tree(record.tree, query)
@@ -286,7 +359,8 @@ class OptimizerService:
                 tree=expert.join_tree,
                 alias_map=names,
             )
-        self.cache.put(fp, entry)
+        if self.db.stats_epoch == epoch:
+            self.cache.put(fp, entry, tables=query.relations.values())
         if self.experience is not None and record.transitions:
             self._collect(record, learned.plan, fp, source)
         return (source, entry.plan, entry.cost, decision), entry
@@ -328,15 +402,43 @@ class OptimizerService:
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
-    def refresh_statistics(self, seed: int = 1, sample_size: int = 30_000) -> None:
+    def refresh_statistics(
+        self,
+        seed: int = 1,
+        sample_size: int = 30_000,
+        tables: Sequence[str] | None = None,
+    ) -> None:
         """Re-ANALYZE the database and invalidate every cached decision
-        that depended on the old statistics."""
-        self.db.analyze(seed=seed, sample_size=sample_size)
-        self.cache.clear()
-        self.router.invalidate()
+        that depended on the old statistics.
+
+        With ``tables`` given, only those tables are re-sampled and only
+        the cached plans / expert memos / sub-plan cost fragments that
+        *read* one of them are evicted (the ``invalidations_partial``
+        counters record how many) — everything else keeps serving warm.
+        """
+        self.db.analyze(seed=seed, sample_size=sample_size, tables=tables)
+        self.invalidate_statistics_caches(tables=tables)
+
+    def invalidate_statistics_caches(
+        self, tables: Sequence[str] | None = None
+    ) -> None:
+        """Evict every cached decision staled by a statistics change.
+
+        The eviction half of :meth:`refresh_statistics`: callers that
+        re-ANALYZE the shared database once for several services (the
+        concurrent front end's shards) invoke this on each of them.
+        """
         memo = getattr(self.planner, "cost_memo", None)
-        if memo is not None:
-            memo.clear()
+        if tables is None:
+            self.cache.clear()
+            self.router.invalidate()
+            if memo is not None:
+                memo.clear()
+        else:
+            self.cache.invalidate_tables(tables)
+            self.router.invalidate_tables(tables)
+            if memo is not None:
+                memo.invalidate_tables(tables)
 
     def latency_summary(self) -> Dict[str, float]:
         """p50/p95/mean of recent per-request latencies (ms)."""

@@ -40,6 +40,19 @@ class TestParser:
         assert args.burst == 8
         assert args.threshold == 2.0
         assert args.cache_capacity == 512
+        # Concurrency defaults: synchronous unless asked otherwise.
+        assert args.concurrency == 1
+        assert args.shards == 2
+        assert args.max_delay_ms == 2.0
+
+    def test_serve_bench_concurrency_options(self):
+        args = build_parser().parse_args(
+            ["serve-bench", "--concurrency", "16", "--shards", "4",
+             "--max-delay-ms", "5.5"]
+        )
+        assert args.concurrency == 16
+        assert args.shards == 4
+        assert args.max_delay_ms == 5.5
 
 
 TINY = ["--scale", "0.02", "--seed", "1"]
@@ -90,6 +103,24 @@ class TestCommands:
         assert "cache hit rate" in out
         assert "fallback rate" in out
         assert "hands-free retraining" in out
+
+    def test_serve_bench_tiny_concurrent(self, capsys):
+        assert main(
+            TINY + ["serve-bench", "--requests", "24", "--burst", "8",
+                    "--episodes", "4", "--concurrency", "4", "--shards", "2",
+                    "--max-delay-ms", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "open-loop clients over 2 shards" in out
+        assert "frontend_submitted" in out
+        assert "shard0_requests" in out
+        assert "hands-free retraining" in out
+
+    def test_serve_bench_rejects_bad_concurrency_knobs(self, capsys):
+        assert main(TINY + ["serve-bench", "--concurrency", "0"]) == 2
+        assert main(TINY + ["serve-bench", "--shards", "0"]) == 2
+        assert main(TINY + ["serve-bench", "--max-delay-ms", "-1"]) == 2
+        assert "serve-bench" in capsys.readouterr().err
 
     def test_bootstrap_tiny(self, capsys):
         assert (

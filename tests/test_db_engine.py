@@ -74,3 +74,24 @@ class TestServices:
         small_db.analyze(seed=99)
         after = small_db.stats["a"].columns["x"].n_distinct
         assert after == pytest.approx(before, rel=0.5)
+
+    def test_partial_analyze_touches_only_named_tables(self):
+        from tests.conftest import small_fks, small_specs
+
+        db = Database.from_specs(small_specs(), small_fks(), seed=7)
+        epoch = db.stats_epoch
+        a_epoch = db.table_epochs["a"]
+        b_stats, c_stats = db.stats["b"], db.stats["c"]
+        db.analyze(seed=99, tables=["a"])
+        # Only a's statistics object was replaced...
+        assert db.stats["b"] is b_stats
+        assert db.stats["c"] is c_stats
+        # ...and only a's epoch moved, while the global epoch still bumps
+        # so epoch-only consumers stay conservative.
+        assert db.table_epochs["a"] == a_epoch + 1
+        assert db.table_epochs["b"] == db.table_epochs["c"] == a_epoch
+        assert db.stats_epoch == epoch + 1
+
+    def test_partial_analyze_rejects_unknown_table(self, small_db):
+        with pytest.raises(KeyError, match="nope"):
+            small_db.analyze(tables=["nope"])

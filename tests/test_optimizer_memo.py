@@ -158,6 +158,7 @@ class TestMemoBookkeeping:
             "costmemo_hits",
             "costmemo_misses",
             "costmemo_evictions",
+            "costmemo_invalidations_partial",
             "costmemo_size",
             "costmemo_hit_rate",
         }
@@ -165,6 +166,34 @@ class TestMemoBookkeeping:
     def test_capacity_validation(self):
         with pytest.raises(ValueError):
             SubPlanCostMemo(capacity=0)
+
+    def test_invalidate_tables_is_surgical(self):
+        memo = SubPlanCostMemo()
+        memo.put("ab", None, None, tables={"a", "b"})
+        memo.put("bc", None, None, tables={"b", "c"})
+        memo.put("untagged", None, None)
+        assert memo.invalidate_tables({"a"}) == 2  # ab + conservative untagged
+        assert memo.invalidations_partial == 2
+        assert memo.get("bc") is not None
+        assert memo.get("ab") is None
+
+    def test_sync_epoch_with_table_epochs_keeps_unaffected_fragments(self):
+        memo = SubPlanCostMemo()
+        memo.sync_epoch(1, {"a": 1, "b": 1})  # take the initial snapshot
+        memo.put("a-frag", None, None, tables={"a"})
+        memo.put("b-frag", None, None, tables={"b"})
+        memo.sync_epoch(2, {"a": 2, "b": 1})  # only table a re-analyzed
+        assert memo.get("a-frag") is None
+        assert memo.get("b-frag") is not None
+        # Unchanged epoch: no-op even if called repeatedly.
+        memo.sync_epoch(2, {"a": 2, "b": 1})
+        assert memo.get("b-frag") is not None
+
+    def test_sync_epoch_without_table_epochs_clears_everything(self):
+        memo = SubPlanCostMemo()
+        memo.put("x", None, None, tables={"a"})
+        memo.sync_epoch(5)
+        assert len(memo) == 0
 
     def test_analyze_invalidates_via_stats_epoch(self, gen):
         """Re-ANALYZE must drop memoized costs in EVERY attached memo,

@@ -103,4 +103,32 @@ class TestInvalidation:
     def test_stats_dict_shape(self):
         stats = PlanCache(capacity=4).stats.as_dict()
         assert {"cache_hits", "cache_misses", "cache_evictions",
-                "cache_hit_rate"} <= set(stats)
+                "cache_hit_rate", "cache_invalidations_partial"} <= set(stats)
+
+
+class TestPartialInvalidation:
+    def test_drops_only_entries_touching_the_tables(self):
+        cache = PlanCache(capacity=8)
+        cache.put("ab", 1, tables={"a", "b"})
+        cache.put("bc", 2, tables={"b", "c"})
+        cache.put("c", 3, tables={"c"})
+        assert cache.invalidate_tables({"c"}) == 2
+        assert cache.stats.invalidations_partial == 2
+        assert cache.get("ab") == 1
+        assert "bc" not in cache
+        assert "c" not in cache
+
+    def test_untagged_entries_are_dropped_conservatively(self):
+        cache = PlanCache(capacity=8)
+        cache.put("unknown", 1)  # no provenance recorded
+        cache.put("ab", 2, tables={"a", "b"})
+        assert cache.invalidate_tables({"z"}) == 1
+        assert "unknown" not in cache
+        assert cache.get("ab") == 2
+
+    def test_no_overlap_drops_nothing(self):
+        cache = PlanCache(capacity=8)
+        cache.put("ab", 1, tables={"a", "b"})
+        assert cache.invalidate_tables({"x", "y"}) == 0
+        assert cache.stats.invalidations_partial == 0
+        assert cache.get("ab") == 1

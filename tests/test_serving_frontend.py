@@ -1,0 +1,342 @@
+"""Tests for the concurrent serving front end: batch-or-timeout
+flushing, consistent-hash sharding, lifecycle (drain/close), and the
+per-shard counter rollup."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.featurize import QueryFeaturizer
+from repro.db.query import parse_query
+from repro.optimizer.memo import SubPlanCostMemo
+from repro.optimizer.planner import Planner
+from repro.rl.ppo import PPOAgent
+from repro.serving import (
+    FrontEndConfig,
+    HashRing,
+    OptimizerService,
+    ServingConfig,
+    ServingFrontEnd,
+    fingerprint,
+)
+
+CHAIN = "SELECT * FROM a, b, c WHERE a.id = b.a_id AND b.id = c.b_id"
+CHAIN_RENAMED = (
+    "SELECT * FROM a AS u, b AS v, c AS w2 WHERE w2.b_id = v.id AND v.a_id = u.id"
+)
+BC = "SELECT * FROM b, c WHERE b.id = c.b_id"
+AB = "SELECT * FROM a, b WHERE a.id = b.a_id"
+
+
+@pytest.fixture(scope="module")
+def featurizer(small_db):
+    return QueryFeaturizer(small_db.schema, max_relations=3)
+
+
+@pytest.fixture(scope="module")
+def agent(small_db, featurizer):
+    return PPOAgent(
+        featurizer.state_dim, featurizer.n_pair_actions, np.random.default_rng(3)
+    )
+
+
+def make_frontend(small_db, agent, featurizer, **config_kwargs):
+    config_kwargs.setdefault("n_shards", 2)
+    config_kwargs.setdefault("max_batch", 4)
+    config_kwargs.setdefault("max_delay_ms", 25.0)
+    return ServingFrontEnd.build(
+        small_db,
+        agent,
+        featurizer=featurizer,
+        serving_config=ServingConfig(regression_threshold=1.5),
+        config=FrontEndConfig(**config_kwargs),
+    )
+
+
+class TestHashRing:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, replicas=0)
+
+    def test_deterministic_and_in_range(self):
+        ring = HashRing(4)
+        keys = [f"key-{i}" for i in range(200)]
+        first = [ring.shard_for(k) for k in keys]
+        assert first == [HashRing(4).shard_for(k) for k in keys]
+        assert all(0 <= shard < 4 for shard in first)
+
+    def test_spread_is_roughly_balanced(self):
+        ring = HashRing(4, replicas=128)
+        spread = ring.spread(f"key-{i}" for i in range(2000))
+        assert set(spread) == {0, 1, 2, 3}
+        assert min(spread.values()) > 200  # no starved shard
+
+    def test_adding_a_shard_moves_few_keys(self):
+        keys = [f"key-{i}" for i in range(1000)]
+        before = HashRing(4)
+        after = HashRing(5)
+        moved = sum(
+            before.shard_for(k) != after.shard_for(k) for k in keys
+        )
+        # Consistent hashing moves ~1/5 of keys; modulo hashing ~4/5.
+        assert moved < 500
+
+    def test_single_shard_takes_everything(self):
+        ring = HashRing(1)
+        assert {ring.shard_for(f"k{i}") for i in range(50)} == {0}
+
+
+class TestBatchOrTimeout:
+    def test_full_batch_flushes_without_waiting_for_deadline(
+        self, small_db, agent, featurizer
+    ):
+        # A generous deadline that would blow the test budget if waited on:
+        # four submissions == max_batch must flush immediately instead.
+        frontend = make_frontend(
+            small_db, agent, featurizer, max_batch=4, max_delay_ms=1900.0
+        )
+        with frontend:
+            queries = [parse_query(BC, f"bc{i}") for i in range(4)]
+            start = time.monotonic()
+            futures = [frontend.submit(q) for q in queries]
+            served = [f.result(timeout=1.8) for f in futures]
+            elapsed = time.monotonic() - start
+        assert elapsed < 1.8
+        assert [s.query_name for s in served] == [q.name for q in queries]
+        assert frontend.stats.flushes_size >= 1
+
+    def test_lone_query_flushed_within_deadline_without_filler(
+        self, small_db, agent, featurizer
+    ):
+        frontend = make_frontend(
+            small_db, agent, featurizer, max_batch=64, max_delay_ms=50.0
+        )
+        with frontend:
+            future = frontend.submit(parse_query(CHAIN, "lone"))
+            served = future.result(timeout=1.8)
+        assert served.query_name == "lone"
+        assert frontend.stats.flushes_deadline == 1
+        assert frontend.stats.flushes_size == 0
+        # The flush carried exactly the one query — no filler batch.
+        assert frontend.stats.occupancy_sum == 1
+
+    def test_served_plans_match_synchronous_service(
+        self, small_db, agent, featurizer
+    ):
+        queries = [
+            parse_query(CHAIN, "chain"),
+            parse_query(BC, "bc"),
+            parse_query(AB, "ab"),
+        ]
+        sync = OptimizerService(
+            small_db,
+            agent,
+            planner=Planner(small_db, cost_memo=SubPlanCostMemo()),
+            featurizer=featurizer,
+            config=ServingConfig(regression_threshold=1.5),
+        )
+        expected = {s.query_name: s for s in sync.optimize_batch(queries)}
+        frontend = make_frontend(small_db, agent, featurizer)
+        with frontend:
+            served = frontend.optimize_batch(
+                [parse_query(CHAIN, "chain"), parse_query(BC, "bc"),
+                 parse_query(AB, "ab")],
+                timeout=2.0,
+            )
+        for plan in served:
+            assert plan.plan.label() == expected[plan.query_name].plan.label()
+            assert plan.cost == expected[plan.query_name].cost
+
+    def test_optimize_batch_returns_submit_order(self, small_db, agent, featurizer):
+        frontend = make_frontend(small_db, agent, featurizer, max_batch=3)
+        with frontend:
+            names = [f"bc{i}" for i in range(7)]
+            served = frontend.optimize_batch(
+                [parse_query(BC, name) for name in names], timeout=2.0
+            )
+        assert [s.query_name for s in served] == names
+
+
+class TestSharding:
+    def test_fingerprint_equivalent_queries_share_a_shard_cache(
+        self, small_db, agent, featurizer
+    ):
+        frontend = make_frontend(small_db, agent, featurizer, n_shards=3)
+        with frontend:
+            first = frontend.optimize(parse_query(CHAIN, "one"), timeout=2.0)
+            second = frontend.optimize(parse_query(CHAIN_RENAMED, "two"), timeout=2.0)
+        assert first.fingerprint == second.fingerprint
+        assert second.source == "cache"
+        counters = frontend.counters()
+        # Both requests landed on the same shard; the others stayed idle.
+        shard_loads = sorted(
+            counters[f"shard{k}_requests"] for k in range(3)
+        )
+        assert shard_loads == [0, 0, 2]
+
+    def test_distinct_queries_route_by_ring(self, small_db, agent, featurizer):
+        frontend = make_frontend(small_db, agent, featurizer, n_shards=2)
+        ring = frontend.ring
+        queries = [parse_query(BC, "bc"), parse_query(AB, "ab"),
+                   parse_query(CHAIN, "chain")]
+        expected = {q.name: ring.shard_for(fingerprint(q)) for q in queries}
+        with frontend:
+            frontend.optimize_batch(queries, timeout=2.0)
+        counters = frontend.counters()
+        for shard in range(2):
+            want = sum(1 for s in expected.values() if s == shard)
+            assert counters[f"shard{shard}_requests"] == want
+
+
+class TestLifecycle:
+    def test_submit_after_close_raises(self, small_db, agent, featurizer):
+        frontend = make_frontend(small_db, agent, featurizer)
+        frontend.close()
+        frontend.close()  # idempotent
+        with pytest.raises(RuntimeError, match="close"):
+            frontend.submit(parse_query(BC, "late"))
+
+    def test_every_future_resolves_under_close_mid_burst(
+        self, small_db, agent, featurizer
+    ):
+        frontend = make_frontend(
+            small_db, agent, featurizer, max_batch=4, max_delay_ms=5.0
+        )
+        futures = []
+        futures_lock = threading.Lock()
+        rejected = []
+
+        def burst(k):
+            for i in range(10):
+                try:
+                    future = frontend.submit(parse_query(BC, f"q{k}-{i}"))
+                except RuntimeError:
+                    rejected.append((k, i))
+                    return
+                with futures_lock:
+                    futures.append(future)
+
+        threads = [threading.Thread(target=burst, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        frontend.close(timeout=5.0)
+        for t in threads:
+            t.join(timeout=1.0)
+        # Everything accepted before close resolved to a real plan.
+        for future in futures:
+            assert future.result(timeout=1.0).cost > 0
+        assert len(futures) + len(rejected) == 40
+
+    def test_drain_waits_for_inflight(self, small_db, agent, featurizer):
+        frontend = make_frontend(
+            small_db, agent, featurizer, max_batch=64, max_delay_ms=1500.0
+        )
+        with frontend:
+            futures = [
+                frontend.submit(parse_query(BC, f"bc{i}")) for i in range(3)
+            ]
+            # drain() must force the flush immediately (not wait 1.5s).
+            start = time.monotonic()
+            frontend.drain(timeout=1.9)
+            assert time.monotonic() - start < 1.9
+            for future in futures:
+                assert future.done()
+
+    def test_cancelled_future_is_skipped_not_fatal(
+        self, small_db, agent, featurizer
+    ):
+        frontend = make_frontend(
+            small_db, agent, featurizer, max_batch=64, max_delay_ms=150.0
+        )
+        with frontend:
+            doomed = frontend.submit(parse_query(BC, "doomed"))
+            assert doomed.cancel()  # still pending: cancellable
+            # The worker must survive the cancelled future and keep
+            # serving the shard.
+            assert frontend.optimize(parse_query(BC, "ok"), timeout=2.0).cost > 0
+            frontend.drain(timeout=1.9)
+        assert doomed.cancelled()
+
+    def test_refresh_statistics_reaches_every_shard(
+        self, small_db, agent, featurizer
+    ):
+        frontend = make_frontend(small_db, agent, featurizer, n_shards=2)
+        with frontend:
+            frontend.optimize_batch(
+                [parse_query(CHAIN, "chain"), parse_query(BC, "bc"),
+                 parse_query(AB, "ab")],
+                timeout=2.0,
+            )
+            # Partial refresh of table c: the a-b plan survives in its
+            # shard's cache, the c-touching plans are evicted everywhere.
+            frontend.refresh_statistics(sample_size=500, tables=["c"])
+            assert frontend.optimize(
+                parse_query(AB, "ab2"), timeout=2.0
+            ).source == "cache"
+            assert frontend.optimize(
+                parse_query(BC, "bc2"), timeout=2.0
+            ).source != "cache"
+        counters = frontend.counters()
+        assert counters["cache_invalidations_partial"] == 2
+
+    def test_worker_error_resolves_future_with_exception(
+        self, small_db, agent, featurizer
+    ):
+        frontend = make_frontend(small_db, agent, featurizer)
+        with frontend:
+            # A table the schema does not know: the shard worker fails
+            # while serving, and the failure must land in the future
+            # rather than hanging the caller.
+            bad = parse_query("SELECT * FROM nope WHERE nope.x > 1", "bad")
+            future = frontend.submit(bad)
+            with pytest.raises(Exception):
+                future.result(timeout=2.0)
+            # The front end keeps serving after a poisoned batch.
+            assert frontend.optimize(parse_query(BC, "ok"), timeout=2.0).cost > 0
+
+
+class TestCountersRollup:
+    def test_rollup_sums_shards_and_recomputes_rates(
+        self, small_db, agent, featurizer
+    ):
+        frontend = make_frontend(small_db, agent, featurizer, n_shards=2)
+        with frontend:
+            queries = [parse_query(BC, "bc"), parse_query(AB, "ab"),
+                       parse_query(CHAIN, "chain")]
+            frontend.optimize_batch(queries, timeout=2.0)
+            frontend.optimize_batch(
+                [parse_query(BC, "bc2"), parse_query(AB, "ab2")], timeout=2.0
+            )
+        counters = frontend.counters()
+        assert counters["requests"] == 5
+        assert counters["frontend_submitted"] == 5
+        assert counters["served_from_cache"] == 2
+        lookups = counters["cache_hits"] + counters["cache_misses"]
+        assert counters["cache_hit_rate"] == round(
+            counters["cache_hits"] / lookups, 4
+        )
+        assert counters["frontend_shards"] == 2
+        assert (
+            counters["shard0_requests"] + counters["shard1_requests"] == 5
+        )
+
+    def test_latency_summary_covers_queueing(self, small_db, agent, featurizer):
+        frontend = make_frontend(small_db, agent, featurizer)
+        with frontend:
+            frontend.optimize(parse_query(BC, "bc"), timeout=2.0)
+        summary = frontend.latency_summary()
+        assert summary["p95_ms"] >= summary["p50_ms"] > 0.0
+
+    def test_experience_drains_across_shards(self, small_db, agent, featurizer):
+        frontend = make_frontend(small_db, agent, featurizer, n_shards=2)
+        with frontend:
+            frontend.optimize_batch(
+                [parse_query(CHAIN, "chain"), parse_query(BC, "bc")], timeout=2.0
+            )
+            episodes = frontend.drain_experience()
+        assert len(episodes) == 2
+        assert frontend.drain_experience() == []

@@ -151,6 +151,54 @@ class TestCacheBehaviour:
         again = service.optimize(parse_query(CHAIN, "chain"))
         assert again.source != "cache"
 
+    def test_partial_refresh_evicts_only_affected_tables(
+        self, small_db, agent, featurizer
+    ):
+        service = make_service(small_db, agent, featurizer)
+        service.optimize(parse_query(CHAIN, "chain"))  # touches a, b, c
+        service.optimize(parse_query(BC, "bc"))  # touches b, c
+        ab_plan = service.optimize(parse_query(AB, "ab"))  # touches a, b
+        assert len(service.cache) == 3
+        # Re-ANALYZE only "c": the a-b plan must keep serving from cache.
+        service.refresh_statistics(sample_size=500, tables=["c"])
+        assert len(service.cache) == 1
+        assert service.cache.stats.invalidations_partial == 2
+        again = service.optimize(parse_query(AB, "ab2"))
+        assert again.source == "cache"
+        assert again.cost == ab_plan.cost
+        assert service.optimize(parse_query(BC, "bc2")).source != "cache"
+
+    def test_partial_refresh_keeps_unaffected_memo_fragments(
+        self, small_db, agent, featurizer
+    ):
+        from repro.optimizer.memo import SubPlanCostMemo
+        from repro.serving import OptimizerService, ServingConfig
+
+        service = OptimizerService(
+            small_db,
+            agent,
+            planner=Planner(small_db, cost_memo=SubPlanCostMemo()),
+            featurizer=featurizer,
+            config=ServingConfig(),
+        )
+        memo = service.planner.cost_memo
+        service.optimize(parse_query(AB, "ab"))
+        service.optimize(parse_query(BC, "bc"))
+        assert len(memo) > 0
+        with_a = [
+            key for key in memo._entries
+            if memo._entries[key].tables and "a" in memo._entries[key].tables
+        ]
+        service.refresh_statistics(sample_size=500, tables=["a"])
+        remaining = set(memo._entries)
+        assert not (remaining & set(with_a))
+        # Fragments reading only b/c survived the a-only refresh.
+        assert remaining
+        # And the planner does not wipe them on next use: the epoch sync
+        # sees per-table epochs and drops nothing further.
+        service.optimize(parse_query(BC, "bc3"))
+        assert remaining <= set(memo._entries)
+
 
 class TestGuardrail:
     def test_impossible_threshold_always_falls_back(self, small_db, agent, featurizer):
@@ -250,6 +298,47 @@ class TestServiceFrontEnd:
         assert len(served) == 2
         assert service.stats.batches == 1
         assert service.flush() == []
+
+    def test_flush_returns_plans_in_submit_order(
+        self, small_db, agent, featurizer
+    ):
+        service = make_service(small_db, agent, featurizer)
+        names = ["chain", "bc", "ab", "bc2"]
+        slots = [
+            service.submit(parse_query(sql, name))
+            for sql, name in zip((CHAIN, BC, AB, BC), names)
+        ]
+        assert slots == [0, 1, 2, 3]
+        served = service.flush()
+        assert [s.query_name for s in served] == names
+
+    def test_duplicate_submission_raises(self, small_db, agent, featurizer):
+        service = make_service(small_db, agent, featurizer)
+        query = parse_query(BC, "bc")
+        service.submit(query)
+        with pytest.raises(ValueError, match="already submitted"):
+            service.submit(query)
+        # A distinct object for the same SQL is a new request, not a dup.
+        service.submit(parse_query(BC, "bc"))
+        assert len(service.flush()) == 2
+
+    def test_submit_after_close_raises(self, small_db, agent, featurizer):
+        service = make_service(small_db, agent, featurizer)
+        service.submit(parse_query(BC, "bc"))
+        served = service.close()  # final flush serves what was queued
+        assert [s.query_name for s in served] == ["bc"]
+        with pytest.raises(RuntimeError, match="close"):
+            service.submit(parse_query(AB, "ab"))
+        assert service.close() == []  # idempotent
+
+    def test_pending_queue_is_bounded(self, small_db, agent, featurizer):
+        service = make_service(small_db, agent, featurizer, max_pending=2)
+        service.submit(parse_query(BC, "bc0"))
+        service.submit(parse_query(BC, "bc1"))
+        with pytest.raises(RuntimeError, match="full"):
+            service.submit(parse_query(BC, "bc2"))
+        service.flush()
+        service.submit(parse_query(BC, "bc3"))  # room again after flush
 
     def test_single_relation_query(self, small_db, agent, featurizer):
         service = make_service(small_db, agent, featurizer)
