@@ -60,6 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig3c = sub.add_parser("fig3c", help="planning-time sweep")
     fig3c.add_argument("--max-relations", type=int, default=14)
+    fig3c.add_argument("--expert-lane", choices=("bitset", "legacy"),
+                       default="bitset",
+                       help="expert join-search implementation: the bitset "
+                       "fast lane (default) or the seed DP enumerator")
 
     lfd = sub.add_parser("lfd", help="§5.1 learning from demonstration")
     lfd.add_argument("--episodes", type=int, default=120)
@@ -97,6 +101,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="batch-or-timeout deadline: a pending request "
                        "is flushed after at most this long even without a "
                        "full batch")
+    serve.add_argument("--expert-lane", choices=("bitset", "legacy"),
+                       default="bitset",
+                       help="expert join-search implementation behind the "
+                       "guardrail fallback (bitset fast lane by default)")
     return parser
 
 
@@ -141,7 +149,7 @@ def _cmd_info(args) -> int:
 
 
 def _make_service(db, agent=None, planner=None, featurizer=None,
-                  reward_source=None, **config_kwargs):
+                  reward_source=None, expert_lane="bitset", **config_kwargs):
     """An :class:`OptimizerService` over ``db`` (untrained policy unless
     an agent is given — counters and routing behave the same either way)."""
     from repro.core.featurize import QueryFeaturizer
@@ -154,11 +162,16 @@ def _make_service(db, agent=None, planner=None, featurizer=None,
         agent = PPOAgent(
             featurizer.state_dim, featurizer.n_pair_actions, np.random.default_rng(0)
         )
+    # The bitset fast lane makes exhaustive DP affordable up to the
+    # PostgreSQL default of 12 relations; the legacy lane keeps the old
+    # conservative threshold.
+    threshold = 12 if expert_lane == "bitset" else 8
     return OptimizerService(
         db,
         agent,
         planner=planner
-        or Planner(db, geqo_threshold=8, cost_memo=SubPlanCostMemo()),
+        or Planner(db, geqo_threshold=threshold, cost_memo=SubPlanCostMemo(),
+                   expert_lane=expert_lane),
         featurizer=featurizer,
         config=ServingConfig(**config_kwargs),
         reward_source=reward_source,
@@ -166,7 +179,8 @@ def _make_service(db, agent=None, planner=None, featurizer=None,
 
 
 def _make_frontend(db, agent=None, featurizer=None, reward_source=None,
-                   n_shards=2, max_batch=16, max_delay_ms=2.0, **config_kwargs):
+                   n_shards=2, max_batch=16, max_delay_ms=2.0,
+                   expert_lane="bitset", **config_kwargs):
     """A :class:`ServingFrontEnd` over ``db``: batch-or-timeout flusher
     in front of ``n_shards`` fingerprint-sharded worker services."""
     from repro.core.featurize import QueryFeaturizer
@@ -188,7 +202,10 @@ def _make_frontend(db, agent=None, featurizer=None, reward_source=None,
             n_shards=n_shards, max_batch=max_batch, max_delay_ms=max_delay_ms
         ),
         planner_factory=lambda: Planner(
-            db, geqo_threshold=8, cost_memo=SubPlanCostMemo()
+            db,
+            geqo_threshold=12 if expert_lane == "bitset" else 8,
+            cost_memo=SubPlanCostMemo(),
+            expert_lane=expert_lane,
         ),
         reward_source=reward_source,
     )
@@ -223,7 +240,9 @@ def _trained_setup(args, episodes: int):
     from repro.workloads import job_lite_workload
 
     db = _database(args)
-    planner = Planner(db, geqo_threshold=8, cost_memo=SubPlanCostMemo())
+    lane = getattr(args, "expert_lane", "bitset")
+    planner = Planner(db, geqo_threshold=12 if lane == "bitset" else 8,
+                      cost_memo=SubPlanCostMemo(), expert_lane=lane)
     baseline = ExpertBaseline(db, planner)
     workload = job_lite_workload(variants=("a", "b", "c")).filter(
         lambda q: q.n_relations <= 11
@@ -300,7 +319,11 @@ def _cmd_fig3c(args) -> int:
     from repro.workloads.generator import RandomQueryGenerator
 
     db = _database(args)
-    planner = Planner(db, geqo_threshold=8)
+    # Same lane-dependent threshold as the serving paths: the bitset
+    # lane sweeps exhaustive DP up to the PostgreSQL default.
+    planner = Planner(db,
+                      geqo_threshold=12 if args.expert_lane == "bitset" else 8,
+                      expert_lane=args.expert_lane)
     gen = RandomQueryGenerator(db)
     rng = np.random.default_rng(0)
     featurizer = QueryFeaturizer(db.schema, max_relations=args.max_relations)
@@ -463,6 +486,13 @@ def _cmd_serve_bench(args) -> int:
             ("p95 latency (ms)", f"{latency['p95_ms']:.2f}"),
             ("cache hit rate", f"{counters['cache_hit_rate'] * 100:.1f}%"),
             ("fallback rate", f"{counters['fallback_rate'] * 100:.1f}%"),
+            ("expert plan p50 (ms)",
+             f"{counters.get('expert_plan_ms_p50', 0.0):.2f}"),
+            ("expert plan p95 (ms)",
+             f"{counters.get('expert_plan_ms_p95', 0.0):.2f}"),
+            ("dp subsets enumerated",
+             f"{counters.get('dp_subsets_enumerated', 0.0):.0f}"),
+            ("dp entries pruned", f"{counters.get('dp_pruned', 0.0):.0f}"),
         ],
     ))
     print("\nservice counters:")
@@ -515,6 +545,7 @@ def _serve_concurrent(args, db, env, agent, stream):
         n_shards=args.shards,
         max_batch=args.burst,
         max_delay_ms=args.max_delay_ms,
+        expert_lane=getattr(args, "expert_lane", "bitset"),
         cache_capacity=args.cache_capacity,
         regression_threshold=args.threshold,
         max_batch_size=args.burst,

@@ -39,7 +39,15 @@ __all__ = ["EpisodeEncoder", "QueryFeaturizer", "SlotState"]
 
 
 class SlotState:
-    """The mutable forest-of-subtrees state of one episode."""
+    """The mutable forest-of-subtrees state of one episode.
+
+    Alongside the subtree forest it maintains, per occupied slot, an
+    alias bitmask and the union of the join-graph adjacency over the
+    slot's members (both from the query's cached
+    :meth:`~repro.db.query.Query.join_graph_index`), so
+    :meth:`connected` is two integer ANDs instead of a predicate-list
+    scan per call.
+    """
 
     def __init__(self, query: Query, max_relations: int) -> None:
         aliases = sorted(query.relations)
@@ -51,6 +59,11 @@ class SlotState:
         self.query = query
         self.slots: List[JoinTree | None] = [JoinTree.leaf(a) for a in aliases]
         self.slots += [None] * (max_relations - len(aliases))
+        jg = query.join_graph_index()
+        pad = max_relations - len(aliases)
+        # Sorted aliases occupy slots in order, so slot k's mask is bit k.
+        self._masks: List[int] = [1 << jg.index[a] for a in aliases] + [0] * pad
+        self._nbrs: List[int] = [jg.adjacency[jg.index[a]] for a in aliases] + [0] * pad
 
     @property
     def occupied(self) -> List[int]:
@@ -77,16 +90,20 @@ class SlotState:
         if left is None or right is None:
             raise ValueError(f"slot {i if left is None else j} is empty")
         merged = JoinTree.join(left, right)
-        self.slots[min(i, j)] = merged
-        self.slots[max(i, j)] = None
+        lo, hi = min(i, j), max(i, j)
+        self.slots[lo] = merged
+        self.slots[hi] = None
+        self._masks[lo] |= self._masks[hi]
+        self._masks[hi] = 0
+        self._nbrs[lo] |= self._nbrs[hi]
+        self._nbrs[hi] = 0
         return merged
 
     def connected(self, i: int, j: int) -> bool:
         """True if a join predicate links the two slots' subtrees."""
-        left, right = self.slots[i], self.slots[j]
-        if left is None or right is None:
+        if self.slots[i] is None or self.slots[j] is None:
             return False
-        return bool(self.query.joins_between(left.aliases, right.aliases))
+        return bool(self._nbrs[i] & self._masks[j])
 
 
 class QueryFeaturizer:

@@ -180,7 +180,11 @@ class QueryCardinalities:
         if cached is not None:
             return cached
         rows = 1.0
-        for alias in aliases:
+        # Sorted iteration: frozenset order depends on string hashing,
+        # which is randomized per process — multiplying in sorted alias
+        # order keeps the float product reproducible across runs (and is
+        # the order the bitset DP's incremental products follow).
+        for alias in sorted(aliases):
             rows *= self.scan_rows(alias)
         for pred in self.query.joins:
             if pred.left.alias in aliases and pred.right.alias in aliases:

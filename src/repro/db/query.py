@@ -25,9 +25,69 @@ from repro.db.predicates import (
 )
 from repro.db.schema import DatabaseSchema
 
-__all__ = ["AggregateSpec", "Query", "parse_query", "QueryParseError"]
+__all__ = ["AggregateSpec", "Query", "QueryJoinGraph", "parse_query", "QueryParseError"]
 
 AGG_FUNCS = ("count", "sum", "min", "max", "avg")
+
+
+class QueryJoinGraph:
+    """Bitset view of a query's join graph, derived once and cached.
+
+    Every join-search pass used to re-derive the alias order, the
+    alias -> bit-index map, and the adjacency structure from the raw
+    predicate list. This object computes them once per query:
+
+    - ``aliases`` / ``index`` — sorted alias order and its inverse;
+    - ``adjacency[i]`` — bitmask of aliases sharing a join predicate
+      with alias ``i`` (all join predicates are equi-joins, so this is
+      also the per-pair equi-predicate presence table);
+    - ``edges`` — the join predicates as ``(left_bit, right_bit,
+      predicate)`` triples in declaration order, so subset selectivity
+      products can filter by mask without touching alias strings while
+      multiplying in exactly the order the estimator does.
+
+    Obtain it through :meth:`Query.join_graph_index`, which caches the
+    instance on the query object.
+    """
+
+    __slots__ = ("aliases", "index", "n", "adjacency", "edges", "_token")
+
+    def __init__(self, query: "Query") -> None:
+        self.aliases: List[str] = sorted(query.relations)
+        self.index: Dict[str, int] = {a: i for i, a in enumerate(self.aliases)}
+        n = len(self.aliases)
+        self.n = n
+        self.adjacency: List[int] = [0] * n
+        self.edges: List[Tuple[int, int, JoinPredicate]] = []
+        for pred in query.joins:
+            i = self.index[pred.left.alias]
+            j = self.index[pred.right.alias]
+            self.adjacency[i] |= 1 << j
+            self.adjacency[j] |= 1 << i
+            self.edges.append((1 << i, 1 << j, pred))
+        self._token = (len(query.relations), len(query.joins))
+
+    def mask_of(self, aliases) -> int:
+        """Bitmask of an alias collection."""
+        mask = 0
+        index = self.index
+        for alias in aliases:
+            mask |= 1 << index[alias]
+        return mask
+
+    def aliases_of(self, mask: int) -> List[str]:
+        return [a for i, a in enumerate(self.aliases) if mask & (1 << i)]
+
+    def neighbors(self, mask: int) -> int:
+        """Union of adjacency over the members of ``mask``."""
+        reach = 0
+        adjacency = self.adjacency
+        m = mask
+        while m:
+            low = m & -m
+            reach |= adjacency[low.bit_length() - 1]
+            m ^= low
+        return reach
 
 
 @dataclass(frozen=True)
@@ -100,6 +160,25 @@ class Query:
         work too (hot callers pass ``JoinTree.aliases`` frozensets).
         """
         return [j for j in self.joins if j.connects(left_aliases, right_aliases)]
+
+    def join_graph_index(self) -> QueryJoinGraph:
+        """The cached bitset join-graph derivation for this query.
+
+        Derived lazily on first use and reused by every join-search and
+        masking pass afterwards. Queries are treated as immutable once
+        built (the database's cardinality cache already relies on
+        this); as cheap insurance the cache is refreshed if the
+        relation or join counts have visibly changed.
+        """
+        cached: QueryJoinGraph | None = self.__dict__.get("_join_graph_index")
+        if cached is not None and cached._token == (
+            len(self.relations),
+            len(self.joins),
+        ):
+            return cached
+        jg = QueryJoinGraph(self)
+        self.__dict__["_join_graph_index"] = jg
+        return jg
 
     def join_graph(self) -> nx.Graph:
         """Undirected alias graph; edges carry their join predicates."""

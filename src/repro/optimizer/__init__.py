@@ -14,6 +14,11 @@ operators. The paper uses this component three ways:
   demonstration (§5.1).
 """
 
+from repro.optimizer.bitset_dp import (
+    DPStats,
+    FastJoinContext,
+    selinger_dp_bitset,
+)
 from repro.optimizer.join_search import (
     greedy_bottom_up,
     random_join_tree,
@@ -29,9 +34,12 @@ from repro.optimizer.physical import (
 from repro.optimizer.planner import Planner, PlannerResult
 
 __all__ = [
+    "DPStats",
+    "FastJoinContext",
     "Planner",
     "PlannerResult",
     "SubPlanCostMemo",
+    "selinger_dp_bitset",
     "build_physical_plan",
     "tree_keys",
     "choose_access_path",

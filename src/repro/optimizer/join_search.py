@@ -12,6 +12,11 @@ Join orders are scored with a lightweight operator-aware cost: for each
 candidate join the cheapest of the hash/merge/nested-loop formulas on
 *estimated* input and output rows. Physical operator selection proper
 happens afterwards in :mod:`repro.optimizer.physical`.
+
+:func:`selinger_dp` here is the *legacy reference lane*, kept verbatim
+as the parity oracle; production planning goes through the bitset fast
+lane in :mod:`repro.optimizer.bitset_dp` (``selinger_dp_bitset``),
+which the greedy and GEQO searches below also ride.
 """
 
 from __future__ import annotations
@@ -42,8 +47,17 @@ def estimate_join_cost(
     has_equi_predicate: bool,
     params: CostParams,
 ) -> float:
-    """Cheapest join-operator cost estimate for one candidate join."""
-    nl = left_rows * right_rows * params.cpu_operator_cost
+    """Cheapest join-operator cost estimate for one candidate join.
+
+    Bitwise-pinned to the seed formula (a regression test asserts it):
+    the parameter attributes are hoisted into locals once instead of
+    being re-read per term, and the merge-sort term clamps *both*
+    inputs to two rows before ``log2`` — sub-2-row (or degenerate
+    zero-row) inputs are guarded consistently, never producing negative
+    sort costs.
+    """
+    cpu_op = params.cpu_operator_cost
+    nl = left_rows * right_rows * cpu_op
     if not has_equi_predicate:
         best = nl  # cross products can only run as nested loops
     else:
@@ -51,11 +65,10 @@ def estimate_join_cost(
             min(left_rows, right_rows) * params.hash_build_cost
             + max(left_rows, right_rows) * params.hash_probe_cost
         )
-        sort = 0.0
-        for n in (left_rows, right_rows):
-            n = max(n, 2.0)
-            sort += 2.0 * n * math.log2(n) * params.cpu_operator_cost
-        merge = sort + (left_rows + right_rows) * params.cpu_operator_cost
+        n1 = left_rows if left_rows > 2.0 else 2.0
+        n2 = right_rows if right_rows > 2.0 else 2.0
+        sort = 2.0 * n1 * math.log2(n1) * cpu_op + 2.0 * n2 * math.log2(n2) * cpu_op
+        merge = sort + (left_rows + right_rows) * cpu_op
         best = min(nl, hash_cost, merge)
     return best + out_rows * params.cpu_tuple_cost
 
@@ -249,34 +262,16 @@ def greedy_bottom_up(
     join (connected pairs strictly preferred over cross products) — the
     algorithm the paper attributes to PostgreSQL's bottom-up enumerator
     when contrasting its complexity with ReJOIN's O(n).
+
+    Runs on the bitset fast lane: the join graph comes from the query's
+    cached :meth:`~repro.db.query.Query.join_graph_index`, component
+    masks and neighbor unions are maintained incrementally across merge
+    rounds, and subset row estimates are memoized by mask — same merge
+    decisions, no per-pair re-derivation.
     """
-    ctx = _SearchContext(query, cards, params)
-    components: List[JoinTree] = [JoinTree.leaf(a) for a in ctx.aliases]
-    while len(components) > 1:
-        best_pair: Tuple[int, int] | None = None
-        best_cost = math.inf
-        best_connected = False
-        for i in range(len(components)):
-            for j in range(i + 1, len(components)):
-                mask_i = ctx.mask_of(components[i])
-                mask_j = ctx.mask_of(components[j])
-                connected = ctx.connected(mask_i, mask_j)
-                if best_connected and not connected:
-                    continue
-                cost = ctx.join_cost(mask_i, mask_j)
-                better = (connected and not best_connected) or (
-                    connected == best_connected and cost < best_cost
-                )
-                if better:
-                    best_pair = (i, j)
-                    best_cost = cost
-                    best_connected = connected
-        i, j = best_pair  # type: ignore[misc] - n>=2 guarantees a pair
-        merged = JoinTree.join(components[i], components[j])
-        components = [
-            c for k, c in enumerate(components) if k not in (i, j)
-        ] + [merged]
-    return components[0]
+    from repro.optimizer.bitset_dp import fast_greedy_bottom_up
+
+    return fast_greedy_bottom_up(query, cards, params)
 
 
 def geqo_join_search(
@@ -301,21 +296,29 @@ def geqo_join_search(
     pool×generations work is why expert planning time keeps growing
     with the relation count (Figure 3c).
     """
-    ctx = _SearchContext(query, cards, params)
+    from repro.optimizer.bitset_dp import FastJoinContext
+
+    # The fast lane memoizes subset rows by mask, so the pool x
+    # generations fitness evaluations stop re-deriving cardinalities for
+    # prefixes every permutation shares.
+    ctx = FastJoinContext(query, cards, params)
     rng = rng or np.random.default_rng(0)
     n = len(ctx.aliases)
     if n == 1:
         return JoinTree.leaf(ctx.aliases[0])
     pool_size = pool_size or max(16, 4 * n)
     generations = generations or max(40, 8 * n)
+    adjacency = ctx.adjacency
 
     def fitness(perm: np.ndarray) -> float:
-        total = ctx.scan_cost(ctx.aliases[perm[0]])
-        mask = 1 << int(perm[0])
-        for idx in perm[1:]:
-            bit = 1 << int(idx)
-            total += ctx.scan_cost(ctx.aliases[idx])
-            total += ctx.join_cost(mask, bit)
+        first = int(perm[0])
+        total = ctx.scan_cost(first)
+        mask = 1 << first
+        for raw in perm[1:]:
+            idx = int(raw)
+            bit = 1 << idx
+            total += ctx.scan_cost(idx)
+            total += ctx.join_cost(mask, bit, bool(adjacency[idx] & mask))
             mask |= bit
         return total
 

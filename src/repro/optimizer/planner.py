@@ -4,13 +4,25 @@
 GEQO threshold, genetic search at or above it — like PostgreSQL), then
 physical selection, and reports the wall-clock planning time — the
 quantity on the y-axis of Figure 3c.
+
+Join-order search runs on the **bitset fast lane** by default
+(:mod:`repro.optimizer.bitset_dp`): integer-mask DP with memoized
+subset cardinalities and branch-and-bound pruning seeded from a greedy
+plan. In ``exact`` mode (default) it is plan-identical to the legacy
+``selinger_dp``; construct with ``expert_lane="legacy"`` to get the
+seed enumerator back. The planner also keeps expert-lane observability
+counters (subsets enumerated, entries pruned, per-plan latency
+percentiles) that the serving layer rolls up.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 import zlib
+from collections import deque
 from dataclasses import dataclass
+from typing import Dict, List
 
 import numpy as np
 
@@ -19,9 +31,9 @@ from repro.db.costmodel import PlanCost
 from repro.db.engine import Database
 from repro.db.plans import JoinTree, PhysicalPlan
 from repro.db.query import Query
+from repro.optimizer.bitset_dp import DPStats, selinger_dp_bitset
 from repro.optimizer.join_search import (
     geqo_join_search,
-    greedy_bottom_up,
     selinger_dp,
 )
 from repro.optimizer.memo import SubPlanCostMemo, tree_keys
@@ -54,6 +66,10 @@ class Planner:
         geqo_threshold: int = DEFAULT_GEQO_THRESHOLD,
         bushy: bool = False,
         cost_memo: SubPlanCostMemo | None = None,
+        expert_lane: str = "bitset",
+        exact: bool = True,
+        prune: bool = True,
+        latency_window: int = 4096,
     ) -> None:
         """``bushy=False`` (default) restricts the expert to left-deep
         join trees — the classic System R heuristic. This is what gives
@@ -66,29 +82,95 @@ class Planner:
         (sub)plans across :meth:`evaluate_tree`/:meth:`complete_plan`
         calls, keyed by structural join-tree fingerprints — repeated
         trees (a converged policy, a replayed cache entry) are costed
-        once. Clear it whenever the database is re-ANALYZEd."""
+        once. Clear it whenever the database is re-ANALYZEd.
+
+        ``expert_lane`` selects the DP implementation: ``"bitset"``
+        (default) is the mask-native fast lane, ``"legacy"`` the seed
+        enumerator. ``prune`` enables branch-and-bound on the fast
+        lane; with ``exact=True`` (default) pruning removes only
+        provably dominated entries, so the chosen plan is identical to
+        the legacy lane's. ``exact=False`` trades the optimality
+        guarantee for harder pruning (never worse than the greedy
+        bound). ``latency_window`` bounds the per-plan latency samples
+        kept for the ``expert_plan_ms`` percentile counters."""
         if geqo_threshold < 2:
             raise ValueError("geqo_threshold must be at least 2")
+        if expert_lane not in ("bitset", "legacy"):
+            raise ValueError(f"unknown expert_lane {expert_lane!r}")
         self.db = db
         self.geqo_threshold = geqo_threshold
         self.bushy = bushy
         self.cost_memo = cost_memo
+        self.expert_lane = expert_lane
+        self.exact = exact
+        self.prune = prune
+        #: Cumulative fast-lane counters (``repro info --probe``).
+        self.dp_stats = DPStats()
+        self.expert_plans = 0
+        self._expert_ms: deque = deque(maxlen=latency_window)
+        #: Guards the latency samples: a monitoring thread may snapshot
+        #: them (front-end counter rollup) while a worker shard plans.
+        self._expert_ms_lock = threading.Lock()
 
     def choose_join_order(self, query: Query) -> JoinTree:
         """Join-order search only (the first stage of Figure 8).
 
-        Below the threshold: exhaustive DP. At or above it: GEQO-style
-        genetic search, seeded deterministically per query name so
-        planning is reproducible.
+        Below the threshold: exhaustive DP (bitset fast lane unless
+        ``expert_lane="legacy"``). At or above it: GEQO-style genetic
+        search, seeded deterministically per query name so planning is
+        reproducible.
         """
+        start = time.perf_counter()
         cards = self.db.cardinalities(query)
         if query.n_relations < self.geqo_threshold:
-            return selinger_dp(query, cards, self.db.cost_params, bushy=self.bushy)
-        seed = zlib.crc32(query.name.encode())
-        return geqo_join_search(
-            query, cards, self.db.cost_params, rng=np.random.default_rng(seed)
-        )
+            if self.expert_lane == "bitset":
+                tree = selinger_dp_bitset(
+                    query,
+                    cards,
+                    self.db.cost_params,
+                    bushy=self.bushy,
+                    prune=self.prune,
+                    exact=self.exact,
+                    stats=self.dp_stats,
+                )
+            else:
+                tree = selinger_dp(
+                    query, cards, self.db.cost_params, bushy=self.bushy
+                )
+        else:
+            seed = zlib.crc32(query.name.encode())
+            tree = geqo_join_search(
+                query, cards, self.db.cost_params, rng=np.random.default_rng(seed)
+            )
+        self.expert_plans += 1
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        with self._expert_ms_lock:
+            self._expert_ms.append(elapsed_ms)
+        return tree
 
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def expert_latency_samples(self) -> List[float]:
+        """Recent per-plan join-search latencies (ms), newest last."""
+        with self._expert_ms_lock:
+            return list(self._expert_ms)
+
+    def counters(self) -> Dict[str, float]:
+        """Expert-lane counters for the serving rollup."""
+        out = self.dp_stats.as_dict()
+        out["expert_plans"] = float(self.expert_plans)
+        samples = self.expert_latency_samples()
+        if samples:
+            arr = np.asarray(samples)
+            out["expert_plan_ms_p50"] = round(float(np.percentile(arr, 50)), 4)
+            out["expert_plan_ms_p95"] = round(float(np.percentile(arr, 95)), 4)
+        else:
+            out["expert_plan_ms_p50"] = 0.0
+            out["expert_plan_ms_p95"] = 0.0
+        return out
+
+    # ------------------------------------------------------------------
     def complete_plan(
         self,
         tree: JoinTree,
@@ -127,6 +209,29 @@ class Planner:
         for the next caller.
         """
         start = time.perf_counter()
+        plan, cost = self._complete_and_cost(tree, query, cards)
+        return PlannerResult(
+            query_name=query.name,
+            join_tree=tree,
+            plan=plan,
+            cost=cost,
+            planning_time_ms=(time.perf_counter() - start) * 1000.0,
+            used_exhaustive_search=False,
+        )
+
+    def _complete_and_cost(
+        self, tree: JoinTree, query: Query, cards: QueryCardinalities | None = None
+    ) -> tuple:
+        """Memo-bridged physical completion + costing of a join tree.
+
+        The single home of the structural-fingerprint bridging: the
+        tree's memo keys are derived once, the whole-plan key is
+        answered straight from the memo when possible, and on a miss
+        the per-node keys are threaded through ``build_physical_plan``
+        so every completed fragment lands in the memo. Join trees from
+        the bitset DP are plain :class:`JoinTree` objects, so their
+        fragments hit the same keys the policy-chosen trees populate.
+        """
         memo = self.cost_memo
         root_key = None
         node_keys = None
@@ -137,14 +242,7 @@ class Planner:
             node_keys, root_key = tree_keys(tree, query)
             entry = memo.get(root_key)
             if entry is not None:
-                return PlannerResult(
-                    query_name=query.name,
-                    join_tree=tree,
-                    plan=entry.plan,
-                    cost=entry.cost,
-                    planning_time_ms=(time.perf_counter() - start) * 1000.0,
-                    used_exhaustive_search=False,
-                )
+                return entry.plan, entry.cost
         cards = cards or self.db.cardinalities(query)
         cost_model = self.db.cost_model()
         cost_cache: dict = {}
@@ -168,23 +266,21 @@ class Planner:
                 tables=frozenset(query.table_of(a) for a in tree.aliases),
                 epoch=epoch,
             )
-        return PlannerResult(
-            query_name=query.name,
-            join_tree=tree,
-            plan=plan,
-            cost=cost,
-            planning_time_ms=(time.perf_counter() - start) * 1000.0,
-            used_exhaustive_search=False,
-        )
+        return plan, cost
 
     def optimize(self, query: Query) -> PlannerResult:
-        """Run the whole pipeline and time it."""
+        """Run the whole pipeline and time it.
+
+        With a ``cost_memo`` attached, the expert path shares the same
+        structural-fingerprint bridge as :meth:`evaluate_tree`: a
+        repeated expert tree (guardrail fallbacks, parity evals) is
+        answered from the memo bitwise-identically.
+        """
         start = time.perf_counter()
         tree = self.choose_join_order(query)
         cards = self.db.cardinalities(query)
-        plan = self.complete_plan(tree, query, cards=cards)
+        plan, cost = self._complete_and_cost(tree, query, cards)
         elapsed_ms = (time.perf_counter() - start) * 1000.0
-        cost = self.db.plan_cost(plan, query, cards=cards)
         return PlannerResult(
             query_name=query.name,
             join_tree=tree,

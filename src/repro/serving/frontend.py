@@ -530,7 +530,9 @@ class ServingFrontEnd:
         per_shard = [service.counters() for service in self.services]
         for counters in per_shard:
             for key, value in counters.items():
-                if key.endswith("_rate"):
+                # Rates and percentiles cannot be summed across shards;
+                # both are recomputed from pooled raw data below.
+                if key.endswith("_rate") or key.endswith("_ms_p50") or key.endswith("_ms_p95"):
                     continue
                 rolled[key] = rolled.get(key, 0) + value
         lookups = rolled.get("cache_hits", 0) + rolled.get("cache_misses", 0)
@@ -550,6 +552,17 @@ class ServingFrontEnd:
             rolled["costmemo_hit_rate"] = round(
                 rolled.get("costmemo_hits", 0) / memo_lookups, 4
             )
+        # Expert-lane planning latency: pool every shard's raw samples so
+        # the percentiles are exact, not an average of per-shard ones.
+        expert_samples: list = []
+        for service in self.services:
+            sampler = getattr(service.planner, "expert_latency_samples", None)
+            if sampler is not None:
+                expert_samples.extend(sampler())
+        if expert_samples:
+            arr = np.asarray(expert_samples)
+            rolled["expert_plan_ms_p50"] = round(float(np.percentile(arr, 50)), 4)
+            rolled["expert_plan_ms_p95"] = round(float(np.percentile(arr, 95)), 4)
         for shard, counters in enumerate(per_shard):
             rolled[f"shard{shard}_requests"] = counters.get("requests", 0)
         rolled.update(self.stats.as_dict())

@@ -472,4 +472,9 @@ class OptimizerService:
             out.update(memo.as_dict())
         if self.experience is not None:
             out.update(self.experience.as_dict())
+        # Expert-lane counters: DP subsets enumerated / pruned plus
+        # per-plan join-search latency percentiles for the fallback path.
+        planner_counters = getattr(self.planner, "counters", None)
+        if planner_counters is not None:
+            out.update(planner_counters())
         return out

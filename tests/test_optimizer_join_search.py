@@ -1,6 +1,7 @@
 """Tests for repro.optimizer.join_search."""
 
 import itertools
+import math
 
 import numpy as np
 import pytest
@@ -57,6 +58,26 @@ def tree_cost(ctx, tree):
     )
 
 
+def seed_join_cost_formula(left_rows, right_rows, out_rows, has_equi, params):
+    """The seed's estimate_join_cost, transcribed operation for
+    operation — the bitwise regression oracle."""
+    nl = left_rows * right_rows * params.cpu_operator_cost
+    if not has_equi:
+        best = nl
+    else:
+        hash_cost = (
+            min(left_rows, right_rows) * params.hash_build_cost
+            + max(left_rows, right_rows) * params.hash_probe_cost
+        )
+        sort = 0.0
+        for n in (left_rows, right_rows):
+            n = max(n, 2.0)
+            sort += 2.0 * n * math.log2(n) * params.cpu_operator_cost
+        merge = sort + (left_rows + right_rows) * params.cpu_operator_cost
+        best = min(nl, hash_cost, merge)
+    return best + out_rows * params.cpu_tuple_cost
+
+
 class TestEstimateJoinCost:
     params = CostParams()
 
@@ -69,6 +90,29 @@ class TestEstimateJoinCost:
         small = estimate_join_cost(100, 100, 10, True, self.params)
         large = estimate_join_cost(100, 100, 10_000, True, self.params)
         assert large > small
+
+    def test_bitwise_pinned_to_seed_formula(self):
+        """The hoisted implementation must not move a single bit."""
+        rows = (0.0, 0.5, 1.0, 1.5, 2.0, 3.7, 100.0, 12345.6, 1e6, 1e12)
+        for left in rows:
+            for right in rows:
+                for out in (1.0, left * right or 1.0):
+                    for equi in (False, True):
+                        got = estimate_join_cost(left, right, out, equi, self.params)
+                        want = seed_join_cost_formula(
+                            left, right, out, equi, self.params
+                        )
+                        assert got == want, (left, right, out, equi)
+
+    def test_sub_two_row_inputs_guarded(self):
+        """log2 never sees < 2 rows: no negative sort terms, finite
+        costs even for degenerate zero-row estimates."""
+        for left, right in [(0.0, 0.0), (0.5, 1.0), (1.0, 1e6), (1.9, 1.9)]:
+            cost = estimate_join_cost(left, right, 1.0, True, self.params)
+            assert math.isfinite(cost)
+            # best >= 0 plus the output tax: an unguarded log2 would let
+            # a negative sort term drag the merge candidate below this.
+            assert cost >= 1.0 * self.params.cpu_tuple_cost
 
 
 class TestSelingerDP:
