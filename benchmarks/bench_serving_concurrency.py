@@ -37,6 +37,14 @@ A guardrail-enabled configuration is also measured and reported
 expert optimizations to both sides, so it dilutes — but must not
 invert — the win.
 
+A **telemetry overhead lane** then re-runs the 2-shard front end twice
+— once with full tracing (``sample_rate=1.0``, every request traced and
+retained) and once with telemetry disabled entirely — and asserts the
+traced side keeps **>= 95% of the untraced throughput**: observability
+that taxes the hot path more than 5% is a bug, not a feature. The
+traced run's per-stage latency breakdown is recorded in the JSON
+payload under ``"telemetry"``.
+
 Results land in ``BENCH_serving.json`` for machines to read.
 
 Usage::
@@ -66,6 +74,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.core.featurize import QueryFeaturizer
 from repro.core.reporting import ascii_table
+from repro.obs import Telemetry, TelemetryConfig
 from repro.db.plans import HashJoin, MergeJoin, NestedLoopJoin
 from repro.optimizer.memo import SubPlanCostMemo
 from repro.optimizer.planner import Planner
@@ -163,7 +172,9 @@ class Setup:
             config=self.serving_config(guardrail),
         )
 
-    def frontend(self, guardrail: bool, shards: int) -> ServingFrontEnd:
+    def frontend(
+        self, guardrail: bool, shards: int, telemetry: Telemetry | None = None
+    ) -> ServingFrontEnd:
         return ServingFrontEnd.build(
             self.db,
             self.agent,
@@ -175,6 +186,7 @@ class Setup:
             planner_factory=lambda: Planner(
                 self.db, geqo_threshold=GEQO_THRESHOLD, cost_memo=SubPlanCostMemo()
             ),
+            telemetry=telemetry,
         )
 
 
@@ -194,10 +206,15 @@ def run_synchronous(setup: Setup, guardrail: bool):
     }, {plan.query_name: plan_signature(plan.plan) for plan in served}
 
 
-def run_concurrent(setup: Setup, guardrail: bool, shards: int):
+def run_concurrent(
+    setup: Setup,
+    guardrail: bool,
+    shards: int,
+    telemetry: Telemetry | None = None,
+):
     """16 open-loop clients submitting through the front end."""
     queries = setup.queries()
-    frontend = setup.frontend(guardrail, shards)
+    frontend = setup.frontend(guardrail, shards, telemetry=telemetry)
     futures = [None] * len(queries)
 
     def client(offset: int) -> None:
@@ -246,6 +263,34 @@ def best_of(repeats: int, run):
         if result["throughput_qps"] > best["throughput_qps"]:
             best = result
     return best, plans
+
+
+def run_telemetry_lane(setup: Setup, repeats: int):
+    """The observability tax, measured: the 2-shard front end with every
+    request traced (``sample_rate=1.0``, worst case — production samples
+    a few percent) versus telemetry disabled outright. Both sides get
+    best-of-``repeats`` so one scheduler hiccup cannot fake an overhead.
+    Returns (enabled, disabled, plans_enabled, plans_disabled); the
+    enabled result carries the traced run's per-stage breakdown.
+    """
+
+    def with_telemetry():
+        telemetry = Telemetry(
+            TelemetryConfig(
+                sample_rate=1.0,
+                trace_capacity=max(512, setup.n_requests),
+            )
+        )
+        result, plans = run_concurrent(setup, False, shards=2, telemetry=telemetry)
+        result["stage_breakdown_ms"] = telemetry.stage_summary()
+        result["traces_retained"] = len(telemetry.store.all())
+        return result, plans
+
+    on, on_plans = best_of(repeats, with_telemetry)
+    off, off_plans = best_of(
+        repeats, lambda: run_concurrent(setup, False, shards=2)
+    )
+    return on, off, on_plans, off_plans
 
 
 def assert_parity(reference: dict, other: dict, label: str) -> None:
@@ -298,6 +343,17 @@ def main(argv=None) -> int:
     gconc, gconc_plans = run_concurrent(setup, True, shards=2)
     assert_parity(gsync_plans, gconc_plans, "guardrail shards=2")
 
+    # Timing assertions need repeats even in smoke: best-of-1 on a CI
+    # box measures the scheduler, not the telemetry.
+    lane_repeats = max(repeats, 3)
+    print(f"telemetry overhead lane (2 shards, 100% sampling vs disabled, "
+          f"best of {lane_repeats})...")
+    tel_on, tel_off, tel_on_plans, tel_off_plans = run_telemetry_lane(
+        setup, lane_repeats
+    )
+    assert_parity(tel_off_plans, tel_on_plans, "telemetry lane")
+    telemetry_qps_ratio = tel_on["throughput_qps"] / tel_off["throughput_qps"]
+
     best = max(concurrent, key=lambda r: r["throughput_qps"])
     speedup = best["throughput_qps"] / sync["throughput_qps"]
 
@@ -319,6 +375,11 @@ def main(argv=None) -> int:
     print(f"\nguardrail on: sync {gsync['throughput_qps']:.0f} req/s, "
           f"front end (2 shards) {gconc['throughput_qps']:.0f} req/s "
           f"({gconc['throughput_qps'] / gsync['throughput_qps']:.2f}x)")
+    print(f"\ntelemetry overhead (2 shards): traced "
+          f"{tel_on['throughput_qps']:.0f} req/s vs disabled "
+          f"{tel_off['throughput_qps']:.0f} req/s "
+          f"({telemetry_qps_ratio:.3f}x, {tel_on['traces_retained']} "
+          f"traces retained)")
     print(f"\nbest concurrent speedup: {speedup:.2f}x "
           f"({best['shards']} shard(s)); plan parity held on "
           f"{len(sync_plans)} requests")
@@ -336,12 +397,24 @@ def main(argv=None) -> int:
             "sync": gsync,
             "concurrent": gconc,
         },
+        "telemetry": {
+            "sample_rate": 1.0,
+            "shards": 2,
+            "repeats": lane_repeats,
+            "enabled": tel_on,
+            "disabled": tel_off,
+            "qps_ratio": telemetry_qps_ratio,
+        },
         "best_speedup": speedup,
         "plan_parity_requests": len(sync_plans),
     }
     Path(args.out).write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
 
+    assert telemetry_qps_ratio >= 0.95, (
+        f"full tracing cost {(1 - telemetry_qps_ratio) * 100:.1f}% of "
+        f"throughput (budget: 5%)"
+    )
     if not args.smoke:
         assert speedup >= 2.0, (
             f"concurrent front end managed only {speedup:.2f}x over the "

@@ -14,7 +14,12 @@ code. Commands mirror the benchmark harness but expose the knobs
 - ``incremental``— §5.3 curricula comparison,
 - ``serve-bench``— drive a synthetic request stream through the
   optimizer service (throughput, latency percentiles, cache hit rate,
-  fallback rate, hands-free retraining from served experience).
+  fallback rate, per-stage latency breakdown, hands-free retraining
+  from served experience),
+- ``metrics``    — serve sample queries and print the unified metrics
+  registry (Prometheus text exposition or JSON snapshot),
+- ``trace``      — print the slowest per-request span trees, from a
+  live probe or a trace JSONL written by ``serve-bench``.
 """
 
 from __future__ import annotations
@@ -105,6 +110,49 @@ def build_parser() -> argparse.ArgumentParser:
                        default="bitset",
                        help="expert join-search implementation behind the "
                        "guardrail fallback (bitset fast lane by default)")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="disable tracing and events (metrics counters "
+                       "stay on; used to measure telemetry overhead)")
+    serve.add_argument("--sample-rate", type=float, default=1.0,
+                       help="fraction of request traces retained "
+                       "(SLO-exceeding traces are always retained)")
+    serve.add_argument("--slo-ms", type=float, default=100.0,
+                       help="latency SLO: slower requests are logged as "
+                       "slow-query events with their full trace")
+    serve.add_argument("--trace-out", metavar="PATH",
+                       help="write retained traces as JSONL")
+    serve.add_argument("--events-out", metavar="PATH",
+                       help="append structured events as JSONL")
+    serve.add_argument("--metrics-out", metavar="PATH",
+                       help="write the merged metrics snapshot as JSON")
+    serve.add_argument("--smoke", action="store_true",
+                       help="CI preset: tiny stream, 100%% sampling, tight "
+                       "SLO, telemetry artifacts written and self-checked")
+
+    metrics = sub.add_parser(
+        "metrics",
+        help="serve sample queries and print the unified metrics registry",
+    )
+    metrics.add_argument("--probe", type=int, default=8, metavar="N",
+                         help="sample queries served (twice) to populate "
+                         "the registry before printing")
+    metrics.add_argument("--json", action="store_true",
+                         help="JSON snapshot instead of Prometheus text")
+    metrics.add_argument("--slo-ms", type=float, default=100.0)
+
+    trace = sub.add_parser(
+        "trace",
+        help="print the slowest per-request span trees",
+    )
+    trace.add_argument("--slowest", type=int, default=5, metavar="N",
+                       help="how many traces to print, slowest first")
+    trace.add_argument("--probe", type=int, default=8, metavar="N",
+                       help="sample queries served (twice) to produce "
+                       "traces when no --input file is given")
+    trace.add_argument("--input", metavar="PATH",
+                       help="read traces from a JSONL file written by "
+                       "serve-bench --trace-out instead of probing")
+    trace.add_argument("--slo-ms", type=float, default=100.0)
     return parser
 
 
@@ -149,7 +197,8 @@ def _cmd_info(args) -> int:
 
 
 def _make_service(db, agent=None, planner=None, featurizer=None,
-                  reward_source=None, expert_lane="bitset", **config_kwargs):
+                  reward_source=None, expert_lane="bitset", telemetry=None,
+                  **config_kwargs):
     """An :class:`OptimizerService` over ``db`` (untrained policy unless
     an agent is given — counters and routing behave the same either way)."""
     from repro.core.featurize import QueryFeaturizer
@@ -175,12 +224,13 @@ def _make_service(db, agent=None, planner=None, featurizer=None,
         featurizer=featurizer,
         config=ServingConfig(**config_kwargs),
         reward_source=reward_source,
+        telemetry=telemetry,
     )
 
 
 def _make_frontend(db, agent=None, featurizer=None, reward_source=None,
                    n_shards=2, max_batch=16, max_delay_ms=2.0,
-                   expert_lane="bitset", **config_kwargs):
+                   expert_lane="bitset", telemetry=None, **config_kwargs):
     """A :class:`ServingFrontEnd` over ``db``: batch-or-timeout flusher
     in front of ``n_shards`` fingerprint-sharded worker services."""
     from repro.core.featurize import QueryFeaturizer
@@ -208,7 +258,67 @@ def _make_frontend(db, agent=None, featurizer=None, reward_source=None,
             expert_lane=expert_lane,
         ),
         reward_source=reward_source,
+        telemetry=telemetry,
     )
+
+
+def _make_telemetry(sample_rate=1.0, slo_ms=100.0, seed=0, events_path=None):
+    """The shared telemetry spine for one CLI serving stack."""
+    from repro.obs import Telemetry, TelemetryConfig
+
+    return Telemetry(TelemetryConfig(
+        sample_rate=sample_rate, slo_ms=slo_ms, seed=seed,
+        events_path=events_path,
+    ))
+
+
+def _probe_telemetry(args, telemetry):
+    """Serve ``args.probe`` sample queries twice through a telemetry-
+    attached front end (the second pass hits the plan caches), returning
+    the merged metrics registry. Shared by ``metrics`` and ``trace``."""
+    from repro.workloads import job_lite_workload
+
+    db = _database(args)
+    probes = list(
+        job_lite_workload(variants=("a",)).filter(lambda q: q.n_relations <= 8)
+    )[: args.probe]
+    with _make_frontend(db, telemetry=telemetry) as frontend:
+        frontend.optimize_batch(probes)
+        frontend.optimize_batch(probes)
+        return frontend.metrics_registry()
+
+
+def _cmd_metrics(args) -> int:
+    import json
+
+    telemetry = _make_telemetry(slo_ms=args.slo_ms, seed=args.seed)
+    registry = _probe_telemetry(args, telemetry)
+    if args.json:
+        print(json.dumps(registry.snapshot(), indent=2, default=str))
+    else:
+        print(registry.exposition(), end="")
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    if args.input:
+        from repro.obs.trace import TraceStore
+
+        traces = TraceStore.read_jsonl(args.input)
+        slowest = sorted(
+            traces, key=lambda t: t.duration_ms, reverse=True
+        )[: args.slowest]
+    else:
+        telemetry = _make_telemetry(slo_ms=args.slo_ms, seed=args.seed)
+        _probe_telemetry(args, telemetry)
+        slowest = telemetry.store.slowest(args.slowest)
+    if not slowest:
+        print("no traces retained (raise --probe or check --input)")
+        return 0
+    for trace in slowest:
+        print(trace.format())
+        print()
+    return 0
 
 
 def _cmd_plan(args) -> int:
@@ -442,6 +552,21 @@ def _cmd_incremental(args) -> int:
 def _cmd_serve_bench(args) -> int:
     from repro.core.reporting import ascii_table
 
+    if args.smoke:
+        # CI preset: small enough to finish in seconds, 100% sampling so
+        # every request leaves a trace, and an SLO tight enough that the
+        # slow-query lane is provably exercised.
+        args.requests = 32
+        args.burst = 8
+        args.episodes = 4
+        args.concurrency = 4
+        args.shards = 2
+        args.sample_rate = 1.0
+        args.slo_ms = min(args.slo_ms, 0.5)
+        args.trace_out = args.trace_out or "TRACES_serving.jsonl"
+        args.events_out = args.events_out or "EVENTS_serving.jsonl"
+        args.metrics_out = args.metrics_out or "METRICS_serving.json"
+
     # Validate before the (expensive) database build and pre-training.
     if args.zipf <= 1.0:
         print("serve-bench: --zipf must be > 1", file=sys.stderr)
@@ -457,6 +582,16 @@ def _cmd_serve_bench(args) -> int:
         print("serve-bench: --concurrency and --shards must be >= 1, "
               "--max-delay-ms >= 0", file=sys.stderr)
         return 2
+    if not 0.0 <= args.sample_rate <= 1.0:
+        print("serve-bench: --sample-rate must be in [0, 1]", file=sys.stderr)
+        return 2
+
+    telemetry = None
+    if not args.no_telemetry:
+        telemetry = _make_telemetry(
+            sample_rate=args.sample_rate, slo_ms=args.slo_ms,
+            seed=args.seed, events_path=args.events_out,
+        )
 
     db, env, agent, trainer, _baseline, _log = _trained_setup(args, args.episodes)
 
@@ -470,12 +605,12 @@ def _cmd_serve_bench(args) -> int:
     ]
 
     if args.concurrency > 1:
-        total_s, latency, counters, episodes = _serve_concurrent(
-            args, db, env, agent, stream
+        total_s, latency, counters, episodes, registry = _serve_concurrent(
+            args, db, env, agent, stream, telemetry
         )
     else:
-        total_s, latency, counters, episodes = _serve_synchronous(
-            args, db, env, agent, stream
+        total_s, latency, counters, episodes, registry = _serve_synchronous(
+            args, db, env, agent, stream, telemetry
         )
 
     print(ascii_table(
@@ -498,15 +633,89 @@ def _cmd_serve_bench(args) -> int:
     print("\nservice counters:")
     print(ascii_table(["counter", "value"], sorted(counters.items())))
 
+    if telemetry is not None:
+        breakdown = telemetry.stage_summary()
+        if breakdown:
+            print("\nper-stage latency breakdown (ms):")
+            print(ascii_table(
+                ["stage", "count", "mean", "p50", "p95", "p99"],
+                [
+                    (stage, f"{s['count']:.0f}", f"{s['mean']:.3f}",
+                     f"{s['p50']:.3f}", f"{s['p95']:.3f}", f"{s['p99']:.3f}")
+                    for stage, s in breakdown.items()
+                ],
+            ))
+        print(f"\ntelemetry: {len(telemetry.store)} traces retained, "
+              f"{len(telemetry.slow_queries())} slow queries "
+              f"(SLO {telemetry.config.slo_ms}ms), "
+              f"events {telemetry.events.counts()}")
+        if args.trace_out:
+            written = telemetry.store.write_jsonl(args.trace_out)
+            print(f"wrote {written} traces to {args.trace_out}")
+        if args.events_out:
+            print(f"events appended to {args.events_out}")
+    if args.metrics_out:
+        import json
+
+        with open(args.metrics_out, "w") as fh:
+            json.dump(registry.snapshot(), fh, indent=2, default=str)
+        print(f"metrics snapshot written to {args.metrics_out}")
+
     if episodes:
-        replay_log = trainer.replay(episodes)
+        events = telemetry.events if telemetry is not None else None
+        replay_log = trainer.replay(episodes, events=events)
         print(f"\nhands-free retraining: replayed {len(replay_log)} served "
               f"episodes into the policy "
               f"(median reward {np.median(replay_log.rewards()):.2f})")
+
+    if args.smoke and telemetry is not None:
+        failures = _smoke_self_check(args, telemetry, registry)
+        if failures:
+            for failure in failures:
+                print(f"smoke self-check FAILED: {failure}", file=sys.stderr)
+            return 1
+        print("\nsmoke self-check passed: exposition parses, slow-query "
+              "JSONL round-trips, traces round-trip")
     return 0
 
 
-def _serve_synchronous(args, db, env, agent, stream):
+def _smoke_self_check(args, telemetry, registry):
+    """CI assertions over the telemetry artifacts just produced."""
+    from repro.obs import parse_exposition
+    from repro.obs.events import EventLog
+    from repro.obs.trace import TraceStore
+
+    failures = []
+    try:
+        samples = parse_exposition(registry.exposition())
+        if not samples:
+            failures.append("exposition produced no samples")
+        if "repro_serving_requests_total" not in samples:
+            failures.append("exposition lacks repro_serving_requests_total")
+    except ValueError as exc:
+        failures.append(f"exposition does not parse: {exc}")
+    try:
+        with open(args.events_out) as fh:
+            events = EventLog.parse_jsonl(fh.read())
+        if not any(e["kind"] == "slow_query" for e in events):
+            failures.append(
+                f"no slow_query events in {args.events_out} "
+                f"(SLO {args.slo_ms}ms)"
+            )
+    except (OSError, ValueError) as exc:
+        failures.append(f"event JSONL round-trip failed: {exc}")
+    try:
+        traces = TraceStore.read_jsonl(args.trace_out)
+        if not traces:
+            failures.append(f"no traces in {args.trace_out}")
+        elif not any(t.root.children for t in traces):
+            failures.append("round-tripped traces have no spans")
+    except (OSError, ValueError, KeyError) as exc:
+        failures.append(f"trace JSONL round-trip failed: {exc}")
+    return failures
+
+
+def _serve_synchronous(args, db, env, agent, stream, telemetry=None):
     """The pre-batched burst loop (one caller, ``optimize_batch`` bursts)."""
     service = _make_service(
         db,
@@ -516,6 +725,7 @@ def _serve_synchronous(args, db, env, agent, stream):
         # Reuse the training reward so experience collected while serving
         # is on the same scale the policy (and value net) learned on.
         reward_source=env.reward_source,
+        telemetry=telemetry,
         cache_capacity=args.cache_capacity,
         regression_threshold=args.threshold,
         max_batch_size=args.burst,
@@ -530,10 +740,16 @@ def _serve_synchronous(args, db, env, agent, stream):
         if service.experience is not None and len(service.experience)
         else []
     )
-    return total_s, service.latency_summary(), service.counters(), episodes
+    return (
+        total_s,
+        service.latency_summary(),
+        service.counters(),
+        episodes,
+        service.metrics_registry(),
+    )
 
 
-def _serve_concurrent(args, db, env, agent, stream):
+def _serve_concurrent(args, db, env, agent, stream, telemetry=None):
     """Open-loop client threads submitting through the front end."""
     import threading
 
@@ -546,6 +762,7 @@ def _serve_concurrent(args, db, env, agent, stream):
         max_batch=args.burst,
         max_delay_ms=args.max_delay_ms,
         expert_lane=getattr(args, "expert_lane", "bitset"),
+        telemetry=telemetry,
         cache_capacity=args.cache_capacity,
         regression_threshold=args.threshold,
         max_batch_size=args.burst,
@@ -585,9 +802,10 @@ def _serve_concurrent(args, db, env, agent, stream):
         latency = frontend.latency_summary()
         counters = frontend.counters()
         episodes = frontend.drain_experience()
+        registry = frontend.metrics_registry()
     finally:
         frontend.close()
-    return total_s, latency, counters, episodes
+    return total_s, latency, counters, episodes, registry
 
 
 _COMMANDS = {
@@ -600,6 +818,8 @@ _COMMANDS = {
     "bootstrap": _cmd_bootstrap,
     "incremental": _cmd_incremental,
     "serve-bench": _cmd_serve_bench,
+    "metrics": _cmd_metrics,
+    "trace": _cmd_trace,
 }
 
 

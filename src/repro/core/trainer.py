@@ -204,14 +204,36 @@ class Trainer:
         trajectories: Sequence[Trajectory],
         log: TrainingLog | None = None,
         update: bool = True,
+        events=None,
     ) -> TrainingLog:
         """Learn from trajectories collected elsewhere (the serving
         layer's experience buffer): record each served episode and run
         the same batched policy updates as :meth:`run`. Empty
-        trajectories (single-relation queries) are skipped."""
-        return self._learn(
-            (t for t in trajectories if t.transitions), log, update
-        )
+        trajectories (single-relation queries) are skipped.
+
+        ``events`` (an :class:`~repro.obs.events.EventLog`, or any object
+        with ``emit(kind, **payload)``) records the hands-free retraining
+        pass in the serving stack's flight recorder: how many
+        trajectories were replayed and whether the policy weights were
+        actually updated (the swap an operator wants an audit trail of).
+        """
+        usable = [t for t in trajectories if t.transitions]
+        result = self._learn(usable, log, update)
+        if events is not None:
+            events.emit(
+                "retraining_replay",
+                trajectories=len(usable),
+                skipped=len(trajectories) - len(usable),
+                weights_updated=bool(update and usable),
+                mean_reward=(
+                    round(
+                        sum(t.total_reward for t in usable) / len(usable), 6
+                    )
+                    if usable
+                    else None
+                ),
+            )
+        return result
 
     def _learn(
         self, trajectories, log: TrainingLog | None, update: bool

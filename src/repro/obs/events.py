@@ -1,0 +1,91 @@
+"""Structured event stream: the serving stack's flight recorder.
+
+Rare-but-important happenings — a request blowing through the latency
+SLO (with its full trace attached), a guardrail fallback, a hands-free
+retraining pass, a statistics-epoch invalidation — land here as
+structured events: an in-memory ring buffer for `repro` commands and
+tests, plus an optional append-only JSONL file so the record survives
+the process. Events are emitted off the per-request hot path (slow
+queries, fallbacks, and operator actions only), so the file sink's
+open-append-close per event is irrelevant to throughput.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Deque, Dict, List
+
+__all__ = ["EventLog"]
+
+
+class EventLog:
+    """Bounded in-memory event ring with an optional JSONL file sink."""
+
+    def __init__(
+        self,
+        capacity: int = 2048,
+        path=None,
+        clock=time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self.capacity = capacity
+        self.path = path
+        self.clock = clock
+        self.emitted = 0
+        self._lock = threading.Lock()
+        self._events: Deque[dict] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def emit(self, kind: str, **payload) -> dict:
+        """Record one event; returns the stored dict (with timestamp)."""
+        event = {"ts": round(self.clock(), 6), "kind": kind, **payload}
+        line = json.dumps(event, default=str)
+        with self._lock:
+            self._events.append(event)
+            self.emitted += 1
+            if self.path is not None:
+                with open(self.path, "a") as fh:
+                    fh.write(line + "\n")
+        return event
+
+    def all(self) -> List[dict]:
+        with self._lock:
+            return list(self._events)
+
+    def tail(self, n: int) -> List[dict]:
+        with self._lock:
+            return list(self._events)[-n:]
+
+    def of_kind(self, kind: str) -> List[dict]:
+        return [e for e in self.all() if e["kind"] == kind]
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.all():
+            out[event["kind"]] = out.get(event["kind"], 0) + 1
+        return out
+
+    def to_jsonl(self) -> str:
+        return "".join(json.dumps(e, default=str) + "\n" for e in self.all())
+
+    @staticmethod
+    def parse_jsonl(text: str) -> List[dict]:
+        """Parse a JSONL dump back into events, validating the envelope
+        (every line must be an object with ``ts`` and ``kind``)."""
+        events: List[dict] = []
+        for lineno, line in enumerate(text.splitlines(), 1):
+            line = line.strip()
+            if not line:
+                continue
+            event = json.loads(line)
+            if not isinstance(event, dict) or "ts" not in event or "kind" not in event:
+                raise ValueError(f"malformed event on line {lineno}: {line!r}")
+            events.append(event)
+        return events

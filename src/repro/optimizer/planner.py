@@ -31,6 +31,7 @@ from repro.db.costmodel import PlanCost
 from repro.db.engine import Database
 from repro.db.plans import JoinTree, PhysicalPlan
 from repro.db.query import Query
+from repro.obs.metrics import Histogram, MetricsRegistry
 from repro.optimizer.bitset_dp import DPStats, selinger_dp_bitset
 from repro.optimizer.join_search import (
     geqo_join_search,
@@ -111,6 +112,15 @@ class Planner:
         #: Guards the latency samples: a monitoring thread may snapshot
         #: them (front-end counter rollup) while a worker shard plans.
         self._expert_ms_lock = threading.Lock()
+        #: The histogram behind the ``expert_plan_ms_*`` percentiles —
+        #: the same log-bucket implementation the serving layer uses for
+        #: request latencies, so every reported percentile in the stack
+        #: shares one method and one error bound (see
+        #: :mod:`repro.obs.metrics`). The raw-sample deque stays only as
+        #: a bounded forensic window (``expert_latency_samples``).
+        self.expert_ms_hist = Histogram(
+            "repro_expert_plan_ms", "expert join-order search latency"
+        )
 
     def choose_join_order(self, query: Query) -> JoinTree:
         """Join-order search only (the first stage of Figure 8).
@@ -144,6 +154,7 @@ class Planner:
             )
         self.expert_plans += 1
         elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.expert_ms_hist.observe(elapsed_ms)
         with self._expert_ms_lock:
             self._expert_ms.append(elapsed_ms)
         return tree
@@ -157,18 +168,43 @@ class Planner:
             return list(self._expert_ms)
 
     def counters(self) -> Dict[str, float]:
-        """Expert-lane counters for the serving rollup."""
+        """Expert-lane counters for the serving rollup.
+
+        Percentiles come from the shared log-bucket histogram (see
+        ``expert_ms_hist``), the same implementation and error bound as
+        the request-latency percentiles.
+        """
         out = self.dp_stats.as_dict()
         out["expert_plans"] = float(self.expert_plans)
-        samples = self.expert_latency_samples()
-        if samples:
-            arr = np.asarray(samples)
-            out["expert_plan_ms_p50"] = round(float(np.percentile(arr, 50)), 4)
-            out["expert_plan_ms_p95"] = round(float(np.percentile(arr, 95)), 4)
-        else:
-            out["expert_plan_ms_p50"] = 0.0
-            out["expert_plan_ms_p95"] = 0.0
+        out["expert_plan_ms_p50"] = round(self.expert_ms_hist.quantile(0.50), 4)
+        out["expert_plan_ms_p95"] = round(self.expert_ms_hist.quantile(0.95), 4)
         return out
+
+    def register_metrics(self, registry: MetricsRegistry) -> None:
+        """Expose the expert lane in a shard's metrics registry:
+        pull-style counters over the exact DP stats plus the owned
+        latency histogram (so registry merges pool shards exactly)."""
+        registry.counter_fn(
+            "repro_expert_dp_subsets_total",
+            lambda: self.dp_stats.subsets_enumerated,
+            "connected subsets enumerated by the bitset DP",
+        )
+        registry.counter_fn(
+            "repro_expert_dp_pruned_total",
+            lambda: self.dp_stats.entries_pruned,
+            "DP entries removed by branch-and-bound",
+        )
+        registry.counter_fn(
+            "repro_expert_dp_bound_fallbacks_total",
+            lambda: self.dp_stats.bound_fallbacks,
+            "inexact-mode searches answered by the greedy bound",
+        )
+        registry.counter_fn(
+            "repro_expert_plans_total",
+            lambda: self.expert_plans,
+            "expert join-order searches run",
+        )
+        registry.register(self.expert_ms_hist)
 
     # ------------------------------------------------------------------
     def complete_plan(

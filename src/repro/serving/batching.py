@@ -15,6 +15,7 @@ relation counts costs ``max(joins)`` forward passes instead of
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Sequence
 
@@ -24,6 +25,7 @@ from repro.core.featurize import QueryFeaturizer, SlotState
 from repro.db.engine import Database
 from repro.db.plans import JoinTree
 from repro.db.query import Query
+from repro.obs.metrics import Histogram
 from repro.rl.env import Transition
 from repro.rl.policy import CategoricalPolicy
 
@@ -61,6 +63,13 @@ class MicroBatchEngine:
         #: Forward passes made / states scored, for throughput reporting.
         self.forward_passes = 0
         self.states_scored = 0
+        #: Per-forward-pass wall-clock latency, inference-lock wait
+        #: included when shards share one policy — contention is part
+        #: of what an operator needs to see here. Shares the serving
+        #: stack's log-bucket histogram implementation.
+        self.forward_ms_hist = Histogram(
+            "repro_policy_forward_pass_ms", "one batched policy forward pass"
+        )
         #: Optional lock serializing ``policy.act_batch`` calls. The nn
         #: layers stash activations on ``self`` during ``forward`` (for
         #: backprop), so a policy object shared by engines on different
@@ -97,6 +106,7 @@ class MicroBatchEngine:
                 for row, i in enumerate(chunk):
                     encoders[i].vector_into(feats[row])
                     encoders[i].pair_mask_into(masks[row], self.forbid_cross_products)
+                fwd_start = time.perf_counter()
                 if self.inference_lock is not None:
                     with self.inference_lock:
                         actions, log_probs = self.policy.act_batch(
@@ -104,6 +114,9 @@ class MicroBatchEngine:
                         )
                 else:
                     actions, log_probs = self.policy.act_batch(feats, masks, rng, greedy)
+                self.forward_ms_hist.observe(
+                    (time.perf_counter() - fwd_start) * 1000.0
+                )
                 self.forward_passes += 1
                 self.states_scored += len(chunk)
                 for row, i in enumerate(chunk):

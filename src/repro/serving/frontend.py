@@ -43,11 +43,16 @@ from dataclasses import dataclass
 from queue import Empty, SimpleQueue
 from typing import Deque, Dict, List, Sequence
 
-import numpy as np
-
 from repro.db.query import Query
+from repro.obs import Telemetry
+from repro.obs.metrics import MetricsRegistry
 from repro.serving.fingerprint import canonical_alias_map, fingerprint
-from repro.serving.service import OptimizerService, ServedPlan, ServingConfig
+from repro.serving.service import (
+    OptimizerService,
+    ServedPlan,
+    ServingConfig,
+    legacy_counters,
+)
 from repro.serving.sharding import HashRing
 
 __all__ = ["FrontEndConfig", "FrontEndStats", "ServingFrontEnd"]
@@ -70,7 +75,9 @@ class FrontEndConfig:
     max_pending: int = 65_536
     #: Virtual nodes per shard on the consistent-hash ring.
     hash_replicas: int = 64
-    #: Submit-to-resolve latency samples kept for percentiles.
+    #: Kept for config compatibility: submit-to-resolve percentiles now
+    #: come from a cumulative log-bucket histogram (fixed memory, no
+    #: window), so this knob no longer bounds anything.
     latency_window: int = 8192
 
     def __post_init__(self) -> None:
@@ -142,6 +149,11 @@ class _Submission:
     shard: int
     future: "Future[ServedPlan]"
     submitted_at: float
+    #: Per-request trace (None when telemetry is off). Ownership follows
+    #: the submission: submitter -> flusher -> one worker, sequentially.
+    trace: object = None
+    #: When the flusher dispatched this submission (worker_queue span).
+    flushed_at: float | None = None
 
 
 class ServingFrontEnd:
@@ -159,6 +171,7 @@ class ServingFrontEnd:
         self,
         services: Sequence[OptimizerService],
         config: FrontEndConfig | None = None,
+        telemetry: Telemetry | None = None,
     ) -> None:
         if not services:
             raise ValueError("need at least one shard service")
@@ -172,6 +185,20 @@ class ServingFrontEnd:
         self.ring = HashRing(self.config.n_shards, self.config.hash_replicas)
         self.stats = FrontEndStats()
         self.clock = time.monotonic
+        #: Shared telemetry spine: traces begin at submit and finish in
+        #: the worker that resolves the future; shard services reuse it
+        #: for their event hooks (guardrail fallbacks, invalidations).
+        self.telemetry = telemetry
+        if telemetry is not None:
+            for service in self.services:
+                if service.telemetry is None:
+                    service.telemetry = telemetry
+        self.registry = MetricsRegistry()
+        self.latency_ms_hist = self.registry.histogram(
+            "repro_request_latency_ms",
+            "submit-to-resolve latency (queueing included)",
+        )
+        self._register_metrics()
         # The nn layers stash forward activations on the policy object,
         # so concurrent forward passes on one shared policy would read
         # each other's state; one lock per distinct policy object keeps
@@ -190,7 +217,6 @@ class ServingFrontEnd:
         self._flush_asap = False
         self._closing = False
         self._closed = False
-        self._latencies: Deque[float] = deque(maxlen=self.config.latency_window)
         self._queues: List["SimpleQueue"] = [
             SimpleQueue() for _ in range(self.config.n_shards)
         ]
@@ -210,6 +236,51 @@ class ServingFrontEnd:
         )
         self._flusher.start()
 
+    def _register_metrics(self) -> None:
+        """Expose the flusher/queue stats as pull-style registry metrics
+        (same pattern as ``OptimizerService._register_metrics``)."""
+        reg = self.registry
+        reg.counter_fn(
+            "repro_frontend_submitted_total",
+            lambda: self.stats.submitted,
+            "submissions accepted",
+        )
+        reg.counter_fn(
+            "repro_frontend_flushes_total",
+            lambda: self.stats.flushes,
+            "flusher dispatches",
+        )
+        reg.counter_fn(
+            "repro_frontend_flushes_size_total",
+            lambda: self.stats.flushes_size,
+            "flushes triggered by a full batch",
+        )
+        reg.counter_fn(
+            "repro_frontend_flushes_deadline_total",
+            lambda: self.stats.flushes_deadline,
+            "flushes triggered by the max_delay deadline",
+        )
+        reg.counter_fn(
+            "repro_frontend_flushes_drain_total",
+            lambda: self.stats.flushes_drain,
+            "flushes forced by drain()/close()",
+        )
+        reg.counter_fn(
+            "repro_frontend_rejected_total",
+            lambda: self.stats.rejected,
+            "submissions rejected by backpressure",
+        )
+        reg.counter_fn(
+            "repro_frontend_served_batches_total",
+            lambda: self.stats.served_batches,
+            "worker micro-batches actually served",
+        )
+        reg.gauge_fn(
+            "repro_frontend_inflight",
+            lambda: self._inflight,
+            "submissions accepted but not yet resolved",
+        )
+
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
@@ -223,6 +294,7 @@ class ServingFrontEnd:
         config: FrontEndConfig | None = None,
         planner_factory=None,
         reward_source=None,
+        telemetry: Telemetry | None = None,
     ) -> "ServingFrontEnd":
         """A front end with the standard shard setup.
 
@@ -249,10 +321,11 @@ class ServingFrontEnd:
                 featurizer=featurizer,
                 config=serving_config,
                 reward_source=reward_source,
+                telemetry=telemetry,
             )
             for shard in range(config.n_shards)
         ]
-        return cls(services, config=config)
+        return cls(services, config=config, telemetry=telemetry)
 
     # ------------------------------------------------------------------
     # Request path
@@ -272,13 +345,22 @@ class ServingFrontEnd:
         # recomputing them.
         names = canonical_alias_map(query)
         fp = fingerprint(query, names)
+        shard = self.ring.shard_for(fp)
+        trace = (
+            self.telemetry.begin_trace(
+                "request", query=query.name, fingerprint=fp, shard=shard
+            )
+            if self.telemetry is not None
+            else None
+        )
         submission = _Submission(
             query=query,
             fp=fp,
             alias_map=names,
-            shard=self.ring.shard_for(fp),
+            shard=shard,
             future=Future(),
             submitted_at=self.clock(),
+            trace=trace,
         )
         with self._work:
             self._check_accepting()
@@ -353,8 +435,16 @@ class ServingFrontEnd:
                     self.stats.flushes_drain += 1
             # Dispatch outside the lock: queue puts never block, and
             # workers must be able to grab the lock to finish batches.
+            flushed_at = self.clock()
             by_shard: Dict[int, List[_Submission]] = {}
             for submission in batch:
+                submission.flushed_at = flushed_at
+                if submission.trace is not None:
+                    submission.trace.record(
+                        "queue_wait",
+                        (flushed_at - submission.submitted_at) * 1000.0,
+                        reason=reason,
+                    )
                 by_shard.setdefault(submission.shard, []).append(submission)
             for shard, submissions in by_shard.items():
                 self._queues[shard].put(submissions)
@@ -387,24 +477,46 @@ class ServingFrontEnd:
             live = [
                 s for s in submissions if s.future.set_running_or_notify_cancel()
             ]
+            picked_up = self.clock()
+            for submission in live:
+                if submission.trace is not None and submission.flushed_at is not None:
+                    submission.trace.record(
+                        "worker_queue",
+                        (picked_up - submission.flushed_at) * 1000.0,
+                        shard=shard,
+                    )
             try:
                 served = service.optimize_batch(
                     [s.query for s in live],
                     fingerprints=[s.fp for s in live],
                     alias_maps=[s.alias_map for s in live],
+                    traces=[s.trace for s in live],
                 )
             except BaseException as exc:  # resolve, never dangle
                 for submission in live:
+                    # Finish before resolving: the caller must never see
+                    # a future whose trace is still open.
+                    if self.telemetry is not None:
+                        self.telemetry.finish_trace(
+                            submission.trace, error=repr(exc)
+                        )
                     submission.future.set_exception(exc)
             else:
                 for submission, plan in zip(live, served):
+                    if self.telemetry is not None:
+                        self.telemetry.finish_trace(
+                            submission.trace, source=plan.source
+                        )
                     submission.future.set_result(plan)
             now = self.clock()
+            # Latency describes what was actually served; cancelled
+            # submissions only release inflight. The histogram has its
+            # own lock, so observe outside the flusher lock.
+            for submission in live:
+                self.latency_ms_hist.observe(
+                    (now - submission.submitted_at) * 1000.0
+                )
             with self._work:
-                # Latency and occupancy describe what was actually
-                # served; cancelled submissions only release inflight.
-                for submission in live:
-                    self._latencies.append((now - submission.submitted_at) * 1000.0)
                 self._inflight -= len(submissions)
                 if live:
                     self.stats.served_batches += 1
@@ -505,66 +617,43 @@ class ServingFrontEnd:
         return out
 
     def latency_summary(self) -> Dict[str, float]:
-        """p50/p95/mean submit-to-resolve latency (queueing included)."""
-        with self._work:
-            samples = list(self._latencies)
-        if not samples:
+        """p50/p95/mean submit-to-resolve latency (queueing included),
+        from the shared log-bucket histogram (worst-case percentile
+        error documented in :mod:`repro.obs.metrics`; mean is exact)."""
+        hist = self.latency_ms_hist
+        if not hist.count:
             return {"p50_ms": 0.0, "p95_ms": 0.0, "mean_ms": 0.0}
-        arr = np.asarray(samples)
         return {
-            "p50_ms": float(np.percentile(arr, 50)),
-            "p95_ms": float(np.percentile(arr, 95)),
-            "mean_ms": float(arr.mean()),
+            "p50_ms": hist.quantile(0.50),
+            "p95_ms": hist.quantile(0.95),
+            "mean_ms": hist.mean,
         }
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """One merged registry over the whole stack: front-end queue
+        metrics, every shard's serving metrics (counters summed, latency
+        histograms pooled bucket-for-bucket), and the trace-derived
+        per-stage histograms when telemetry is attached. This is what
+        ``repro metrics`` exposes."""
+        registries = [self.registry] + [s.registry for s in self.services]
+        if self.telemetry is not None:
+            registries.append(self.telemetry.registry)
+        return MetricsRegistry.merge(registries)
 
     def counters(self) -> Dict[str, float]:
         """Front-end stats plus every shard's counters rolled up.
 
-        Count-like shard counters are summed; the derived rates are
-        recomputed from the summed numerators/denominators so the
-        rollup is exact, not an average of averages. Per-shard request
-        counts are also exposed (``shard0_requests``, ...), which is
-        how an operator sees the consistent-hash load split.
+        The rollup is :meth:`MetricsRegistry.merge` over the shard
+        registries rendered through the same legacy view the shards use
+        — summed counts, rates recomputed from summed numerators and
+        denominators, percentiles from the pooled histogram. Per-shard
+        request counts are also exposed (``shard0_requests``, ...),
+        which is how an operator sees the consistent-hash load split.
         """
-        rolled: Dict[str, float] = {}
-        per_shard = [service.counters() for service in self.services]
-        for counters in per_shard:
-            for key, value in counters.items():
-                # Rates and percentiles cannot be summed across shards;
-                # both are recomputed from pooled raw data below.
-                if key.endswith("_rate") or key.endswith("_ms_p50") or key.endswith("_ms_p95"):
-                    continue
-                rolled[key] = rolled.get(key, 0) + value
-        lookups = rolled.get("cache_hits", 0) + rolled.get("cache_misses", 0)
-        rolled["cache_hit_rate"] = (
-            round(rolled.get("cache_hits", 0) / lookups, 4) if lookups else 0.0
-        )
-        requests = rolled.get("requests", 0)
-        rolled["fallback_rate"] = (
-            round(rolled.get("served_from_fallback", 0) / requests, 4)
-            if requests
-            else 0.0
-        )
-        memo_lookups = rolled.get("costmemo_hits", 0) + rolled.get(
-            "costmemo_misses", 0
-        )
-        if memo_lookups:
-            rolled["costmemo_hit_rate"] = round(
-                rolled.get("costmemo_hits", 0) / memo_lookups, 4
-            )
-        # Expert-lane planning latency: pool every shard's raw samples so
-        # the percentiles are exact, not an average of per-shard ones.
-        expert_samples: list = []
-        for service in self.services:
-            sampler = getattr(service.planner, "expert_latency_samples", None)
-            if sampler is not None:
-                expert_samples.extend(sampler())
-        if expert_samples:
-            arr = np.asarray(expert_samples)
-            rolled["expert_plan_ms_p50"] = round(float(np.percentile(arr, 50)), 4)
-            rolled["expert_plan_ms_p95"] = round(float(np.percentile(arr, 95)), 4)
-        for shard, counters in enumerate(per_shard):
-            rolled[f"shard{shard}_requests"] = counters.get("requests", 0)
+        merged = MetricsRegistry.merge(service.registry for service in self.services)
+        rolled = legacy_counters(merged)
+        for shard, service in enumerate(self.services):
+            rolled[f"shard{shard}_requests"] = service.stats.requests
         rolled.update(self.stats.as_dict())
         rolled["frontend_shards"] = self.config.n_shards
         return rolled

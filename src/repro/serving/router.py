@@ -62,8 +62,16 @@ class GuardrailRouter:
         #: table-scoped statistics refresh can evict surgically.
         self._tables: Dict[str, FrozenSet[str]] = {}
 
-    def expert_result(self, query: Query, key: str | None = None) -> PlannerResult:
-        """The expert plan for ``query``, memoized by fingerprint."""
+    def expert_result(
+        self, query: Query, key: str | None = None, trace=None, parent=None
+    ) -> PlannerResult:
+        """The expert plan for ``query``, memoized by fingerprint.
+
+        With a ``trace`` attached, an actual planner run (memo miss)
+        records an ``expert_dp`` span under ``parent`` carrying the DP
+        subset-enumeration delta; memo hits record nothing — the lookup
+        is a dict get.
+        """
         key = key or query.name
         with self._lock:
             result = self._expert_results.get(key)
@@ -71,7 +79,18 @@ class GuardrailRouter:
             # Optimize outside the lock: the expert search is the slow
             # part and must not serialize unrelated shards.
             epoch = self.planner.db.stats_epoch
+            subsets_before = self.planner.dp_stats.subsets_enumerated
+            span = (
+                trace.start_span("expert_dp", parent=parent, fingerprint=key)
+                if trace is not None
+                else None
+            )
             result = self.planner.optimize(query)
+            if span is not None:
+                span.attrs["dp_subsets"] = (
+                    self.planner.dp_stats.subsets_enumerated - subsets_before
+                )
+                trace.end_span(span)
             with self._lock:
                 if self.planner.db.stats_epoch == epoch:
                     # Don't memoize a plan computed under statistics an
@@ -82,7 +101,12 @@ class GuardrailRouter:
         return result
 
     def decide(
-        self, query: Query, learned_cost: float, key: str | None = None
+        self,
+        query: Query,
+        learned_cost: float,
+        key: str | None = None,
+        trace=None,
+        parent=None,
     ) -> GuardrailDecision:
         self.decisions += 1
         if self.regression_threshold is None:
@@ -92,7 +116,9 @@ class GuardrailRouter:
                 expert_cost=None,
                 threshold=None,
             )
-        expert_cost = self.expert_result(query, key).cost.total
+        expert_cost = self.expert_result(
+            query, key, trace=trace, parent=parent
+        ).cost.total
         use_learned = learned_cost <= expert_cost * self.regression_threshold
         if not use_learned:
             self.fallbacks += 1

@@ -23,17 +23,16 @@ request.
 from __future__ import annotations
 
 import time
-from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Sequence
-
-import numpy as np
+from typing import Dict, List, Sequence
 
 from repro.core.featurize import QueryFeaturizer
 from repro.core.rewards import CostModelReward, PlanOutcome
 from repro.db.engine import Database
 from repro.db.plans import JoinTree, PhysicalPlan
 from repro.db.query import Query
+from repro.obs import Telemetry
+from repro.obs.metrics import MetricsRegistry
 from repro.optimizer.memo import SubPlanCostMemo
 from repro.optimizer.planner import Planner
 from repro.rl.env import Trajectory
@@ -43,7 +42,87 @@ from repro.serving.experience import ExperienceBuffer
 from repro.serving.fingerprint import canonical_alias_map, fingerprint
 from repro.serving.router import GuardrailDecision, GuardrailRouter
 
-__all__ = ["ServingConfig", "ServedPlan", "OptimizerService"]
+__all__ = [
+    "ServingConfig",
+    "ServedPlan",
+    "OptimizerService",
+    "legacy_counters",
+]
+
+#: Registry metric name -> the legacy ``counters()`` key it backs. One
+#: table shared by :meth:`OptimizerService.counters` and
+#: :meth:`~repro.serving.frontend.ServingFrontEnd.counters` — the
+#: single home of the rollup rules that used to be hand-rolled in both.
+#: Keys whose metric is absent from the registry (no memo attached, no
+#: experience buffer) are simply omitted, preserving the old dict shape.
+_LEGACY_COUNTER_KEYS = (
+    ("repro_serving_requests_total", "requests"),
+    ("repro_serving_batches_total", "batches"),
+    ("repro_serving_cache_served_total", "served_from_cache"),
+    ("repro_serving_policy_served_total", "served_from_policy"),
+    ("repro_serving_fallback_served_total", "served_from_fallback"),
+    ("repro_serving_expert_served_total", "served_from_expert"),
+    ("repro_guardrail_decisions_total", "guardrail_decisions"),
+    ("repro_policy_forward_passes_total", "forward_passes"),
+    ("repro_policy_states_scored_total", "states_scored"),
+    ("repro_cache_entries", "cache_size"),
+    ("repro_cache_hits_total", "cache_hits"),
+    ("repro_cache_misses_total", "cache_misses"),
+    ("repro_cache_evictions_total", "cache_evictions"),
+    ("repro_cache_expirations_total", "cache_expirations"),
+    ("repro_cache_invalidations_total", "cache_invalidations"),
+    ("repro_cache_invalidations_partial_total", "cache_invalidations_partial"),
+    ("repro_costmemo_hits_total", "costmemo_hits"),
+    ("repro_costmemo_misses_total", "costmemo_misses"),
+    ("repro_costmemo_evictions_total", "costmemo_evictions"),
+    (
+        "repro_costmemo_invalidations_partial_total",
+        "costmemo_invalidations_partial",
+    ),
+    ("repro_costmemo_entries", "costmemo_size"),
+    ("repro_experience_entries", "experience_size"),
+    ("repro_experience_added_total", "experience_added"),
+    ("repro_experience_dropped_total", "experience_dropped"),
+    ("repro_expert_dp_subsets_total", "dp_subsets_enumerated"),
+    ("repro_expert_dp_pruned_total", "dp_pruned"),
+    ("repro_expert_dp_bound_fallbacks_total", "dp_bound_fallbacks"),
+    ("repro_expert_plans_total", "expert_plans"),
+)
+
+
+def legacy_counters(registry: MetricsRegistry) -> Dict[str, float]:
+    """The classic operator ``counters()`` dict, derived from a metrics
+    registry (a shard's own, or :meth:`MetricsRegistry.merge` of many).
+
+    Count-like values come straight from the (summed) metrics; the
+    derived rates are recomputed from the summed numerators and
+    denominators, so a multi-shard rollup is exact rather than an
+    average of averages. Percentiles come from the pooled
+    ``repro_expert_plan_ms`` histogram.
+    """
+    out: Dict[str, float] = {}
+    for metric_name, key in _LEGACY_COUNTER_KEYS:
+        metric = registry.get(metric_name)
+        if metric is not None:
+            out[key] = metric.value
+    lookups = out.get("cache_hits", 0) + out.get("cache_misses", 0)
+    out["cache_hit_rate"] = (
+        round(out.get("cache_hits", 0) / lookups, 4) if lookups else 0.0
+    )
+    requests = out.get("requests", 0)
+    out["fallback_rate"] = (
+        round(out.get("served_from_fallback", 0) / requests, 4) if requests else 0.0
+    )
+    if "costmemo_hits" in out:
+        memo_lookups = out["costmemo_hits"] + out.get("costmemo_misses", 0)
+        out["costmemo_hit_rate"] = (
+            round(out["costmemo_hits"] / memo_lookups, 4) if memo_lookups else 0.0
+        )
+    expert_hist = registry.get("repro_expert_plan_ms")
+    if expert_hist is not None:
+        out["expert_plan_ms_p50"] = round(expert_hist.quantile(0.50), 4)
+        out["expert_plan_ms_p95"] = round(expert_hist.quantile(0.95), 4)
+    return out
 
 
 @dataclass(frozen=True)
@@ -59,7 +138,9 @@ class ServingConfig:
     forbid_cross_products: bool = False
     collect_experience: bool = True
     experience_capacity: int = 10_000
-    #: Per-request latency samples kept for percentile reporting.
+    #: Kept for config compatibility: request-latency percentiles now
+    #: come from a cumulative log-bucket histogram (fixed memory, no
+    #: window), so this knob no longer bounds anything.
     latency_window: int = 8192
     #: Max queries queued via :meth:`OptimizerService.submit` awaiting a
     #: :meth:`~OptimizerService.flush` — backpressure instead of an
@@ -129,6 +210,7 @@ class OptimizerService:
         config: ServingConfig | None = None,
         reward_source=None,
         clock=time.monotonic,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.db = db
         # Agents (PPO/REINFORCE) carry their CategoricalPolicy in .policy;
@@ -157,13 +239,151 @@ class OptimizerService:
             if self.config.collect_experience
             else None
         )
-        self._latencies: Deque[float] = deque(maxlen=self.config.latency_window)
+        #: Shared telemetry spine (tracing + events); ``None`` keeps the
+        #: service trace-free. The metrics registry below is independent
+        #: of it — always present, pull-style, free on the hot path.
+        self.telemetry = telemetry
+        self.registry = MetricsRegistry()
+        self.request_ms_hist = self.registry.histogram(
+            "repro_serving_request_ms",
+            "per-request serve latency (batch-attributed)",
+        )
+        self._register_metrics()
         self._pending: List[Query] = []
         #: Identities of queries in the pending window, for an O(1)
         #: duplicate-submission check (objects stay alive in _pending,
         #: so ids cannot be recycled while tracked here).
         self._pending_ids: set = set()
         self._closed = False
+
+    def _register_metrics(self) -> None:
+        """Expose every serving stat as a pull-style registry metric.
+
+        The existing exact stats objects (locked dataclasses, engine
+        attributes, container lengths) stay the single source of truth;
+        the registry reads them through callbacks, so nothing is counted
+        twice and the hot path gains no new writes.
+        """
+        reg = self.registry
+        reg.counter_fn(
+            "repro_serving_requests_total",
+            lambda: self.stats.requests,
+            "requests served",
+        )
+        reg.counter_fn(
+            "repro_serving_batches_total",
+            lambda: self.stats.batches,
+            "micro-batches served",
+        )
+        reg.counter_fn(
+            "repro_serving_cache_served_total",
+            lambda: self.stats.cache_served,
+            "requests answered from the plan cache",
+        )
+        reg.counter_fn(
+            "repro_serving_policy_served_total",
+            lambda: self.stats.policy_served,
+            "requests answered by the learned policy",
+        )
+        reg.counter_fn(
+            "repro_serving_fallback_served_total",
+            lambda: self.stats.fallbacks,
+            "requests answered by the guardrail fallback",
+        )
+        reg.counter_fn(
+            "repro_serving_expert_served_total",
+            lambda: self.stats.expert_served,
+            "oversize requests routed straight to the expert",
+        )
+        reg.counter_fn(
+            "repro_guardrail_decisions_total",
+            lambda: self.router.decisions,
+            "learned-vs-expert comparisons made",
+        )
+        reg.counter_fn(
+            "repro_policy_forward_passes_total",
+            lambda: self.engine.forward_passes,
+            "batched policy forward passes",
+        )
+        reg.counter_fn(
+            "repro_policy_states_scored_total",
+            lambda: self.engine.states_scored,
+            "states scored across forward passes",
+        )
+        reg.register(self.engine.forward_ms_hist)
+        reg.gauge_fn(
+            "repro_cache_entries", lambda: len(self.cache), "live plan-cache entries"
+        )
+        cache_stats = self.cache.stats
+        reg.counter_fn(
+            "repro_cache_hits_total", lambda: cache_stats.hits, "plan-cache hits"
+        )
+        reg.counter_fn(
+            "repro_cache_misses_total", lambda: cache_stats.misses, "plan-cache misses"
+        )
+        reg.counter_fn(
+            "repro_cache_evictions_total",
+            lambda: cache_stats.evictions,
+            "LRU evictions",
+        )
+        reg.counter_fn(
+            "repro_cache_expirations_total",
+            lambda: cache_stats.expirations,
+            "TTL expirations",
+        )
+        reg.counter_fn(
+            "repro_cache_invalidations_total",
+            lambda: cache_stats.invalidations,
+            "entries dropped by full invalidation",
+        )
+        reg.counter_fn(
+            "repro_cache_invalidations_partial_total",
+            lambda: cache_stats.invalidations_partial,
+            "entries dropped by table-scoped invalidation",
+        )
+        memo = getattr(self.planner, "cost_memo", None)
+        if memo is not None:
+            reg.counter_fn(
+                "repro_costmemo_hits_total", lambda: memo.hits, "sub-plan memo hits"
+            )
+            reg.counter_fn(
+                "repro_costmemo_misses_total",
+                lambda: memo.misses,
+                "sub-plan memo misses",
+            )
+            reg.counter_fn(
+                "repro_costmemo_evictions_total",
+                lambda: memo.evictions,
+                "sub-plan memo evictions",
+            )
+            reg.counter_fn(
+                "repro_costmemo_invalidations_partial_total",
+                lambda: memo.invalidations_partial,
+                "memo entries dropped by table-scoped invalidation",
+            )
+            reg.gauge_fn(
+                "repro_costmemo_entries", lambda: len(memo), "live memo entries"
+            )
+        if self.experience is not None:
+            experience = self.experience
+            reg.gauge_fn(
+                "repro_experience_entries",
+                lambda: len(experience),
+                "trajectories buffered for retraining",
+            )
+            reg.counter_fn(
+                "repro_experience_added_total",
+                lambda: experience.added,
+                "trajectories collected",
+            )
+            reg.counter_fn(
+                "repro_experience_dropped_total",
+                lambda: experience.dropped,
+                "trajectories dropped by the ring bound",
+            )
+        register_planner = getattr(self.planner, "register_metrics", None)
+        if register_planner is not None:
+            register_planner(reg)
 
     # ------------------------------------------------------------------
     # Request paths
@@ -222,6 +442,7 @@ class OptimizerService:
         queries: Sequence[Query],
         fingerprints: Sequence[str] | None = None,
         alias_maps: Sequence[Dict[str, str]] | None = None,
+        traces: Sequence | None = None,
     ) -> List[ServedPlan]:
         """Serve a concurrent burst: cache first, then batched rollout.
 
@@ -229,10 +450,31 @@ class OptimizerService:
         canonicalized the queries (the concurrent front end computes
         fingerprints to route submissions to shards) skip recomputing
         them here; both must align with ``queries`` index-for-index.
+
+        ``traces`` (index-aligned, entries may be ``None``) are
+        per-request :class:`~repro.obs.trace.Trace` objects owned by the
+        caller — each gets a ``serve`` span with cache/policy/guardrail/
+        expert children, and the caller finishes them. Without
+        ``traces``, a service holding enabled telemetry begins and
+        finishes its own (the synchronous path).
         """
         if not queries:
             return []
         start = time.perf_counter()
+        owns_traces = False
+        if traces is None:
+            if self.telemetry is not None and self.telemetry.enabled:
+                traces = [
+                    self.telemetry.begin_trace("optimize", query=q.name)
+                    for q in queries
+                ]
+                owns_traces = True
+            else:
+                traces = [None] * len(queries)
+        serve_spans = [
+            t.start_span("serve", batch_size=len(queries)) if t is not None else None
+            for t in traces
+        ]
         # Plans computed in this batch are cached only if the database
         # statistics do not move underneath it — a refresh_statistics
         # racing the batch must not have its invalidation undone by a
@@ -252,33 +494,83 @@ class OptimizerService:
         answers: Dict[int, tuple] = {}  # idx -> (source, plan, cost, decision)
         rollout_fp: Dict[str, List[int]] = {}
         for idx, (query, fp) in enumerate(zip(queries, fps)):
+            trace, parent = traces[idx], serve_spans[idx]
+            if trace is not None:
+                trace.root.attrs.setdefault("fingerprint", fp)
             if fp in rollout_fp:  # duplicate inside this burst
                 rollout_fp[fp].append(idx)
                 continue
+            lookup = (
+                trace.start_span("cache_lookup", parent=parent)
+                if trace is not None
+                else None
+            )
             entry = self.cache.get(fp)
+            if lookup is not None:
+                lookup.attrs["hit"] = entry is not None
+                trace.end_span(lookup)
             if entry is not None:
-                answers[idx] = self._serve_hit(query, maps[idx], entry)
+                answers[idx] = self._serve_hit(
+                    query, maps[idx], entry, trace=trace, parent=parent
+                )
             elif query.n_relations > self.featurizer.max_relations:
-                answers[idx] = self._expert_direct(query, maps[idx], fp, epoch)
+                answers[idx] = self._expert_direct(
+                    query, maps[idx], fp, epoch, trace=trace, parent=parent
+                )
             else:
                 rollout_fp[fp] = [idx]
 
         if rollout_fp:
             indices = [idxs[0] for idxs in rollout_fp.values()]
+            roll_start = time.perf_counter()
             records = self.engine.rollout([queries[i] for i in indices])
+            roll_ms = (time.perf_counter() - roll_start) * 1000.0
+            for i in indices:
+                if traces[i] is not None:
+                    # The rollout is one lockstep pass over every miss in
+                    # the burst; each participant's trace carries the full
+                    # rollout duration plus how many rode along.
+                    traces[i].record(
+                        "policy_forward",
+                        roll_ms,
+                        parent=serve_spans[i],
+                        rollout_batch=len(indices),
+                    )
             for idxs, record in zip(rollout_fp.values(), records):
                 first = idxs[0]
                 answer, entry = self._serve_rollout(
-                    record, maps[first], fps[first], epoch
+                    record,
+                    maps[first],
+                    fps[first],
+                    epoch,
+                    trace=traces[first],
+                    parent=serve_spans[first],
                 )
                 answers[first] = answer
                 # Alias-renamed duplicates of the same fingerprint still
                 # need their plan expressed in their own aliases.
                 source, _plan, _cost, decision = answer
                 for idx in idxs[1:]:
-                    _, plan, cost, _ = self._serve_hit(
-                        queries[idx], maps[idx], entry
+                    dup_trace, dup_parent = traces[idx], serve_spans[idx]
+                    dup_span = (
+                        dup_trace.start_span(
+                            "cache_lookup",
+                            parent=dup_parent,
+                            hit=True,
+                            burst_duplicate=True,
+                        )
+                        if dup_trace is not None
+                        else None
                     )
+                    _, plan, cost, _ = self._serve_hit(
+                        queries[idx],
+                        maps[idx],
+                        entry,
+                        trace=dup_trace,
+                        parent=dup_parent,
+                    )
+                    if dup_span is not None:
+                        dup_trace.end_span(dup_span)
                     answers[idx] = (source, plan, cost, decision)
 
         latency_ms = (time.perf_counter() - start) * 1000.0
@@ -287,7 +579,14 @@ class OptimizerService:
             source, plan, cost, decision = answers[idx]
             self.stats.requests += 1
             self._count(source)
-            self._latencies.append(latency_ms)
+            self.request_ms_hist.observe(latency_ms)
+            trace = traces[idx]
+            if trace is not None:
+                span = serve_spans[idx]
+                span.attrs["source"] = source
+                trace.end_span(span)
+                if owns_traces:
+                    self.telemetry.finish_trace(trace, source=source)
             served.append(
                 ServedPlan(
                     query_name=query.name,
@@ -302,7 +601,14 @@ class OptimizerService:
         return served
 
     # ------------------------------------------------------------------
-    def _serve_hit(self, query: Query, names: Dict[str, str], entry: _CacheEntry) -> tuple:
+    def _serve_hit(
+        self,
+        query: Query,
+        names: Dict[str, str],
+        entry: _CacheEntry,
+        trace=None,
+        parent=None,
+    ) -> tuple:
         """Serve a cached entry, translating it into the requester's
         aliases when the hit came from an alias-renamed equivalent."""
         if names == entry.alias_map:
@@ -315,14 +621,28 @@ class OptimizerService:
             for origin_alias, canon in entry.alias_map.items()
         }
         tree = _rename_tree(entry.tree, rename)
+        build_start = time.perf_counter()
         result = self.planner.evaluate_tree(tree, query)
+        if trace is not None:
+            trace.record(
+                "plan_construction",
+                (time.perf_counter() - build_start) * 1000.0,
+                parent=parent,
+                renamed_hit=True,
+            )
         return ("cache", result.plan, result.cost.total, None)
 
     def _expert_direct(
-        self, query: Query, names: Dict[str, str], fp: str, epoch: int
+        self,
+        query: Query,
+        names: Dict[str, str],
+        fp: str,
+        epoch: int,
+        trace=None,
+        parent=None,
     ) -> tuple:
         """Oversize queries bypass the policy entirely."""
-        result = self.router.expert_result(query, fp)
+        result = self.router.expert_result(query, fp, trace=trace, parent=parent)
         entry = _CacheEntry(
             plan=result.plan,
             cost=result.cost.total,
@@ -335,11 +655,32 @@ class OptimizerService:
         return ("expert", entry.plan, entry.cost, None)
 
     def _serve_rollout(
-        self, record: RolloutRecord, names: Dict[str, str], fp: str, epoch: int
+        self,
+        record: RolloutRecord,
+        names: Dict[str, str],
+        fp: str,
+        epoch: int,
+        trace=None,
+        parent=None,
     ) -> tuple:
         query = record.query
+        build_start = time.perf_counter()
         learned = self.planner.evaluate_tree(record.tree, query)
-        decision = self.router.decide(query, learned.cost.total, fp)
+        if trace is not None:
+            trace.record(
+                "plan_construction",
+                (time.perf_counter() - build_start) * 1000.0,
+                parent=parent,
+            )
+        guard_span = (
+            trace.start_span("guardrail", parent=parent) if trace is not None else None
+        )
+        decision = self.router.decide(
+            query, learned.cost.total, fp, trace=trace, parent=guard_span
+        )
+        if guard_span is not None:
+            guard_span.attrs["use_learned"] = decision.use_learned
+            trace.end_span(guard_span)
         if decision.use_learned:
             source = "policy"
             entry = _CacheEntry(
@@ -351,7 +692,7 @@ class OptimizerService:
             )
         else:
             source = "fallback"
-            expert = self.router.expert_result(query, fp)
+            expert = self.router.expert_result(query, fp, trace=trace, parent=parent)
             entry = _CacheEntry(
                 plan=expert.plan,
                 cost=expert.cost.total,
@@ -359,6 +700,21 @@ class OptimizerService:
                 tree=expert.join_tree,
                 alias_map=names,
             )
+            if trace is not None:
+                trace.root.attrs["fallback_reason"] = "predicted_regression"
+            if self.telemetry is not None and self.telemetry.enabled:
+                regression = decision.predicted_regression
+                self.telemetry.events.emit(
+                    "guardrail_fallback",
+                    query=query.name,
+                    fingerprint=fp,
+                    learned_cost=decision.learned_cost,
+                    expert_cost=decision.expert_cost,
+                    predicted_regression=(
+                        None if regression is None else round(regression, 4)
+                    ),
+                    threshold=decision.threshold,
+                )
         if self.db.stats_epoch == epoch:
             self.cache.put(fp, entry, tables=query.relations.values())
         if self.experience is not None and record.transitions:
@@ -439,42 +795,37 @@ class OptimizerService:
             self.router.invalidate_tables(tables)
             if memo is not None:
                 memo.invalidate_tables(tables)
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.events.emit(
+                "stats_invalidation",
+                scope="all" if tables is None else "tables",
+                tables=None if tables is None else sorted(tables),
+                stats_epoch=self.db.stats_epoch,
+            )
 
     def latency_summary(self) -> Dict[str, float]:
-        """p50/p95/mean of recent per-request latencies (ms)."""
-        if not self._latencies:
+        """p50/p95/mean per-request latency (ms), from the shared
+        log-bucket histogram (worst-case percentile error documented in
+        :mod:`repro.obs.metrics`; the mean is exact)."""
+        hist = self.request_ms_hist
+        if not hist.count:
             return {"p50_ms": 0.0, "p95_ms": 0.0, "mean_ms": 0.0}
-        samples = np.asarray(self._latencies)
         return {
-            "p50_ms": float(np.percentile(samples, 50)),
-            "p95_ms": float(np.percentile(samples, 95)),
-            "mean_ms": float(samples.mean()),
+            "p50_ms": hist.quantile(0.50),
+            "p95_ms": hist.quantile(0.95),
+            "mean_ms": hist.mean,
         }
 
     def counters(self) -> Dict[str, float]:
-        """Everything an operator can inspect (``repro info``)."""
-        out: Dict[str, float] = {
-            "requests": self.stats.requests,
-            "batches": self.stats.batches,
-            "served_from_cache": self.stats.cache_served,
-            "served_from_policy": self.stats.policy_served,
-            "served_from_fallback": self.stats.fallbacks,
-            "served_from_expert": self.stats.expert_served,
-            "fallback_rate": round(self.stats.fallback_rate, 4),
-            "guardrail_decisions": self.router.decisions,
-            "forward_passes": self.engine.forward_passes,
-            "states_scored": self.engine.states_scored,
-            "cache_size": len(self.cache),
-        }
-        out.update(self.cache.stats.as_dict())
-        memo = getattr(self.planner, "cost_memo", None)
-        if memo is not None:
-            out.update(memo.as_dict())
-        if self.experience is not None:
-            out.update(self.experience.as_dict())
-        # Expert-lane counters: DP subsets enumerated / pruned plus
-        # per-plan join-search latency percentiles for the fallback path.
-        planner_counters = getattr(self.planner, "counters", None)
-        if planner_counters is not None:
-            out.update(planner_counters())
-        return out
+        """Everything an operator can inspect (``repro info``) — the
+        legacy dict shape, derived from the metrics registry."""
+        return legacy_counters(self.registry)
+
+    def metrics_registry(self) -> MetricsRegistry:
+        """This service's registry merged with the trace-derived
+        metrics when telemetry is attached (``repro metrics`` for a
+        single-service stack)."""
+        registries = [self.registry]
+        if self.telemetry is not None:
+            registries.append(self.telemetry.registry)
+        return MetricsRegistry.merge(registries)

@@ -129,3 +129,90 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "reward jump at switch" in out
         assert "naive" in out and "scaled" in out and "transfer" in out
+
+
+class TestObservabilityCommands:
+    def test_metrics_exposition_is_machine_readable(self, capsys):
+        from repro.obs import parse_exposition
+
+        assert main(TINY + ["metrics", "--probe", "2"]) == 0
+        out = capsys.readouterr().out
+        exposition = out[out.index("# HELP"):]
+        samples = parse_exposition(exposition)
+        assert samples["repro_serving_requests_total"] == 4.0  # 2 probes x2
+        assert samples["repro_cache_hits_total"] >= 2.0  # second pass hits
+        assert any(k.startswith("repro_request_e2e_ms_bucket") for k in samples)
+
+    def test_metrics_json_snapshot(self, capsys):
+        import json
+
+        assert main(TINY + ["metrics", "--probe", "2", "--json"]) == 0
+        out = capsys.readouterr().out
+        snapshot = json.loads(out[out.index("{"):])
+        assert snapshot["repro_serving_requests_total"] == 4.0
+        assert snapshot["repro_request_e2e_ms"]["count"] == 4.0
+
+    def test_trace_slowest_prints_complete_span_trees(self, capsys):
+        assert main(TINY + ["trace", "--slowest", "2", "--probe", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "trace " in out and "request" in out
+        for stage in ("queue_wait", "worker_queue", "serve", "cache_lookup"):
+            assert stage in out
+        assert "span coverage" in out
+
+    def test_trace_reads_a_jsonl_dump_offline(self, capsys, tmp_path):
+        from repro.obs.trace import Trace, TraceStore
+
+        store = TraceStore()
+        for trace_id, name in (("a", "req-a"), ("b", "req-b")):
+            trace = Trace("request", trace_id=trace_id, attrs={"query": name})
+            trace.record("serve", 1.0)
+            trace.finish()
+            store.add(trace)
+        path = tmp_path / "traces.jsonl"
+        store.write_jsonl(path)
+        assert main(TINY + ["trace", "--input", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "building" not in out  # offline: no database probe
+        assert "query=req-a" in out and "query=req-b" in out
+
+    def test_serve_bench_writes_telemetry_artifacts(self, capsys, tmp_path):
+        import json
+
+        from repro.obs import EventLog
+        from repro.obs.trace import TraceStore
+
+        trace_out = tmp_path / "traces.jsonl"
+        events_out = tmp_path / "events.jsonl"
+        metrics_out = tmp_path / "metrics.json"
+        assert main(
+            TINY + ["serve-bench", "--requests", "16", "--burst", "8",
+                    "--episodes", "4", "--sample-rate", "1.0",
+                    "--slo-ms", "0.01",
+                    "--trace-out", str(trace_out),
+                    "--events-out", str(events_out),
+                    "--metrics-out", str(metrics_out)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "per-stage latency breakdown" in out
+        assert "serve" in out and "cache_lookup" in out
+        traces = TraceStore.read_jsonl(trace_out)
+        assert len(traces) == 16  # 100% sampling retains every request
+        events = EventLog.parse_jsonl(events_out.read_text())
+        assert any(e["kind"] == "slow_query" for e in events)
+        assert any(e["kind"] == "retraining_replay" for e in events)
+        snapshot = json.loads(metrics_out.read_text())
+        assert snapshot["repro_serving_requests_total"] == 16.0
+
+    def test_serve_bench_no_telemetry_still_serves(self, capsys):
+        assert main(
+            TINY + ["serve-bench", "--requests", "16", "--burst", "8",
+                    "--episodes", "4", "--no-telemetry"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "throughput (req/s)" in out
+        assert "per-stage latency breakdown" not in out
+
+    def test_serve_bench_rejects_bad_sample_rate(self, capsys):
+        assert main(TINY + ["serve-bench", "--sample-rate", "1.5"]) == 2
+        assert "serve-bench" in capsys.readouterr().err

@@ -1,0 +1,63 @@
+"""Tests for the structured event stream: envelope shape, ring-buffer
+bounds, kind filtering, the JSONL file sink, and parse validation."""
+
+import pytest
+
+from repro.obs.events import EventLog
+
+
+class TestEventLog:
+    def test_emit_stamps_envelope(self):
+        log = EventLog(clock=lambda: 123.456)
+        event = log.emit("guardrail_fallback", query="q1", ratio=2.5)
+        assert event == {
+            "ts": 123.456,
+            "kind": "guardrail_fallback",
+            "query": "q1",
+            "ratio": 2.5,
+        }
+        assert log.all() == [event]
+        assert log.emitted == 1
+
+    def test_ring_is_bounded_but_emitted_is_total(self):
+        log = EventLog(capacity=3)
+        for i in range(10):
+            log.emit("tick", i=i)
+        assert len(log) == 3
+        assert [e["i"] for e in log.all()] == [7, 8, 9]
+        assert log.emitted == 10
+        assert log.tail(2) == log.all()[-2:]
+
+    def test_of_kind_and_counts(self):
+        log = EventLog()
+        log.emit("slow_query", trace_id="a")
+        log.emit("stats_invalidation", scope="all")
+        log.emit("slow_query", trace_id="b")
+        assert [e["trace_id"] for e in log.of_kind("slow_query")] == ["a", "b"]
+        assert log.counts() == {"slow_query": 2, "stats_invalidation": 1}
+
+    def test_file_sink_survives_ring_eviction(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        log = EventLog(capacity=2, path=path)
+        for i in range(5):
+            log.emit("tick", i=i)
+        events = EventLog.parse_jsonl(path.read_text())
+        # The ring kept 2; the file kept all 5.
+        assert [e["i"] for e in events] == [0, 1, 2, 3, 4]
+        assert all(e["kind"] == "tick" and "ts" in e for e in events)
+
+    def test_to_jsonl_round_trips(self):
+        log = EventLog()
+        log.emit("retraining_replay", trajectories=4, weights_updated=True)
+        events = EventLog.parse_jsonl(log.to_jsonl())
+        assert events[0]["trajectories"] == 4
+
+    def test_parse_rejects_missing_envelope(self):
+        with pytest.raises(ValueError):
+            EventLog.parse_jsonl('{"kind": "no_ts"}')
+        with pytest.raises(ValueError):
+            EventLog.parse_jsonl('[1, 2, 3]')
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)

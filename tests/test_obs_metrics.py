@@ -1,0 +1,212 @@
+"""Tests for the typed metrics layer: instrument semantics, the
+documented histogram quantile error bound, callback-backed pulls,
+registry merge equivalence, and exposition round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    BUCKETS_PER_DECADE,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_bucket_bounds,
+    parse_exposition,
+    quantile_error_bound,
+)
+
+
+class TestCounter:
+    def test_accumulates(self):
+        c = Counter("repro_test_total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_only_goes_up(self):
+        with pytest.raises(ValueError):
+            Counter("repro_test_total").inc(-1)
+
+    def test_callback_backed_reads_source_and_rejects_inc(self):
+        source = {"n": 7}
+        c = Counter("repro_test_total", fn=lambda: source["n"])
+        assert c.value == 7.0
+        source["n"] = 9
+        assert c.value == 9.0
+        with pytest.raises(RuntimeError):
+            c.inc()
+
+    def test_name_taxonomy_enforced(self):
+        with pytest.raises(ValueError):
+            Counter("Repro-Bad-Name")
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("repro_test_entries")
+        g.set(4)
+        g.add(-1.5)
+        assert g.value == 2.5
+
+    def test_callback_backed_rejects_writes(self):
+        g = Gauge("repro_test_entries", fn=lambda: 3)
+        assert g.value == 3.0
+        with pytest.raises(RuntimeError):
+            g.set(1)
+        with pytest.raises(RuntimeError):
+            g.add(1)
+
+
+class TestHistogram:
+    def test_empty_reads_are_zero(self):
+        h = Histogram("repro_test_ms")
+        assert h.count == 0
+        assert h.mean == 0.0
+        assert h.quantile(0.5) == 0.0
+        assert h.summary()["p99"] == 0.0
+
+    def test_identical_samples_are_reported_exactly(self):
+        # The min/max clamp collapses interpolation when every sample
+        # shares one bucket.
+        h = Histogram("repro_test_ms")
+        for _ in range(100):
+            h.observe(3.7)
+        assert h.quantile(0.5) == pytest.approx(3.7)
+        assert h.quantile(0.99) == pytest.approx(3.7)
+        assert h.min == 3.7 and h.max == 3.7
+
+    def test_sum_count_mean_are_exact(self):
+        h = Histogram("repro_test_ms")
+        samples = [0.01, 0.5, 3.0, 42.0, 900.0]
+        for v in samples:
+            h.observe(v)
+        assert h.count == len(samples)
+        assert h.sum == pytest.approx(sum(samples))
+        assert h.mean == pytest.approx(sum(samples) / len(samples))
+
+    def test_quantiles_respect_documented_error_bound(self):
+        # Lognormal latencies spanning several decades: every reported
+        # percentile must be within the bucket-edge ratio of the true
+        # empirical quantile.
+        rng = np.random.default_rng(11)
+        samples = np.exp(rng.normal(1.0, 1.5, size=5000))
+        h = Histogram("repro_test_ms")
+        for v in samples:
+            h.observe(float(v))
+        bound = quantile_error_bound()
+        assert bound == pytest.approx(10 ** (1 / BUCKETS_PER_DECADE) - 1)
+        for q in (0.5, 0.95, 0.99):
+            true = float(np.quantile(samples, q))
+            got = h.quantile(q)
+            assert abs(got - true) / true <= bound + 1e-9, (q, got, true)
+
+    def test_quantiles_clamp_to_observed_range(self):
+        h = Histogram("repro_test_ms")
+        for v in (2.0, 2.5, 3.0):
+            h.observe(v)
+        assert h.quantile(0.0) >= 2.0
+        assert h.quantile(1.0) <= 3.0
+
+    def test_merge_equals_pooling_raw_samples(self):
+        rng = np.random.default_rng(5)
+        samples = np.exp(rng.normal(0.0, 2.0, size=2000))
+        pooled = Histogram("repro_test_ms")
+        shards = [Histogram("repro_test_ms") for _ in range(4)]
+        for i, v in enumerate(samples):
+            pooled.observe(float(v))
+            shards[i % 4].observe(float(v))
+        merged = Histogram("repro_test_ms")
+        for shard in shards:
+            merged.merge_from(shard)
+        assert merged.count == pooled.count
+        assert merged.sum == pytest.approx(pooled.sum)
+        assert merged._counts == pooled._counts
+        for q in (0.5, 0.95, 0.99):
+            assert merged.quantile(q) == pytest.approx(pooled.quantile(q))
+
+    def test_merge_rejects_mismatched_bounds(self):
+        a = Histogram("repro_test_ms")
+        b = Histogram("repro_test_ms", bounds=(1.0, 10.0))
+        with pytest.raises(ValueError):
+            a.merge_from(b)
+
+    def test_default_bounds_are_log_spaced(self):
+        bounds = default_bucket_bounds()
+        assert bounds == tuple(sorted(bounds))
+        ratios = [bounds[i + 1] / bounds[i] for i in range(len(bounds) - 1)]
+        assert all(r == pytest.approx(ratios[0]) for r in ratios)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_one_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("repro_test_total") is reg.counter("repro_test_total")
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_test_total")
+        with pytest.raises(TypeError):
+            reg.gauge("repro_test_total")
+
+    def test_register_adopts_and_rejects_duplicates(self):
+        reg = MetricsRegistry()
+        h = Histogram("repro_test_ms")
+        reg.register(h)
+        reg.register(h)  # same object is idempotent
+        assert reg.get("repro_test_ms") is h
+        with pytest.raises(ValueError):
+            reg.register(Histogram("repro_test_ms"))
+
+    def test_merge_sums_and_pools(self):
+        shards = [MetricsRegistry() for _ in range(3)]
+        for k, reg in enumerate(shards):
+            reg.counter("repro_test_total").inc(k + 1)
+            reg.gauge("repro_test_entries").set(10)
+            reg.histogram("repro_test_ms").observe(float(k + 1))
+        merged = MetricsRegistry.merge(shards)
+        assert merged.get("repro_test_total").value == 6.0
+        assert merged.get("repro_test_entries").value == 30.0
+        hist = merged.get("repro_test_ms")
+        assert hist.count == 3
+        assert hist.sum == pytest.approx(6.0)
+
+    def test_merge_reads_callback_backed_values(self):
+        reg = MetricsRegistry()
+        reg.counter_fn("repro_test_total", lambda: 12)
+        merged = MetricsRegistry.merge([reg])
+        assert merged.get("repro_test_total").value == 12.0
+
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_test_total").inc(2)
+        reg.histogram("repro_test_ms").observe(1.5)
+        snap = reg.snapshot()
+        assert snap["repro_test_total"] == 2.0
+        assert set(snap["repro_test_ms"]) == {
+            "count", "sum", "mean", "min", "max", "p50", "p95", "p99",
+        }
+
+    def test_exposition_round_trips(self):
+        reg = MetricsRegistry()
+        reg.counter("repro_test_total", "help text").inc(3)
+        reg.gauge("repro_test_entries").set(-2)
+        h = reg.histogram("repro_test_ms")
+        for v in (0.5, 5.0, 5.0, 50.0):
+            h.observe(v)
+        samples = parse_exposition(reg.exposition())
+        assert samples["repro_test_total"] == 3.0
+        assert samples["repro_test_entries"] == -2.0
+        assert samples["repro_test_ms_count"] == 4.0
+        assert samples["repro_test_ms_sum"] == pytest.approx(60.5)
+        assert samples['repro_test_ms_bucket{le="+Inf"}'] == 4.0
+        # Cumulative bucket counts are non-decreasing.
+        buckets = [
+            v for k, v in samples.items()
+            if k.startswith("repro_test_ms_bucket")
+        ]
+        assert buckets == sorted(buckets)
+
+    def test_parse_exposition_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            parse_exposition("this is not a metric line !!!")

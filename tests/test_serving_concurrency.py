@@ -16,6 +16,7 @@ import numpy as np
 import pytest
 
 from repro.db.query import parse_query
+from repro.obs.metrics import MetricsRegistry
 from repro.optimizer.memo import SubPlanCostMemo
 from repro.serving import ExperienceBuffer, PlanCache
 
@@ -185,6 +186,55 @@ class TestExperienceBufferHammer:
         assert buffer.added == added
         remaining = buffer.drain()
         assert len(drained) + len(remaining) + buffer.dropped == added
+
+
+class TestMetricsRegistryHammer:
+    def test_read_time_merge_races_with_shard_writers(self):
+        # The telemetry concurrency model: one registry per shard,
+        # hot-path writes into shard-local instruments, and monitoring
+        # reads via MetricsRegistry.merge while writes are in flight.
+        # Merged reads must be exact at quiescence and monotone while
+        # racing (counters only go up, so sequential merge snapshots
+        # can never go backwards or overshoot the final total).
+        shards = [MetricsRegistry() for _ in range(N_THREADS)]
+        counters = [r.counter("repro_test_ops_total") for r in shards]
+        hists = [r.histogram("repro_test_ms") for r in shards]
+        mid_run_totals = []
+
+        def worker(k):
+            if k == 0:  # the monitoring thread
+                for _ in range(OPS // 10):
+                    merged = MetricsRegistry.merge(shards)
+                    mid_run_totals.append(merged.get("repro_test_ops_total").value)
+                return
+            for i in range(OPS):
+                counters[k].inc()
+                hists[k].observe(float(i % 7) + 0.5)
+
+        run_threads(worker)
+        writes = (N_THREADS - 1) * OPS
+        final = MetricsRegistry.merge(shards)
+        assert final.get("repro_test_ops_total").value == writes
+        hist = final.get("repro_test_ms")
+        assert hist.count == writes
+        assert hist.sum == pytest.approx(
+            sum(float(i % 7) + 0.5 for i in range(OPS)) * (N_THREADS - 1)
+        )
+        assert mid_run_totals == sorted(mid_run_totals)
+        assert all(0 <= total <= writes for total in mid_run_totals)
+
+    def test_single_histogram_counts_stay_exact_under_contention(self):
+        registry = MetricsRegistry()
+
+        def worker(k):
+            hist = registry.histogram("repro_test_ms")  # get-or-create race
+            for i in range(OPS):
+                hist.observe(float(k * OPS + i) / 100.0 + 0.001)
+
+        run_threads(worker)
+        hist = registry.get("repro_test_ms")
+        assert hist.count == N_THREADS * OPS
+        assert sum(hist._counts) == N_THREADS * OPS
 
 
 class TestDatabaseCardsCacheHammer:
