@@ -1,0 +1,246 @@
+"""Fault-tolerant serving under seeded chaos: success rate, plan
+parity, and tail-latency cost of absorbing injected failures.
+
+The ROADMAP north star is an optimizer serving heavy production
+traffic, and production means partial failure: worker crashes, latency
+spikes, NaN forward passes, statistics changing under a running batch.
+This bench drives the concurrent front end
+(:class:`repro.serving.ServingFrontEnd`) with 16 open-loop clients two
+ways:
+
+- **baseline** — the no-fault stream, exactly as
+  ``bench_serving_concurrency`` runs it;
+- **chaos** — the same stream with a seeded
+  :class:`repro.serving.FaultInjector` firing each of its four fault
+  kinds (worker exceptions, latency spikes, policy NaNs, stats-epoch
+  races) at 5% per request, so the retry/backoff, degradation-ladder,
+  and breaker machinery is live on the hot path.
+
+The bench asserts
+
+- **>= 99.5% success**: injected faults are absorbed by retries and
+  degradation, not surfaced to clients;
+- **zero unresolved futures**: every accepted request resolves — the
+  future-lifecycle audit, measured;
+- **plan parity on non-faulted requests**: a request that was never
+  retried and never degraded receives the operator-for-operator same
+  plan as the no-fault baseline (chaos changes the schedule, never the
+  answer for untouched traffic);
+- **p95 <= 1.5x the no-fault baseline** (full mode only — smoke skips
+  the timing assertion like the other serving bench, because CI boxes
+  make lousy stopwatches).
+
+Results merge into ``BENCH_serving.json`` under a ``"faults"`` section
+(read-modify-write: the concurrency bench's sections are preserved).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_serving_faults.py
+    PYTHONPATH=src python benchmarks/bench_serving_faults.py --smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+# Allow running as a plain script without PYTHONPATH=src.
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from bench_serving_concurrency import (
+    CONCURRENCY,
+    Setup,
+    best_of,
+    plan_signature,
+    run_concurrent,
+)
+
+from repro.core.reporting import ascii_table
+from repro.serving import FaultConfig, FaultInjector
+
+FAULT_RATE = 0.05
+CHAOS_SEED = 1
+
+
+def run_chaos(setup: Setup, shards: int, rate: float, seed: int):
+    """The baseline stream with every fault kind firing at ``rate``."""
+    queries = setup.queries()
+    frontend = setup.frontend(False, shards)
+    frontend.install_fault_injector(FaultInjector(FaultConfig(
+        worker_fault_rate=rate,
+        latency_spike_rate=rate,
+        policy_nan_rate=rate,
+        stats_race_rate=rate,
+        seed=seed,
+    )))
+    futures = [None] * len(queries)
+
+    def client(offset: int) -> None:
+        for i in range(offset, len(queries), CONCURRENCY):
+            futures[i] = frontend.submit(queries[i])
+
+    threads = [
+        threading.Thread(target=client, args=(k,)) for k in range(CONCURRENCY)
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    served, failures = [], []
+    for future in futures:
+        try:
+            served.append(future.result(timeout=180))
+        except Exception as exc:  # chaos: failure is a statistic here
+            failures.append(repr(exc))
+    elapsed = time.perf_counter() - start
+    outstanding = len(frontend._outstanding)
+    latency = frontend.latency_summary()
+    stats = frontend.stats
+    injected = frontend.fault_injector.fired_counts()
+    breakers_open = sum(1 for b in frontend.breakers if b.state != "closed")
+    frontend.close()
+
+    clean_plans = {
+        plan.query_name: plan_signature(plan.plan)
+        for plan in served
+        if plan.attempts == 1 and not plan.source.startswith("degraded_")
+    }
+    degraded = sum(
+        1 for plan in served if plan.source.startswith("degraded_")
+    )
+    retried = sum(1 for plan in served if plan.attempts > 1)
+    result = {
+        "shards": shards,
+        "fault_rate": rate,
+        "seed": seed,
+        "throughput_qps": len(queries) / elapsed,
+        "p50_ms": latency["p50_ms"],
+        "p95_ms": latency["p95_ms"],
+        "wall_s": elapsed,
+        "requests": len(queries),
+        "succeeded": len(served),
+        "failed": len(failures),
+        "failure_samples": failures[:5],
+        "success_rate": len(served) / max(1, len(queries)),
+        "unresolved_futures": outstanding,
+        "injected": injected,
+        "total_injected": sum(injected.values()),
+        "served_degraded": degraded,
+        "served_retried": retried,
+        "clean_requests": len(clean_plans),
+        "frontend_retries": stats.retries,
+        "frontend_retries_exhausted": stats.retries_exhausted,
+        "frontend_worker_restarts": stats.worker_restarts,
+        "frontend_circuit_opens": stats.circuit_opens,
+        "breakers_open_at_end": breakers_open,
+    }
+    return result, clean_plans
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="seconds-scale run; skip the p95 assertion")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="request-stream length (default 256, smoke 64)")
+    parser.add_argument("--scale", type=float, default=None,
+                        help="database scale (default 0.05, smoke 0.02)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timed runs per path, best counts "
+                        "(default 3, smoke 1)")
+    parser.add_argument("--rate", type=float, default=FAULT_RATE,
+                        help="per-request probability of each fault kind")
+    parser.add_argument("--seed", type=int, default=CHAOS_SEED,
+                        help="fault-injection seed")
+    parser.add_argument("--out", default="BENCH_serving.json")
+    args = parser.parse_args(argv)
+    n_requests = args.requests or (64 if args.smoke else 256)
+    scale = args.scale or (0.02 if args.smoke else 0.05)
+    repeats = args.repeats or (1 if args.smoke else 3)
+
+    print(f"building database (scale={scale}) and {n_requests} cold queries...")
+    setup = Setup(scale, n_requests)
+
+    print(f"no-fault baseline: front end, {CONCURRENCY} clients, 2 shards, "
+          f"best of {repeats}...")
+    baseline, baseline_plans = best_of(
+        repeats, lambda: run_concurrent(setup, False, shards=2)
+    )
+
+    print(f"chaos: same stream, every fault kind at {args.rate:.0%} "
+          f"(seed {args.seed}), best of {repeats}...")
+    chaos, clean_plans = best_of(
+        repeats, lambda: run_chaos(setup, 2, args.rate, args.seed)
+    )
+
+    # Plan parity on untouched traffic: never retried, never degraded.
+    mismatched = [
+        name for name, sig in clean_plans.items()
+        if baseline_plans.get(name) != sig
+    ]
+    p95_ratio = chaos["p95_ms"] / max(1e-9, baseline["p95_ms"])
+
+    print()
+    print(ascii_table(
+        ["path", "req/s", "p50 ms", "p95 ms", "success", "injected"],
+        [
+            ("no faults", f"{baseline['throughput_qps']:.0f}",
+             f"{baseline['p50_ms']:.2f}", f"{baseline['p95_ms']:.2f}",
+             "100.0%", "0"),
+            (f"chaos @ {args.rate:.0%}", f"{chaos['throughput_qps']:.0f}",
+             f"{chaos['p50_ms']:.2f}", f"{chaos['p95_ms']:.2f}",
+             f"{chaos['success_rate'] * 100:.1f}%",
+             f"{chaos['total_injected']}"),
+        ],
+    ))
+    print(f"\ninjected by kind: {chaos['injected']}")
+    print(f"absorbed: {chaos['frontend_retries']} retries, "
+          f"{chaos['served_degraded']} degraded serves, "
+          f"{chaos['served_retried']} requests served on a later attempt")
+    print(f"plan parity held on {len(clean_plans)} non-faulted requests; "
+          f"p95 ratio {p95_ratio:.2f}x (budget 1.5x)")
+
+    section = {
+        "mode": "smoke" if args.smoke else "full",
+        "baseline": baseline,
+        "chaos": chaos,
+        "p95_ratio_vs_baseline": p95_ratio,
+        "plan_parity_clean_requests": len(clean_plans),
+        "plan_parity_mismatches": len(mismatched),
+    }
+    out = Path(args.out)
+    payload = json.loads(out.read_text()) if out.exists() else {}
+    payload["faults"] = section
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"merged 'faults' section into {args.out}")
+
+    assert chaos["success_rate"] >= 0.995, (
+        f"chaos success rate {chaos['success_rate']:.2%} below the 99.5% "
+        f"floor ({chaos['failed']} failures: {chaos['failure_samples']})"
+    )
+    assert chaos["unresolved_futures"] == 0, (
+        f"{chaos['unresolved_futures']} futures left unresolved"
+    )
+    assert not mismatched, (
+        f"{len(mismatched)} non-faulted requests served different plans "
+        f"under chaos, first: {mismatched[0]}"
+    )
+    assert chaos["total_injected"] >= 1, (
+        "the chaos run injected nothing — the harness is not wired in"
+    )
+    if not args.smoke:
+        assert p95_ratio <= 1.5, (
+            f"chaos p95 {chaos['p95_ms']:.2f}ms is {p95_ratio:.2f}x the "
+            f"no-fault baseline {baseline['p95_ms']:.2f}ms (budget: 1.5x)"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -125,6 +125,16 @@ def build_parser() -> argparse.ArgumentParser:
                        help="append structured events as JSONL")
     serve.add_argument("--metrics-out", metavar="PATH",
                        help="write the merged metrics snapshot as JSON")
+    serve.add_argument("--chaos", action="store_true",
+                       help="inject seeded faults (worker crashes, latency "
+                       "spikes, policy NaNs, stats-epoch races) into the "
+                       "serving stack; requires --concurrency > 1")
+    serve.add_argument("--chaos-rate", type=float, default=0.05,
+                       help="per-request probability of each fault kind "
+                       "when --chaos is on")
+    serve.add_argument("--chaos-seed", type=int, default=0,
+                       help="fault-injection seed (decoupled from --seed so "
+                       "the request stream stays fixed across chaos runs)")
     serve.add_argument("--smoke", action="store_true",
                        help="CI preset: tiny stream, 100%% sampling, tight "
                        "SLO, telemetry artifacts written and self-checked")
@@ -585,6 +595,13 @@ def _cmd_serve_bench(args) -> int:
     if not 0.0 <= args.sample_rate <= 1.0:
         print("serve-bench: --sample-rate must be in [0, 1]", file=sys.stderr)
         return 2
+    if not 0.0 <= args.chaos_rate <= 1.0:
+        print("serve-bench: --chaos-rate must be in [0, 1]", file=sys.stderr)
+        return 2
+    if args.chaos and args.concurrency < 2:
+        print("serve-bench: --chaos needs the concurrent front end "
+              "(pass --concurrency > 1)", file=sys.stderr)
+        return 2
 
     telemetry = None
     if not args.no_telemetry:
@@ -605,13 +622,14 @@ def _cmd_serve_bench(args) -> int:
     ]
 
     if args.concurrency > 1:
-        total_s, latency, counters, episodes, registry = _serve_concurrent(
-            args, db, env, agent, stream, telemetry
+        total_s, latency, counters, episodes, registry, fault_report = (
+            _serve_concurrent(args, db, env, agent, stream, telemetry)
         )
     else:
         total_s, latency, counters, episodes, registry = _serve_synchronous(
             args, db, env, agent, stream, telemetry
         )
+        fault_report = None
 
     print(ascii_table(
         ["metric", "value"],
@@ -632,6 +650,27 @@ def _cmd_serve_bench(args) -> int:
     ))
     print("\nservice counters:")
     print(ascii_table(["counter", "value"], sorted(counters.items())))
+
+    if fault_report is not None:
+        print(f"\nchaos (rate {args.chaos_rate:.2%} per fault kind, "
+              f"seed {args.chaos_seed}):")
+        print(ascii_table(
+            ["metric", "value"],
+            [
+                ("faults injected", f"{fault_report['total_injected']}"),
+                *[
+                    (f"  {kind}", f"{count}")
+                    for kind, count in sorted(
+                        fault_report["injected"].items()
+                    )
+                    if count
+                ],
+                ("requests succeeded", f"{fault_report['succeeded']}"),
+                ("requests failed", f"{fault_report['failed']}"),
+                ("success rate", f"{fault_report['success_rate']:.2%}"),
+                ("unresolved futures", f"{fault_report['outstanding']}"),
+            ],
+        ))
 
     if telemetry is not None:
         breakdown = telemetry.stage_summary()
@@ -669,7 +708,7 @@ def _cmd_serve_bench(args) -> int:
               f"(median reward {np.median(replay_log.rewards()):.2f})")
 
     if args.smoke and telemetry is not None:
-        failures = _smoke_self_check(args, telemetry, registry)
+        failures = _smoke_self_check(args, telemetry, registry, fault_report)
         if failures:
             for failure in failures:
                 print(f"smoke self-check FAILED: {failure}", file=sys.stderr)
@@ -679,13 +718,29 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
-def _smoke_self_check(args, telemetry, registry):
+def _smoke_self_check(args, telemetry, registry, fault_report=None):
     """CI assertions over the telemetry artifacts just produced."""
     from repro.obs import parse_exposition
     from repro.obs.events import EventLog
     from repro.obs.trace import TraceStore
 
     failures = []
+    if fault_report is not None:
+        if fault_report["total_injected"] < 1:
+            failures.append(
+                f"chaos injected no faults (rate {args.chaos_rate}, "
+                f"seed {args.chaos_seed})"
+            )
+        if fault_report["success_rate"] < 0.995:
+            failures.append(
+                f"chaos success rate {fault_report['success_rate']:.2%} "
+                "below the 99.5% floor"
+            )
+        if fault_report["outstanding"]:
+            failures.append(
+                f"{fault_report['outstanding']} futures left unresolved "
+                "after the chaos stream"
+            )
     try:
         samples = parse_exposition(registry.exposition())
         if not samples:
@@ -767,6 +822,18 @@ def _serve_concurrent(args, db, env, agent, stream, telemetry=None):
         regression_threshold=args.threshold,
         max_batch_size=args.burst,
     )
+    chaos = getattr(args, "chaos", False)
+    if chaos:
+        from repro.serving import FaultConfig, FaultInjector
+
+        rate = args.chaos_rate
+        frontend.install_fault_injector(FaultInjector(FaultConfig(
+            worker_fault_rate=rate,
+            latency_spike_rate=rate,
+            policy_nan_rate=rate,
+            stats_race_rate=rate,
+            seed=args.chaos_seed,
+        )))
     futures = [None] * len(stream)
     submit_errors = []
 
@@ -796,16 +863,36 @@ def _serve_concurrent(args, db, env, agent, stream, telemetry=None):
             raise RuntimeError(
                 f"{len(submit_errors)} client thread(s) failed to submit"
             ) from submit_errors[0]
+        request_failures = []
         for future in futures:
-            future.result()
+            try:
+                future.result()
+            except Exception as exc:
+                request_failures.append(exc)
+        if request_failures and not chaos:
+            # Without injected faults a failed request is a bug, not a
+            # statistic.
+            raise request_failures[0]
         total_s = time.perf_counter() - start
+        fault_report = None
+        if chaos:
+            injected = frontend.fault_injector.fired_counts()
+            succeeded = len(futures) - len(request_failures)
+            fault_report = {
+                "injected": injected,
+                "total_injected": frontend.fault_injector.total_fired(),
+                "succeeded": succeeded,
+                "failed": len(request_failures),
+                "success_rate": succeeded / max(1, len(futures)),
+                "outstanding": len(frontend._outstanding),
+            }
         latency = frontend.latency_summary()
         counters = frontend.counters()
         episodes = frontend.drain_experience()
         registry = frontend.metrics_registry()
     finally:
         frontend.close()
-    return total_s, latency, counters, episodes, registry
+    return total_s, latency, counters, episodes, registry, fault_report
 
 
 _COMMANDS = {

@@ -140,6 +140,27 @@ class Database:
                 self.table_epochs[name] = self.table_epochs.get(name, 0) + 1
             self.stats_epoch += 1
 
+    def bump_stats_epoch(self, tables: Sequence[str] | None = None) -> None:
+        """Advance the statistics epochs *without* resampling.
+
+        Same epoch/cache discipline as the tail of :meth:`analyze` —
+        cache clear and bumps are one atomic step under the lock,
+        ``table_epochs`` before ``stats_epoch`` — but the statistics
+        themselves are untouched, so every plan computed before or
+        after is identical. This is the chaos harness's stats-race
+        injection point: it makes epoch-guarded cache puts *fire* (the
+        guard skips the insert) while keeping plan parity checkable.
+        """
+        names = list(self.tables) if tables is None else list(tables)
+        unknown = [name for name in names if name not in self.tables]
+        if unknown:
+            raise KeyError(f"cannot bump epochs for unknown tables: {unknown}")
+        with self._cards_lock:
+            self._cards_cache.clear()
+            for name in names:
+                self.table_epochs[name] = self.table_epochs.get(name, 0) + 1
+            self.stats_epoch += 1
+
     def build_default_indexes(self) -> None:
         """B-tree every primary key and FK endpoint; hash every FK column.
 

@@ -38,6 +38,9 @@ class EventLog:
         self.emitted = 0
         self._lock = threading.Lock()
         self._events: Deque[dict] = deque(maxlen=capacity)
+        #: Per-kind (last-emit timestamp, suppressed-since count) for
+        #: :meth:`emit_limited`.
+        self._limited: Dict[str, list] = {}
 
     def __len__(self) -> int:
         with self._lock:
@@ -54,6 +57,30 @@ class EventLog:
                 with open(self.path, "a") as fh:
                     fh.write(line + "\n")
         return event
+
+    def emit_limited(
+        self, kind: str, min_interval_s: float = 1.0, **payload
+    ) -> dict | None:
+        """Rate-limited :meth:`emit` for events that can storm.
+
+        Load-shedding under a sustained overload would otherwise emit
+        one event per rejected request — thousands per second, burying
+        everything else in the ring. At most one event per ``kind`` per
+        ``min_interval_s`` is recorded; suppressed emissions are counted
+        and reported as ``suppressed`` on the next event that gets
+        through. Returns the stored event, or ``None`` if suppressed.
+        """
+        now = self.clock()
+        with self._lock:
+            state = self._limited.get(kind)
+            if state is not None and now - state[0] < min_interval_s:
+                state[1] += 1
+                return None
+            suppressed = state[1] if state is not None else 0
+            self._limited[kind] = [now, 0]
+        if suppressed:
+            payload["suppressed"] = suppressed
+        return self.emit(kind, **payload)
 
     def all(self) -> List[dict]:
         with self._lock:

@@ -17,6 +17,7 @@ operators. The paper uses this component three ways:
 from repro.optimizer.bitset_dp import (
     DPStats,
     FastJoinContext,
+    PlanningTimeout,
     selinger_dp_bitset,
 )
 from repro.optimizer.join_search import (
@@ -38,6 +39,7 @@ __all__ = [
     "FastJoinContext",
     "Planner",
     "PlannerResult",
+    "PlanningTimeout",
     "SubPlanCostMemo",
     "selinger_dp_bitset",
     "build_physical_plan",

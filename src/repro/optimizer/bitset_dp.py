@@ -53,9 +53,19 @@ from repro.optimizer.join_search import estimate_join_cost
 __all__ = [
     "DPStats",
     "FastJoinContext",
+    "PlanningTimeout",
     "selinger_dp_bitset",
     "fast_greedy_bottom_up",
 ]
+
+
+class PlanningTimeout(RuntimeError):
+    """The DP's ``check_deadline`` hook signalled that the caller's time
+    budget ran out mid-search. The search aborts immediately; callers on
+    the degradation ladder catch this and fall to the next rung. Raised
+    by the *hook*, re-raised unchanged by the DP — no partial plan is
+    returned, because an interrupted wave's table entries are not a
+    valid plan space."""
 
 
 @dataclass
@@ -242,6 +252,7 @@ def selinger_dp_bitset(
     exact: bool = True,
     prune_margin: float = 0.98,
     stats: DPStats | None = None,
+    check_deadline=None,
 ) -> JoinTree:
     """Exhaustive DP join search over integer bitsets, with optional
     branch-and-bound pruning.
@@ -259,13 +270,22 @@ def selinger_dp_bitset(
     ``stats`` (a :class:`DPStats`) accumulates enumeration and pruning
     counters across calls — the planner threads one through so
     ``repro info --probe`` / ``serve-bench`` can report the expert lane.
+
+    ``check_deadline``, when given, is a zero-argument callable invoked
+    at the top of every frontier wave and every 64 masks inside the
+    split loop; it raises :class:`PlanningTimeout` to abort the search
+    (the degradation ladder's interruptible-DP rung). The hook costs
+    nothing when ``None`` — the deadline branch is taken only when a
+    budget is actually in force.
     """
     ctx = FastJoinContext(query, cards, params)
     if stats is None:
         stats = DPStats()
     components = _graph_components(ctx)
     trees = [
-        _dp_component(ctx, comp, bushy, prune, exact, prune_margin, stats)
+        _dp_component(
+            ctx, comp, bushy, prune, exact, prune_margin, stats, check_deadline
+        )
         for comp in components
     ]
     if len(trees) == 1:
@@ -313,6 +333,7 @@ def _dp_component(
     exact: bool,
     prune_margin: float,
     stats: DPStats,
+    check_deadline=None,
 ) -> JoinTree:
     """DP over the connected subsets of one component.
 
@@ -380,6 +401,8 @@ def _dp_component(
         out_floor = rows(comp) * cpu_tuple
 
     while frontier:
+        if check_deadline is not None:
+            check_deadline()
         next_frontier: List[int] = []
         for mask in frontier:
             neighbors = nbr[mask] & comp & ~mask
@@ -396,7 +419,9 @@ def _dp_component(
                 neighbors ^= nlow
         stats.subsets_enumerated += len(next_frontier)
 
-        for mask in next_frontier:
+        for visited, mask in enumerate(next_frontier):
+            if check_deadline is not None and visited & 63 == 63:
+                check_deadline()
             bc = INF
             bs: Tuple[int, int] | None = None
             if bushy:

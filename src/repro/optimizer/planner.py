@@ -32,7 +32,12 @@ from repro.db.engine import Database
 from repro.db.plans import JoinTree, PhysicalPlan
 from repro.db.query import Query
 from repro.obs.metrics import Histogram, MetricsRegistry
-from repro.optimizer.bitset_dp import DPStats, selinger_dp_bitset
+from repro.optimizer.bitset_dp import (
+    DPStats,
+    PlanningTimeout,
+    fast_greedy_bottom_up,
+    selinger_dp_bitset,
+)
 from repro.optimizer.join_search import (
     geqo_join_search,
     selinger_dp,
@@ -40,7 +45,7 @@ from repro.optimizer.join_search import (
 from repro.optimizer.memo import SubPlanCostMemo, tree_keys
 from repro.optimizer.physical import build_physical_plan
 
-__all__ = ["Planner", "PlannerResult"]
+__all__ = ["Planner", "PlannerResult", "PlanningTimeout"]
 
 #: PostgreSQL switches from exhaustive search to GEQO at 12 relations.
 DEFAULT_GEQO_THRESHOLD = 12
@@ -122,13 +127,39 @@ class Planner:
             "repro_expert_plan_ms", "expert join-order search latency"
         )
 
-    def choose_join_order(self, query: Query) -> JoinTree:
+    @staticmethod
+    def _deadline_hook(budget_ms: float | None):
+        """A ``check_deadline`` callable raising :class:`PlanningTimeout`
+        once ``budget_ms`` of wall clock has elapsed (``None`` budget →
+        no hook, zero DP overhead)."""
+        if budget_ms is None:
+            return None
+        deadline = time.perf_counter() + budget_ms / 1000.0
+
+        def check() -> None:
+            if time.perf_counter() >= deadline:
+                raise PlanningTimeout(
+                    f"join search exceeded its {budget_ms:.1f}ms budget"
+                )
+
+        return check
+
+    def choose_join_order(
+        self, query: Query, budget_ms: float | None = None
+    ) -> JoinTree:
         """Join-order search only (the first stage of Figure 8).
 
         Below the threshold: exhaustive DP (bitset fast lane unless
         ``expert_lane="legacy"``). At or above it: GEQO-style genetic
         search, seeded deterministically per query name so planning is
         reproducible.
+
+        ``budget_ms`` bounds the bitset DP's wall clock via its
+        check-deadline hook; past the budget the search raises
+        :class:`PlanningTimeout` (bitset lane only — the legacy
+        enumerator and GEQO are not interruptible, and callers that set
+        budgets run the bitset lane). A timed-out search records neither
+        a plan nor a latency sample.
         """
         start = time.perf_counter()
         cards = self.db.cardinalities(query)
@@ -142,6 +173,7 @@ class Planner:
                     prune=self.prune,
                     exact=self.exact,
                     stats=self.dp_stats,
+                    check_deadline=self._deadline_hook(budget_ms),
                 )
             else:
                 tree = selinger_dp(
@@ -304,16 +336,62 @@ class Planner:
             )
         return plan, cost
 
-    def optimize(self, query: Query) -> PlannerResult:
+    def degraded_plan(
+        self, query: Query, budget_ms: float | None = None
+    ) -> tuple:
+        """The degradation ladder's planner rungs: a budgeted, non-exact
+        pruned DP first, greedy bottom-up as the floor.
+
+        Returns ``(PlannerResult, lane)`` where ``lane`` is ``"dp"``
+        (the budgeted search finished) or ``"greedy"`` (it timed out,
+        the query is GEQO-sized, or no budget remained). The DP runs
+        ``exact=False`` with a hard ``prune_margin`` — under a deadline,
+        "never worse than greedy, usually much better" beats optimality
+        — and is interrupted mid-wave by the check-deadline hook the
+        moment the budget expires, so the rung's cost is bounded by the
+        budget, not the query size.
+        """
+        cards = self.db.cardinalities(query)
+        tree = None
+        lane = "greedy"
+        if (
+            budget_ms is not None
+            and budget_ms > 0.0
+            and query.n_relations < self.geqo_threshold
+        ):
+            try:
+                tree = selinger_dp_bitset(
+                    query,
+                    cards,
+                    self.db.cost_params,
+                    bushy=self.bushy,
+                    prune=True,
+                    exact=False,
+                    prune_margin=0.9,
+                    stats=self.dp_stats,
+                    check_deadline=self._deadline_hook(budget_ms),
+                )
+                lane = "dp"
+            except PlanningTimeout:
+                tree = None
+        if tree is None:
+            tree = fast_greedy_bottom_up(query, cards, self.db.cost_params)
+        return self.evaluate_tree(tree, query, cards), lane
+
+    def optimize(
+        self, query: Query, budget_ms: float | None = None
+    ) -> PlannerResult:
         """Run the whole pipeline and time it.
 
         With a ``cost_memo`` attached, the expert path shares the same
         structural-fingerprint bridge as :meth:`evaluate_tree`: a
         repeated expert tree (guardrail fallbacks, parity evals) is
-        answered from the memo bitwise-identically.
+        answered from the memo bitwise-identically. ``budget_ms``
+        bounds the join search (see :meth:`choose_join_order`);
+        :class:`PlanningTimeout` propagates to the caller.
         """
         start = time.perf_counter()
-        tree = self.choose_join_order(query)
+        tree = self.choose_join_order(query, budget_ms=budget_ms)
         cards = self.db.cardinalities(query)
         plan, cost = self._complete_and_cost(tree, query, cards)
         elapsed_ms = (time.perf_counter() - start) * 1000.0

@@ -21,7 +21,15 @@ puts it behind a production-shaped ``optimize(query)`` API:
   concurrent queue-and-flush front end: ``submit()`` returns a future,
   a background flusher batches on a batch-or-timeout deadline, and N
   worker shards (each a private ``OptimizerService``) serve the
-  flushes.
+  flushes;
+- :mod:`repro.serving.errors` — the typed failure hierarchy
+  (:class:`OptimizeError` and friends) every refused or abandoned
+  request resolves with;
+- :mod:`repro.serving.supervisor` — per-shard circuit breakers and the
+  supervisor thread that respawns dead workers;
+- :mod:`repro.serving.faults` — the seeded chaos harness
+  (:class:`FaultInjector`) that deterministically breaks the serving
+  path to prove the fault tolerance works.
 
 Command line: ``python -m repro serve-bench`` drives a synthetic
 request stream (multi-threaded and open-loop with ``--concurrency``)
@@ -31,29 +39,54 @@ fallback rate.
 
 from repro.serving.batching import MicroBatchEngine, RolloutRecord
 from repro.serving.cache import CacheStats, PlanCache
+from repro.serving.errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    InjectedFault,
+    LoadShedded,
+    OptimizeError,
+    RetriesExhausted,
+    ServiceClosed,
+    ShardFailed,
+)
 from repro.serving.experience import ExperienceBuffer
+from repro.serving.faults import FaultConfig, FaultInjector, seeded_uniform
 from repro.serving.fingerprint import canonical_alias_map, canonical_text, fingerprint
 from repro.serving.frontend import FrontEndConfig, FrontEndStats, ServingFrontEnd
 from repro.serving.router import GuardrailDecision, GuardrailRouter
 from repro.serving.service import OptimizerService, ServedPlan, ServingConfig
 from repro.serving.sharding import HashRing
+from repro.serving.supervisor import CircuitBreaker, ShardSupervisor
 
 __all__ = [
     "CacheStats",
+    "CircuitBreaker",
+    "CircuitOpen",
+    "DeadlineExceeded",
     "ExperienceBuffer",
+    "FaultConfig",
+    "FaultInjector",
     "FrontEndConfig",
     "FrontEndStats",
     "GuardrailDecision",
     "GuardrailRouter",
     "HashRing",
+    "InjectedFault",
+    "LoadShedded",
     "MicroBatchEngine",
+    "OptimizeError",
     "OptimizerService",
     "PlanCache",
+    "RetriesExhausted",
     "RolloutRecord",
     "ServedPlan",
+    "ServiceClosed",
     "ServingConfig",
     "ServingFrontEnd",
+    "ShardFailed",
+    "ShardSupervisor",
     "canonical_alias_map",
     "canonical_text",
     "fingerprint",
+    "seeded_uniform",
 ]

@@ -76,6 +76,11 @@ class MicroBatchEngine:
         #: threads needs its forward passes serialized; the concurrent
         #: front end installs one lock per distinct policy object.
         self.inference_lock = None
+        #: Optional :class:`~repro.serving.faults.FaultInjector`. When
+        #: set, ``policy_nan``-kind faults corrupt one forward pass's
+        #: log-probs (keyed by forward ordinal) to exercise the NaN
+        #: guard below; ``None`` costs one attribute check per pass.
+        self.fault_injector = None
 
     def rollout(
         self,
@@ -119,6 +124,18 @@ class MicroBatchEngine:
                 )
                 self.forward_passes += 1
                 self.states_scored += len(chunk)
+                if self.fault_injector is not None and self.fault_injector.fires(
+                    "policy_nan", f"fwd{self.forward_passes}"
+                ):
+                    log_probs = np.full_like(log_probs, np.nan)
+                if not np.all(np.isfinite(log_probs)):
+                    # A NaN/inf forward pass means corrupt weights or
+                    # activations — serving argmax over garbage would
+                    # pick arbitrary joins silently. Fail the batch so
+                    # the degradation ladder answers with a sound plan.
+                    raise FloatingPointError(
+                        "policy forward pass produced non-finite log-probs"
+                    )
                 for row, i in enumerate(chunk):
                     action = int(actions[row])
                     records[i].transitions.append(

@@ -21,15 +21,41 @@ to queue-and-flush:
    cross-shard coherence, yet still see every repeat of "their" query
    shapes.
 
-Micro-batched inference inside each shard is what amortizes the
-policy's forward passes across the concurrent callers; the front end
-exists to manufacture those batches out of unbatched traffic.
+Fault tolerance is layered on the same path:
+
+- **Admission control** — past the ``shed_watermark`` fraction of
+  ``max_pending``, ``submit`` sheds load with a structured
+  :class:`~repro.serving.errors.LoadShedded` carrying a retry-after
+  hint; after ``close()`` it raises
+  :class:`~repro.serving.errors.ServiceClosed`.
+- **Deadlines** — ``submit(query, deadline_ms=...)`` attaches a budget
+  that travels the whole path: expiry is detected at flush (still
+  queued), at worker pickup, and during a deadline-aware ``drain()``;
+  the remaining budget is forwarded into the shard service so the
+  degradation ladder can answer with a cheaper plan instead of blowing
+  the deadline.
+- **Retries** — failures typed retryable (injected faults, shard
+  deaths, open circuits) are retried up to ``max_attempts`` with
+  seeded-jitter exponential backoff; non-idempotent side effects are
+  guarded (experience is collected only on attempt 1) and
+  deterministic serving bugs are *not* retried.
+- **Circuit breakers** — one per shard; consecutive failures trip it
+  open, routing fails over along the hash ring's fallback order, and a
+  cooldown half-opens it for probes.
+- **Supervision** — every way a worker thread can die funnels into a
+  death handler that fails over its queue and wakes the
+  :class:`~repro.serving.supervisor.ShardSupervisor`, which respawns
+  the shard with a rebuilt service (fresh policy copy and caches).
+
+Every accepted submission is registered in an outstanding set and
+resolved exactly once through one choke point (``_resolve``), so no
+future dangles — not under close, not under worker death, not under
+cancellation races.
 
 Lifecycle: ``drain()`` blocks until every accepted submission has
-resolved; ``close()`` additionally stops the flusher and workers
-(flushing everything still queued first, so every future returned by
-``submit`` resolves — with a plan or an error — never dangles). The
-class is a context manager; ``submit`` after ``close`` raises.
+resolved (force-expiring overdue deadlines); ``close()`` additionally
+stops the supervisor, flusher, and workers, then sweeps anything still
+unresolved with ``ServiceClosed``. The class is a context manager.
 """
 
 from __future__ import annotations
@@ -38,14 +64,25 @@ import copy
 import threading
 import time
 from collections import deque
-from concurrent.futures import Future
-from dataclasses import dataclass
+from concurrent.futures import Future, InvalidStateError
+from dataclasses import dataclass, replace
 from queue import Empty, SimpleQueue
-from typing import Deque, Dict, List, Sequence
+from typing import Deque, Dict, List, Optional, Sequence, Set
 
 from repro.db.query import Query
 from repro.obs import Telemetry
 from repro.obs.metrics import MetricsRegistry
+from repro.serving.errors import (
+    CircuitOpen,
+    DeadlineExceeded,
+    InjectedFault,
+    LoadShedded,
+    OptimizeError,
+    RetriesExhausted,
+    ServiceClosed,
+    ShardFailed,
+)
+from repro.serving.faults import FaultInjector, seeded_uniform
 from repro.serving.fingerprint import canonical_alias_map, fingerprint
 from repro.serving.service import (
     OptimizerService,
@@ -54,11 +91,14 @@ from repro.serving.service import (
     legacy_counters,
 )
 from repro.serving.sharding import HashRing
+from repro.serving.supervisor import CircuitBreaker, ShardSupervisor
 
 __all__ = ["FrontEndConfig", "FrontEndStats", "ServingFrontEnd"]
 
 #: Sentinel telling a worker thread its queue is finished.
 _STOP = object()
+#: Sentinel crashing a worker thread on purpose (tests, chaos drills).
+_KILL = object()
 
 
 @dataclass(frozen=True)
@@ -79,6 +119,27 @@ class FrontEndConfig:
     #: come from a cumulative log-bucket histogram (fixed memory, no
     #: window), so this knob no longer bounds anything.
     latency_window: int = 8192
+    #: Deadline attached to every submit() that does not bring its own
+    #: (None = no deadline).
+    default_deadline_ms: float | None = None
+    #: Total tries per request (1 = no retries) for retryable failures.
+    max_attempts: int = 3
+    #: Exponential backoff: attempt k waits base * 2**(k-1) ms, capped,
+    #: scaled by a deterministic jitter in [0.5, 1.0).
+    backoff_base_ms: float = 5.0
+    backoff_cap_ms: float = 100.0
+    #: Shed load once inflight reaches this fraction of max_pending.
+    shed_watermark: float = 0.9
+    #: retry_after hint handed to shed callers.
+    shed_retry_after_s: float = 0.05
+    #: Per-shard circuit breaker: consecutive failures to trip, cooldown
+    #: before half-open probes.
+    breaker_failure_threshold: int = 5
+    breaker_cooldown_s: float = 1.0
+    breaker_probe_limit: int = 1
+    #: Run the supervisor thread that respawns dead workers.
+    supervise: bool = True
+    supervisor_interval_s: float = 0.05
 
     def __post_init__(self) -> None:
         if self.n_shards < 1:
@@ -89,6 +150,14 @@ class FrontEndConfig:
             raise ValueError("max_delay_ms must be non-negative")
         if self.max_pending < 1:
             raise ValueError("max_pending must be at least 1")
+        if self.default_deadline_ms is not None and self.default_deadline_ms <= 0:
+            raise ValueError("default_deadline_ms must be positive")
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base_ms < 0 or self.backoff_cap_ms < 0:
+            raise ValueError("backoff times must be non-negative")
+        if not 0.0 < self.shed_watermark <= 1.0:
+            raise ValueError("shed_watermark must be in (0, 1]")
 
 
 @dataclass
@@ -111,7 +180,22 @@ class FrontEndStats:
     #: backlog the served occupancy exceeds the flush occupancy).
     served_batches: int = 0
     served_occupancy_sum: int = 0
+    #: Submissions turned away at admission (all causes).
     rejected: int = 0
+    #: ...of which load-shedding past the watermark.
+    load_shed: int = 0
+    #: Retry attempts scheduled after a retryable failure.
+    retries: int = 0
+    #: Requests that failed every allowed attempt.
+    retries_exhausted: int = 0
+    #: Requests failed because their deadline budget ran out.
+    deadline_expired: int = 0
+    #: Requests dispatched to a fallback shard (down shard/open circuit).
+    rerouted: int = 0
+    #: Dead workers respawned with a rebuilt service.
+    worker_restarts: int = 0
+    #: Circuit-breaker trips (closed/half-open -> open).
+    circuit_opens: int = 0
 
     @property
     def batch_occupancy_mean(self) -> float:
@@ -133,15 +217,27 @@ class FrontEndStats:
             "frontend_flushes_deadline": self.flushes_deadline,
             "frontend_flushes_drain": self.flushes_drain,
             "frontend_rejected": self.rejected,
+            "frontend_load_shed": self.load_shed,
+            "frontend_retries": self.retries,
+            "frontend_retries_exhausted": self.retries_exhausted,
+            "frontend_deadline_expired": self.deadline_expired,
+            "frontend_rerouted": self.rerouted,
+            "frontend_worker_restarts": self.worker_restarts,
+            "frontend_circuit_opens": self.circuit_opens,
             "frontend_batch_occupancy_mean": round(self.batch_occupancy_mean, 2),
             "frontend_served_batches": self.served_batches,
             "frontend_served_occupancy_mean": round(self.served_occupancy_mean, 2),
         }
 
 
-@dataclass
+@dataclass(eq=False)
 class _Submission:
-    """One accepted request travelling from queue to shard to future."""
+    """One accepted request travelling from queue to shard to future.
+
+    ``eq=False`` keeps identity hashing: submissions key the timer and
+    outstanding registries. ``settled`` is the exactly-once resolution
+    claim, flipped only under the front end's state lock.
+    """
 
     query: Query
     fp: str
@@ -149,11 +245,21 @@ class _Submission:
     shard: int
     future: "Future[ServedPlan]"
     submitted_at: float
+    #: Absolute monotonic deadline (None = no budget).
+    deadline: float | None = None
     #: Per-request trace (None when telemetry is off). Ownership follows
     #: the submission: submitter -> flusher -> one worker, sequentially.
     trace: object = None
-    #: When the flusher dispatched this submission (worker_queue span).
+    #: When the flusher last dispatched this submission (worker_queue span).
     flushed_at: float | None = None
+    #: 1-based try counter; bumped when a retry is scheduled.
+    attempts: int = 1
+    #: Unique per front end; keys deterministic chaos/backoff draws.
+    seq: int = 0
+    #: Exactly-once resolution claim (guarded by the state lock).
+    settled: bool = False
+    #: Whether the future already moved to RUNNING (set once, first pickup).
+    started: bool = False
 
 
 class ServingFrontEnd:
@@ -165,6 +271,10 @@ class ServingFrontEnd:
     must not share mutable inference state — the constructor installs a
     per-policy-object lock on each shard's micro-batch engine as a
     safety net, so even a shared policy stays correct (just serialized).
+
+    ``service_factory(shard)`` (supplied by :meth:`build`) rebuilds a
+    shard's service after a worker death; without one, a respawned
+    worker reuses the surviving service object.
     """
 
     def __init__(
@@ -172,6 +282,7 @@ class ServingFrontEnd:
         services: Sequence[OptimizerService],
         config: FrontEndConfig | None = None,
         telemetry: Telemetry | None = None,
+        service_factory=None,
     ) -> None:
         if not services:
             raise ValueError("need at least one shard service")
@@ -185,9 +296,12 @@ class ServingFrontEnd:
         self.ring = HashRing(self.config.n_shards, self.config.hash_replicas)
         self.stats = FrontEndStats()
         self.clock = time.monotonic
+        self._service_factory = service_factory
+        #: Armed via :meth:`install_fault_injector`; None = no chaos.
+        self.fault_injector: FaultInjector | None = None
         #: Shared telemetry spine: traces begin at submit and finish in
-        #: the worker that resolves the future; shard services reuse it
-        #: for their event hooks (guardrail fallbacks, invalidations).
+        #: whatever resolves the future; shard services reuse it for
+        #: their event hooks (guardrail fallbacks, invalidations).
         self.telemetry = telemetry
         if telemetry is not None:
             for service in self.services:
@@ -217,6 +331,31 @@ class ServingFrontEnd:
         self._flush_asap = False
         self._closing = False
         self._closed = False
+        #: Shards whose worker died and has not been respawned yet.
+        #: Guarded by ``_work``; the flusher routes around them.
+        self._down: Set[int] = set()
+        # Lock-ordering rule: ``_state_lock`` and ``_work`` are never
+        # nested (each is always released before the other is taken).
+        self._state_lock = threading.Lock()
+        #: Every accepted, unresolved submission — the registry close()
+        #: sweeps so no future ever dangles. Guarded by ``_state_lock``.
+        self._outstanding: Set[_Submission] = set()
+        #: Pending retry-backoff timers, keyed by submission.
+        self._timers: Dict[_Submission, threading.Timer] = {}
+        #: Per-shard submissions currently held by the worker thread,
+        #: handed to the death handler if the thread dies mid-batch.
+        self._holding: List[List[_Submission]] = [
+            [] for _ in range(self.config.n_shards)
+        ]
+        self.breakers = [
+            CircuitBreaker(
+                failure_threshold=self.config.breaker_failure_threshold,
+                cooldown_s=self.config.breaker_cooldown_s,
+                probe_limit=self.config.breaker_probe_limit,
+                on_transition=self._breaker_callback(shard),
+            )
+            for shard in range(self.config.n_shards)
+        ]
         self._queues: List["SimpleQueue"] = [
             SimpleQueue() for _ in range(self.config.n_shards)
         ]
@@ -235,6 +374,12 @@ class ServingFrontEnd:
             target=self._flusher_loop, name="serving-flusher", daemon=True
         )
         self._flusher.start()
+        self.supervisor: Optional[ShardSupervisor] = None
+        if self.config.supervise:
+            self.supervisor = ShardSupervisor(
+                self, interval_s=self.config.supervisor_interval_s
+            )
+            self.supervisor.start()
 
     def _register_metrics(self) -> None:
         """Expose the flusher/queue stats as pull-style registry metrics
@@ -268,7 +413,42 @@ class ServingFrontEnd:
         reg.counter_fn(
             "repro_frontend_rejected_total",
             lambda: self.stats.rejected,
-            "submissions rejected by backpressure",
+            "submissions rejected at admission",
+        )
+        reg.counter_fn(
+            "repro_frontend_load_shed_total",
+            lambda: self.stats.load_shed,
+            "submissions shed past the pending watermark",
+        )
+        reg.counter_fn(
+            "repro_frontend_retries_total",
+            lambda: self.stats.retries,
+            "retry attempts scheduled",
+        )
+        reg.counter_fn(
+            "repro_frontend_retries_exhausted_total",
+            lambda: self.stats.retries_exhausted,
+            "requests that failed every allowed attempt",
+        )
+        reg.counter_fn(
+            "repro_frontend_deadline_expired_total",
+            lambda: self.stats.deadline_expired,
+            "requests failed on an expired deadline budget",
+        )
+        reg.counter_fn(
+            "repro_frontend_rerouted_total",
+            lambda: self.stats.rerouted,
+            "dispatches rerouted to a fallback shard",
+        )
+        reg.counter_fn(
+            "repro_frontend_worker_restarts_total",
+            lambda: self.stats.worker_restarts,
+            "dead workers respawned",
+        )
+        reg.counter_fn(
+            "repro_frontend_circuit_opens_total",
+            lambda: self.stats.circuit_opens,
+            "circuit-breaker trips to open",
         )
         reg.counter_fn(
             "repro_frontend_served_batches_total",
@@ -280,6 +460,29 @@ class ServingFrontEnd:
             lambda: self._inflight,
             "submissions accepted but not yet resolved",
         )
+        reg.gauge_fn(
+            "repro_frontend_down_shards",
+            lambda: len(self._down),
+            "shards whose worker is dead and awaiting respawn",
+        )
+
+    def _breaker_callback(self, shard: int):
+        """on_transition hook for shard ``shard``'s breaker. Runs under
+        the breaker's lock — must not call back into the breaker."""
+
+        def on_transition(old: str, new: str) -> None:
+            if new == "open":
+                with self._lock:
+                    self.stats.circuit_opens += 1
+                if self.telemetry is not None and self.telemetry.enabled:
+                    self.telemetry.events.emit(
+                        "circuit_open", shard=shard, previous=old
+                    )
+            elif new == "closed" and old == "half_open":
+                if self.telemetry is not None and self.telemetry.enabled:
+                    self.telemetry.events.emit("circuit_close", shard=shard)
+
+        return on_transition
 
     # ------------------------------------------------------------------
     # Construction
@@ -302,6 +505,9 @@ class ServingFrontEnd:
         (with a private sub-plan cost memo) and its own deep copy of the
         policy, so shards never contend on mutable planner or inference
         state. ``planner_factory()`` overrides the per-shard planner.
+        The same recipe is installed as the respawn factory, so a shard
+        that dies is rebuilt from scratch (a worker that died mid-batch
+        may hold arbitrarily corrupt service state).
         """
         from repro.core.featurize import QueryFeaturizer
         from repro.optimizer.memo import SubPlanCostMemo
@@ -313,6 +519,18 @@ class ServingFrontEnd:
         make_planner = planner_factory or (
             lambda: Planner(db, cost_memo=SubPlanCostMemo())
         )
+
+        def make_service(shard: int) -> OptimizerService:
+            return OptimizerService(
+                db,
+                copy.deepcopy(policy),
+                planner=make_planner(),
+                featurizer=featurizer,
+                config=serving_config,
+                reward_source=reward_source,
+                telemetry=telemetry,
+            )
+
         services = [
             OptimizerService(
                 db,
@@ -325,14 +543,34 @@ class ServingFrontEnd:
             )
             for shard in range(config.n_shards)
         ]
-        return cls(services, config=config, telemetry=telemetry)
+        return cls(
+            services,
+            config=config,
+            telemetry=telemetry,
+            service_factory=make_service,
+        )
+
+    def install_fault_injector(self, injector: FaultInjector) -> None:
+        """Arm the chaos harness on the front end and every shard."""
+        self.fault_injector = injector
+        for service in self.services:
+            service.install_fault_injector(injector)
 
     # ------------------------------------------------------------------
     # Request path
     # ------------------------------------------------------------------
-    def submit(self, query: Query) -> "Future[ServedPlan]":
+    def submit(
+        self, query: Query, deadline_ms: float | None = None
+    ) -> "Future[ServedPlan]":
         """Queue one request; the returned future resolves to its
-        :class:`ServedPlan` (or to the error that served it)."""
+        :class:`ServedPlan` or to a structured
+        :class:`~repro.serving.errors.OptimizeError`.
+
+        ``deadline_ms`` is this request's total budget (submit to
+        resolve); omitted, the config's ``default_deadline_ms`` applies.
+        """
+        if deadline_ms is not None and deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive")
         # Reject before canonicalizing: a saturated or closed front end
         # must turn submissions away in O(1), not after paying the WL
         # refinement that is the most expensive part of admission. The
@@ -353,21 +591,31 @@ class ServingFrontEnd:
             if self.telemetry is not None
             else None
         )
+        if deadline_ms is None:
+            deadline_ms = self.config.default_deadline_ms
+        now = self.clock()
         submission = _Submission(
             query=query,
             fp=fp,
             alias_map=names,
             shard=shard,
             future=Future(),
-            submitted_at=self.clock(),
+            submitted_at=now,
+            deadline=None if deadline_ms is None else now + deadline_ms / 1000.0,
             trace=trace,
         )
         with self._work:
             self._check_accepting()
+            self.stats.submitted += 1
+            submission.seq = self.stats.submitted
             self._pending.append(submission)
             self._inflight += 1
-            self.stats.submitted += 1
             self._work.notify_all()
+        # Register after queueing, but never resurrect: if a worker
+        # already resolved (claimed) it, adding it back would leak.
+        with self._state_lock:
+            if not submission.settled:
+                self._outstanding.add(submission)
         return submission.future
 
     def _check_accepting(self) -> None:
@@ -377,40 +625,140 @@ class ServingFrontEnd:
         read-modify-write and the counters are promised to be exact.
         """
         if self._closing:
-            raise RuntimeError(
+            raise ServiceClosed(
                 "submit() after close(): front end no longer accepts work"
             )
-        if self._inflight >= self.config.max_pending:
+        shed_at = max(1, int(self.config.max_pending * self.config.shed_watermark))
+        if self._inflight >= shed_at:
             self.stats.rejected += 1
-            raise RuntimeError(
+            self.stats.load_shed += 1
+            hint = self.config.shed_retry_after_s
+            if self.telemetry is not None and self.telemetry.enabled:
+                # Rate-limited: a sustained overload sheds thousands of
+                # submissions per second; one event a second with a
+                # suppressed count is the useful signal.
+                self.telemetry.events.emit_limited(
+                    "load_shed",
+                    inflight=self._inflight,
+                    max_pending=self.config.max_pending,
+                    retry_after_s=hint,
+                )
+            raise LoadShedded(
                 f"backpressure: {self._inflight} submissions in flight "
-                f"(max_pending={self.config.max_pending})"
+                f"(shedding at {shed_at}, max_pending="
+                f"{self.config.max_pending}); retry after {hint:.2f}s",
+                retry_after_s=hint,
             )
 
-    def optimize(self, query: Query, timeout: float | None = None) -> ServedPlan:
+    def optimize(
+        self,
+        query: Query,
+        timeout: float | None = None,
+        deadline_ms: float | None = None,
+    ) -> ServedPlan:
         """Synchronous wrapper: submit and wait (the old one-call API)."""
-        return self.submit(query).result(timeout)
+        return self.submit(query, deadline_ms=deadline_ms).result(timeout)
 
     def optimize_batch(
-        self, queries: Sequence[Query], timeout: float | None = None
+        self,
+        queries: Sequence[Query],
+        timeout: float | None = None,
+        deadline_ms: float | None = None,
     ) -> List[ServedPlan]:
         """Synchronous wrapper: submit all, wait for all, submit order."""
-        futures = [self.submit(query) for query in queries]
+        futures = [self.submit(q, deadline_ms=deadline_ms) for q in queries]
         return [future.result(timeout) for future in futures]
 
     # ------------------------------------------------------------------
-    # Flusher / workers
+    # Exactly-once resolution
+    # ------------------------------------------------------------------
+    def _claim(self, s: _Submission) -> bool:
+        """Atomically claim the right to resolve ``s`` (True at most
+        once per submission); deregisters it and cancels its timer."""
+        with self._state_lock:
+            if s.settled:
+                return False
+            s.settled = True
+            self._outstanding.discard(s)
+            timer = self._timers.pop(s, None)
+        if timer is not None:
+            timer.cancel()
+        return True
+
+    def _resolve(
+        self,
+        s: _Submission,
+        plan: ServedPlan | None = None,
+        error: BaseException | None = None,
+        counter: str | None = None,
+    ) -> bool:
+        """The one choke point that settles a submission: finish its
+        trace, set the future, release inflight, bump counters."""
+        if not self._claim(s):
+            return False
+        # Finish before resolving: the caller must never see a future
+        # whose trace is still open.
+        if self.telemetry is not None and s.trace is not None:
+            if error is not None:
+                self.telemetry.finish_trace(s.trace, error=repr(error))
+            else:
+                self.telemetry.finish_trace(s.trace, source=plan.source)
+        try:
+            if error is not None:
+                s.future.set_exception(error)
+            else:
+                s.future.set_result(plan)
+        except InvalidStateError:
+            # The caller cancelled between our claim and the set: the
+            # outcome is lost but the bookkeeping below must still run.
+            pass
+        if plan is not None:
+            # Latency describes what was actually served; failures and
+            # cancellations only release inflight.
+            self.latency_ms_hist.observe((self.clock() - s.submitted_at) * 1000.0)
+        with self._work:
+            self._inflight -= 1
+            if counter == "deadline_expired":
+                self.stats.deadline_expired += 1
+            elif counter == "retries_exhausted":
+                self.stats.retries_exhausted += 1
+            self._work.notify_all()
+        return True
+
+    def _resolve_cancelled(self, s: _Submission) -> None:
+        """A future the caller cancelled while it was still queued:
+        nothing to set, but inflight must be released exactly once."""
+        if not self._claim(s):
+            return
+        with self._work:
+            self._inflight -= 1
+            self._work.notify_all()
+
+    # ------------------------------------------------------------------
+    # Flusher
     # ------------------------------------------------------------------
     def _flusher_loop(self) -> None:
+        try:
+            self._flusher_body()
+        except BaseException:
+            # A crashed flusher would silently stall every submission;
+            # wake the supervisor, which respawns it.
+            if self.supervisor is not None:
+                self.supervisor.poke()
+
+    def _flusher_body(self) -> None:
         while True:
             with self._work:
                 while not self._pending and not self._closing:
                     self._work.wait()
                 if not self._pending:  # closing with nothing queued
                     break
-                deadline = (
-                    self._pending[0].submitted_at + self.config.max_delay_ms / 1000.0
-                )
+                head = self._pending[0]
+                deadline = head.submitted_at + self.config.max_delay_ms / 1000.0
+                if head.deadline is not None and head.deadline < deadline:
+                    # Fail fast: an expiring head is flushed (and failed
+                    # at dispatch) instead of held for batch filler.
+                    deadline = head.deadline
                 while True:
                     if len(self._pending) >= self.config.max_batch:
                         reason = "size"
@@ -433,31 +781,115 @@ class ServingFrontEnd:
                     self.stats.flushes_deadline += 1
                 else:
                     self.stats.flushes_drain += 1
+                down = set(self._down)
             # Dispatch outside the lock: queue puts never block, and
             # workers must be able to grab the lock to finish batches.
-            flushed_at = self.clock()
-            by_shard: Dict[int, List[_Submission]] = {}
-            for submission in batch:
-                submission.flushed_at = flushed_at
-                if submission.trace is not None:
-                    submission.trace.record(
-                        "queue_wait",
-                        (flushed_at - submission.submitted_at) * 1000.0,
-                        reason=reason,
-                    )
-                by_shard.setdefault(submission.shard, []).append(submission)
-            for shard, submissions in by_shard.items():
-                self._queues[shard].put(submissions)
+            self._dispatch(batch, reason, down)
 
+    def _dispatch(
+        self, batch: List[_Submission], reason: str, down: Set[int]
+    ) -> None:
+        """Expire, route, and enqueue one flushed batch."""
+        flushed_at = self.clock()
+        by_shard: Dict[int, List[_Submission]] = {}
+        rerouted = 0
+        for s in batch:
+            if s.settled:
+                continue
+            if s.deadline is not None and flushed_at >= s.deadline:
+                waited = (flushed_at - s.submitted_at) * 1000.0
+                self._resolve(
+                    s,
+                    error=DeadlineExceeded(
+                        f"deadline expired after {waited:.1f}ms in the "
+                        "pending queue",
+                        stage="queue",
+                        query_name=s.query.name,
+                        fingerprint=s.fp,
+                        shard=s.shard,
+                        attempts=s.attempts,
+                    ),
+                    counter="deadline_expired",
+                )
+                continue
+            try:
+                target = self._route(s, down)
+            except OptimizeError as exc:
+                self._retry_or_fail(s, exc)
+                continue
+            if target != s.shard:
+                rerouted += 1
+                s.shard = target
+            s.flushed_at = flushed_at
+            if s.trace is not None:
+                s.trace.record(
+                    "queue_wait",
+                    (flushed_at - s.submitted_at) * 1000.0,
+                    reason=reason,
+                )
+            by_shard.setdefault(target, []).append(s)
+        if rerouted:
+            with self._work:
+                self.stats.rerouted += rerouted
+        for shard, submissions in by_shard.items():
+            self._queues[shard].put(submissions)
+
+    def _route(self, s: _Submission, down: Set[int]) -> int:
+        """First healthy shard in ``s.fp``'s ring fallback order.
+
+        The order is a pure function of the ring, so every request for
+        a fingerprint fails over to the *same* surviving shard and its
+        caches stay warm through the outage. Raises ``ShardFailed``
+        when every shard is down, ``CircuitOpen`` when the survivors
+        all have open breakers.
+        """
+        waits: List[float] = []
+        for shard in self.ring.fallback_order(s.fp):
+            if shard in down:
+                continue
+            if self.breakers[shard].allow():
+                return shard
+            waits.append(self.breakers[shard].retry_after())
+        if not waits:
+            raise ShardFailed(
+                "every worker shard is down",
+                query_name=s.query.name,
+                fingerprint=s.fp,
+                shard=s.shard,
+                attempts=s.attempts,
+            )
+        raise CircuitOpen(
+            "every live shard's circuit breaker is open",
+            query_name=s.query.name,
+            fingerprint=s.fp,
+            shard=s.shard,
+            attempts=s.attempts,
+            retry_after_s=min(waits),
+        )
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
     def _worker_loop(self, shard: int) -> None:
-        service = self.services[shard]
+        try:
+            self._worker_body(shard)
+        except BaseException as exc:
+            self._on_worker_death(shard, exc)
+
+    def _worker_body(self, shard: int) -> None:
         queue = self._queues[shard]
         stop = False
         while not stop:
-            submissions = queue.get()
-            if submissions is _STOP:
+            item = queue.get()
+            if item is _STOP:
                 break
-            submissions = list(submissions)
+            if item is _KILL:
+                raise RuntimeError("injected worker kill")
+            submissions = list(item)
+            # Hand the batch to the death handler *before* serving: if
+            # this thread dies mid-batch, these requests are retried or
+            # failed structurally, never stranded.
+            self._holding[shard] = submissions
             # Coalesce: when this worker fell behind, several flusher
             # dispatches are waiting in its queue — serving them as one
             # micro-batch is the whole point of the front end, so drain
@@ -470,58 +902,352 @@ class ServingFrontEnd:
                 if extra is _STOP:
                     stop = True
                     break
+                if extra is _KILL:
+                    raise RuntimeError("injected worker kill")
                 submissions.extend(extra)
-            # Transition futures to RUNNING; a future the caller already
-            # cancelled is dropped here (set_result on it would raise
-            # InvalidStateError and kill the worker).
-            live = [
-                s for s in submissions if s.future.set_running_or_notify_cancel()
-            ]
-            picked_up = self.clock()
-            for submission in live:
-                if submission.trace is not None and submission.flushed_at is not None:
-                    submission.trace.record(
-                        "worker_queue",
-                        (picked_up - submission.flushed_at) * 1000.0,
-                        shard=shard,
-                    )
+            self._serve_batch(shard, submissions)
+            self._holding[shard] = []
+
+    def _serve_batch(self, shard: int, submissions: List[_Submission]) -> None:
+        # Transition futures to RUNNING; a future the caller already
+        # cancelled is released here, and one already settled elsewhere
+        # (drain force-expiry, close sweep) is skipped.
+        live: List[_Submission] = []
+        for s in submissions:
+            if s.settled:
+                continue
+            if s.started:
+                live.append(s)  # a retry: the future is already RUNNING
+                continue
             try:
-                served = service.optimize_batch(
-                    [s.query for s in live],
-                    fingerprints=[s.fp for s in live],
-                    alias_maps=[s.alias_map for s in live],
-                    traces=[s.trace for s in live],
+                if s.future.set_running_or_notify_cancel():
+                    s.started = True
+                    live.append(s)
+                else:
+                    self._resolve_cancelled(s)
+            except InvalidStateError:
+                continue  # settled in the race window; nothing to do
+        picked_up = self.clock()
+        for s in live:
+            if s.trace is not None and s.flushed_at is not None:
+                s.trace.record(
+                    "worker_queue", (picked_up - s.flushed_at) * 1000.0, shard=shard
                 )
-            except BaseException as exc:  # resolve, never dangle
-                for submission in live:
-                    # Finish before resolving: the caller must never see
-                    # a future whose trace is still open.
-                    if self.telemetry is not None:
-                        self.telemetry.finish_trace(
-                            submission.trace, error=repr(exc)
-                        )
-                    submission.future.set_exception(exc)
+        ready: List[_Submission] = []
+        for s in live:
+            if s.deadline is not None and picked_up >= s.deadline:
+                self._resolve(
+                    s,
+                    error=DeadlineExceeded(
+                        "deadline budget exhausted when the shard picked "
+                        "the request up",
+                        stage="serve",
+                        query_name=s.query.name,
+                        fingerprint=s.fp,
+                        shard=shard,
+                        attempts=s.attempts,
+                    ),
+                    counter="deadline_expired",
+                )
             else:
-                for submission, plan in zip(live, served):
-                    if self.telemetry is not None:
-                        self.telemetry.finish_trace(
-                            submission.trace, source=plan.source
-                        )
-                    submission.future.set_result(plan)
-            now = self.clock()
-            # Latency describes what was actually served; cancelled
-            # submissions only release inflight. The histogram has its
-            # own lock, so observe outside the flusher lock.
-            for submission in live:
-                self.latency_ms_hist.observe(
-                    (now - submission.submitted_at) * 1000.0
+                ready.append(s)
+        injector = self.fault_injector
+        if injector is not None and ready:
+            # Draw a spike decision for *every* request (no any()
+            # short-circuit: the deterministic schedule must not depend
+            # on evaluation order), then stall once per batch.
+            spiked = [
+                s
+                for s in ready
+                if injector.fires("latency_spike", f"req{s.seq}a{s.attempts}")
+            ]
+            if spiked:
+                time.sleep(injector.config.spike_ms / 1000.0)
+            kept: List[_Submission] = []
+            faulted: List[_Submission] = []
+            for s in ready:
+                if injector.fires("worker_fault", f"req{s.seq}a{s.attempts}"):
+                    faulted.append(s)
+                else:
+                    kept.append(s)
+            for s in faulted:
+                self._retry_or_fail(
+                    s,
+                    InjectedFault(
+                        f"chaos: injected worker fault on shard {shard}",
+                        query_name=s.query.name,
+                        fingerprint=s.fp,
+                        shard=shard,
+                        attempts=s.attempts,
+                    ),
                 )
-            with self._work:
-                self._inflight -= len(submissions)
-                if live:
-                    self.stats.served_batches += 1
-                    self.stats.served_occupancy_sum += len(live)
+            # The breaker tracks *shard* health, not per-request noise:
+            # a batch whose surviving requests still serve proves the
+            # shard alive, so request-scoped faults only count as a
+            # breaker failure when they consume the entire batch (one
+            # observation, not one per request — a clumped batch of
+            # faults is a single piece of evidence, and counting it N
+            # times would trip the breaker on request-level noise a
+            # healthy shard absorbs fine).
+            if faulted and not kept:
+                self.breakers[shard].record_failure()
+            ready = kept
+        if not ready:
+            return
+        service = self.services[shard]
+        serve_start = self.clock()
+        budgets = [
+            None
+            if s.deadline is None
+            else max(0.0, (s.deadline - serve_start) * 1000.0)
+            for s in ready
+        ]
+        try:
+            served = service.optimize_batch(
+                [s.query for s in ready],
+                fingerprints=[s.fp for s in ready],
+                alias_maps=[s.alias_map for s in ready],
+                traces=[s.trace for s in ready],
+                budgets_ms=budgets,
+                # Experience collection is the one non-idempotent side
+                # effect on this path: only attempt 1 collects, so a
+                # retry can never double-count a trajectory.
+                collect=[s.attempts == 1 for s in ready],
+            )
+        except OptimizeError as exc:
+            self.breakers[shard].record_failure()
+            for s in ready:
+                self._retry_or_fail(s, exc)
+        except Exception as exc:
+            # A deterministic serving bug (bad query, broken featurizer
+            # state): retrying the identical request cannot help, so
+            # resolve now — and the worker survives the poisoned batch.
+            self.breakers[shard].record_failure()
+            for s in ready:
+                self._resolve(s, error=exc)
+        else:
+            self.breakers[shard].record_success()
+            for s, plan in zip(ready, served):
+                if s.attempts > 1:
+                    plan = replace(plan, attempts=s.attempts)
+                self._resolve(s, plan=plan)
+        with self._work:
+            self.stats.served_batches += 1
+            self.stats.served_occupancy_sum += len(ready)
+
+    # ------------------------------------------------------------------
+    # Retry / backoff
+    # ------------------------------------------------------------------
+    def _retry_or_fail(self, s: _Submission, error: OptimizeError) -> None:
+        """Schedule a backoff retry for a retryable failure, or settle
+        the future (``RetriesExhausted`` chains the last cause)."""
+        if not (isinstance(error, OptimizeError) and error.retryable):
+            self._resolve(s, error=error)
+            return
+        if s.attempts >= self.config.max_attempts:
+            exhausted = RetriesExhausted(
+                f"request {s.query.name!r} failed all "
+                f"{s.attempts} attempts (last: {error.code})",
+                query_name=s.query.name,
+                fingerprint=s.fp,
+                shard=s.shard,
+                attempts=s.attempts,
+            )
+            exhausted.__cause__ = error
+            self._resolve(s, error=exhausted, counter="retries_exhausted")
+            return
+        base_ms = min(
+            self.config.backoff_base_ms * (2 ** (s.attempts - 1)),
+            self.config.backoff_cap_ms,
+        )
+        # Deterministic jitter in [0.5, 1.0)x, seeded by request
+        # identity + attempt: chaos runs replay the same backoff
+        # schedule, yet concurrent retries decorrelate.
+        jitter = 0.5 + 0.5 * seeded_uniform(f"backoff:{s.seq}:{s.attempts}")
+        delay_s = base_ms * jitter / 1000.0
+        if error.retry_after_s is not None:
+            # The failure told us when retrying can possibly succeed
+            # (e.g. a circuit breaker's cooldown): retrying sooner just
+            # burns an attempt against a still-open breaker.
+            delay_s = max(delay_s, error.retry_after_s)
+        if s.deadline is not None and self.clock() + delay_s >= s.deadline:
+            self._resolve(
+                s,
+                error=DeadlineExceeded(
+                    f"deadline would expire during the attempt-"
+                    f"{s.attempts + 1} backoff",
+                    stage="queue",
+                    query_name=s.query.name,
+                    fingerprint=s.fp,
+                    shard=s.shard,
+                    attempts=s.attempts,
+                ),
+                counter="deadline_expired",
+            )
+            return
+        s.attempts += 1
+        timer = threading.Timer(delay_s, self._requeue, args=(s,))
+        timer.daemon = True
+        with self._state_lock:
+            if s.settled:  # raced with the close sweep
+                return
+            self._timers[s] = timer
+        with self._work:
+            self.stats.retries += 1
+        timer.start()
+
+    def _requeue(self, s: _Submission) -> None:
+        """Timer callback: put a backed-off submission back in line."""
+        with self._state_lock:
+            self._timers.pop(s, None)
+            if s.settled:
+                return
+        with self._work:
+            if not self._closing:
+                self._pending.append(s)
                 self._work.notify_all()
+                return
+        self._resolve(
+            s,
+            error=ServiceClosed(
+                "front end closed while the request awaited its retry",
+                query_name=s.query.name,
+                fingerprint=s.fp,
+                shard=s.shard,
+                attempts=s.attempts,
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Death and repair
+    # ------------------------------------------------------------------
+    def kill_worker(self, shard: int) -> None:
+        """Crash one worker thread on purpose (tests, chaos drills).
+        The death handler fails over its queue; the supervisor (when
+        enabled) respawns it with a rebuilt service."""
+        self._queues[shard].put(_KILL)
+
+    def _on_worker_death(self, shard: int, exc: BaseException) -> None:
+        """Runs *in* the dying worker thread: mark the shard down, fail
+        over everything it held or had queued, wake the supervisor."""
+        with self._work:
+            already = shard in self._down
+            self._down.add(shard)
+            closing = self._closing
+        if already:
+            return  # a restarted worker died before repair finished
+        self.breakers[shard].record_failure()
+        held = self._holding[shard]
+        self._holding[shard] = []
+        requeued: List[_Submission] = []
+        while True:
+            try:
+                item = self._queues[shard].get_nowait()
+            except Empty:
+                break
+            if item is _STOP or item is _KILL:
+                continue
+            requeued.extend(item)
+        with self._state_lock:
+            awaiting_retry = set(self._timers)
+        for s in held:
+            if s.settled or s in awaiting_retry:
+                continue  # already resolved or already backed off
+            self._retry_or_fail(
+                s,
+                ShardFailed(
+                    f"worker shard {shard} died mid-batch: {exc!r}",
+                    query_name=s.query.name,
+                    fingerprint=s.fp,
+                    shard=shard,
+                    attempts=s.attempts,
+                ),
+            )
+        if requeued:
+            with self._work:
+                # Front of the line: these already waited one full
+                # flush; the next dispatch reroutes them around the
+                # down shard.
+                self._pending.extendleft(reversed(requeued))
+                self._work.notify_all()
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.events.emit(
+                "worker_death",
+                shard=shard,
+                error=repr(exc),
+                held=len(held),
+                requeued=len(requeued),
+            )
+        if self.supervisor is not None and not closing:
+            self.supervisor.poke()
+
+    def _dead_shards(self) -> List[int]:
+        """Supervisor hook: shards needing a respawn."""
+        with self._work:
+            if self._closing:
+                return []
+            return sorted(self._down)
+
+    def _restart_shard(self, shard: int) -> None:
+        """Supervisor hook: respawn one dead worker.
+
+        With a service factory the shard's service is rebuilt from
+        scratch — fresh policy copy, planner, caches — because a worker
+        that died mid-batch may hold arbitrarily corrupt state (the
+        restarted shard's counters restart with it). Without one, the
+        surviving service object is reused. Either way the breaker is
+        force-closed and routing returns to normal.
+        """
+        with self._work:
+            if self._closing or shard not in self._down:
+                return
+        if self._service_factory is not None:
+            service = self._service_factory(shard)
+            if service.telemetry is None:
+                service.telemetry = self.telemetry
+            # The rebuilt policy is a private copy: private lock.
+            service.engine.inference_lock = threading.Lock()
+            if self.fault_injector is not None:
+                service.install_fault_injector(self.fault_injector)
+            self.services[shard] = service
+        thread = threading.Thread(
+            target=self._worker_loop,
+            args=(shard,),
+            name=f"serving-shard-{shard}",
+            daemon=True,
+        )
+        self._workers[shard] = thread
+        self.breakers[shard].reset()
+        with self._work:
+            # Reopen routing before the thread starts: anything
+            # dispatched in the gap just waits in the shard queue.
+            self._down.discard(shard)
+            self.stats.worker_restarts += 1
+            self._work.notify_all()
+        thread.start()
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.events.emit(
+                "worker_restart",
+                shard=shard,
+                rebuilt=self._service_factory is not None,
+            )
+
+    def _flusher_dead(self) -> bool:
+        """Supervisor hook: does the flusher thread need a respawn?"""
+        with self._work:
+            if self._closing:
+                return False
+        return not self._flusher.is_alive()
+
+    def _restart_flusher(self) -> None:
+        """Supervisor hook: respawn a crashed flusher thread."""
+        with self._work:
+            if self._closing:
+                return
+        self._flusher = threading.Thread(
+            target=self._flusher_loop, name="serving-flusher", daemon=True
+        )
+        self._flusher.start()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -529,38 +1255,86 @@ class ServingFrontEnd:
     def drain(self, timeout: float | None = None) -> None:
         """Block until every accepted submission has resolved.
 
-        Pending submissions are flushed immediately (no deadline wait).
-        Raises ``TimeoutError`` if ``timeout`` seconds pass first; the
-        front end keeps serving either way.
+        Pending submissions are flushed immediately (no deadline wait),
+        and deadline-carrying submissions that go overdue while
+        draining are force-expired (``DeadlineExceeded``,
+        ``stage="drain"``) — so a drain can never hang past the longest
+        outstanding request deadline. Raises ``TimeoutError`` if
+        ``timeout`` seconds pass first; the front end keeps serving
+        either way.
         """
         deadline = None if timeout is None else self.clock() + timeout
         with self._work:
             self._flush_asap = True
             self._work.notify_all()
-            try:
-                while self._inflight > 0:
-                    remaining = None if deadline is None else deadline - self.clock()
+        try:
+            while True:
+                now = self.clock()
+                with self._state_lock:
+                    overdue = [
+                        s
+                        for s in self._outstanding
+                        if s.deadline is not None and now >= s.deadline
+                    ]
+                    next_dl = min(
+                        (
+                            s.deadline
+                            for s in self._outstanding
+                            if s.deadline is not None and now < s.deadline
+                        ),
+                        default=None,
+                    )
+                for s in overdue:
+                    self._resolve(
+                        s,
+                        error=DeadlineExceeded(
+                            "request deadline expired during drain",
+                            stage="drain",
+                            query_name=s.query.name,
+                            fingerprint=s.fp,
+                            shard=s.shard,
+                            attempts=s.attempts,
+                        ),
+                        counter="deadline_expired",
+                    )
+                with self._work:
+                    if self._inflight <= 0:
+                        return
+                    remaining = (
+                        None if deadline is None else deadline - self.clock()
+                    )
                     if remaining is not None and remaining <= 0:
                         raise TimeoutError(
                             f"drain timed out with {self._inflight} in flight"
                         )
-                    self._work.wait(remaining)
-            finally:
+                    wait = remaining
+                    if next_dl is not None:
+                        # Wake at the next request deadline to force-expire.
+                        until = max(0.0, next_dl - self.clock()) + 0.001
+                        wait = until if wait is None else min(wait, until)
+                    self._work.wait(wait)
+        finally:
+            with self._work:
                 self._flush_asap = False
+                self._work.notify_all()
 
     def close(self, timeout: float | None = None) -> None:
         """Stop accepting work, serve everything queued, stop threads.
 
         Every future handed out before ``close`` resolves: the flusher
         drains the pending queue into the shard queues before exiting,
-        and each worker finishes its queue before seeing the stop
-        sentinel. Idempotent.
+        each worker finishes its queue before seeing the stop sentinel,
+        and anything still unresolved after that (parked in a retry
+        backoff, stranded on a dead shard) is swept with a structured
+        ``ServiceClosed``. Idempotent.
         """
         with self._work:
             if self._closed:
                 return
             self._closing = True
             self._work.notify_all()
+        if self.supervisor is not None:
+            self.supervisor.stop()
         self._flusher.join(timeout)
         if self._flusher.is_alive():
             # The flusher may still be dispatching pending submissions;
@@ -577,6 +1351,26 @@ class ServingFrontEnd:
                 raise TimeoutError(
                     f"close() timed out waiting for {worker.name}; retry close()"
                 )
+        # Workers are gone: no new retry timers can start. Cancel the
+        # parked ones and sweep every submission still unresolved.
+        with self._state_lock:
+            timers = list(self._timers.values())
+            self._timers.clear()
+        for timer in timers:
+            timer.cancel()
+        with self._state_lock:
+            leftovers = list(self._outstanding)
+        for s in leftovers:
+            self._resolve(
+                s,
+                error=ServiceClosed(
+                    "front end closed before the request resolved",
+                    query_name=s.query.name,
+                    fingerprint=s.fp,
+                    shard=s.shard,
+                    attempts=s.attempts,
+                ),
+            )
         self._closed = True
 
     def __enter__(self) -> "ServingFrontEnd":
@@ -656,4 +1450,7 @@ class ServingFrontEnd:
             rolled[f"shard{shard}_requests"] = service.stats.requests
         rolled.update(self.stats.as_dict())
         rolled["frontend_shards"] = self.config.n_shards
+        rolled["frontend_breakers_open"] = sum(
+            1 for breaker in self.breakers if breaker.state != "closed"
+        )
         return rolled

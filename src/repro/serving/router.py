@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable
 
 from repro.db.query import Query
-from repro.optimizer.planner import Planner, PlannerResult
+from repro.optimizer.planner import Planner, PlannerResult, PlanningTimeout
 
 __all__ = ["GuardrailDecision", "GuardrailRouter"]
 
@@ -54,6 +54,9 @@ class GuardrailRouter:
         self.regression_threshold = regression_threshold
         self.decisions = 0
         self.fallbacks = 0
+        #: Guardrail comparisons skipped because the budgeted expert
+        #: search timed out (the learned plan is served unguarded).
+        self.timeouts = 0
         # The memo may be invalidated from an operator thread while a
         # worker thread is filling it; guard both maps together.
         self._lock = threading.Lock()
@@ -62,15 +65,30 @@ class GuardrailRouter:
         #: table-scoped statistics refresh can evict surgically.
         self._tables: Dict[str, FrozenSet[str]] = {}
 
+    def peek(self, key: str) -> PlannerResult | None:
+        """The memoized expert plan for ``key``, if one exists — no
+        planning, no blocking beyond the dict get. The degradation
+        ladder's first rung: a cached expert answer beats re-planning
+        when the policy just failed."""
+        with self._lock:
+            return self._expert_results.get(key)
+
     def expert_result(
-        self, query: Query, key: str | None = None, trace=None, parent=None
+        self,
+        query: Query,
+        key: str | None = None,
+        trace=None,
+        parent=None,
+        budget_ms: float | None = None,
     ) -> PlannerResult:
         """The expert plan for ``query``, memoized by fingerprint.
 
         With a ``trace`` attached, an actual planner run (memo miss)
         records an ``expert_dp`` span under ``parent`` carrying the DP
         subset-enumeration delta; memo hits record nothing — the lookup
-        is a dict get.
+        is a dict get. ``budget_ms`` bounds the search wall clock; a
+        :class:`~repro.optimizer.planner.PlanningTimeout` propagates
+        (nothing is memoized — a timeout is not an answer).
         """
         key = key or query.name
         with self._lock:
@@ -85,12 +103,14 @@ class GuardrailRouter:
                 if trace is not None
                 else None
             )
-            result = self.planner.optimize(query)
-            if span is not None:
-                span.attrs["dp_subsets"] = (
-                    self.planner.dp_stats.subsets_enumerated - subsets_before
-                )
-                trace.end_span(span)
+            try:
+                result = self.planner.optimize(query, budget_ms=budget_ms)
+            finally:
+                if span is not None:
+                    span.attrs["dp_subsets"] = (
+                        self.planner.dp_stats.subsets_enumerated - subsets_before
+                    )
+                    trace.end_span(span)
             with self._lock:
                 if self.planner.db.stats_epoch == epoch:
                     # Don't memoize a plan computed under statistics an
@@ -107,6 +127,7 @@ class GuardrailRouter:
         key: str | None = None,
         trace=None,
         parent=None,
+        budget_ms: float | None = None,
     ) -> GuardrailDecision:
         self.decisions += 1
         if self.regression_threshold is None:
@@ -116,9 +137,20 @@ class GuardrailRouter:
                 expert_cost=None,
                 threshold=None,
             )
-        expert_cost = self.expert_result(
-            query, key, trace=trace, parent=parent
-        ).cost.total
+        try:
+            expert_cost = self.expert_result(
+                query, key, trace=trace, parent=parent, budget_ms=budget_ms
+            ).cost.total
+        except PlanningTimeout:
+            # The guardrail is advisory; out of budget, serving the
+            # learned plan unguarded beats missing the deadline.
+            self.timeouts += 1
+            return GuardrailDecision(
+                use_learned=True,
+                learned_cost=learned_cost,
+                expert_cost=None,
+                threshold=self.regression_threshold,
+            )
         use_learned = learned_cost <= expert_cost * self.regression_threshold
         if not use_learned:
             self.fallbacks += 1

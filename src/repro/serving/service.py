@@ -34,7 +34,7 @@ from repro.db.query import Query
 from repro.obs import Telemetry
 from repro.obs.metrics import MetricsRegistry
 from repro.optimizer.memo import SubPlanCostMemo
-from repro.optimizer.planner import Planner
+from repro.optimizer.planner import Planner, PlanningTimeout
 from repro.rl.env import Trajectory
 from repro.serving.batching import MicroBatchEngine, RolloutRecord
 from repro.serving.cache import PlanCache
@@ -87,6 +87,11 @@ _LEGACY_COUNTER_KEYS = (
     ("repro_expert_dp_pruned_total", "dp_pruned"),
     ("repro_expert_dp_bound_fallbacks_total", "dp_bound_fallbacks"),
     ("repro_expert_plans_total", "expert_plans"),
+    ("repro_serving_degraded_total", "served_degraded"),
+    ("repro_serving_degraded_cache_total", "degraded_cache"),
+    ("repro_serving_degraded_dp_total", "degraded_dp"),
+    ("repro_serving_degraded_greedy_total", "degraded_greedy"),
+    ("repro_guardrail_timeouts_total", "guardrail_timeouts"),
 )
 
 
@@ -146,6 +151,10 @@ class ServingConfig:
     #: :meth:`~OptimizerService.flush` — backpressure instead of an
     #: unbounded pending list.
     max_pending: int = 4096
+    #: Wall-clock cap on the degradation ladder's budgeted-DP rung (the
+    #: non-exact pruned bitset search run when the policy failed). The
+    #: request's own remaining deadline budget tightens it further.
+    degraded_dp_budget_ms: float = 25.0
 
 
 @dataclass(frozen=True)
@@ -156,10 +165,13 @@ class ServedPlan:
     fingerprint: str
     plan: PhysicalPlan
     cost: float
-    #: "cache" | "policy" | "fallback" | "expert"
+    #: "cache" | "policy" | "fallback" | "expert" | "degraded_cache" |
+    #: "degraded_dp" | "degraded_greedy"
     source: str
     latency_ms: float
     decision: GuardrailDecision | None = None
+    #: How many serve attempts the front end made (1 = first try).
+    attempts: int = 1
 
 
 @dataclass
@@ -183,6 +195,12 @@ class ServiceStats:
     fallbacks: int = 0
     expert_served: int = 0
     cache_served: int = 0
+    #: Requests answered by the degradation ladder (policy failed), in
+    #: total and broken out per rung.
+    degraded_served: int = 0
+    degraded_cache: int = 0
+    degraded_dp: int = 0
+    degraded_greedy: int = 0
 
     @property
     def fallback_rate(self) -> float:
@@ -243,6 +261,12 @@ class OptimizerService:
         #: service trace-free. The metrics registry below is independent
         #: of it — always present, pull-style, free on the hot path.
         self.telemetry = telemetry
+        #: Optional :class:`~repro.serving.faults.FaultInjector`. The
+        #: service's own injection site is the ``stats_race`` kind — a
+        #: statistics-epoch bump racing a batch (see
+        #: :meth:`optimize_batch`); it also cascades to the micro-batch
+        #: engine for ``policy_nan`` faults.
+        self.fault_injector = None
         self.registry = MetricsRegistry()
         self.request_ms_hist = self.registry.histogram(
             "repro_serving_request_ms",
@@ -299,6 +323,31 @@ class OptimizerService:
             "repro_guardrail_decisions_total",
             lambda: self.router.decisions,
             "learned-vs-expert comparisons made",
+        )
+        reg.counter_fn(
+            "repro_guardrail_timeouts_total",
+            lambda: self.router.timeouts,
+            "guardrail comparisons skipped on expert-search timeout",
+        )
+        reg.counter_fn(
+            "repro_serving_degraded_total",
+            lambda: self.stats.degraded_served,
+            "requests answered by the degradation ladder",
+        )
+        reg.counter_fn(
+            "repro_serving_degraded_cache_total",
+            lambda: self.stats.degraded_cache,
+            "degraded requests answered from the expert memo",
+        )
+        reg.counter_fn(
+            "repro_serving_degraded_dp_total",
+            lambda: self.stats.degraded_dp,
+            "degraded requests answered by the budgeted DP rung",
+        )
+        reg.counter_fn(
+            "repro_serving_degraded_greedy_total",
+            lambda: self.stats.degraded_greedy,
+            "degraded requests answered by the greedy floor",
         )
         reg.counter_fn(
             "repro_policy_forward_passes_total",
@@ -437,12 +486,19 @@ class OptimizerService:
         self._closed = True
         return served
 
+    def install_fault_injector(self, injector) -> None:
+        """Arm the chaos harness on this service and its engine."""
+        self.fault_injector = injector
+        self.engine.fault_injector = injector
+
     def optimize_batch(
         self,
         queries: Sequence[Query],
         fingerprints: Sequence[str] | None = None,
         alias_maps: Sequence[Dict[str, str]] | None = None,
         traces: Sequence | None = None,
+        budgets_ms: Sequence[float | None] | None = None,
+        collect=True,
     ) -> List[ServedPlan]:
         """Serve a concurrent burst: cache first, then batched rollout.
 
@@ -457,10 +513,44 @@ class OptimizerService:
         expert children, and the caller finishes them. Without
         ``traces``, a service holding enabled telemetry begins and
         finishes its own (the synchronous path).
+
+        ``budgets_ms`` (index-aligned, entries may be ``None``) are
+        per-request *remaining deadline budgets* in milliseconds. They
+        bound the slow planner work inside the batch — the guardrail's
+        expert search and the degradation ladder's DP rung — via the
+        DP's check-deadline hook; they do not abort a batch mid-serve
+        (the front end checks deadlines at pickup).
+
+        ``collect`` gates experience collection, either one bool for
+        the whole batch or an index-aligned sequence — the front end
+        passes per-request flags so a *retried* request never
+        double-collects its rollout (collection mutates the experience
+        buffer; everything else on this path is idempotent).
+
+        A policy failure (non-finite forward pass, injected fault,
+        any exception out of the rollout) does not fail the batch:
+        every rollout-bound request is answered by the **degradation
+        ladder** instead — memoized expert plan, then a budgeted
+        non-exact DP, then greedy — with ``degraded_*`` sources and a
+        ``degraded_serve`` event per group.
         """
         if not queries:
             return []
         start = time.perf_counter()
+        budgets = (
+            list(budgets_ms) if budgets_ms is not None else [None] * len(queries)
+        )
+        if isinstance(collect, bool):
+            collects = [collect] * len(queries)
+        else:
+            collects = list(collect)
+
+        def remaining(idx: int) -> float | None:
+            budget = budgets[idx]
+            if budget is None:
+                return None
+            return budget - (time.perf_counter() - start) * 1000.0
+
         owns_traces = False
         if traces is None:
             if self.telemetry is not None and self.telemetry.enabled:
@@ -481,6 +571,14 @@ class OptimizerService:
         # late insert of a pre-ANALYZE plan.
         epoch = self.db.stats_epoch
         self.stats.batches += 1
+        if self.fault_injector is not None and self.fault_injector.fires(
+            "stats_race", f"b{self.stats.batches}"
+        ):
+            # Chaos: an epoch bump lands *after* this batch captured its
+            # epoch — exactly the ANALYZE race the guards above protect
+            # against. Statistics are untouched (plans stay identical);
+            # every epoch-guarded cache put in this batch is skipped.
+            self.db.bump_stats_epoch()
         maps = (
             list(alias_maps)
             if alias_maps is not None
@@ -515,7 +613,13 @@ class OptimizerService:
                 )
             elif query.n_relations > self.featurizer.max_relations:
                 answers[idx] = self._expert_direct(
-                    query, maps[idx], fp, epoch, trace=trace, parent=parent
+                    query,
+                    maps[idx],
+                    fp,
+                    epoch,
+                    trace=trace,
+                    parent=parent,
+                    budget_ms=remaining(idx),
                 )
             else:
                 rollout_fp[fp] = [idx]
@@ -523,7 +627,16 @@ class OptimizerService:
         if rollout_fp:
             indices = [idxs[0] for idxs in rollout_fp.values()]
             roll_start = time.perf_counter()
-            records = self.engine.rollout([queries[i] for i in indices])
+            records = None
+            degrade_reason = None
+            try:
+                records = self.engine.rollout([queries[i] for i in indices])
+            except Exception as exc:
+                # The lockstep rollout failed for the whole miss set
+                # (non-finite forward pass, injected fault, encoder
+                # bug). The batch still answers: every rollout-bound
+                # group drops to the degradation ladder below.
+                degrade_reason = f"{type(exc).__name__}: {exc}"
             roll_ms = (time.perf_counter() - roll_start) * 1000.0
             for i in indices:
                 if traces[i] is not None:
@@ -535,17 +648,38 @@ class OptimizerService:
                         roll_ms,
                         parent=serve_spans[i],
                         rollout_batch=len(indices),
+                        failed=records is None,
                     )
-            for idxs, record in zip(rollout_fp.values(), records):
+            groups: List[tuple] = []
+            if records is not None:
+                for idxs, record in zip(rollout_fp.values(), records):
+                    first = idxs[0]
+                    answer, entry = self._serve_rollout(
+                        record,
+                        maps[first],
+                        fps[first],
+                        epoch,
+                        trace=traces[first],
+                        parent=serve_spans[first],
+                        budget_ms=remaining(first),
+                        collect=collects[first],
+                    )
+                    groups.append((idxs, answer, entry))
+            else:
+                for idxs in rollout_fp.values():
+                    first = idxs[0]
+                    answer, entry = self._serve_degraded(
+                        queries[first],
+                        maps[first],
+                        fps[first],
+                        budget_ms=remaining(first),
+                        reason=degrade_reason,
+                        trace=traces[first],
+                        parent=serve_spans[first],
+                    )
+                    groups.append((idxs, answer, entry))
+            for idxs, answer, entry in groups:
                 first = idxs[0]
-                answer, entry = self._serve_rollout(
-                    record,
-                    maps[first],
-                    fps[first],
-                    epoch,
-                    trace=traces[first],
-                    parent=serve_spans[first],
-                )
                 answers[first] = answer
                 # Alias-renamed duplicates of the same fingerprint still
                 # need their plan expressed in their own aliases.
@@ -640,9 +774,26 @@ class OptimizerService:
         epoch: int,
         trace=None,
         parent=None,
+        budget_ms: float | None = None,
     ) -> tuple:
-        """Oversize queries bypass the policy entirely."""
-        result = self.router.expert_result(query, fp, trace=trace, parent=parent)
+        """Oversize queries bypass the policy entirely. A budgeted
+        expert search that times out drops to the degradation ladder
+        (whose greedy floor always answers)."""
+        try:
+            result = self.router.expert_result(
+                query, fp, trace=trace, parent=parent, budget_ms=budget_ms
+            )
+        except PlanningTimeout as exc:
+            answer, _entry = self._serve_degraded(
+                query,
+                names,
+                fp,
+                budget_ms=budget_ms,
+                reason=f"PlanningTimeout: {exc}",
+                trace=trace,
+                parent=parent,
+            )
+            return answer
         entry = _CacheEntry(
             plan=result.plan,
             cost=result.cost.total,
@@ -662,6 +813,8 @@ class OptimizerService:
         epoch: int,
         trace=None,
         parent=None,
+        budget_ms: float | None = None,
+        collect: bool = True,
     ) -> tuple:
         query = record.query
         build_start = time.perf_counter()
@@ -676,7 +829,12 @@ class OptimizerService:
             trace.start_span("guardrail", parent=parent) if trace is not None else None
         )
         decision = self.router.decide(
-            query, learned.cost.total, fp, trace=trace, parent=guard_span
+            query,
+            learned.cost.total,
+            fp,
+            trace=trace,
+            parent=guard_span,
+            budget_ms=budget_ms,
         )
         if guard_span is not None:
             guard_span.attrs["use_learned"] = decision.use_learned
@@ -717,9 +875,87 @@ class OptimizerService:
                 )
         if self.db.stats_epoch == epoch:
             self.cache.put(fp, entry, tables=query.relations.values())
-        if self.experience is not None and record.transitions:
+        if collect and self.experience is not None and record.transitions:
             self._collect(record, learned.plan, fp, source)
         return (source, entry.plan, entry.cost, decision), entry
+
+    def _serve_degraded(
+        self,
+        query: Query,
+        names: Dict[str, str],
+        fp: str,
+        budget_ms: float | None = None,
+        reason: str | None = None,
+        trace=None,
+        parent=None,
+    ) -> tuple:
+        """The degradation ladder: answer a request whose policy rollout
+        failed, trading plan quality for availability rung by rung.
+
+        1. **Memoized expert plan** (``degraded_cache``): the guardrail
+           already paid for an expert plan of this fingerprint — serve
+           it (only when its aliases match the requester's; the memo
+           stores no alias map).
+        2. **Budgeted DP** (``degraded_dp``): a non-exact, hard-pruned
+           bitset search under ``ServingConfig.degraded_dp_budget_ms``
+           (tightened by the request's remaining deadline), interrupted
+           mid-wave on expiry.
+        3. **Greedy** (``degraded_greedy``): the bottom-up floor —
+           milliseconds, always answers.
+
+        Degraded plans are **never cached**: the next non-degraded
+        request for this fingerprint must produce (and cache) a full-
+        quality plan, not inherit the outage's compromise. Each
+        degraded serve emits a ``degraded_serve`` event.
+        """
+        # The ladder degrades *transient* failures (policy NaNs, blown
+        # budgets), not validation ones: a query naming tables the
+        # schema does not have must fail loudly — every rung would
+        # otherwise invent a "plan" over nonexistent data.
+        unknown = sorted(
+            {t for t in query.relations.values() if t not in self.db.tables}
+        )
+        if unknown:
+            raise KeyError(
+                f"query {query.name!r} references unknown tables {unknown}"
+                + (f" (degraded after: {reason})" if reason else "")
+            )
+        span = (
+            trace.start_span("degraded_serve", parent=parent, reason=reason)
+            if trace is not None
+            else None
+        )
+        cached = self.router.peek(fp)
+        if cached is not None and set(cached.join_tree.aliases) == set(
+            query.relations
+        ):
+            source = "degraded_cache"
+            result = cached
+        else:
+            budget = self.config.degraded_dp_budget_ms
+            if budget_ms is not None:
+                budget = max(0.0, min(budget, budget_ms))
+            result, lane = self.planner.degraded_plan(query, budget_ms=budget)
+            source = f"degraded_{lane}"
+        if span is not None:
+            span.attrs["source"] = source
+            trace.end_span(span)
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.events.emit(
+                "degraded_serve",
+                query=query.name,
+                fingerprint=fp,
+                source=source,
+                reason=reason,
+            )
+        entry = _CacheEntry(
+            plan=result.plan,
+            cost=result.cost.total,
+            origin=source,
+            tree=result.join_tree,
+            alias_map=names,
+        )
+        return (source, entry.plan, entry.cost, None), entry
 
     def _collect(
         self, record: RolloutRecord, learned_plan: PhysicalPlan, fp: str, source: str
@@ -752,6 +988,14 @@ class OptimizerService:
             self.stats.policy_served += 1
         elif source == "fallback":
             self.stats.fallbacks += 1
+        elif source.startswith("degraded_"):
+            self.stats.degraded_served += 1
+            if source == "degraded_cache":
+                self.stats.degraded_cache += 1
+            elif source == "degraded_dp":
+                self.stats.degraded_dp += 1
+            else:
+                self.stats.degraded_greedy += 1
         else:
             self.stats.expert_served += 1
 

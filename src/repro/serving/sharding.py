@@ -63,6 +63,32 @@ class HashRing:
             where = 0
         return self._shards[where]
 
+    def fallback_order(self, key: str) -> List[int]:
+        """Every shard, in the order ``key`` would fail over to them.
+
+        The first entry is :meth:`shard_for`; the rest are the distinct
+        shards of the subsequent virtual nodes walking clockwise from
+        the key's position. The front end routes around down shards and
+        open circuits by taking the first *healthy* entry — and because
+        the walk order is a pure function of the ring, every request
+        for a fingerprint reroutes to the *same* surviving shard, so
+        shard-private caches stay useful during the outage.
+        """
+        if self.n_shards == 1:
+            return [0]
+        where = bisect.bisect_right(self._points, _point(key))
+        order: List[int] = []
+        seen = 0
+        for step in range(len(self._shards)):
+            shard = self._shards[(where + step) % len(self._shards)]
+            bit = 1 << shard
+            if not seen & bit:
+                seen |= bit
+                order.append(shard)
+                if len(order) == self.n_shards:
+                    break
+        return order
+
     def spread(self, keys) -> Dict[int, int]:
         """How many of ``keys`` each shard owns (diagnostics/tests)."""
         counts: Dict[int, int] = {shard: 0 for shard in range(self.n_shards)}

@@ -1,0 +1,239 @@
+"""Tests for per-request deadlines, admission control, and lifecycle
+hardening: queue/serve/drain expiry stages, backoff-vs-deadline
+interaction, load shedding, and ServiceClosed semantics."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.featurize import QueryFeaturizer
+from repro.db.query import parse_query
+from repro.rl.ppo import PPOAgent
+from repro.serving import (
+    DeadlineExceeded,
+    FaultConfig,
+    FaultInjector,
+    FrontEndConfig,
+    LoadShedded,
+    ServiceClosed,
+    ServingConfig,
+    ServingFrontEnd,
+)
+
+BC = "SELECT * FROM b, c WHERE b.id = c.b_id"
+
+
+@pytest.fixture(scope="module")
+def featurizer(small_db):
+    return QueryFeaturizer(small_db.schema, max_relations=3)
+
+
+@pytest.fixture(scope="module")
+def agent(small_db, featurizer):
+    return PPOAgent(
+        featurizer.state_dim, featurizer.n_pair_actions, np.random.default_rng(3)
+    )
+
+
+def make_frontend(small_db, agent, featurizer, **config_kwargs):
+    config_kwargs.setdefault("n_shards", 1)
+    config_kwargs.setdefault("max_batch", 4)
+    config_kwargs.setdefault("max_delay_ms", 5.0)
+    return ServingFrontEnd.build(
+        small_db,
+        agent,
+        featurizer=featurizer,
+        serving_config=ServingConfig(regression_threshold=1.5),
+        config=FrontEndConfig(**config_kwargs),
+    )
+
+
+def stall_services(frontend, release: threading.Event, sleep_s=0.05):
+    """Wrap every shard service's optimize_batch to wait on an event
+    (bounded by repeated short sleeps so tests cannot hang forever)."""
+    for service in frontend.services:
+        original = service.optimize_batch
+
+        def stalled(*args, _original=original, **kwargs):
+            deadline = time.monotonic() + 10.0
+            while not release.is_set() and time.monotonic() < deadline:
+                time.sleep(sleep_s)
+            return _original(*args, **kwargs)
+
+        service.optimize_batch = stalled
+
+
+class TestDeadlines:
+    def test_expires_mid_queue_fail_fast(self, small_db, agent, featurizer):
+        # max_delay far beyond the deadline: the flusher must wake at
+        # the head's deadline (fail-fast), not after the full delay.
+        frontend = make_frontend(
+            small_db, agent, featurizer, max_batch=64, max_delay_ms=5000.0
+        )
+        with frontend:
+            # Pre-expired relative to the flush that will carry it.
+            start = time.monotonic()
+            future = frontend.submit(parse_query(BC, "hurried"), deadline_ms=30.0)
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                future.result(timeout=5.0)
+            elapsed = time.monotonic() - start
+        assert excinfo.value.stage == "queue"
+        assert elapsed < 2.0  # nowhere near the 5s flush delay
+        assert frontend.stats.deadline_expired == 1
+        assert frontend._outstanding == set()
+
+    def test_expires_mid_serve_at_worker_pickup(self, small_db, agent, featurizer):
+        # One shard, one-at-a-time batches: a slow serve in front makes
+        # the second request's budget expire while it waits in the
+        # worker queue; the worker detects it at pickup (stage="serve").
+        frontend = make_frontend(
+            small_db, agent, featurizer, n_shards=1, max_batch=1, max_delay_ms=1.0
+        )
+        release = threading.Event()
+        stall_services(frontend, release)
+        try:
+            with frontend:
+                slow = frontend.submit(parse_query(BC, "slow"))
+                hurried = frontend.submit(
+                    parse_query(BC, "hurried"), deadline_ms=60.0
+                )
+                time.sleep(0.15)  # let the deadline lapse mid-stall
+                release.set()
+                assert slow.result(timeout=5.0).cost > 0
+                with pytest.raises(DeadlineExceeded) as excinfo:
+                    hurried.result(timeout=5.0)
+            assert excinfo.value.stage == "serve"
+        finally:
+            release.set()
+        assert frontend._outstanding == set()
+
+    def test_drain_force_expires_overdue(self, small_db, agent, featurizer):
+        frontend = make_frontend(
+            small_db, agent, featurizer, n_shards=1, max_batch=1, max_delay_ms=1.0
+        )
+        release = threading.Event()
+        stall_services(frontend, release)
+        try:
+            with frontend:
+                stuck = frontend.submit(
+                    parse_query(BC, "stuck"), deadline_ms=80.0
+                )
+                # drain() must not wait for the stalled worker: it wakes
+                # at the request deadline and force-expires it.
+                frontend.drain(timeout=5.0)
+                assert stuck.done()
+                with pytest.raises(DeadlineExceeded) as excinfo:
+                    stuck.result()
+                assert excinfo.value.stage == "drain"
+        finally:
+            release.set()
+        frontend.close()
+        assert frontend._outstanding == set()
+
+    def test_backoff_overshooting_deadline_fails_structured(
+        self, small_db, agent, featurizer
+    ):
+        # 100% fault rate + a backoff longer than the remaining budget:
+        # instead of sleeping past the deadline, fail now.
+        frontend = make_frontend(
+            small_db,
+            agent,
+            featurizer,
+            max_attempts=3,
+            backoff_base_ms=500.0,
+            backoff_cap_ms=500.0,
+        )
+        frontend.install_fault_injector(
+            FaultInjector(FaultConfig(worker_fault_rate=1.0, seed=9))
+        )
+        with frontend:
+            future = frontend.submit(parse_query(BC, "q"), deadline_ms=100.0)
+            with pytest.raises(DeadlineExceeded) as excinfo:
+                future.result(timeout=5.0)
+        assert excinfo.value.stage == "queue"
+        assert frontend.stats.retries == 0  # the retry was never scheduled
+        assert frontend._outstanding == set()
+
+    def test_no_deadline_means_no_expiry(self, small_db, agent, featurizer):
+        frontend = make_frontend(small_db, agent, featurizer)
+        with frontend:
+            assert frontend.optimize(parse_query(BC, "calm"), timeout=5.0).cost > 0
+        assert frontend.stats.deadline_expired == 0
+
+    def test_bad_deadline_rejected(self, small_db, agent, featurizer):
+        frontend = make_frontend(small_db, agent, featurizer)
+        with frontend:
+            with pytest.raises(ValueError):
+                frontend.submit(parse_query(BC, "q"), deadline_ms=0)
+
+
+class TestAdmissionControl:
+    def test_load_shed_past_watermark(self, small_db, agent, featurizer):
+        frontend = make_frontend(
+            small_db,
+            agent,
+            featurizer,
+            n_shards=1,
+            max_pending=2,
+            shed_watermark=1.0,
+            max_delay_ms=1.0,
+            max_batch=1,
+        )
+        release = threading.Event()
+        stall_services(frontend, release)
+        try:
+            with frontend:
+                accepted = [
+                    frontend.submit(parse_query(BC, f"q{i}")) for i in range(2)
+                ]
+                with pytest.raises(LoadShedded) as excinfo:
+                    frontend.submit(parse_query(BC, "shed"))
+                assert excinfo.value.retry_after_s > 0
+                assert "backpressure" in str(excinfo.value)
+                release.set()
+                for future in accepted:
+                    assert future.result(timeout=5.0).cost > 0
+        finally:
+            release.set()
+        assert frontend.stats.load_shed == 1
+        assert frontend.stats.rejected == 1
+
+    def test_load_shedded_is_a_runtime_error(self):
+        # Callers predating the typed hierarchy catch RuntimeError.
+        assert issubclass(LoadShedded, RuntimeError)
+        assert issubclass(ServiceClosed, RuntimeError)
+
+
+class TestServiceClosed:
+    def test_late_submit_raises_service_closed(self, small_db, agent, featurizer):
+        frontend = make_frontend(small_db, agent, featurizer)
+        frontend.close()
+        with pytest.raises(ServiceClosed, match="close"):
+            frontend.submit(parse_query(BC, "late"))
+
+    def test_close_sweeps_parked_retries(self, small_db, agent, featurizer):
+        # A request parked in a long retry backoff when close() lands
+        # must resolve with ServiceClosed, not dangle.
+        frontend = make_frontend(
+            small_db,
+            agent,
+            featurizer,
+            max_attempts=3,
+            backoff_base_ms=60_000.0,
+            backoff_cap_ms=60_000.0,
+        )
+        frontend.install_fault_injector(
+            FaultInjector(FaultConfig(worker_fault_rate=1.0, seed=13))
+        )
+        future = frontend.submit(parse_query(BC, "parked"))
+        # Wait until the first attempt failed and the retry timer is armed.
+        deadline = time.monotonic() + 5.0
+        while not frontend._timers and time.monotonic() < deadline:
+            time.sleep(0.01)
+        frontend.close(timeout=5.0)
+        with pytest.raises(ServiceClosed):
+            future.result(timeout=1.0)
+        assert frontend._outstanding == set()
+        assert frontend._timers == {}

@@ -1,0 +1,257 @@
+"""Tests for shard supervision: the circuit breaker state machine (with
+an injectable clock), worker kill/respawn/reroute, and failure routing
+when every shard is gone."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.featurize import QueryFeaturizer
+from repro.db.query import parse_query
+from repro.rl.ppo import PPOAgent
+from repro.serving import (
+    CircuitBreaker,
+    FrontEndConfig,
+    RetriesExhausted,
+    ServingConfig,
+    ServingFrontEnd,
+    ShardFailed,
+    fingerprint,
+)
+
+BC = "SELECT * FROM b, c WHERE b.id = c.b_id"
+AB = "SELECT * FROM a, b WHERE a.id = b.a_id"
+
+
+@pytest.fixture(scope="module")
+def featurizer(small_db):
+    return QueryFeaturizer(small_db.schema, max_relations=3)
+
+
+@pytest.fixture(scope="module")
+def agent(small_db, featurizer):
+    return PPOAgent(
+        featurizer.state_dim, featurizer.n_pair_actions, np.random.default_rng(3)
+    )
+
+
+def make_frontend(small_db, agent, featurizer, **config_kwargs):
+    config_kwargs.setdefault("n_shards", 2)
+    config_kwargs.setdefault("max_batch", 4)
+    config_kwargs.setdefault("max_delay_ms", 5.0)
+    config_kwargs.setdefault("backoff_base_ms", 2.0)
+    config_kwargs.setdefault("backoff_cap_ms", 10.0)
+    return ServingFrontEnd.build(
+        small_db,
+        agent,
+        featurizer=featurizer,
+        serving_config=ServingConfig(regression_threshold=1.5),
+        config=FrontEndConfig(**config_kwargs),
+    )
+
+
+def wait_until(predicate, timeout=5.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+class TestCircuitBreaker:
+    def make(self, **kwargs):
+        clock = FakeClock()
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("cooldown_s", 10.0)
+        return CircuitBreaker(clock=clock, **kwargs), clock
+
+    def test_trips_on_consecutive_failures_only(self):
+        breaker, _ = self.make()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()  # resets the streak
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 1
+
+    def test_open_rejects_until_cooldown(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        assert not breaker.allow()
+        assert breaker.retry_after() == pytest.approx(10.0)
+        clock.advance(6.0)
+        assert not breaker.allow()
+        assert breaker.retry_after() == pytest.approx(4.0)
+
+    def test_half_open_probe_success_closes(self):
+        breaker, clock = self.make(probe_limit=1)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()  # the probe slot
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # probe limit consumed
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_probe_failure_reopens(self):
+        breaker, clock = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.trips == 2
+        # Fresh cooldown from the failed probe.
+        assert breaker.retry_after() == pytest.approx(10.0)
+
+    def test_reset_force_closes(self):
+        breaker, _ = self.make()
+        for _ in range(3):
+            breaker.record_failure()
+        breaker.reset()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_transition_callback_sees_trips(self):
+        seen = []
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=2,
+            cooldown_s=1.0,
+            clock=clock,
+            on_transition=lambda old, new: seen.append((old, new)),
+        )
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_success()
+        assert seen == [("closed", "open"), ("open", "half_open"),
+                        ("half_open", "closed")]
+
+
+class TestSupervision:
+    def test_killed_worker_is_respawned_and_serves(
+        self, small_db, agent, featurizer
+    ):
+        frontend = make_frontend(
+            small_db, agent, featurizer, n_shards=2, supervisor_interval_s=0.02
+        )
+        with frontend:
+            # Warm both shards, then crash one.
+            frontend.optimize_batch(
+                [parse_query(BC, "bc"), parse_query(AB, "ab")], timeout=5.0
+            )
+            frontend.kill_worker(0)
+            assert wait_until(lambda: frontend.stats.worker_restarts >= 1)
+            # The respawned shard serves again (routing restored).
+            served = frontend.optimize_batch(
+                [parse_query(BC, "bc2"), parse_query(AB, "ab2")], timeout=5.0
+            )
+            assert all(plan.cost > 0 for plan in served)
+            assert not frontend._down
+            assert all(w.is_alive() for w in frontend._workers)
+        assert frontend._outstanding == set()
+
+    def test_down_shard_reroutes_to_survivor(self, small_db, agent, featurizer):
+        # Supervision off: the shard stays down, so the reroute path
+        # (not the respawn) must serve its traffic.
+        frontend = make_frontend(
+            small_db, agent, featurizer, n_shards=2, supervise=False
+        )
+        with frontend:
+            query = parse_query(BC, "bc")
+            home = frontend.ring.shard_for(fingerprint(query))
+            frontend.kill_worker(home)
+            assert wait_until(lambda: home in frontend._down)
+            plan = frontend.optimize(parse_query(BC, "bc-rerouted"), timeout=5.0)
+            assert plan.cost > 0
+            assert frontend.stats.rerouted >= 1
+            survivor = 1 - home
+            assert frontend.services[survivor].stats.requests >= 1
+        assert frontend._outstanding == set()
+
+    def test_fallback_order_is_deterministic(self, small_db, agent, featurizer):
+        frontend = make_frontend(
+            small_db, agent, featurizer, n_shards=3, supervise=False
+        )
+        with frontend:
+            ring = frontend.ring
+            for i in range(20):
+                order = ring.fallback_order(f"fp-{i}")
+                assert order[0] == ring.shard_for(f"fp-{i}")
+                assert sorted(order) == [0, 1, 2]
+                assert order == ring.fallback_order(f"fp-{i}")
+
+    def test_requests_held_by_dying_worker_are_retried(
+        self, small_db, agent, featurizer
+    ):
+        # Kill the only shard with requests queued behind the kill:
+        # they must fail over through ShardFailed retries, and with no
+        # survivor and no supervisor, exhaust into a structured error.
+        frontend = make_frontend(
+            small_db,
+            agent,
+            featurizer,
+            n_shards=1,
+            supervise=False,
+            max_attempts=2,
+            backoff_base_ms=1.0,
+        )
+        with frontend:
+            frontend.kill_worker(0)
+            assert wait_until(lambda: 0 in frontend._down)
+            future = frontend.submit(parse_query(BC, "stranded"))
+            with pytest.raises(RetriesExhausted) as excinfo:
+                future.result(timeout=5.0)
+            assert isinstance(excinfo.value.__cause__, ShardFailed)
+        assert frontend._outstanding == set()
+
+    def test_killed_worker_mid_stream_strands_nothing(
+        self, small_db, agent, featurizer
+    ):
+        # The future-lifecycle audit: kill a shard while a stream of
+        # requests is in flight; every future must resolve (plan or
+        # structured error), and the registry must end empty.
+        frontend = make_frontend(
+            small_db, agent, featurizer, n_shards=2, supervisor_interval_s=0.02
+        )
+        with frontend:
+            futures = []
+            for i in range(30):
+                futures.append(frontend.submit(parse_query(BC, f"q{i}")))
+                if i == 10:
+                    frontend.kill_worker(0)
+                    frontend.kill_worker(1)
+            resolved = 0
+            for future in futures:
+                try:
+                    plan = future.result(timeout=10.0)
+                    assert plan.cost > 0
+                    resolved += 1
+                except Exception:
+                    resolved += 1
+            assert resolved == 30
+            assert wait_until(lambda: not frontend._down)
+        assert frontend._outstanding == set()
+        assert frontend._inflight == 0
