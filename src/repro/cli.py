@@ -135,6 +135,15 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--chaos-seed", type=int, default=0,
                        help="fault-injection seed (decoupled from --seed so "
                        "the request stream stays fixed across chaos runs)")
+    serve.add_argument("--drift", action="store_true",
+                       help="closed-loop mode: shift the workload to a "
+                       "disjoint query-family mix mid-run and let the "
+                       "gated retraining daemon adapt the served policy "
+                       "(hot-swap, rollback, adaptive guardrail)")
+    serve.add_argument("--retrain-every", type=int, default=64,
+                       metavar="K",
+                       help="drift mode: run one retraining cycle every K "
+                       "served requests")
     serve.add_argument("--smoke", action="store_true",
                        help="CI preset: tiny stream, 100%% sampling, tight "
                        "SLO, telemetry artifacts written and self-checked")
@@ -284,17 +293,46 @@ def _make_telemetry(sample_rate=1.0, slo_ms=100.0, seed=0, events_path=None):
 
 def _probe_telemetry(args, telemetry):
     """Serve ``args.probe`` sample queries twice through a telemetry-
-    attached front end (the second pass hits the plan caches), returning
-    the merged metrics registry. Shared by ``metrics`` and ``trace``."""
+    attached front end (the second pass hits the plan caches), then run
+    one retraining-daemon cycle over the collected experience so the
+    learning-loop surface (policy_version gauge, promotion/rejection/
+    rollback counters, retrain-duration histogram, ``policy_swap``
+    events) is populated too. Shared by ``metrics`` and ``trace``."""
+    from repro.core import ExpertBaseline, Trainer, TrainingConfig
+    from repro.core.featurize import QueryFeaturizer
+    from repro.rl.ppo import PPOAgent
+    from repro.serving import LearningConfig, RetrainingDaemon
     from repro.workloads import job_lite_workload
 
     db = _database(args)
     probes = list(
         job_lite_workload(variants=("a",)).filter(lambda q: q.n_relations <= 8)
     )[: args.probe]
-    with _make_frontend(db, telemetry=telemetry) as frontend:
+    featurizer = QueryFeaturizer(db.schema)
+    agent = PPOAgent(
+        featurizer.state_dim, featurizer.n_pair_actions, np.random.default_rng(0)
+    )
+    with _make_frontend(
+        db, agent=agent, featurizer=featurizer, telemetry=telemetry
+    ) as frontend:
+        trainer = Trainer(
+            None, agent, ExpertBaseline(db), np.random.default_rng(args.seed),
+            TrainingConfig(batch_size=4),
+        )
+        daemon = RetrainingDaemon(
+            frontend, trainer, probes,
+            config=LearningConfig(
+                retrain_every=max(1, len(probes)),
+                min_trajectories=1,
+                gate_slack=1.25,
+                latency_probes_per_cycle=2,
+                probe_budget_ms=100.0,
+                min_latency_pairs=4,
+            ),
+        )
         frontend.optimize_batch(probes)
         frontend.optimize_batch(probes)
+        daemon.maybe_run()
         return frontend.metrics_registry()
 
 
@@ -576,6 +614,11 @@ def _cmd_serve_bench(args) -> int:
         args.trace_out = args.trace_out or "TRACES_serving.jsonl"
         args.events_out = args.events_out or "EVENTS_serving.jsonl"
         args.metrics_out = args.metrics_out or "METRICS_serving.json"
+        if args.drift:
+            # The closed loop needs enough traffic for several gated
+            # retraining cycles on each side of the shift.
+            args.requests = 96
+            args.retrain_every = min(args.retrain_every, 16)
 
     # Validate before the (expensive) database build and pre-training.
     if args.zipf <= 1.0:
@@ -598,9 +641,17 @@ def _cmd_serve_bench(args) -> int:
     if not 0.0 <= args.chaos_rate <= 1.0:
         print("serve-bench: --chaos-rate must be in [0, 1]", file=sys.stderr)
         return 2
-    if args.chaos and args.concurrency < 2:
+    if args.chaos and args.concurrency < 2 and not args.drift:
         print("serve-bench: --chaos needs the concurrent front end "
               "(pass --concurrency > 1)", file=sys.stderr)
+        return 2
+    if args.retrain_every < 1:
+        print("serve-bench: --retrain-every must be >= 1", file=sys.stderr)
+        return 2
+    if args.drift and args.requests < 2 * args.retrain_every:
+        print("serve-bench: --drift needs --requests >= 2x "
+              "--retrain-every (one retraining cycle per phase)",
+              file=sys.stderr)
         return 2
 
     telemetry = None
@@ -621,7 +672,14 @@ def _cmd_serve_bench(args) -> int:
         for rank in rng.zipf(args.zipf, size=args.requests)
     ]
 
-    if args.concurrency > 1:
+    drift_report = None
+    if args.drift:
+        total_s, latency, counters, registry, drift_report = _serve_drift(
+            args, db, env, agent, trainer, _baseline, telemetry
+        )
+        episodes = []  # the daemon consumed the experience buffers
+        fault_report = None
+    elif args.concurrency > 1:
         total_s, latency, counters, episodes, registry, fault_report = (
             _serve_concurrent(args, db, env, agent, stream, telemetry)
         )
@@ -650,6 +708,33 @@ def _cmd_serve_bench(args) -> int:
     ))
     print("\nservice counters:")
     print(ascii_table(["counter", "value"], sorted(counters.items())))
+
+    if drift_report is not None:
+        loop = drift_report["loop"]
+        threshold = loop["guardrail_threshold"]
+        print(f"\nhands-free learning loop (retrain every "
+              f"{args.retrain_every} requests, shift after "
+              f"{drift_report['shift_after']}):")
+        print(ascii_table(
+            ["metric", "value"],
+            [
+                ("policy version", f"{loop['policy_version']}"),
+                ("retraining cycles", f"{loop['cycles']}"),
+                ("gated promotions", f"{loop['promotions']}"),
+                ("rejected updates", f"{loop['rejections']}"),
+                ("rollbacks", f"{loop['rollbacks']}"),
+                ("poisoned cycles", f"{loop['poisoned_cycles']}"),
+                ("gate score (cost / exact DP)",
+                 "n/a" if loop["current_score"] is None
+                 else f"{loop['current_score']:.3f}"),
+                ("adaptive guardrail threshold",
+                 "unfitted" if threshold is None else f"{threshold:.3f}"),
+                ("rel. cost, first post-shift window",
+                 f"{drift_report['post_shift_first']:.3f}"),
+                ("rel. cost, last post-shift window",
+                 f"{drift_report['post_shift_last']:.3f}"),
+            ],
+        ))
 
     if fault_report is not None:
         print(f"\nchaos (rate {args.chaos_rate:.2%} per fault kind, "
@@ -709,6 +794,8 @@ def _cmd_serve_bench(args) -> int:
 
     if args.smoke and telemetry is not None:
         failures = _smoke_self_check(args, telemetry, registry, fault_report)
+        if drift_report is not None:
+            failures.extend(_drift_smoke_check(drift_report))
         if failures:
             for failure in failures:
                 print(f"smoke self-check FAILED: {failure}", file=sys.stderr)
@@ -802,6 +889,158 @@ def _serve_synchronous(args, db, env, agent, stream, telemetry=None):
         episodes,
         service.metrics_registry(),
     )
+
+
+#: Disjoint JOB-lite join-graph regions for the drift scenario:
+#: company/keyword-centric families, then cast/person-centric ones.
+_DRIFT_FAMILIES_A = (1, 2, 4, 5, 11, 15)
+_DRIFT_FAMILIES_B = (6, 8, 9, 10, 17, 20)
+
+
+def _drift_workload(families):
+    from repro.workloads import job_lite_workload
+
+    names = {f"{f}{v}" for f in families for v in ("a", "b", "c")}
+    return [
+        q
+        for q in job_lite_workload(variants=("a", "b", "c"))
+        if q.name in names and q.n_relations <= 11
+    ]
+
+
+def _serve_drift(args, db, env, agent, trainer, baseline, telemetry=None):
+    """The closed loop: serve workload A, shift to workload B mid-run,
+    and let the retraining daemon adapt the policy between bursts.
+
+    Cycles run deterministically between bursts (``maybe_run``, not the
+    polling thread) so the run is reproducible given the seed.
+    """
+    from repro.serving import (
+        FaultConfig,
+        FaultInjector,
+        LearningConfig,
+        RetrainingDaemon,
+    )
+
+    frontend = _make_frontend(
+        db,
+        agent=agent,
+        featurizer=env.featurizer,
+        reward_source=env.reward_source,
+        n_shards=args.shards,
+        max_batch=args.burst,
+        max_delay_ms=args.max_delay_ms,
+        expert_lane=getattr(args, "expert_lane", "bitset"),
+        telemetry=telemetry,
+        cache_capacity=args.cache_capacity,
+        regression_threshold=args.threshold,
+        max_batch_size=args.burst,
+    )
+    workload_a = _drift_workload(_DRIFT_FAMILIES_A)
+    workload_b = _drift_workload(_DRIFT_FAMILIES_B)
+    # The gate's holdout spans both phases: a candidate must stay sound
+    # on the queries it is about to serve, not just the ones it saw.
+    holdout = workload_a[:4] + workload_b[:4]
+    config = LearningConfig(
+        retrain_every=args.retrain_every,
+        min_trajectories=4,
+        # "No worse than serving" with a little slack: drift-mode
+        # promotions chase recovery, not strict monotone improvement.
+        gate_slack=1.05,
+        latency_probes_per_cycle=4,
+        probe_budget_ms=250.0,
+        min_latency_pairs=12,
+        rollback_window=max(16, args.retrain_every),
+    )
+    injector = None
+    if args.chaos:
+        injector = FaultInjector(FaultConfig(
+            replay_poison_rate=args.chaos_rate,
+            seed=args.chaos_seed,
+        ))
+    daemon = RetrainingDaemon(
+        frontend, trainer, holdout, config=config, fault_injector=injector
+    )
+
+    rng = np.random.default_rng(args.seed)
+    shift_after = args.requests // 2
+
+    def phase_stream(workload, size):
+        return [
+            workload[int((rank - 1) % len(workload))]
+            for rank in rng.zipf(args.zipf, size=size)
+        ]
+
+    stream = phase_stream(workload_a, shift_after) + phase_stream(
+        workload_b, args.requests - shift_after
+    )
+    print(f"serving {args.requests} requests over {args.shards} shards; "
+          f"workload shifts families {_DRIFT_FAMILIES_A} -> "
+          f"{_DRIFT_FAMILIES_B} after {shift_after}; retraining every "
+          f"{args.retrain_every} requests...")
+
+    served_versions = set()
+    post_shift_rel = []
+    try:
+        start = time.perf_counter()
+        for offset in range(0, len(stream), args.burst):
+            burst = stream[offset:offset + args.burst]
+            plans = frontend.optimize_batch(burst, timeout=60.0)
+            for query, plan in zip(burst, plans):
+                served_versions.add(plan.policy_version)
+                expert_cost = baseline.cost(query)
+                if offset >= shift_after and expert_cost > 0:
+                    post_shift_rel.append(plan.cost / expert_cost)
+            daemon.maybe_run()
+        total_s = time.perf_counter() - start
+        latency = frontend.latency_summary()
+        counters = frontend.counters()
+        registry = frontend.metrics_registry()
+        loop = daemon.as_dict()
+        lineage = list(daemon.lineage)
+    finally:
+        daemon.stop()
+        frontend.close()
+
+    window = max(1, args.burst)
+    first_window = post_shift_rel[:window]
+    last_window = post_shift_rel[-window:]
+    drift_report = {
+        "shift_after": shift_after,
+        "loop": loop,
+        "lineage": lineage,
+        "served_versions": sorted(served_versions),
+        "post_shift_first": float(np.mean(first_window)) if first_window else 0.0,
+        "post_shift_last": float(np.mean(last_window)) if last_window else 0.0,
+    }
+    return total_s, latency, counters, registry, drift_report
+
+
+def _drift_smoke_check(drift_report):
+    """CI assertions for the closed learning loop."""
+    failures = []
+    loop = drift_report["loop"]
+    if loop["promotions"] < 1:
+        failures.append(
+            f"drift loop made no gated promotion in {loop['cycles']} cycles"
+        )
+    promoted = set(loop["promoted_versions"])
+    bad_served = set(drift_report["served_versions"]) - promoted
+    if bad_served:
+        failures.append(
+            f"rejected policy versions were served: {sorted(bad_served)}"
+        )
+    unpunished = [
+        entry
+        for entry in drift_report["lineage"]
+        if entry.get("poisoned") and entry.get("action") != "rejected"
+    ]
+    if unpunished:
+        failures.append(
+            f"{len(unpunished)} poisoned retraining cycle(s) were not "
+            "rejected by the gate"
+        )
+    return failures
 
 
 def _serve_concurrent(args, db, env, agent, stream, telemetry=None):

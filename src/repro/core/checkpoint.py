@@ -14,10 +14,22 @@ survive restarts. Checkpoints cover:
 Optimizer state (Adam moments) is not persisted — resuming training
 re-warms it within a few batches, which keeps the format simple and
 framework-free.
+
+Checkpoints can additionally be **stamped** with the database context
+they were trained under (``save_agent(..., db=db)``): the statistics
+epoch and a schema fingerprint. Weights are a function of the
+statistics that produced their training rewards — restoring a policy
+trained before an ANALYZE (or against a different schema) into a
+fresher database silently serves stale knowledge, so ``load_agent``
+warns (``checkpoint_stale`` event + counter) when the stamp predates
+the current epoch or the schema changed. The retraining daemon also
+stamps its ``policy_version`` so a restarted service resumes the
+promotion lineage instead of restarting it at 1.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 from pathlib import Path
 
@@ -29,7 +41,13 @@ from repro.nn.network import MLP
 from repro.rl.ppo import PPOAgent, PPOConfig
 from repro.rl.reinforce import ReinforceAgent, ReinforceConfig
 
-__all__ = ["save_agent", "load_agent", "save_log", "load_log"]
+__all__ = [
+    "save_agent",
+    "load_agent",
+    "save_log",
+    "load_log",
+    "schema_fingerprint",
+]
 
 _AGENT_KINDS = {"ppo": PPOAgent, "reinforce": ReinforceAgent, "lfd": LfDAgent}
 
@@ -44,11 +62,40 @@ def _kind_of(agent) -> str:
     raise TypeError(f"cannot checkpoint agent of type {type(agent).__name__}")
 
 
-def save_agent(agent, directory: str | Path) -> Path:
+def schema_fingerprint(schema) -> str:
+    """A stable digest of a :class:`~repro.db.schema.DatabaseSchema`.
+
+    Hashes the sorted table/column names and rendered foreign keys —
+    the structural facts training features depend on — so two databases
+    with the same shape fingerprint identically regardless of data.
+    """
+    digest = hashlib.blake2b(digest_size=8)
+    for name in sorted(schema.tables):
+        table = schema.tables[name]
+        digest.update(name.encode("utf-8"))
+        for column in table.columns:
+            digest.update(b"|")
+            digest.update(column.name.encode("utf-8"))
+        digest.update(b";")
+    for fk in sorted(fk.render() for fk in schema.foreign_keys):
+        digest.update(fk.encode("utf-8"))
+        digest.update(b";")
+    return digest.hexdigest()
+
+
+def save_agent(
+    agent,
+    directory: str | Path,
+    db=None,
+    policy_version: int | None = None,
+) -> Path:
     """Write an agent checkpoint into ``directory`` (created if needed).
 
     Returns the directory path. Files: ``meta.json`` plus one ``.npz``
-    per network.
+    per network. With ``db``, the checkpoint is stamped with the
+    database's statistics epoch and schema fingerprint so a later
+    ``load_agent`` can detect staleness; ``policy_version`` records the
+    serving lineage for the retraining daemon's hot-swap history.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
@@ -65,24 +112,47 @@ def save_agent(agent, directory: str | Path) -> Path:
     for name, net in nets.items():
         net.save(directory / f"{name}.npz")
     meta = {"kind": kind, **dims}
+    if db is not None:
+        meta["stats_epoch"] = db.stats_epoch
+        meta["schema_fingerprint"] = schema_fingerprint(db.schema)
+    if policy_version is not None:
+        meta["policy_version"] = policy_version
     (directory / "meta.json").write_text(json.dumps(meta, indent=2))
     return directory
 
 
-def load_agent(directory: str | Path, rng: np.random.Generator | None = None):
+def load_agent(
+    directory: str | Path,
+    rng: np.random.Generator | None = None,
+    db=None,
+    events=None,
+    registry=None,
+):
     """Rebuild an agent from :func:`save_agent` output.
 
     The agent is reconstructed with default configs (checkpoints store
     weights and architecture, not hyperparameters — pass the original
     config if you intend to continue training with identical settings).
+    The raw checkpoint metadata is attached as ``agent.checkpoint_meta``.
+
+    With ``db``, the checkpoint's statistics stamp is audited: weights
+    saved before the database's current ANALYZE epoch, under a different
+    schema, or with no stamp at all draw a ``checkpoint_stale`` event
+    (via ``events.emit``) and bump the
+    ``repro_checkpoint_stale_loads_total`` counter (via ``registry``).
+    The load still succeeds — stale weights beat no weights — but the
+    operator gets an audit trail.
     """
     directory = Path(directory)
     meta = json.loads((directory / "meta.json").read_text())
     kind = meta["kind"]
+    if db is not None:
+        _audit_staleness(meta, db, events, registry)
     rng = rng or np.random.default_rng(0)
     if kind == "lfd":
         agent = LfDAgent(meta["state_dim"], meta["n_actions"], rng, LfDConfig())
         agent.q_net = MLP.load(directory / "q_net.npz")
+        agent.checkpoint_meta = meta
         return agent
     cls = _AGENT_KINDS[kind]
     config = PPOConfig() if kind == "ppo" else ReinforceConfig()
@@ -90,7 +160,40 @@ def load_agent(directory: str | Path, rng: np.random.Generator | None = None):
     agent.policy_net = MLP.load(directory / "policy_net.npz")
     agent.value_net = MLP.load(directory / "value_net.npz")
     agent.policy.net = agent.policy_net
+    agent.checkpoint_meta = meta
     return agent
+
+
+def _audit_staleness(meta: dict, db, events, registry) -> None:
+    """Emit the ``checkpoint_stale`` warning when ``meta``'s stamp
+    predates ``db``'s current statistics or schema (or is missing)."""
+    saved_epoch = meta.get("stats_epoch")
+    saved_schema = meta.get("schema_fingerprint")
+    current_schema = schema_fingerprint(db.schema)
+    if saved_epoch is None or saved_schema is None:
+        reason = "unstamped"
+    elif saved_schema != current_schema:
+        reason = "schema_changed"
+    elif saved_epoch < db.stats_epoch:
+        reason = "stats_epoch_behind"
+    else:
+        return
+    if events is not None:
+        events.emit(
+            "checkpoint_stale",
+            reason=reason,
+            saved_epoch=saved_epoch,
+            current_epoch=db.stats_epoch,
+            saved_schema=saved_schema,
+            current_schema=current_schema,
+            policy_version=meta.get("policy_version"),
+        )
+    if registry is not None:
+        registry.counter(
+            "repro_checkpoint_stale_loads_total",
+            "Checkpoints restored with statistics/schema stamps behind "
+            "the live database (or missing entirely).",
+        ).inc()
 
 
 def save_log(log: TrainingLog, path: str | Path) -> Path:

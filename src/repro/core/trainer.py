@@ -209,7 +209,11 @@ class Trainer:
         """Learn from trajectories collected elsewhere (the serving
         layer's experience buffer): record each served episode and run
         the same batched policy updates as :meth:`run`. Empty
-        trajectories (single-relation queries) are skipped.
+        trajectories (single-relation queries) are skipped, and so are
+        trajectories tagged as degraded serves — the plan the client
+        received came off the degradation ladder, not from the policy's
+        rollout, so learning from it would reward actions the policy
+        never took.
 
         ``events`` (an :class:`~repro.obs.events.EventLog`, or any object
         with ``emit(kind, **payload)``) records the hands-free retraining
@@ -217,13 +221,17 @@ class Trainer:
         trajectories were replayed and whether the policy weights were
         actually updated (the swap an operator wants an audit trail of).
         """
-        usable = [t for t in trajectories if t.transitions]
+        from repro.serving.experience import is_degraded
+
+        clean = [t for t in trajectories if not is_degraded(t)]
+        usable = [t for t in clean if t.transitions]
         result = self._learn(usable, log, update)
         if events is not None:
             events.emit(
                 "retraining_replay",
                 trajectories=len(usable),
-                skipped=len(trajectories) - len(usable),
+                skipped=len(clean) - len(usable),
+                skipped_degraded=len(trajectories) - len(clean),
                 weights_updated=bool(update and usable),
                 mean_reward=(
                     round(

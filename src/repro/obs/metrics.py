@@ -43,6 +43,7 @@ __all__ = [
     "default_bucket_bounds",
     "parse_exposition",
     "quantile_error_bound",
+    "quantile_from_counts",
 ]
 
 #: Log-bucket resolution: edges per factor of ten.
@@ -237,6 +238,17 @@ class Histogram:
             cum += c
         return hi
 
+    def counts_snapshot(self) -> List[int]:
+        """A consistent copy of the bucket counts (overflow slot last).
+
+        The building block for *windowed* percentiles: snapshot before
+        and after an observation window, subtract bucket-for-bucket, and
+        feed the delta to :func:`quantile_from_counts` — the retraining
+        daemon's post-swap p95 watch works exactly this way.
+        """
+        with self._lock:
+            return list(self._counts)
+
     def summary(self) -> Dict[str, float]:
         return {
             "count": float(self.count),
@@ -268,6 +280,34 @@ class Histogram:
                 self._min = omin
             if omax > self._max:
                 self._max = omax
+
+
+def quantile_from_counts(
+    bounds: Sequence[float], counts: Sequence[int], q: float
+) -> float:
+    """Interpolated quantile over raw bucket counts (same rule as
+    :meth:`Histogram.quantile`, minus the observed min/max clamp — a
+    count delta has no min/max). ``counts`` must have one slot more
+    than ``bounds`` (the overflow bucket); returns 0.0 when empty."""
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    if len(counts) != len(bounds) + 1:
+        raise ValueError("counts must have one overflow slot past bounds")
+    total = sum(counts)
+    if total == 0:
+        return 0.0
+    target = q * total
+    cum = 0
+    for i, c in enumerate(counts):
+        if c == 0:
+            continue
+        if cum + c >= target:
+            lower = 0.0 if i == 0 else bounds[i - 1]
+            upper = bounds[i] if i < len(bounds) else bounds[-1]
+            inside = (target - cum) / c if c else 0.0
+            return lower + inside * (upper - lower)
+        cum += c
+    return bounds[-1]
 
 
 class MetricsRegistry:

@@ -29,7 +29,14 @@ puts it behind a production-shaped ``optimize(query)`` API:
   supervisor thread that respawns dead workers;
 - :mod:`repro.serving.faults` — the seeded chaos harness
   (:class:`FaultInjector`) that deterministically breaks the serving
-  path to prove the fault tolerance works.
+  path to prove the fault tolerance works;
+- :mod:`repro.serving.learning` — the hands-free loop:
+  :class:`RetrainingDaemon` retrains a shadow policy off the
+  experience buffers, gates it against the exact-DP oracle
+  (:class:`EvalGate`), hot-swaps promoted weights across shards with
+  monotonic versioning, rolls bad swaps back automatically, and adapts
+  the guardrail threshold from observed latencies
+  (:class:`AdaptiveGuardrail`).
 
 Command line: ``python -m repro serve-bench`` drives a synthetic
 request stream (multi-threaded and open-loop with ``--concurrency``)
@@ -49,34 +56,46 @@ from repro.serving.errors import (
     ServiceClosed,
     ShardFailed,
 )
-from repro.serving.experience import ExperienceBuffer
+from repro.serving.experience import ExperienceBuffer, is_degraded
 from repro.serving.faults import FaultConfig, FaultInjector, seeded_uniform
 from repro.serving.fingerprint import canonical_alias_map, canonical_text, fingerprint
 from repro.serving.frontend import FrontEndConfig, FrontEndStats, ServingFrontEnd
+from repro.serving.learning import (
+    AdaptiveGuardrail,
+    EvalGate,
+    GateVerdict,
+    LearningConfig,
+    RetrainingDaemon,
+)
 from repro.serving.router import GuardrailDecision, GuardrailRouter
 from repro.serving.service import OptimizerService, ServedPlan, ServingConfig
 from repro.serving.sharding import HashRing
 from repro.serving.supervisor import CircuitBreaker, ShardSupervisor
 
 __all__ = [
+    "AdaptiveGuardrail",
     "CacheStats",
     "CircuitBreaker",
     "CircuitOpen",
     "DeadlineExceeded",
+    "EvalGate",
     "ExperienceBuffer",
     "FaultConfig",
     "FaultInjector",
     "FrontEndConfig",
     "FrontEndStats",
+    "GateVerdict",
     "GuardrailDecision",
     "GuardrailRouter",
     "HashRing",
     "InjectedFault",
+    "LearningConfig",
     "LoadShedded",
     "MicroBatchEngine",
     "OptimizeError",
     "OptimizerService",
     "PlanCache",
+    "RetrainingDaemon",
     "RetriesExhausted",
     "RolloutRecord",
     "ServedPlan",
@@ -88,5 +107,6 @@ __all__ = [
     "canonical_alias_map",
     "canonical_text",
     "fingerprint",
+    "is_degraded",
     "seeded_uniform",
 ]

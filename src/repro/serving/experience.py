@@ -8,6 +8,13 @@ info the :class:`~repro.core.trainer.Trainer` needs — into this bounded
 replay buffer. A periodic job drains the buffer into
 ``Trainer.replay`` and the policy improves without anyone labelling
 anything.
+
+Trajectories served off the degradation ladder (cached fallback,
+budgeted-prune DP, greedy) are **tagged** on the way in: the plan the
+client received is not the plan the policy rolled out, so training on
+it would teach the policy to take credit for someone else's work.
+``Trainer.replay`` skips tagged trajectories; the buffer counts them
+so the exclusion is observable.
 """
 
 from __future__ import annotations
@@ -20,7 +27,22 @@ import numpy as np
 
 from repro.rl.env import Trajectory
 
-__all__ = ["ExperienceBuffer"]
+__all__ = ["ExperienceBuffer", "is_degraded"]
+
+
+def is_degraded(trajectory: Trajectory) -> bool:
+    """True when the trajectory came from a degradation-ladder serve.
+
+    Checks the explicit ``degraded`` info flag first and falls back to
+    the ``source`` string so trajectories built before the flag existed
+    (or by tests constructing infos by hand) still classify correctly.
+    """
+    info = getattr(trajectory, "info", None)
+    if not isinstance(info, dict):
+        return False
+    if "degraded" in info:
+        return bool(info["degraded"])
+    return str(info.get("source", "")).startswith("degraded")
 
 
 class ExperienceBuffer:
@@ -36,6 +58,7 @@ class ExperienceBuffer:
         self.capacity = capacity
         self.added = 0
         self.dropped = 0
+        self.degraded_tagged = 0
         self._lock = threading.Lock()
         self._trajectories: Deque[Trajectory] = deque(maxlen=capacity)
 
@@ -49,6 +72,8 @@ class ExperienceBuffer:
                 self.dropped += 1
             self._trajectories.append(trajectory)
             self.added += 1
+            if is_degraded(trajectory):
+                self.degraded_tagged += 1
 
     def drain(self) -> List[Trajectory]:
         """Remove and return everything, oldest first."""
@@ -71,4 +96,5 @@ class ExperienceBuffer:
                 "experience_size": len(self._trajectories),
                 "experience_added": self.added,
                 "experience_dropped": self.dropped,
+                "experience_degraded_tagged": self.degraded_tagged,
             }

@@ -22,7 +22,11 @@ Injection sites (each passes a site-specific ``key``):
   degradation ladder;
 - ``stats_race`` — the service observes a statistics-epoch bump racing
   its batch (keyed by batch ordinal), exercising the epoch guards on
-  every cache put.
+  every cache put;
+- ``replay_poison`` — the retraining daemon corrupts a shadow replay
+  batch's rewards to NaN before learning from it (keyed by retraining
+  cycle), exercising the eval gate that must refuse to promote the
+  poisoned weights.
 
 The injector is handed to components as a plain attribute (``None``
 means no chaos — the default, and the hot path pays one attribute check
@@ -41,7 +45,13 @@ from typing import Dict, List, Tuple
 __all__ = ["FaultConfig", "FaultInjector", "seeded_uniform"]
 
 #: The fault kinds an injector draws decisions for.
-FAULT_KINDS = ("worker_fault", "latency_spike", "policy_nan", "stats_race")
+FAULT_KINDS = (
+    "worker_fault",
+    "latency_spike",
+    "policy_nan",
+    "stats_race",
+    "replay_poison",
+)
 
 
 def seeded_uniform(key: str) -> float:
@@ -67,6 +77,7 @@ class FaultConfig:
     spike_ms: float = 25.0
     policy_nan_rate: float = 0.0
     stats_race_rate: float = 0.0
+    replay_poison_rate: float = 0.0
     #: Seed for the deterministic fault schedule.
     seed: int = 0
 
@@ -76,6 +87,7 @@ class FaultConfig:
             "latency_spike": self.latency_spike_rate,
             "policy_nan": self.policy_nan_rate,
             "stats_race": self.stats_race_rate,
+            "replay_poison": self.replay_poison_rate,
         }[kind]
 
 

@@ -299,6 +299,16 @@ class ServingFrontEnd:
         self._service_factory = service_factory
         #: Armed via :meth:`install_fault_injector`; None = no chaos.
         self.fault_injector: FaultInjector | None = None
+        #: ``callable(service, shard)`` run on every respawned shard's
+        #: rebuilt service before its worker thread starts. The
+        #: retraining daemon installs one so a shard that died is
+        #: brought to the *current* promoted policy version instead of
+        #: rejoining at the factory's original weights.
+        self.policy_sync = None
+        #: Extra registries merged into :meth:`metrics_registry` —
+        #: subsystems that ride on the front end (the retraining
+        #: daemon) surface their metrics here without owning a shard.
+        self.extra_registries: List[MetricsRegistry] = []
         #: Shared telemetry spine: traces begin at submit and finish in
         #: whatever resolves the future; shard services reuse it for
         #: their event hooks (guardrail fallbacks, invalidations).
@@ -1210,6 +1220,11 @@ class ServingFrontEnd:
             if self.fault_injector is not None:
                 service.install_fault_injector(self.fault_injector)
             self.services[shard] = service
+        if self.policy_sync is not None:
+            # Rejoin at the current promoted policy version before any
+            # request reaches the rebuilt service (its worker thread
+            # has not started; no lock needed on the fresh engine).
+            self.policy_sync(self.services[shard], shard)
         thread = threading.Thread(
             target=self._worker_loop,
             args=(shard,),
@@ -1430,6 +1445,7 @@ class ServingFrontEnd:
         per-stage histograms when telemetry is attached. This is what
         ``repro metrics`` exposes."""
         registries = [self.registry] + [s.registry for s in self.services]
+        registries.extend(self.extra_registries)
         if self.telemetry is not None:
             registries.append(self.telemetry.registry)
         return MetricsRegistry.merge(registries)

@@ -7,6 +7,13 @@ predicted cost against the expert planner's plan for the same query and
 serves the expert plan whenever the predicted regression exceeds a
 threshold. Expert results are memoized per fingerprint so the guardrail
 adds at most one expert optimization per distinct query shape.
+
+The threshold is live-tunable: the retraining daemon's adaptive
+guardrail (:mod:`repro.serving.learning`) fits observed
+(predicted cost → actual latency) pairs and pushes a workload-derived
+threshold through :meth:`GuardrailRouter.set_threshold` while workers
+are deciding. ``decide`` therefore reads the threshold exactly once per
+call — every decision is made against one consistent value.
 """
 
 from __future__ import annotations
@@ -120,6 +127,16 @@ class GuardrailRouter:
                     self._tables[key] = frozenset(query.relations.values())
         return result
 
+    def set_threshold(self, regression_threshold: float | None) -> None:
+        """Replace the live regression threshold (adaptive guardrail).
+
+        Safe to call while workers are mid-``decide``: in-flight calls
+        already snapshotted the old value; later calls see the new one.
+        """
+        if regression_threshold is not None and regression_threshold <= 0:
+            raise ValueError("regression_threshold must be positive or None")
+        self.regression_threshold = regression_threshold
+
     def decide(
         self,
         query: Query,
@@ -130,7 +147,8 @@ class GuardrailRouter:
         budget_ms: float | None = None,
     ) -> GuardrailDecision:
         self.decisions += 1
-        if self.regression_threshold is None:
+        threshold = self.regression_threshold
+        if threshold is None:
             return GuardrailDecision(
                 use_learned=True,
                 learned_cost=learned_cost,
@@ -149,16 +167,16 @@ class GuardrailRouter:
                 use_learned=True,
                 learned_cost=learned_cost,
                 expert_cost=None,
-                threshold=self.regression_threshold,
+                threshold=threshold,
             )
-        use_learned = learned_cost <= expert_cost * self.regression_threshold
+        use_learned = learned_cost <= expert_cost * threshold
         if not use_learned:
             self.fallbacks += 1
         return GuardrailDecision(
             use_learned=use_learned,
             learned_cost=learned_cost,
             expert_cost=expert_cost,
-            threshold=self.regression_threshold,
+            threshold=threshold,
         )
 
     def invalidate(self) -> None:

@@ -83,6 +83,7 @@ _LEGACY_COUNTER_KEYS = (
     ("repro_experience_entries", "experience_size"),
     ("repro_experience_added_total", "experience_added"),
     ("repro_experience_dropped_total", "experience_dropped"),
+    ("repro_experience_degraded_tagged_total", "experience_degraded_tagged"),
     ("repro_expert_dp_subsets_total", "dp_subsets_enumerated"),
     ("repro_expert_dp_pruned_total", "dp_pruned"),
     ("repro_expert_dp_bound_fallbacks_total", "dp_bound_fallbacks"),
@@ -172,6 +173,9 @@ class ServedPlan:
     decision: GuardrailDecision | None = None
     #: How many serve attempts the front end made (1 = first try).
     attempts: int = 1
+    #: Which promoted policy generation answered (monotonic across the
+    #: retraining daemon's hot-swaps; 1 = the initially deployed policy).
+    policy_version: int = 1
 
 
 @dataclass
@@ -267,6 +271,10 @@ class OptimizerService:
         #: :meth:`optimize_batch`); it also cascades to the micro-batch
         #: engine for ``policy_nan`` faults.
         self.fault_injector = None
+        #: Generation of the weights currently serving. The retraining
+        #: daemon bumps this under the engine's inference lock at every
+        #: hot-swap/rollback; requests snapshot it per batch.
+        self.policy_version = 1
         self.registry = MetricsRegistry()
         self.request_ms_hist = self.registry.histogram(
             "repro_serving_request_ms",
@@ -430,6 +438,12 @@ class OptimizerService:
                 lambda: experience.dropped,
                 "trajectories dropped by the ring bound",
             )
+            reg.counter_fn(
+                "repro_experience_degraded_tagged_total",
+                lambda: experience.degraded_tagged,
+                "buffered trajectories tagged as degraded serves "
+                "(excluded from retraining)",
+            )
         register_planner = getattr(self.planner, "register_metrics", None)
         if register_planner is not None:
             register_planner(reg)
@@ -570,6 +584,10 @@ class OptimizerService:
         # racing the batch must not have its invalidation undone by a
         # late insert of a pre-ANALYZE plan.
         epoch = self.db.stats_epoch
+        # One version stamp per batch: every answer in this burst was
+        # produced by the weights live at batch start (the swap lock
+        # excludes mid-rollout weight mutation).
+        version = self.policy_version
         self.stats.batches += 1
         if self.fault_injector is not None and self.fault_injector.fires(
             "stats_race", f"b{self.stats.batches}"
@@ -595,6 +613,7 @@ class OptimizerService:
             trace, parent = traces[idx], serve_spans[idx]
             if trace is not None:
                 trace.root.attrs.setdefault("fingerprint", fp)
+                trace.root.attrs.setdefault("policy_version", version)
             if fp in rollout_fp:  # duplicate inside this burst
                 rollout_fp[fp].append(idx)
                 continue
@@ -730,6 +749,7 @@ class OptimizerService:
                     source=source,
                     latency_ms=latency_ms,
                     decision=decision,
+                    policy_version=version,
                 )
             )
         return served
@@ -977,6 +997,8 @@ class OptimizerService:
                     "tree": record.tree,
                     "fingerprint": fp,
                     "source": source,
+                    "degraded": source.startswith("degraded"),
+                    "policy_version": self.policy_version,
                 },
             )
         )

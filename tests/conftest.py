@@ -54,6 +54,12 @@ def small_db() -> Database:
     return Database.from_specs(small_specs(), small_fks(), seed=7)
 
 
+@pytest.fixture
+def fresh_small_db() -> Database:
+    """A private small database for tests that mutate statistics state."""
+    return Database.from_specs(small_specs(), small_fks(), seed=7)
+
+
 @pytest.fixture(scope="session")
 def medium_db() -> Database:
     """A single 20k-row table where index-vs-seqscan tradeoffs are real."""

@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.checkpoint import load_agent, load_log, save_agent, save_log
+from repro.core.checkpoint import (
+    load_agent,
+    load_log,
+    save_agent,
+    save_log,
+    schema_fingerprint,
+)
 from repro.core.lfd import LfDAgent
 from repro.core.trainer import EpisodeRecord, TrainingLog
 from repro.rl.ppo import PPOAgent
@@ -89,3 +95,84 @@ class TestLogCheckpoint:
     def test_empty_log(self, tmp_path):
         loaded = load_log(save_log(TrainingLog(), tmp_path / "empty.json"))
         assert len(loaded) == 0
+
+
+class TestStatisticsStamping:
+    """Checkpoints carry the database's statistics epoch and schema
+    fingerprint; loads against a moved-on database draw an audit."""
+
+    def test_save_stamps_epoch_schema_and_version(self, tmp_path, fresh_small_db):
+        import json
+
+        db = fresh_small_db
+        agent = PPOAgent(10, 6, np.random.default_rng(0))
+        path = save_agent(agent, tmp_path / "stamped", db=db, policy_version=7)
+        meta = json.loads((path / "meta.json").read_text())
+        assert meta["stats_epoch"] == db.stats_epoch
+        assert meta["schema_fingerprint"] == schema_fingerprint(db.schema)
+        assert meta["policy_version"] == 7
+
+    def test_schema_fingerprint_is_stable_and_discriminating(self, small_db, medium_db):
+        assert schema_fingerprint(small_db.schema) == schema_fingerprint(
+            small_db.schema
+        )
+        assert schema_fingerprint(small_db.schema) != schema_fingerprint(
+            medium_db.schema
+        )
+
+    def test_fresh_load_draws_no_audit(self, tmp_path, fresh_small_db):
+        from repro.obs import EventLog, MetricsRegistry
+
+        db = fresh_small_db
+        agent = PPOAgent(10, 6, np.random.default_rng(0))
+        path = save_agent(agent, tmp_path / "fresh", db=db)
+        events, registry = EventLog(), MetricsRegistry()
+        loaded = load_agent(path, db=db, events=events, registry=registry)
+        assert events.of_kind("checkpoint_stale") == []
+        assert registry.snapshot().get("repro_checkpoint_stale_loads_total", 0) == 0
+        assert loaded.checkpoint_meta["stats_epoch"] == db.stats_epoch
+
+    def test_stale_epoch_warns_on_load(self, tmp_path, fresh_small_db):
+        from repro.obs import EventLog, MetricsRegistry
+
+        db = fresh_small_db
+        agent = PPOAgent(10, 6, np.random.default_rng(0))
+        path = save_agent(agent, tmp_path / "stale", db=db, policy_version=3)
+        db.bump_stats_epoch()
+        events, registry = EventLog(), MetricsRegistry()
+        load_agent(path, db=db, events=events, registry=registry)
+        (event,) = events.of_kind("checkpoint_stale")
+        assert event["reason"] == "stats_epoch_behind"
+        assert event["saved_epoch"] == db.stats_epoch - 1
+        assert event["current_epoch"] == db.stats_epoch
+        assert event["policy_version"] == 3
+        assert registry.snapshot()["repro_checkpoint_stale_loads_total"] == 1
+
+    def test_unstamped_checkpoint_warns_on_load(self, tmp_path, fresh_small_db):
+        from repro.obs import EventLog
+
+        db = fresh_small_db
+        agent = PPOAgent(10, 6, np.random.default_rng(0))
+        path = save_agent(agent, tmp_path / "unstamped")  # no db: no stamp
+        events = EventLog()
+        load_agent(path, db=db, events=events)
+        (event,) = events.of_kind("checkpoint_stale")
+        assert event["reason"] == "unstamped"
+
+    def test_schema_change_warns_on_load(self, tmp_path, medium_db, fresh_small_db):
+        from repro.obs import EventLog
+
+        db = fresh_small_db
+        agent = PPOAgent(10, 6, np.random.default_rng(0))
+        path = save_agent(agent, tmp_path / "moved", db=db)
+        events = EventLog()
+        load_agent(path, db=medium_db, events=events)
+        (event,) = events.of_kind("checkpoint_stale")
+        assert event["reason"] == "schema_changed"
+
+    def test_load_without_db_skips_audit(self, tmp_path, fresh_small_db):
+        db = fresh_small_db
+        agent = PPOAgent(10, 6, np.random.default_rng(0))
+        path = save_agent(agent, tmp_path / "quiet", db=db)
+        loaded = load_agent(path)  # no db: nothing to audit against
+        assert loaded.checkpoint_meta["schema_fingerprint"]
