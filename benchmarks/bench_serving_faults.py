@@ -30,6 +30,14 @@ The bench asserts
   the timing assertion like the other serving bench, because CI boxes
   make lousy stopwatches).
 
+A **process-chaos lane** then re-runs the stream with
+``executor="process"`` and ``worker_kill`` armed: real SIGKILLs against
+spawned shard processes. It asserts at least one kill fired, the same
+>= 99.5% success / zero-unresolved-futures floor, plan parity on
+untouched traffic, and — after broadcasting a simulated promotion to
+version 2 before the stream — that every worker standing at the end
+(including any supervisor respawn) serves at that live version.
+
 Results merge into ``BENCH_serving.json`` under a ``"faults"`` section
 (read-modify-write: the concurrency bench's sections are preserved).
 
@@ -48,6 +56,8 @@ import threading
 import time
 from pathlib import Path
 
+import numpy as np
+
 # Allow running as a plain script without PYTHONPATH=src.
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 sys.path.insert(0, str(Path(__file__).resolve().parent))
@@ -65,19 +75,51 @@ from repro.serving import FaultConfig, FaultInjector
 
 FAULT_RATE = 0.05
 CHAOS_SEED = 1
+#: SIGKILL probability per request routed to a process shard — low
+#: enough that the stream survives, high enough that a 64-request smoke
+#: deterministically fires at least one kill.
+PROC_KILL_RATE = 0.03
+#: The "promoted" policy version broadcast before the process-chaos
+#: stream; a respawned worker must rejoin at this version.
+LIVE_VERSION = 2
+#: Retry budget for the process-chaos lane (front-end default is 3):
+#: a SIGKILL fails the dead worker's whole in-flight batch, so a
+#: single request can burn attempts on several independent hazards.
+PROC_MAX_ATTEMPTS = 5
 
 
-def run_chaos(setup: Setup, shards: int, rate: float, seed: int):
+def run_chaos(
+    setup: Setup,
+    shards: int,
+    rate: float,
+    seed: int,
+    executor: str = "thread",
+    kill_rate: float = 0.0,
+    max_attempts: int | None = None,
+):
     """The baseline stream with every fault kind firing at ``rate``."""
     queries = setup.queries()
-    frontend = setup.frontend(False, shards)
+    frontend = setup.frontend(
+        False, shards, executor=executor, max_attempts=max_attempts
+    )
     frontend.install_fault_injector(FaultInjector(FaultConfig(
         worker_fault_rate=rate,
         latency_spike_rate=rate,
         policy_nan_rate=rate,
         stats_race_rate=rate,
+        worker_kill_rate=kill_rate,
         seed=seed,
     )))
+    if executor == "process":
+        # Simulate a prior hot-swap: broadcast the live weights at
+        # LIVE_VERSION so a SIGKILL'd shard's respawn has something to
+        # rejoin (its spec would otherwise rebuild at version 1).
+        params = {
+            name: np.copy(arr)
+            for name, arr in setup.agent.policy.net.net.params.items()
+        }
+        for service in frontend.services:
+            service.apply_policy_weights(params, LIVE_VERSION)
     futures = [None] * len(queries)
 
     def client(offset: int) -> None:
@@ -102,8 +144,31 @@ def run_chaos(setup: Setup, shards: int, rate: float, seed: int):
     outstanding = len(frontend._outstanding)
     latency = frontend.latency_summary()
     stats = frontend.stats
-    injected = frontend.fault_injector.fired_counts()
+    # Merged across the process boundary: parent-side draws plus each
+    # worker's own (disjoint sites, plain sum). Identical to the
+    # injector's counts in thread mode.
+    injected = frontend.fault_fired_counts()
     breakers_open = sum(1 for b in frontend.breakers if b.state != "closed")
+    process_state = None
+    if executor == "process":
+        # Give the supervisor a beat to finish respawning a worker
+        # killed by the tail of the stream before auditing liveness.
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline and not all(
+            s.is_alive() for s in frontend.services
+        ):
+            time.sleep(0.05)
+        process_state = {
+            "worker_kills": injected.get("worker_kill", 0),
+            "worker_respawns": stats.worker_restarts,
+            "live_version": LIVE_VERSION,
+            "policy_versions_at_end": [
+                s.policy_version for s in frontend.services
+            ],
+            "workers_alive_at_end": [
+                s.is_alive() for s in frontend.services
+            ],
+        }
     frontend.close()
 
     clean_plans = {
@@ -117,7 +182,9 @@ def run_chaos(setup: Setup, shards: int, rate: float, seed: int):
     retried = sum(1 for plan in served if plan.attempts > 1)
     result = {
         "shards": shards,
+        "executor": executor,
         "fault_rate": rate,
+        "kill_rate": kill_rate,
         "seed": seed,
         "throughput_qps": len(queries) / elapsed,
         "p50_ms": latency["p50_ms"],
@@ -140,6 +207,8 @@ def run_chaos(setup: Setup, shards: int, rate: float, seed: int):
         "frontend_circuit_opens": stats.circuit_opens,
         "breakers_open_at_end": breakers_open,
     }
+    if process_state is not None:
+        result.update(process_state)
     return result, clean_plans
 
 
@@ -179,9 +248,26 @@ def main(argv=None) -> int:
         repeats, lambda: run_chaos(setup, 2, args.rate, args.seed)
     )
 
+    print(f"process chaos: 2 worker processes, every fault kind at "
+          f"{args.rate:.0%} plus SIGKILL at {PROC_KILL_RATE:.0%} "
+          f"(seed {args.seed})...")
+    # A SIGKILL burns a retry attempt for every request the dead worker
+    # held (a whole batch, not one victim), so the process lane layers a
+    # much harsher hazard mix on the same stream — give it the deeper
+    # retry budget an operator running kill-prone workers would.
+    proc_chaos, proc_clean_plans = run_chaos(
+        setup, 2, args.rate, args.seed,
+        executor="process", kill_rate=PROC_KILL_RATE,
+        max_attempts=PROC_MAX_ATTEMPTS,
+    )
+
     # Plan parity on untouched traffic: never retried, never degraded.
     mismatched = [
         name for name, sig in clean_plans.items()
+        if baseline_plans.get(name) != sig
+    ]
+    proc_mismatched = [
+        name for name, sig in proc_clean_plans.items()
         if baseline_plans.get(name) != sig
     ]
     p95_ratio = chaos["p95_ms"] / max(1e-9, baseline["p95_ms"])
@@ -205,14 +291,23 @@ def main(argv=None) -> int:
           f"{chaos['served_retried']} requests served on a later attempt")
     print(f"plan parity held on {len(clean_plans)} non-faulted requests; "
           f"p95 ratio {p95_ratio:.2f}x (budget 1.5x)")
+    print(f"\nprocess chaos: {proc_chaos['success_rate'] * 100:.1f}% success, "
+          f"{proc_chaos['worker_kills']} SIGKILL(s), "
+          f"{proc_chaos['worker_respawns']} respawn(s), versions at end "
+          f"{proc_chaos['policy_versions_at_end']} "
+          f"(live {proc_chaos['live_version']}), injected "
+          f"{proc_chaos['injected']}")
 
     section = {
         "mode": "smoke" if args.smoke else "full",
         "baseline": baseline,
         "chaos": chaos,
+        "process_chaos": proc_chaos,
         "p95_ratio_vs_baseline": p95_ratio,
         "plan_parity_clean_requests": len(clean_plans),
         "plan_parity_mismatches": len(mismatched),
+        "process_plan_parity_clean_requests": len(proc_clean_plans),
+        "process_plan_parity_mismatches": len(proc_mismatched),
     }
     out = Path(args.out)
     payload = json.loads(out.read_text()) if out.exists() else {}
@@ -233,6 +328,37 @@ def main(argv=None) -> int:
     )
     assert chaos["total_injected"] >= 1, (
         "the chaos run injected nothing — the harness is not wired in"
+    )
+    # Process-executor chaos: SIGKILL is survivable, futures resolve,
+    # and the supervisor's respawn rejoins at the live policy version.
+    assert proc_chaos["worker_kills"] >= 1, (
+        "process chaos fired no worker_kill — raise PROC_KILL_RATE or "
+        "check the injector wiring"
+    )
+    assert proc_chaos["success_rate"] >= 0.995, (
+        f"process chaos success rate {proc_chaos['success_rate']:.2%} "
+        f"below the 99.5% floor ({proc_chaos['failed']} failures: "
+        f"{proc_chaos['failure_samples']})"
+    )
+    assert proc_chaos["unresolved_futures"] == 0, (
+        f"{proc_chaos['unresolved_futures']} futures left unresolved "
+        f"under process chaos"
+    )
+    assert all(proc_chaos["workers_alive_at_end"]), (
+        f"dead worker process(es) at end: "
+        f"{proc_chaos['workers_alive_at_end']}"
+    )
+    assert all(
+        v == proc_chaos["live_version"]
+        for v in proc_chaos["policy_versions_at_end"]
+    ), (
+        f"respawned worker did not rejoin at the live policy version: "
+        f"{proc_chaos['policy_versions_at_end']} vs "
+        f"{proc_chaos['live_version']}"
+    )
+    assert not proc_mismatched, (
+        f"{len(proc_mismatched)} non-faulted requests served different "
+        f"plans under process chaos, first: {proc_mismatched[0]}"
     )
     if not args.smoke:
         assert p95_ratio <= 1.5, (

@@ -51,6 +51,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve N sample queries twice through a fresh optimizer "
         "service so the printed counters show a live cache hit rate",
     )
+    info.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+        help="probe through thread shards (default) or spawned worker "
+        "processes; process mode adds the transport_* counters (pipe "
+        "vs shared-memory bytes, control round-trips) to the rollup",
+    )
 
     plan = sub.add_parser("plan", help="optimize one JOB-lite query")
     plan.add_argument("query", help="query name, e.g. 13c")
@@ -102,6 +108,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--shards", type=int, default=2,
                        help="worker shards behind the front end "
                        "(consistent-hashed by query fingerprint)")
+    serve.add_argument("--executor", choices=("thread", "process"),
+                       default="thread",
+                       help="shard execution mode: in-process threads "
+                       "(default, GIL-shared) or one spawned worker "
+                       "process per shard (true CPU parallelism; "
+                       "requires --concurrency > 1)")
     serve.add_argument("--max-delay-ms", type=float, default=2.0,
                        help="batch-or-timeout deadline: a pending request "
                        "is flushed after at most this long even without a "
@@ -202,7 +214,7 @@ def _cmd_info(args) -> int:
         # Serve through the concurrent front end so the printed counters
         # are the per-shard rollup an operator would see in production.
         # Two passes: the second pass hits the plans the first cached.
-        with _make_frontend(db) as frontend:
+        with _make_frontend(db, executor=args.executor) as frontend:
             frontend.optimize_batch(probes)
             frontend.optimize_batch(probes)
             counters = frontend.counters()
@@ -249,11 +261,13 @@ def _make_service(db, agent=None, planner=None, featurizer=None,
 
 def _make_frontend(db, agent=None, featurizer=None, reward_source=None,
                    n_shards=2, max_batch=16, max_delay_ms=2.0,
-                   expert_lane="bitset", telemetry=None, **config_kwargs):
+                   expert_lane="bitset", telemetry=None, executor="thread",
+                   **config_kwargs):
     """A :class:`ServingFrontEnd` over ``db``: batch-or-timeout flusher
-    in front of ``n_shards`` fingerprint-sharded worker services."""
+    in front of ``n_shards`` fingerprint-sharded worker services
+    (in-process threads by default; ``executor="process"`` spawns one
+    worker process per shard behind the same API)."""
     from repro.core.featurize import QueryFeaturizer
-    from repro.optimizer import Planner, SubPlanCostMemo
     from repro.rl.ppo import PPOAgent
     from repro.serving import FrontEndConfig, ServingConfig, ServingFrontEnd
 
@@ -268,14 +282,16 @@ def _make_frontend(db, agent=None, featurizer=None, reward_source=None,
         featurizer=featurizer,
         serving_config=ServingConfig(**config_kwargs),
         config=FrontEndConfig(
-            n_shards=n_shards, max_batch=max_batch, max_delay_ms=max_delay_ms
+            n_shards=n_shards, max_batch=max_batch, max_delay_ms=max_delay_ms,
+            executor=executor,
         ),
-        planner_factory=lambda: Planner(
-            db,
-            geqo_threshold=12 if expert_lane == "bitset" else 8,
-            cost_memo=SubPlanCostMemo(),
-            expert_lane=expert_lane,
-        ),
+        # Keyword recipe instead of a closure: the same planner is built
+        # per shard in either mode, and the kwargs pickle across the
+        # spawn boundary in process mode (a planner_factory cannot).
+        planner_kwargs={
+            "geqo_threshold": 12 if expert_lane == "bitset" else 8,
+            "expert_lane": expert_lane,
+        },
         reward_source=reward_source,
         telemetry=telemetry,
     )
@@ -645,6 +661,10 @@ def _cmd_serve_bench(args) -> int:
         print("serve-bench: --chaos needs the concurrent front end "
               "(pass --concurrency > 1)", file=sys.stderr)
         return 2
+    if args.executor == "process" and args.concurrency < 2 and not args.drift:
+        print("serve-bench: --executor process needs the concurrent "
+              "front end (pass --concurrency > 1)", file=sys.stderr)
+        return 2
     if args.retrain_every < 1:
         print("serve-bench: --retrain-every must be >= 1", file=sys.stderr)
         return 2
@@ -754,6 +774,10 @@ def _cmd_serve_bench(args) -> int:
                 ("requests failed", f"{fault_report['failed']}"),
                 ("success rate", f"{fault_report['success_rate']:.2%}"),
                 ("unresolved futures", f"{fault_report['outstanding']}"),
+                *(
+                    [("worker respawns", f"{fault_report['respawns']}")]
+                    if "respawns" in fault_report else []
+                ),
             ],
         ))
 
@@ -932,6 +956,7 @@ def _serve_drift(args, db, env, agent, trainer, baseline, telemetry=None):
         max_delay_ms=args.max_delay_ms,
         expert_lane=getattr(args, "expert_lane", "bitset"),
         telemetry=telemetry,
+        executor=getattr(args, "executor", "thread"),
         cache_capacity=args.cache_capacity,
         regression_threshold=args.threshold,
         max_batch_size=args.burst,
@@ -1047,6 +1072,7 @@ def _serve_concurrent(args, db, env, agent, stream, telemetry=None):
     """Open-loop client threads submitting through the front end."""
     import threading
 
+    executor = getattr(args, "executor", "thread")
     frontend = _make_frontend(
         db,
         agent=agent,
@@ -1057,10 +1083,17 @@ def _serve_concurrent(args, db, env, agent, stream, telemetry=None):
         max_delay_ms=args.max_delay_ms,
         expert_lane=getattr(args, "expert_lane", "bitset"),
         telemetry=telemetry,
+        executor=executor,
         cache_capacity=args.cache_capacity,
         regression_threshold=args.threshold,
         max_batch_size=args.burst,
     )
+    if executor == "process":
+        from repro.serving.procpool import worker_blas_threads
+
+        print(f"worker BLAS/OpenMP threads pinned to "
+              f"{worker_blas_threads()} per shard process "
+              f"(override with REPRO_WORKER_BLAS_THREADS)")
     chaos = getattr(args, "chaos", False)
     if chaos:
         from repro.serving import FaultConfig, FaultInjector
@@ -1071,6 +1104,8 @@ def _serve_concurrent(args, db, env, agent, stream, telemetry=None):
             latency_spike_rate=rate,
             policy_nan_rate=rate,
             stats_race_rate=rate,
+            # SIGKILL chaos only makes sense when shards are processes.
+            worker_kill_rate=rate / 4 if executor == "process" else 0.0,
             seed=args.chaos_seed,
         )))
     futures = [None] * len(stream)
@@ -1115,11 +1150,15 @@ def _serve_concurrent(args, db, env, agent, stream, telemetry=None):
         total_s = time.perf_counter() - start
         fault_report = None
         if chaos:
-            injected = frontend.fault_injector.fired_counts()
+            # Merged schedule: parent-side draws (worker_fault, latency
+            # spikes, worker_kill) plus each worker process's own draws
+            # (stats_race, policy_nan) — the sites are disjoint, so the
+            # merge is a plain sum.
+            injected = frontend.fault_fired_counts()
             succeeded = len(futures) - len(request_failures)
             fault_report = {
                 "injected": injected,
-                "total_injected": frontend.fault_injector.total_fired(),
+                "total_injected": sum(injected.values()),
                 "succeeded": succeeded,
                 "failed": len(request_failures),
                 "success_rate": succeeded / max(1, len(futures)),
@@ -1129,6 +1168,10 @@ def _serve_concurrent(args, db, env, agent, stream, telemetry=None):
         counters = frontend.counters()
         episodes = frontend.drain_experience()
         registry = frontend.metrics_registry()
+        if fault_report is not None:
+            fault_report["respawns"] = int(
+                counters.get("frontend_worker_restarts", 0)
+            )
     finally:
         frontend.close()
     return total_s, latency, counters, episodes, registry, fault_report

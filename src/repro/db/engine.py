@@ -69,6 +69,23 @@ class Database:
     _CARDS_CACHE_CAPACITY = 512
 
     # ------------------------------------------------------------------
+    # Pickling (multiprocess serving ships a Database to each worker)
+    # ------------------------------------------------------------------
+    def __getstate__(self) -> dict:
+        """Drop the lock and the identity-keyed estimate cache: the lock
+        is process-local, and cached entries key on ``id(query)`` of
+        objects that do not exist in the receiving process."""
+        state = dict(self.__dict__)
+        state["_cards_lock"] = None
+        state["_cards_cache"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._cards_lock = threading.Lock()
+        self._cards_cache = OrderedDict()
+
+    # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
     @classmethod

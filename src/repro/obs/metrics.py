@@ -182,6 +182,27 @@ class Histogram:
         self._max = float("-inf")
         self._lock = threading.Lock()
 
+    def __getstate__(self) -> dict:
+        """Consistent snapshot minus the process-local lock (histograms
+        ride inside picklable object graphs: worker specs, registry
+        snapshots crossing the process-mode control channel)."""
+        with self._lock:
+            return {
+                "name": self.name,
+                "help": self.help,
+                "bounds": self.bounds,
+                "_counts": list(self._counts),
+                "_sum": self._sum,
+                "_count": self._count,
+                "_min": self._min,
+                "_max": self._max,
+            }
+
+    def __setstate__(self, state: dict) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._lock = threading.Lock()
+
     def observe(self, v: float) -> None:
         idx = bisect_left(self.bounds, v)
         with self._lock:
@@ -404,6 +425,66 @@ class MetricsRegistry:
                 else:  # pragma: no cover - registry only stores the three
                     raise TypeError(f"unknown metric type for {name}")
         return merged
+
+    # -- cross-process snapshot ----------------------------------------
+    def dump_state(self) -> Dict[str, dict]:
+        """A plain-data snapshot of every instrument, suitable for
+        shipping across a process boundary (the multiprocess serving
+        workers snapshot their shard registry this way; the parent
+        rebuilds with :meth:`load_state` and merges at read time).
+
+        Callback-backed counters/gauges are captured by *value* — the
+        receiving side has no access to the callback's closure, so the
+        rebuilt instrument is a frozen reading, which is exactly what a
+        merge-at-read-time rollup wants.
+        """
+        out: Dict[str, dict] = {}
+        for name, metric in self._items():
+            if isinstance(metric, Histogram):
+                with metric._lock:
+                    out[name] = {
+                        "kind": "histogram",
+                        "help": metric.help,
+                        "bounds": list(metric.bounds),
+                        "counts": list(metric._counts),
+                        "sum": metric._sum,
+                        "count": metric._count,
+                        "min": metric._min,
+                        "max": metric._max,
+                    }
+            else:
+                out[name] = {
+                    "kind": metric.kind,
+                    "help": metric.help,
+                    "value": metric.value,
+                }
+        return out
+
+    @classmethod
+    def load_state(cls, state: Dict[str, dict]) -> "MetricsRegistry":
+        """Rebuild a registry from :meth:`dump_state` output. The result
+        holds plain (non-callback) instruments frozen at the snapshot's
+        values; it merges and rolls up exactly like a live registry."""
+        registry = cls()
+        for name, payload in state.items():
+            kind = payload["kind"]
+            if kind == "histogram":
+                hist = registry.histogram(
+                    name, payload["help"], bounds=payload["bounds"]
+                )
+                with hist._lock:
+                    hist._counts = list(payload["counts"])
+                    hist._sum = payload["sum"]
+                    hist._count = payload["count"]
+                    hist._min = payload["min"]
+                    hist._max = payload["max"]
+            elif kind == "counter":
+                registry.counter(name, payload["help"]).inc(payload["value"])
+            elif kind == "gauge":
+                registry.gauge(name, payload["help"]).add(payload["value"])
+            else:
+                raise ValueError(f"unknown metric kind {kind!r} for {name}")
+        return registry
 
     # -- export --------------------------------------------------------
     def snapshot(self) -> Dict[str, object]:

@@ -144,6 +144,21 @@ class SubPlanCostMemo:
         #: ``ANALYZE`` evict only the fragments reading those tables.
         self._table_epochs: Dict[str, int] = {}
 
+    def __getstate__(self) -> dict:
+        """Ship configuration, not contents: the lock is process-local
+        and memo entries are only valid against the statistics object
+        they were computed from, so a memo crossing a spawn boundary
+        (inside a process-mode ``WorkerSpec``) restarts cold."""
+        state = dict(self.__dict__)
+        state["_lock"] = None
+        state["_entries"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.RLock()
+        self._entries = OrderedDict()
+
     def sync_epoch(
         self, epoch: int, table_epochs: Mapping[str, int] | None = None
     ) -> None:

@@ -127,6 +127,18 @@ class Planner:
             "repro_expert_plan_ms", "expert join-order search latency"
         )
 
+    def __getstate__(self) -> dict:
+        """The lock is process-local; the latency window travels (plain
+        deque of floats). Lets a planner ride inside a picklable object
+        graph (reward baselines in a process-mode ``WorkerSpec``)."""
+        state = dict(self.__dict__)
+        state["_expert_ms_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._expert_ms_lock = threading.Lock()
+
     @staticmethod
     def _deadline_hook(budget_ms: float | None):
         """A ``check_deadline`` callable raising :class:`PlanningTimeout`

@@ -22,6 +22,13 @@ puts it behind a production-shaped ``optimize(query)`` API:
   a background flusher batches on a batch-or-timeout deadline, and N
   worker shards (each a private ``OptimizerService``) serve the
   flushes;
+- :mod:`repro.serving.procpool` / :mod:`repro.serving.transport` /
+  :mod:`repro.serving.shm` — the GIL escape: ``executor="process"``
+  promotes each shard to a spawned worker process
+  (:class:`ProcessWorkerClient` proxies it), speaking a length-prefixed
+  pipe protocol with large buffers diverted through shared-memory
+  rings, with a control channel for stats-epoch bumps, policy
+  hot-swaps, breaker state, and chaos arming;
 - :mod:`repro.serving.errors` — the typed failure hierarchy
   (:class:`OptimizeError` and friends) every refused or abandoned
   request resolves with;
@@ -55,11 +62,15 @@ from repro.serving.errors import (
     RetriesExhausted,
     ServiceClosed,
     ShardFailed,
+    WorkerProcessDied,
 )
 from repro.serving.experience import ExperienceBuffer, is_degraded
 from repro.serving.faults import FaultConfig, FaultInjector, seeded_uniform
 from repro.serving.fingerprint import canonical_alias_map, canonical_text, fingerprint
 from repro.serving.frontend import FrontEndConfig, FrontEndStats, ServingFrontEnd
+from repro.serving.procpool import ProcessWorkerClient, SpanRecorder, WorkerSpec
+from repro.serving.shm import ShmRing
+from repro.serving.transport import FrameConn, TransportStats
 from repro.serving.learning import (
     AdaptiveGuardrail,
     EvalGate,
@@ -82,6 +93,7 @@ __all__ = [
     "ExperienceBuffer",
     "FaultConfig",
     "FaultInjector",
+    "FrameConn",
     "FrontEndConfig",
     "FrontEndStats",
     "GateVerdict",
@@ -95,6 +107,7 @@ __all__ = [
     "OptimizeError",
     "OptimizerService",
     "PlanCache",
+    "ProcessWorkerClient",
     "RetrainingDaemon",
     "RetriesExhausted",
     "RolloutRecord",
@@ -104,6 +117,11 @@ __all__ = [
     "ServingFrontEnd",
     "ShardFailed",
     "ShardSupervisor",
+    "ShmRing",
+    "SpanRecorder",
+    "TransportStats",
+    "WorkerProcessDied",
+    "WorkerSpec",
     "canonical_alias_map",
     "canonical_text",
     "fingerprint",

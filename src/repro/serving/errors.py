@@ -32,7 +32,21 @@ __all__ = [
     "CircuitOpen",
     "RetriesExhausted",
     "InjectedFault",
+    "WorkerProcessDied",
 ]
+
+
+def _rebuild_error(cls, args, attrs, cause):
+    """Unpickle helper: restore an :class:`OptimizeError` with its
+    context attributes *and* its ``__cause__`` chain (the default
+    exception reduce drops ``__cause__``, which would strip the last
+    underlying failure off a ``RetriesExhausted`` crossing a process
+    boundary)."""
+    exc = cls(*args)
+    exc.__dict__.update(attrs)
+    if cause is not None:
+        exc.__cause__ = cause
+    return exc
 
 
 class OptimizeError(RuntimeError):
@@ -58,6 +72,15 @@ class OptimizeError(RuntimeError):
         self.shard = shard
         self.attempts = attempts
         self.retry_after_s = retry_after_s
+
+    def __reduce__(self):
+        """Pickle bit-faithfully: message args, every context attribute,
+        and the ``__cause__`` chain (process-mode serving resolves
+        futures with errors that crossed a pipe)."""
+        return (
+            _rebuild_error,
+            (type(self), self.args, dict(self.__dict__), self.__cause__),
+        )
 
     def to_dict(self) -> Dict[str, object]:
         """Structured payload for events/logs (stable keys)."""
@@ -146,3 +169,22 @@ class InjectedFault(OptimizeError):
 
     code = "injected_fault"
     retryable = True
+
+
+class WorkerProcessDied(OptimizeError):
+    """A worker *process* (``executor="process"``) died while holding
+    the request — SIGKILL chaos, OOM kill, or an interpreter crash.
+    Retryable: the supervisor respawns the process and the retry is
+    served by the fresh worker (or rerouted along the hash ring)."""
+
+    code = "worker_process_died"
+    retryable = True
+
+    def __init__(self, message: str, exitcode: int | None = None, **kwargs) -> None:
+        super().__init__(message, **kwargs)
+        self.exitcode = exitcode
+
+    def to_dict(self) -> Dict[str, object]:
+        out = super().to_dict()
+        out["exitcode"] = self.exitcode
+        return out

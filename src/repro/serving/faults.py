@@ -51,6 +51,7 @@ FAULT_KINDS = (
     "policy_nan",
     "stats_race",
     "replay_poison",
+    "worker_kill",
 )
 
 
@@ -78,6 +79,10 @@ class FaultConfig:
     policy_nan_rate: float = 0.0
     stats_race_rate: float = 0.0
     replay_poison_rate: float = 0.0
+    #: SIGKILL a worker *process* before it serves a batch holding the
+    #: fired request (``executor="process"`` only — thread workers have
+    #: no process to kill, so the front end skips the draw there).
+    worker_kill_rate: float = 0.0
     #: Seed for the deterministic fault schedule.
     seed: int = 0
 
@@ -88,6 +93,7 @@ class FaultConfig:
             "policy_nan": self.policy_nan_rate,
             "stats_race": self.stats_race_rate,
             "replay_poison": self.replay_poison_rate,
+            "worker_kill": self.worker_kill_rate,
         }[kind]
 
 

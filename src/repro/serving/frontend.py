@@ -81,9 +81,11 @@ from repro.serving.errors import (
     RetriesExhausted,
     ServiceClosed,
     ShardFailed,
+    WorkerProcessDied,
 )
-from repro.serving.faults import FaultInjector, seeded_uniform
+from repro.serving.faults import FAULT_KINDS, FaultInjector, seeded_uniform
 from repro.serving.fingerprint import canonical_alias_map, fingerprint
+from repro.serving.procpool import ProcessWorkerClient, WorkerSpec
 from repro.serving.service import (
     OptimizerService,
     ServedPlan,
@@ -92,6 +94,7 @@ from repro.serving.service import (
 )
 from repro.serving.sharding import HashRing
 from repro.serving.supervisor import CircuitBreaker, ShardSupervisor
+from repro.serving.transport import TransportStats
 
 __all__ = ["FrontEndConfig", "FrontEndStats", "ServingFrontEnd"]
 
@@ -140,8 +143,22 @@ class FrontEndConfig:
     #: Run the supervisor thread that respawns dead workers.
     supervise: bool = True
     supervisor_interval_s: float = 0.05
+    #: Shard executor: ``"thread"`` keeps every shard in-process
+    #: (shared GIL — cheap, but rollouts interleave); ``"process"``
+    #: spawns one worker process per shard behind the same hash ring,
+    #: so shards roll out truly in parallel. Only :meth:`ServingFrontEnd.build`
+    #: acts on this — a hand-assembled service list decides for itself.
+    executor: str = "thread"
+    #: Process mode: how often the supervisor heartbeats each worker
+    #: process (a hung worker that misses one beat is SIGKILL'd and
+    #: respawned).
+    heartbeat_interval_s: float = 1.0
 
     def __post_init__(self) -> None:
+        if self.executor not in ("thread", "process"):
+            raise ValueError('executor must be "thread" or "process"')
+        if self.heartbeat_interval_s <= 0:
+            raise ValueError("heartbeat_interval_s must be positive")
         if self.n_shards < 1:
             raise ValueError("n_shards must be at least 1")
         if self.max_batch < 1:
@@ -317,6 +334,17 @@ class ServingFrontEnd:
             for service in self.services:
                 if service.telemetry is None:
                     service.telemetry = telemetry
+        #: Shared transport counters in process mode (every proxy built
+        #: by :meth:`build` feeds the same instance); None under threads.
+        self.transport: Optional[TransportStats] = next(
+            (
+                s.transport
+                for s in self.services
+                if isinstance(s, ProcessWorkerClient)
+            ),
+            None,
+        )
+        self._last_heartbeat = 0.0
         self.registry = MetricsRegistry()
         self.latency_ms_hist = self.registry.histogram(
             "repro_request_latency_ms",
@@ -475,6 +503,33 @@ class ServingFrontEnd:
             lambda: len(self._down),
             "shards whose worker is dead and awaiting respawn",
         )
+        if self.transport is not None:
+            transport = self.transport
+            reg.counter_fn(
+                "repro_transport_frames_total",
+                lambda: transport.frames_sent,
+                "frames sent over worker pipes",
+            )
+            reg.counter_fn(
+                "repro_transport_bytes_pipe_total",
+                lambda: transport.bytes_pipe,
+                "bytes shipped in-band over worker pipes",
+            )
+            reg.counter_fn(
+                "repro_transport_bytes_shm_total",
+                lambda: transport.bytes_shm,
+                "bytes shipped out-of-band through shm rings",
+            )
+            reg.counter_fn(
+                "repro_transport_shm_fallbacks_total",
+                lambda: transport.shm_fallbacks,
+                "out-of-band buffers that fell back to in-band transfer",
+            )
+            reg.counter_fn(
+                "repro_transport_control_roundtrips_total",
+                lambda: transport.control_roundtrips,
+                "control-channel RPC round-trips",
+            )
 
     def _breaker_callback(self, shard: int):
         """on_transition hook for shard ``shard``'s breaker. Runs under
@@ -491,6 +546,13 @@ class ServingFrontEnd:
             elif new == "closed" and old == "half_open":
                 if self.telemetry is not None and self.telemetry.enabled:
                     self.telemetry.events.emit("circuit_close", shard=shard)
+            # Process mode: push the breaker state to the worker over
+            # its control channel (shows up in the worker's heartbeat
+            # payload / forensics). Best-effort: a dead worker is the
+            # usual *reason* the breaker moved.
+            service = self.services[shard]
+            if isinstance(service, ProcessWorkerClient):
+                service.notify_breaker(new)
 
         return on_transition
 
@@ -508,16 +570,28 @@ class ServingFrontEnd:
         planner_factory=None,
         reward_source=None,
         telemetry: Telemetry | None = None,
+        planner_kwargs: Dict[str, object] | None = None,
     ) -> "ServingFrontEnd":
         """A front end with the standard shard setup.
 
         Each shard gets its own :class:`~repro.optimizer.planner.Planner`
         (with a private sub-plan cost memo) and its own deep copy of the
         policy, so shards never contend on mutable planner or inference
-        state. ``planner_factory()`` overrides the per-shard planner.
-        The same recipe is installed as the respawn factory, so a shard
-        that dies is rebuilt from scratch (a worker that died mid-batch
-        may hold arbitrarily corrupt service state).
+        state. ``planner_factory()`` overrides the per-shard planner;
+        ``planner_kwargs`` are extra ``Planner(...)`` arguments — the
+        picklable alternative a process-mode shard can carry across the
+        spawn boundary (closures cannot). The same recipe is installed
+        as the respawn factory, so a shard that dies is rebuilt from
+        scratch (a worker that died mid-batch may hold arbitrarily
+        corrupt service state).
+
+        With ``config.executor == "process"`` each shard becomes a
+        :class:`~repro.serving.procpool.ProcessWorkerClient`: a spawned
+        worker process that builds its own service from a picklable
+        :class:`~repro.serving.procpool.WorkerSpec`, fed over a framed
+        pipe + shared-memory transport. Everything above this method —
+        routing, batching, retries, breakers, supervision, telemetry —
+        is identical in both modes.
         """
         from repro.core.featurize import QueryFeaturizer
         from repro.optimizer.memo import SubPlanCostMemo
@@ -526,8 +600,43 @@ class ServingFrontEnd:
         config = config or FrontEndConfig()
         featurizer = featurizer or QueryFeaturizer(db.schema)
         policy = getattr(agent_or_policy, "policy", agent_or_policy)
+
+        if config.executor == "process":
+            if planner_factory is not None:
+                raise ValueError(
+                    "planner_factory closures cannot cross the spawn "
+                    "boundary; pass planner_kwargs instead"
+                )
+            transport = TransportStats()
+
+            def make_spec(shard: int) -> WorkerSpec:
+                return WorkerSpec(
+                    shard=shard,
+                    db=db,
+                    policy=policy,
+                    featurizer=featurizer,
+                    serving_config=serving_config or ServingConfig(),
+                    planner_kwargs=dict(planner_kwargs or {}),
+                    reward_source=reward_source,
+                )
+
+            def make_worker(shard: int) -> ProcessWorkerClient:
+                return ProcessWorkerClient(
+                    make_spec(shard), transport=transport, telemetry=telemetry
+                )
+
+            workers = [make_worker(shard) for shard in range(config.n_shards)]
+            return cls(
+                workers,
+                config=config,
+                telemetry=telemetry,
+                service_factory=make_worker,
+            )
+
         make_planner = planner_factory or (
-            lambda: Planner(db, cost_memo=SubPlanCostMemo())
+            lambda: Planner(
+                db, cost_memo=SubPlanCostMemo(), **dict(planner_kwargs or {})
+            )
         )
 
         def make_service(shard: int) -> OptimizerService:
@@ -763,6 +872,19 @@ class ServingFrontEnd:
                     self._work.wait()
                 if not self._pending:  # closing with nothing queued
                     break
+                # Capacity gate: every shard down with the supervisor
+                # mid-respawn is an outage, not a request failure —
+                # dispatching now could only burn retry attempts
+                # against a guaranteed all-down route, and a process
+                # respawn (interpreter spawn + service rebuild) takes
+                # far longer than the whole ms-scale backoff schedule.
+                # Park until a shard returns; close() drains us out.
+                while (
+                    self.supervisor is not None
+                    and not self._closing
+                    and len(self._down) >= len(self.services)
+                ):
+                    self._work.wait(0.05)
                 head = self._pending[0]
                 deadline = head.submitted_at + self.config.max_delay_ms / 1000.0
                 if head.deadline is not None and head.deadline < deadline:
@@ -861,12 +983,25 @@ class ServingFrontEnd:
                 return shard
             waits.append(self.breakers[shard].retry_after())
         if not waits:
+            # With supervision live, every dead shard is already being
+            # respawned — hand the retry loop a stall hint sized to
+            # notice-plus-respawn so it waits the outage out. Without
+            # the hint a total outage burns all attempts on the ms-scale
+            # backoff schedule, which no process respawn (interpreter
+            # spawn + service rebuild: seconds) can beat.
+            hint = None
+            if self.supervisor is not None:
+                hint = 2.0 * max(
+                    self.config.breaker_cooldown_s,
+                    self.config.heartbeat_interval_s,
+                )
             raise ShardFailed(
                 "every worker shard is down",
                 query_name=s.query.name,
                 fingerprint=s.fp,
                 shard=s.shard,
                 attempts=s.attempts,
+                retry_after_s=hint,
             )
         raise CircuitOpen(
             "every live shard's circuit breaker is open",
@@ -1005,6 +1140,25 @@ class ServingFrontEnd:
         if not ready:
             return
         service = self.services[shard]
+        if (
+            injector is not None
+            and ready
+            and isinstance(service, ProcessWorkerClient)
+        ):
+            # Chaos: SIGKILL the worker *process* under the batch. The
+            # serve call below then hits EOF and raises
+            # WorkerProcessDied, driving the exact recovery path a real
+            # OOM-kill would: breaker failure, request retries, shard
+            # thread death, supervisor respawn. Draw per request with
+            # no short-circuit (the schedule must not depend on
+            # evaluation order).
+            killed = [
+                s
+                for s in ready
+                if injector.fires("worker_kill", f"req{s.seq}a{s.attempts}")
+            ]
+            if killed:
+                service.kill()
         serve_start = self.clock()
         budgets = [
             None
@@ -1024,6 +1178,16 @@ class ServingFrontEnd:
                 # retry can never double-count a trajectory.
                 collect=[s.attempts == 1 for s in ready],
             )
+        except WorkerProcessDied as exc:
+            # The shard's process is gone. Back off the held requests
+            # like any retryable failure, then die like the process did:
+            # re-raising runs the worker-death path (drain + failover)
+            # and has the supervisor respawn both the process and this
+            # thread together.
+            self.breakers[shard].record_failure()
+            for s in ready:
+                self._retry_or_fail(s, exc)
+            raise
         except OptimizeError as exc:
             self.breakers[shard].record_failure()
             for s in ready:
@@ -1212,6 +1376,7 @@ class ServingFrontEnd:
             if self._closing or shard not in self._down:
                 return
         if self._service_factory is not None:
+            old = self.services[shard]
             service = self._service_factory(shard)
             if service.telemetry is None:
                 service.telemetry = self.telemetry
@@ -1219,7 +1384,28 @@ class ServingFrontEnd:
             service.engine.inference_lock = threading.Lock()
             if self.fault_injector is not None:
                 service.install_fault_injector(self.fault_injector)
+            if isinstance(service, ProcessWorkerClient) and isinstance(
+                old, ProcessWorkerClient
+            ):
+                # Carry forward what the old worker had been told since
+                # its spawn: the guardrail threshold and the last
+                # hot-swapped weights, so the replacement rejoins at the
+                # live policy version even without a retraining daemon
+                # (policy_sync, when wired, re-confirms right after).
+                if old.router.threshold is not None:
+                    service.router.set_threshold(old.router.threshold)
+                if old._applied_weights is not None:
+                    params, version = old._applied_weights
+                    try:
+                        service.apply_policy_weights(params, version)
+                    except Exception:
+                        pass  # fresh worker still serves at spec version
             self.services[shard] = service
+            if isinstance(old, ProcessWorkerClient):
+                # Reap the zombie and release its pipes and rings (the
+                # restarted shard's counters restart with it, same as a
+                # rebuilt thread-mode service).
+                old.shutdown()
         if self.policy_sync is not None:
             # Rejoin at the current promoted policy version before any
             # request reaches the rebuilt service (its worker thread
@@ -1263,6 +1449,39 @@ class ServingFrontEnd:
             target=self._flusher_loop, name="serving-flusher", daemon=True
         )
         self._flusher.start()
+
+    def _check_worker_processes(self) -> None:
+        """Supervisor hook (process mode): catch worker-process deaths
+        the shard threads cannot see, and hung workers.
+
+        A shard thread blocked in ``recv`` notices its process dying by
+        EOF on its own; one parked on an *empty queue* would sit on a
+        corpse forever, so an exit code on a not-down shard gets the
+        thread nudged with the kill sentinel (the normal death path then
+        runs; a sentinel made stale by a racing EOF is discarded by the
+        death handler's queue drain). Every ``heartbeat_interval_s`` the
+        live workers are pinged over the control channel; a worker that
+        is alive but unresponsive past one interval is SIGKILL'd here
+        and reaped by the exit-code check on the next tick.
+        """
+        now = self.clock()
+        beat = now - self._last_heartbeat >= self.config.heartbeat_interval_s
+        if beat:
+            self._last_heartbeat = now
+        for shard, service in enumerate(self.services):
+            if not isinstance(service, ProcessWorkerClient):
+                continue
+            with self._work:
+                if self._closing:
+                    return
+                if shard in self._down:
+                    continue
+            if service.exitcode() is not None:
+                self._queues[shard].put(_KILL)
+            elif beat and not service.ping(
+                timeout=self.config.heartbeat_interval_s
+            ):
+                service.kill()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -1386,6 +1605,14 @@ class ServingFrontEnd:
                     attempts=s.attempts,
                 ),
             )
+        # Process mode: pull one last metric/fault snapshot into each
+        # proxy's cache (so counters()/metrics after close still
+        # answer), then stop the children and release pipes and rings.
+        for service in self.services:
+            if isinstance(service, ProcessWorkerClient):
+                service.registry
+                service.fault_fired_counts()
+                service.shutdown()
         self._closed = True
 
     def __enter__(self) -> "ServingFrontEnd":
@@ -1408,10 +1635,27 @@ class ServingFrontEnd:
         ``tables`` when given). Safe to call while shards are serving —
         the caches are thread-safe, and in-flight requests complete
         against a consistent view at worst one refresh behind.
+
+        Process mode: each worker owns a private database copy, so the
+        epoch bump travels the control channel — the worker re-runs the
+        *same seeded* ANALYZE on its copy (bit-identical statistics,
+        plan parity with the parent) and evicts its staled caches, all
+        synchronously before this method returns. No request served
+        after the return can use pre-refresh cached decisions.
         """
         self.services[0].db.analyze(seed=seed, sample_size=sample_size, tables=tables)
         for service in self.services:
-            service.invalidate_statistics_caches(tables=tables)
+            if isinstance(service, ProcessWorkerClient):
+                try:
+                    service.remote_refresh_statistics(
+                        seed=seed, sample_size=sample_size, tables=tables
+                    )
+                except OptimizeError:
+                    # Dead worker: its respawn rebuilds from the parent
+                    # database copy, already re-analyzed above.
+                    pass
+            else:
+                service.invalidate_statistics_caches(tables=tables)
 
     # ------------------------------------------------------------------
     # Observability
@@ -1469,4 +1713,30 @@ class ServingFrontEnd:
         rolled["frontend_breakers_open"] = sum(
             1 for breaker in self.breakers if breaker.state != "closed"
         )
+        if self.transport is not None:
+            rolled["frontend_executor_processes"] = sum(
+                1
+                for s in self.services
+                if isinstance(s, ProcessWorkerClient) and s.is_alive()
+            )
+            rolled.update(self.transport.as_dict())
         return rolled
+
+    def fault_fired_counts(self) -> Dict[str, int]:
+        """Merged chaos counters across the process boundary.
+
+        The parent injector draws request-scoped faults
+        (``worker_fault``, ``latency_spike``, ``worker_kill``); each
+        worker process draws its own service-scoped ones
+        (``stats_race``, ``policy_nan``) from the same seed. The sites
+        are disjoint, so a plain sum is the whole schedule.
+        """
+        counts: Dict[str, int] = {kind: 0 for kind in FAULT_KINDS}
+        if self.fault_injector is not None:
+            for kind, n in self.fault_injector.fired_counts().items():
+                counts[kind] = counts.get(kind, 0) + n
+        for service in self.services:
+            if isinstance(service, ProcessWorkerClient):
+                for kind, n in service.fault_fired_counts().items():
+                    counts[kind] = counts.get(kind, 0) + n
+        return counts

@@ -660,8 +660,17 @@ class RetrainingDaemon:
         cycle: int | None,
         kind: str = "policy_swap",
     ) -> int:
-        """Copy vetted weights into every shard in place, bump the
-        version, checkpoint, and arm the rollback watch."""
+        """Broadcast vetted weights to every shard, bump the version,
+        checkpoint, and arm the rollback watch.
+
+        The payload is snapshotted **once** (``{name: array}``) and
+        handed to each shard's ``apply_policy_weights`` — thread shards
+        copy it in place under their inference lock; process shards ship
+        it over the control channel (out-of-band through the shm ring)
+        and ack the version. A shard that died mid-broadcast is skipped:
+        its supervisor respawn rejoins through ``policy_sync`` at the
+        version promoted here, so no shard can serve stale weights.
+        """
         with self._swap_lock:
             rng = self.trainer.rng
             self._previous = (
@@ -671,20 +680,26 @@ class RetrainingDaemon:
                 self.current_score,
             )
             version = self.version + 1
-            synced = set()
-            for service in self.frontend.services:
-                lock = service.engine.inference_lock or nullcontext()
-                with lock:
-                    service.engine.policy.net.copy_weights_from(policy_net)
-                    service.policy_version = version
-                synced.add(id(service.engine.policy.net))
-            # The agent's own nets: shard 0 usually *is* the agent's
-            # policy net (identity-preserved by build()), but cover the
-            # all-copies topology too; the value net serves nowhere.
-            if id(self.agent.policy_net) not in synced:
-                self.agent.policy_net.copy_weights_from(policy_net)
+            params = {
+                name: np.copy(arr)
+                for name, arr in policy_net.net.params.items()
+            }
+            # The agent's nets first: shard 0 usually *is* the agent's
+            # policy net (identity-preserved by build()), and a dead
+            # process shard must still leave the parent at the promoted
+            # weights; the value net serves nowhere.
+            self.agent.policy_net.copy_weights_from(policy_net)
             if value_net is not None:
                 self.agent.value_net.copy_weights_from(value_net)
+            for shard, service in enumerate(self.frontend.services):
+                try:
+                    service.apply_policy_weights(params, version)
+                except Exception:
+                    # Worker process gone mid-broadcast; the respawned
+                    # shard is policy_sync'd to `version` before it
+                    # serves again.
+                    self._emit("policy_swap_shard_skipped", shard=shard,
+                               version=version)
             self.version = version
             self.promoted_versions.add(version)
             if kind == "policy_swap":
@@ -832,9 +847,13 @@ class RetrainingDaemon:
         rebuilt service to the current promoted weights and version
         before its worker thread starts."""
         with self._swap_lock:
-            service.engine.policy.net.copy_weights_from(self.agent.policy_net)
-            service.policy_version = self.version
-        self._emit("policy_sync", shard=shard, version=self.version)
+            params = {
+                name: np.copy(arr)
+                for name, arr in self.agent.policy_net.net.params.items()
+            }
+            version = self.version
+        service.apply_policy_weights(params, version)
+        self._emit("policy_sync", shard=shard, version=version)
 
     # ------------------------------------------------------------------
     def as_dict(self) -> dict:

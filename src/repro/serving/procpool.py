@@ -1,0 +1,814 @@
+"""Process workers: the GIL escape hatch for the sharded front end.
+
+Thread-mode sharding (``executor="thread"``) interleaves every shard's
+numpy rollouts on one interpreter lock, so adding shards buys memory
+isolation and fault containment but almost no throughput. This module
+promotes each shard to a **worker process** behind the same
+:class:`~repro.serving.sharding.HashRing`:
+
+- :class:`WorkerSpec` is the picklable recipe (database copy, policy,
+  featurizer, planner kwargs) a ``spawn``-ed child uses to build its own
+  :class:`~repro.serving.service.OptimizerService` — nothing is shared,
+  so a SIGKILL'd worker takes only its own state with it.
+- :func:`worker_main` is the child entrypoint: a **request loop** that
+  serves micro-batches off one framed pipe, plus a **control thread**
+  on a second pipe for statistics-epoch bumps, policy hot-swaps (weights
+  broadcast through the shm ring, version ack'd), guardrail threshold
+  sync, circuit-breaker notices, chaos arming, and metric/experience
+  snapshots.
+- :class:`ProcessWorkerClient` is the parent-side proxy that presents
+  the exact attribute surface the front end, supervisor, and retraining
+  daemon already program against (``optimize_batch``, ``stats``,
+  ``registry``, ``experience``, ``router.set_threshold``,
+  ``apply_policy_weights``, …), so every layer above is executor-
+  agnostic. The front end's shard *threads* block in ``os.read`` on the
+  reply pipe — which releases the GIL — while the children roll out
+  policies truly in parallel.
+
+BLAS pinning: each child is started with ``OMP_NUM_THREADS=1`` (and the
+OpenBLAS/MKL/veclib/numexpr equivalents) exported *before* the spawn,
+so the child's numpy import sees them — N workers x M BLAS threads
+oversubscribing the box is the classic multiprocess perf cliff. Override
+with ``REPRO_WORKER_BLAS_THREADS``; explicitly pre-set variables are
+respected.
+
+Tracing: the worker serves with a :class:`SpanRecorder` (a minimal
+stand-in for :class:`repro.obs.trace.Trace`) and ships the finished
+span events back with the batch reply; the proxy replays them into the
+request's real trace, so ``repro trace`` output is unchanged in process
+mode.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.serving.errors import WorkerProcessDied
+from repro.serving.faults import FaultConfig, FaultInjector
+from repro.serving.service import (
+    OptimizerService,
+    ServiceStats,
+    ServingConfig,
+)
+from repro.serving.shm import ShmRing
+from repro.serving.transport import (
+    DEFAULT_SHM_THRESHOLD,
+    FrameConn,
+    TransportStats,
+)
+
+__all__ = [
+    "WorkerSpec",
+    "ProcessWorkerClient",
+    "SpanRecorder",
+    "worker_main",
+    "WORKER_ENV_PINS",
+    "worker_blas_threads",
+]
+
+# -- frame kinds -------------------------------------------------------
+K_BATCH = 1  # parent -> worker: serve a micro-batch
+K_RESULT = 2  # worker -> parent: plans + trace events
+K_ERROR = 3  # worker -> parent: the batch raised (pickled exception)
+K_CONTROL = 4  # parent -> worker: (op, kwargs) RPC
+K_CONTROL_OK = 5  # worker -> parent: RPC result
+K_CONTROL_ERR = 6  # worker -> parent: RPC raised (pickled exception)
+K_SHUTDOWN = 7  # parent -> worker: exit the serve loop cleanly
+
+#: Environment variables pinned for worker children so each process
+#: runs single-threaded BLAS (N workers x M BLAS threads oversubscribes
+#: the box and destroys the multiprocess speedup).
+WORKER_ENV_PINS = (
+    "OMP_NUM_THREADS",
+    "OPENBLAS_NUM_THREADS",
+    "MKL_NUM_THREADS",
+    "VECLIB_MAXIMUM_THREADS",
+    "NUMEXPR_NUM_THREADS",
+)
+
+
+def worker_blas_threads() -> str:
+    """The BLAS thread count exported to worker children (the
+    ``REPRO_WORKER_BLAS_THREADS`` knob; default ``"1"``)."""
+    return os.environ.get("REPRO_WORKER_BLAS_THREADS", "1")
+
+
+@contextmanager
+def _pinned_spawn_env():
+    """Export the BLAS pins around a ``Process.start()``.
+
+    ``spawn`` children inherit the environment as of exec, and numpy
+    reads these variables at import — which happens while the child
+    unpickles its :class:`WorkerSpec` — so pinning must bracket the
+    spawn itself. Variables the operator already set are left alone,
+    and the parent's environment is restored either way.
+    """
+    value = worker_blas_threads()
+    touched: Dict[str, Optional[str]] = {}
+    for key in WORKER_ENV_PINS:
+        if key not in os.environ:
+            touched[key] = None
+            os.environ[key] = value
+    try:
+        yield
+    finally:
+        for key, previous in touched.items():
+            if previous is None:
+                os.environ.pop(key, None)
+            else:  # pragma: no cover - defensive
+                os.environ[key] = previous
+
+
+@dataclass
+class WorkerSpec:
+    """Everything a spawned worker needs to build its shard service.
+
+    Must stay picklable end to end: it crosses the spawn boundary as a
+    ``Process`` argument. ``planner_kwargs`` replaces the thread-mode
+    ``planner_factory`` closure (closures do not pickle); the worker
+    constructs ``Planner(db, cost_memo=SubPlanCostMemo(),
+    **planner_kwargs)`` itself.
+    """
+
+    shard: int
+    db: object
+    policy: object
+    featurizer: object
+    serving_config: ServingConfig = field(default_factory=ServingConfig)
+    planner_kwargs: Dict[str, object] = field(default_factory=dict)
+    policy_version: int = 1
+    fault_config: Optional[FaultConfig] = None
+    #: Optional reward object for experience collection (must pickle;
+    #: its ``db`` reference dedupes against :attr:`db` in the same
+    #: pickle graph, so it does not ship a second database copy).
+    reward_source: object = None
+    #: Per-direction control-ring capacity (weights broadcasts, metric
+    #: and experience snapshots travel here out-of-band).
+    ring_capacity: int = 8 << 20
+    shm_threshold: int = DEFAULT_SHM_THRESHOLD
+
+
+# ----------------------------------------------------------------------
+# Worker-side tracing
+# ----------------------------------------------------------------------
+class _RecSpan:
+    __slots__ = ("name", "attrs", "start_ms", "duration_ms")
+
+    def __init__(self, name: str, attrs: dict, start_ms: float) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_ms = start_ms
+        self.duration_ms = 0.0
+
+
+class _RecRoot:
+    __slots__ = ("attrs", "children")
+
+    def __init__(self) -> None:
+        self.attrs: dict = {}
+        self.children: list = []
+
+
+class SpanRecorder:
+    """A pipe-sized stand-in for :class:`repro.obs.trace.Trace`.
+
+    Implements exactly the surface the service's serving path touches
+    (``root.attrs``, ``start_span``/``end_span``, ``record``) and keeps
+    a flat event list instead of a span tree — the parent proxy replays
+    the events into the request's real trace, where per-stage rollups
+    (``stage_durations`` sums by name) come out identical.
+    """
+
+    def __init__(self) -> None:
+        self._t0 = time.perf_counter()
+        self.root = _RecRoot()
+        self._spans: List[_RecSpan] = []
+
+    def now_ms(self) -> float:
+        return (time.perf_counter() - self._t0) * 1000.0
+
+    def start_span(self, name: str, parent=None, **attrs) -> _RecSpan:
+        span = _RecSpan(name, dict(attrs), self.now_ms())
+        return span
+
+    def end_span(self, span: _RecSpan) -> _RecSpan:
+        span.duration_ms = self.now_ms() - span.start_ms
+        self._spans.append(span)
+        return span
+
+    def record(self, name: str, duration_ms: float, parent=None, **attrs):
+        span = _RecSpan(name, dict(attrs), self.now_ms())
+        span.duration_ms = float(duration_ms)
+        self._spans.append(span)
+        return span
+
+    def payload(self) -> dict:
+        """Snapshot for the reply frame (attrs copied: callers may have
+        mutated span attrs after ``end_span``)."""
+        return {
+            "spans": [
+                (s.name, s.duration_ms, dict(s.attrs)) for s in self._spans
+            ],
+            "root": dict(self.root.attrs),
+        }
+
+
+# ----------------------------------------------------------------------
+# Worker process entrypoint
+# ----------------------------------------------------------------------
+def _build_worker_service(spec: WorkerSpec) -> OptimizerService:
+    from repro.optimizer.memo import SubPlanCostMemo
+    from repro.optimizer.planner import Planner
+
+    planner = Planner(
+        spec.db, cost_memo=SubPlanCostMemo(), **dict(spec.planner_kwargs)
+    )
+    service = OptimizerService(
+        spec.db,
+        spec.policy,
+        planner=planner,
+        featurizer=spec.featurizer,
+        config=spec.serving_config,
+        reward_source=spec.reward_source,
+    )
+    service.policy_version = spec.policy_version
+    # The control thread hot-swaps weights while the request loop rolls
+    # out: same single-policy/many-threads hazard the front end guards,
+    # solved with the same lock.
+    service.engine.inference_lock = threading.Lock()
+    if spec.fault_config is not None:
+        service.install_fault_injector(FaultInjector(spec.fault_config))
+    return service
+
+
+def _control_dispatch(service: OptimizerService, op: str, kwargs: dict):
+    if op == "ping":
+        return {
+            "pid": os.getpid(),
+            "version": service.policy_version,
+            "stats_epoch": service.db.stats_epoch,
+            "breaker": getattr(service, "breaker_state", "closed"),
+        }
+    if op == "apply_weights":
+        service.apply_policy_weights(kwargs["params"], kwargs["version"])
+        return service.policy_version
+    if op == "refresh_statistics":
+        # The worker re-runs the *same seeded* ANALYZE on its own copy
+        # of the database, so parent and worker statistics stay
+        # bit-identical (plan parity) without shipping the stats.
+        service.refresh_statistics(
+            seed=kwargs["seed"],
+            sample_size=kwargs["sample_size"],
+            tables=kwargs["tables"],
+        )
+        return service.db.stats_epoch
+    if op == "invalidate":
+        service.invalidate_statistics_caches(tables=kwargs["tables"])
+        return service.db.stats_epoch
+    if op == "set_threshold":
+        service.router.set_threshold(kwargs["threshold"])
+        return kwargs["threshold"]
+    if op == "breaker":
+        service.breaker_state = kwargs["state"]
+        return True
+    if op == "install_faults":
+        service.install_fault_injector(FaultInjector(kwargs["config"]))
+        return True
+    if op == "fault_counts":
+        injector = service.fault_injector
+        return injector.fired_counts() if injector is not None else {}
+    if op == "metrics":
+        return service.registry.dump_state()
+    if op == "drain_experience":
+        if service.experience is None:
+            return []
+        return service.experience.drain()
+    raise ValueError(f"unknown control op: {op!r}")
+
+
+def _control_loop(service: OptimizerService, ctl: FrameConn) -> None:
+    while True:
+        try:
+            kind, msg = ctl.recv()
+        except EOFError:
+            return  # parent gone; the request loop exits the same way
+        except Exception as exc:  # noqa: BLE001 - decode failure
+            # The frame was fully consumed before decoding failed, so
+            # framing is still in sync — answer the pending RPC instead
+            # of dying and leaving the parent blocked on the reply.
+            try:
+                ctl.send(K_CONTROL_ERR, RuntimeError(f"control decode failed: {exc!r}"))
+            except EOFError:
+                return
+            continue
+        if kind != K_CONTROL:
+            continue
+        op, kwargs = msg
+        try:
+            result = _control_dispatch(service, op, kwargs)
+        except BaseException as exc:  # noqa: BLE001 - shipped to parent
+            try:
+                ctl.send(K_CONTROL_ERR, exc)
+            except EOFError:
+                return
+            except Exception:
+                ctl.send(K_CONTROL_ERR, RuntimeError(repr(exc)))
+            continue
+        try:
+            ctl.send(K_CONTROL_OK, result)
+        except EOFError:
+            return
+
+
+def worker_main(
+    spec: WorkerSpec,
+    req_conn,
+    ctl_conn,
+    ring_in_name: str,
+    ring_out_name: str,
+) -> None:
+    """Child entrypoint (top-level so ``spawn`` can import it)."""
+    # Defense in depth: the parent exported these before spawning (the
+    # values numpy actually read at import); keep them for any later
+    # library initialization in this process.
+    for key in WORKER_ENV_PINS:
+        os.environ.setdefault(key, worker_blas_threads())
+
+    service = _build_worker_service(spec)
+    # Parent produces into ring_in (weights), worker produces into
+    # ring_out (metric/experience snapshots); each end attaches to the
+    # segments the parent created and owns.
+    ring_in = ShmRing(name=ring_in_name)
+    ring_out = ShmRing(name=ring_out_name)
+    req = FrameConn(req_conn, shm_threshold=spec.shm_threshold)
+    ctl = FrameConn(
+        ctl_conn,
+        send_ring=ring_out,
+        recv_ring=ring_in,
+        shm_threshold=spec.shm_threshold,
+    )
+    control = threading.Thread(
+        target=_control_loop,
+        args=(service, ctl),
+        name=f"repro-shard-{spec.shard}-control",
+        daemon=True,
+    )
+    control.start()
+
+    try:
+        while True:
+            try:
+                kind, msg = req.recv()
+            except EOFError:
+                break  # parent closed / died
+            except Exception as exc:  # noqa: BLE001 - decode failure
+                # Frame already consumed: reply with the decode error so
+                # the proxy's pending batch resolves instead of hanging.
+                try:
+                    req.send(K_ERROR, RuntimeError(f"request decode failed: {exc!r}"))
+                except EOFError:
+                    break
+                continue
+            if kind == K_SHUTDOWN:
+                break
+            if kind != K_BATCH:
+                continue
+            recorders = [
+                SpanRecorder() if want else None for want in msg["trace"]
+            ]
+            try:
+                plans = service.optimize_batch(
+                    msg["queries"],
+                    fingerprints=msg["fps"],
+                    alias_maps=msg["maps"],
+                    traces=recorders,
+                    budgets_ms=msg["budgets"],
+                    collect=msg["collect"],
+                )
+            except BaseException as exc:  # noqa: BLE001 - shipped to parent
+                try:
+                    req.send(K_ERROR, exc)
+                except EOFError:
+                    break
+                except Exception:
+                    req.send(
+                        K_ERROR,
+                        RuntimeError(f"unpicklable worker error: {exc!r}"),
+                    )
+                continue
+            reply = {
+                "plans": plans,
+                "events": [
+                    rec.payload() if rec is not None else None
+                    for rec in recorders
+                ],
+                "version": service.policy_version,
+            }
+            try:
+                req.send(K_RESULT, reply)
+            except EOFError:
+                break
+    finally:
+        req.close()
+        ctl.close()
+        ring_in.close()
+        ring_out.close()
+
+
+# ----------------------------------------------------------------------
+# Parent-side proxy
+# ----------------------------------------------------------------------
+class _RemoteRouter:
+    """Guardrail-threshold surface of the in-worker router."""
+
+    def __init__(self, client: "ProcessWorkerClient") -> None:
+        self._client = client
+        self.threshold: Optional[float] = None
+
+    def set_threshold(self, threshold: float) -> None:
+        # safe: a threshold push must not crash on a SIGKILL'd shard —
+        # the respawn path replays the last threshold to the new worker.
+        self.threshold = threshold
+        self._client._control("set_threshold", safe=True, threshold=threshold)
+
+
+class _RemoteExperience:
+    """Drain-only view of the in-worker experience buffer. The
+    trajectories' state stacks come back out-of-band through the shm
+    ring — the parent never pickles a float matrix to collect them."""
+
+    def __init__(self, client: "ProcessWorkerClient") -> None:
+        self._client = client
+        self.drained = 0
+
+    def drain(self) -> list:
+        out = self._client._control("drain_experience", safe=True)
+        if out is None:
+            return []
+        self.drained += len(out)
+        return out
+
+
+class _EngineStub:
+    """Stands in for :class:`MicroBatchEngine` on the proxy: the front
+    end keys per-policy inference locks by ``id(engine.policy)`` and
+    installs the lock here; each worker process serializes its own
+    forward passes, so the parent-side lock has nothing to exclude."""
+
+    def __init__(self) -> None:
+        self.policy = object()  # unique identity -> unique lock
+        self.inference_lock = None
+        self.fault_injector = None
+
+
+class ProcessWorkerClient:
+    """Parent-side handle to one shard worker process.
+
+    Presents the ``OptimizerService`` surface the front end programs
+    against. ``optimize_batch`` is a blocking request/reply over the
+    framed request pipe (the calling shard *thread* sleeps in
+    ``os.read``, releasing the GIL); everything operational rides the
+    control pipe. Raises :class:`WorkerProcessDied` when the child is
+    gone — the front end's shard-death path (supervisor respawn,
+    held-request failover) takes it from there.
+    """
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        transport: TransportStats | None = None,
+        telemetry=None,
+    ) -> None:
+        self.spec = spec
+        self.shard = spec.shard
+        self.db = spec.db
+        self.featurizer = spec.featurizer
+        self.config = spec.serving_config
+        self.telemetry = telemetry
+        self.transport = transport if transport is not None else TransportStats()
+        #: Parent-side mirror of the worker's serve counters, updated
+        #: from each batch reply (exact: every plan's ``source`` comes
+        #: back). Survives the worker's death, unlike the worker.
+        self.stats = ServiceStats()
+        #: Parent-side latency mirror for the retraining daemon's
+        #: guardrail/latency reads (observed from replies).
+        self.request_ms_hist = Histogram(
+            "repro_serving_request_ms",
+            "per-request serve latency (batch-attributed)",
+        )
+        self.policy_version = spec.policy_version
+        self.engine = _EngineStub()
+        self.router = _RemoteRouter(self)
+        self.experience = (
+            _RemoteExperience(self) if spec.serving_config.collect_experience else None
+        )
+        self.fault_injector = None
+        self._applied_weights = None  # last (params, version) hot-swapped in
+        self._last_fault_counts: Dict[str, int] = {}
+        self._last_registry = MetricsRegistry()
+        self._closed = False
+        self._ctl_lock = threading.Lock()
+
+        ctx = mp.get_context("spawn")
+        self._ring_in = ShmRing(capacity=spec.ring_capacity, create=True)
+        self._ring_out = ShmRing(capacity=spec.ring_capacity, create=True)
+        parent_req, child_req = ctx.Pipe(duplex=True)
+        parent_ctl, child_ctl = ctx.Pipe(duplex=True)
+        self._proc = ctx.Process(
+            target=worker_main,
+            args=(
+                spec,
+                child_req,
+                child_ctl,
+                self._ring_in.name,
+                self._ring_out.name,
+            ),
+            name=f"repro-shard-{spec.shard}",
+            daemon=True,
+        )
+        with _pinned_spawn_env():
+            self._proc.start()
+        # Close the child's ends in the parent so a dead child reads as
+        # EOF here instead of a silent hang.
+        child_req.close()
+        child_ctl.close()
+        self._req = FrameConn(
+            parent_req, stats=self.transport, shm_threshold=spec.shm_threshold
+        )
+        self._ctl = FrameConn(
+            parent_ctl,
+            send_ring=self._ring_in,
+            recv_ring=self._ring_out,
+            stats=self.transport,
+            shm_threshold=spec.shm_threshold,
+        )
+
+    # -- process facts -------------------------------------------------
+    @property
+    def pid(self) -> int | None:
+        return self._proc.pid
+
+    def exitcode(self) -> int | None:
+        """None while alive; negative signal number after a SIGKILL."""
+        return self._proc.exitcode
+
+    def is_alive(self) -> bool:
+        return self._proc.is_alive()
+
+    def kill(self) -> None:
+        """SIGKILL the worker (chaos ``worker_kill`` and hung-worker
+        reaping both land here)."""
+        if self._proc.pid is not None and self._proc.is_alive():
+            try:
+                os.kill(self._proc.pid, signal.SIGKILL)
+            except (ProcessLookupError, PermissionError):
+                pass
+
+    def _died(self, cause: BaseException | None = None) -> WorkerProcessDied:
+        self._proc.join(timeout=1.0)  # reap; SIGKILL delivery can lag
+        exc = WorkerProcessDied(
+            f"shard {self.shard} worker process died "
+            f"(pid={self.pid}, exitcode={self._proc.exitcode})",
+            exitcode=self._proc.exitcode,
+            shard=self.shard,
+        )
+        if cause is not None:
+            exc.__cause__ = cause
+        return exc
+
+    # -- serving surface -----------------------------------------------
+    def optimize_batch(
+        self,
+        queries: Sequence,
+        fingerprints: Sequence[str] | None = None,
+        alias_maps: Sequence[Dict[str, str]] | None = None,
+        traces: Sequence | None = None,
+        budgets_ms: Sequence[float | None] | None = None,
+        collect=True,
+    ) -> list:
+        want = (
+            [t is not None for t in traces]
+            if traces is not None
+            else [False] * len(queries)
+        )
+        msg = {
+            "queries": list(queries),
+            "fps": list(fingerprints) if fingerprints is not None else None,
+            "maps": list(alias_maps) if alias_maps is not None else None,
+            "budgets": list(budgets_ms) if budgets_ms is not None else None,
+            "collect": list(collect) if isinstance(collect, (list, tuple)) else collect,
+            "trace": want,
+        }
+        try:
+            self._req.send(K_BATCH, msg)
+            kind, reply = self._req.recv()
+        except EOFError as exc:
+            raise self._died(exc) from exc
+        if kind == K_ERROR:
+            raise reply
+        plans = reply["plans"]
+        self.policy_version = reply["version"]
+        if traces is not None:
+            for trace, events in zip(traces, reply["events"]):
+                if trace is None or events is None:
+                    continue
+                for name, duration_ms, attrs in events["spans"]:
+                    clean = {
+                        k: v
+                        for k, v in attrs.items()
+                        if k not in ("name", "duration_ms", "parent")
+                    }
+                    trace.record(name, duration_ms, **clean)
+                for key, value in events["root"].items():
+                    trace.root.attrs.setdefault(key, value)
+        self._mirror(queries, plans)
+        return plans
+
+    def optimize(self, query):
+        return self.optimize_batch([query])[0]
+
+    def _mirror(self, queries, plans) -> None:
+        self.stats.requests += len(queries)
+        self.stats.batches += 1
+        for plan in plans:
+            source = plan.source
+            if source == "cache":
+                self.stats.cache_served += 1
+            elif source == "policy":
+                self.stats.policy_served += 1
+            elif source == "fallback":
+                self.stats.fallbacks += 1
+            elif source == "expert":
+                self.stats.expert_served += 1
+            elif source.startswith("degraded_"):
+                self.stats.degraded_served += 1
+                rung = source[len("degraded_") :]
+                if rung == "cache":
+                    self.stats.degraded_cache += 1
+                elif rung == "dp":
+                    self.stats.degraded_dp += 1
+                elif rung == "greedy":
+                    self.stats.degraded_greedy += 1
+            self.request_ms_hist.observe(plan.latency_ms)
+
+    def latency_summary(self) -> Dict[str, float]:
+        hist = self.request_ms_hist
+        if not hist.count:
+            return {"p50_ms": 0.0, "p95_ms": 0.0, "mean_ms": 0.0}
+        return {
+            "p50_ms": hist.quantile(0.50),
+            "p95_ms": hist.quantile(0.95),
+            "mean_ms": hist.mean,
+        }
+
+    # -- control channel -----------------------------------------------
+    def _control(self, op: str, safe: bool = False, **kwargs):
+        """One RPC round-trip on the control pipe.
+
+        ``safe=True`` turns worker death into ``None`` (snapshot reads
+        must survive a SIGKILL'd shard); otherwise raises
+        :class:`WorkerProcessDied`.
+        """
+        with self._ctl_lock:
+            if self._closed:
+                if safe:
+                    return None
+                raise self._died()
+            try:
+                # Drop any orphaned reply a timed-out ping left behind,
+                # so request/reply pairing cannot skew.
+                while self._ctl.poll(0.0):
+                    self._ctl.recv()
+                self._ctl.send(K_CONTROL, (op, kwargs))
+                kind, reply = self._ctl.recv()
+            except EOFError as exc:
+                if safe:
+                    return None
+                raise self._died(exc) from exc
+        self.transport.control_roundtrip()
+        if kind == K_CONTROL_ERR:
+            if safe:
+                return None
+            raise reply
+        return reply
+
+    def ping(self, timeout: float = 1.0) -> bool:
+        """Heartbeat. ``True`` when the worker answered (or the control
+        channel is busy with a longer RPC — busy means alive); ``False``
+        when it is gone or hung past ``timeout``."""
+        if not self._ctl_lock.acquire(blocking=False):
+            return True
+        try:
+            if self._closed:
+                return False
+            self._ctl.send(K_CONTROL, ("ping", {}))
+            if not self._ctl.poll(timeout):
+                return False  # hung: the stale reply is drained later
+            kind, reply = self._ctl.recv()
+            if kind == K_CONTROL_OK and isinstance(reply, dict):
+                self.policy_version = reply.get("version", self.policy_version)
+            return True
+        except (EOFError, OSError):
+            return False
+        finally:
+            self._ctl_lock.release()
+
+    def apply_policy_weights(self, params: Dict[str, object], version: int) -> None:
+        """Hot-swap: broadcast the promoted weights (out-of-band via the
+        shm ring) and adopt the ack'd version. The applied snapshot is
+        kept so a respawned replacement can rejoin at the live weights
+        even without a retraining daemon's ``policy_sync``."""
+        acked = self._control("apply_weights", params=params, version=version)
+        self.policy_version = int(acked)
+        self._applied_weights = (dict(params), self.policy_version)
+
+    def invalidate_statistics_caches(self, tables=None) -> None:
+        self._control("invalidate", tables=list(tables) if tables else None)
+
+    def remote_refresh_statistics(
+        self, seed: int = 1, sample_size: int = 30_000, tables=None
+    ) -> int:
+        """Have the worker re-run the seeded ANALYZE on its own database
+        copy (same seed == same statistics == plan parity) and evict its
+        staled caches. Returns the worker's new stats epoch."""
+        return self._control(
+            "refresh_statistics",
+            seed=seed,
+            sample_size=sample_size,
+            tables=list(tables) if tables else None,
+        )
+
+    def install_fault_injector(self, injector) -> None:
+        """Arm chaos on both sides: the parent keeps the injector (the
+        front end draws ``worker_kill``/``latency_spike`` there), the
+        worker arms its own from the same config + seed, so the merged
+        fault schedule stays deterministic."""
+        self.fault_injector = injector
+        self._control("install_faults", safe=True, config=injector.config)
+
+    def fault_fired_counts(self) -> Dict[str, int]:
+        """The worker-side fired counters (stats_race/policy_nan fire in
+        the child); the last good snapshot once the worker is gone."""
+        out = self._control("fault_counts", safe=True)
+        if out is not None:
+            self._last_fault_counts = dict(out)
+        return dict(self._last_fault_counts)
+
+    def notify_breaker(self, state: str) -> None:
+        """Push the parent-side circuit breaker state to the worker (it
+        shows up in the worker's ping payload / forensics)."""
+        self._control("breaker", safe=True, state=state)
+
+    def drain_experience(self) -> list:
+        return self.experience.drain() if self.experience is not None else []
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The worker's metric registry, snapshotted over the control
+        channel and rebuilt parent-side. The last good snapshot keeps
+        answering after the worker dies (counters never go backwards
+        just because a shard was SIGKILL'd)."""
+        snap = self._control("metrics", safe=True)
+        if snap is not None:
+            self._last_registry = MetricsRegistry.load_state(snap)
+        return self._last_registry
+
+    # -- lifecycle -----------------------------------------------------
+    def respawn_spec(self) -> WorkerSpec:
+        """The spec a replacement worker should start from: same recipe,
+        but at this proxy's last-known policy version (the supervisor's
+        ``policy_sync`` then brings it fully current)."""
+        return replace(self.spec, policy_version=self.policy_version)
+
+    def shutdown(self, timeout: float = 2.0) -> None:
+        """Stop the child and release transport resources. Idempotent;
+        escalates clean-exit -> SIGTERM -> SIGKILL."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._req.send(K_SHUTDOWN, None)
+        except (EOFError, OSError):
+            pass
+        self._proc.join(timeout)
+        if self._proc.is_alive():
+            self._proc.terminate()
+            self._proc.join(1.0)
+        if self._proc.is_alive():
+            self._proc.kill()
+            self._proc.join(1.0)
+        self._req.close()
+        self._ctl.close()
+        for ring in (self._ring_in, self._ring_out):
+            ring.close()
+            ring.unlink()
+
+    close = shutdown

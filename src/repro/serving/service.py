@@ -23,8 +23,11 @@ request.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
+
+import numpy as np
 
 from repro.core.featurize import QueryFeaturizer
 from repro.core.rewards import CostModelReward, PlanOutcome
@@ -1024,6 +1027,38 @@ class OptimizerService:
     # ------------------------------------------------------------------
     # Operations
     # ------------------------------------------------------------------
+    def policy_weights(self) -> Dict[str, "np.ndarray"]:
+        """Copies of the serving policy's parameter arrays, keyed by
+        layer name — the broadcast payload for :meth:`apply_policy_weights`
+        (snapshotted once per swap; plain ``{name: ndarray}`` so it
+        crosses process boundaries out-of-band, never re-pickled per
+        shard)."""
+        params = self.engine.policy.net.net.params
+        return {name: np.copy(arr) for name, arr in params.items()}
+
+    def apply_policy_weights(
+        self, params: Dict[str, "np.ndarray"], version: int
+    ) -> None:
+        """Install promoted weights in place and adopt their version.
+
+        The executor-agnostic half of a hot-swap: the retraining daemon
+        calls this directly on thread-mode shards and the process-mode
+        proxy forwards it over the control channel. Copies under the
+        engine's inference lock (when installed) so no forward pass sees
+        half-swapped weights; shapes must match exactly — promotion
+        never changes the serving architecture.
+        """
+        lock = self.engine.inference_lock
+        ctx = lock if lock is not None else nullcontext()
+        target = self.engine.policy.net.net.params
+        unknown = set(params) - set(target)
+        if unknown:
+            raise KeyError(f"unknown policy parameters: {sorted(unknown)}")
+        with ctx:
+            for name, arr in params.items():
+                target[name][...] = arr
+            self.policy_version = version
+
     def refresh_statistics(
         self,
         seed: int = 1,

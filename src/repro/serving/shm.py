@@ -1,0 +1,168 @@
+"""Shared-memory ring buffers: zero-pickle float transport for
+multiprocess serving.
+
+The process-mode front end must move feature matrices, experience
+trajectories, and policy-weight broadcasts between the parent and its
+worker processes. Pickling a float matrix copies it twice (serialize,
+then deserialize) and burns the pipe's syscall budget on bulk bytes;
+this module gives the transport layer a better lane: a fixed-size
+single-producer/single-consumer ring in
+:mod:`multiprocessing.shared_memory`, where the producer memcpys a
+buffer in, ships an ``(offset, length)`` descriptor over the pipe, and
+the consumer memcpys it out — the float data itself is never pickled.
+
+Design (bip-buffer-lite):
+
+- ``head`` and ``tail`` are *monotonic* byte positions stored in the
+  ring header; ``head`` is written only by the producer, ``tail`` only
+  by the consumer, so each word has a single writer and no lock.
+- Writes are contiguous: a write that would straddle the wrap point
+  skips the tail fragment (pads ``head`` to the next wrap) so every
+  descriptor maps to one contiguous slice.
+- The descriptor travels on the pipe *after* the memcpy completes, so
+  the pipe's FIFO ordering is the happens-before edge; the consumer
+  frees space by advancing ``tail`` past what it copied out.
+- A write that does not fit returns ``None`` and the transport falls
+  back to inline (in-band pickle) transfer — the ring is a fast path,
+  never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import secrets
+import struct
+from multiprocessing import shared_memory
+from typing import Optional
+
+__all__ = ["ShmRing"]
+
+#: Ring header: two little-endian uint64 monotonic positions.
+_HEAD = struct.Struct("<Q")
+_HEADER_BYTES = 16
+
+
+class ShmRing:
+    """A fixed-capacity SPSC byte ring over one shared-memory segment.
+
+    One side constructs with ``create=True`` (owning the segment name
+    and its eventual unlink); the other attaches by name. Exactly one
+    process may call :meth:`try_write` (the producer) and exactly one
+    may call :meth:`read`/:meth:`advance` (the consumer) — the serving
+    transport holds one ring per direction per shard.
+    """
+
+    def __init__(
+        self,
+        name: str | None = None,
+        capacity: int = 4 << 20,
+        create: bool = False,
+    ) -> None:
+        if create:
+            if capacity < 1:
+                raise ValueError("capacity must be positive")
+            name = name or f"repro-ring-{secrets.token_hex(8)}"
+            self._shm = shared_memory.SharedMemory(
+                name=name, create=True, size=_HEADER_BYTES + capacity
+            )
+            self.capacity = capacity
+            self._write_pos(0, 0)
+            self._write_pos(8, 0)
+        else:
+            if name is None:
+                raise ValueError("attaching requires the segment name")
+            self._shm = shared_memory.SharedMemory(name=name)
+            self.capacity = self._shm.size - _HEADER_BYTES
+            # CPython < 3.13 registers this *attach* with the resource
+            # tracker as if the attacher owned the segment. In our
+            # topology that is harmless-by-accident: the worker is a
+            # child of the ring's creator, so both talk to the same
+            # tracker process and its name cache is a set — the second
+            # register coalesces, and the creator's unlink clears it.
+            # Do NOT "fix" this by unregistering here: that would erase
+            # the creator's registration too and make its unlink trip a
+            # tracker KeyError.
+        self.name = self._shm.name
+        self._created = create
+        self._closed = False
+
+    # -- header words --------------------------------------------------
+    def _read_pos(self, at: int) -> int:
+        return _HEAD.unpack_from(self._shm.buf, at)[0]
+
+    def _write_pos(self, at: int, value: int) -> None:
+        _HEAD.pack_into(self._shm.buf, at, value)
+
+    @property
+    def head(self) -> int:
+        return self._read_pos(0)
+
+    @property
+    def tail(self) -> int:
+        return self._read_pos(8)
+
+    # -- producer ------------------------------------------------------
+    def try_write(self, data) -> Optional[int]:
+        """Copy ``data`` (any buffer) into the ring; return its monotonic
+        offset, or ``None`` when it does not fit (caller falls back to
+        inline transfer). Contiguous: pads over the wrap point."""
+        view = memoryview(data).cast("B")
+        n = len(view)
+        if n == 0 or n > self.capacity:
+            return None
+        head = self.head
+        tail = self.tail
+        used = head - tail
+        # A torn/stale read of the consumer's tail can only understate
+        # free space... unless it tears *upward* mid-write; clamp any
+        # impossible reading to "full" and take the inline fallback.
+        if used < 0 or used > self.capacity:
+            return None
+        idx = head % self.capacity
+        pad = 0
+        if idx + n > self.capacity:  # would straddle the wrap: skip to 0
+            pad = self.capacity - idx
+        if used + pad + n > self.capacity:
+            return None
+        start = head + pad
+        at = _HEADER_BYTES + (start % self.capacity)
+        self._shm.buf[at : at + n] = view
+        self._write_pos(0, start + n)
+        return start
+
+    # -- consumer ------------------------------------------------------
+    def read(self, offset: int, length: int) -> bytes:
+        """Copy ``length`` bytes written at monotonic ``offset`` out of
+        the ring. The caller must :meth:`advance` past consumed data to
+        free it for the producer."""
+        idx = offset % self.capacity
+        if idx + length > self.capacity:
+            raise ValueError("descriptor straddles the wrap point")
+        at = _HEADER_BYTES + idx
+        return bytes(self._shm.buf[at : at + length])
+
+    def advance(self, upto: int) -> None:
+        """Free every byte before monotonic position ``upto`` (typically
+        ``offset + length`` of the last descriptor consumed)."""
+        if upto > self.tail:
+            self._write_pos(8, upto)
+
+    # -- lifecycle -----------------------------------------------------
+    def close(self) -> None:
+        """Detach this process's mapping (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment (owner side, after both ends closed)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __del__(self):  # best-effort: never leak a mapping
+        try:
+            self.close()
+        except Exception:
+            pass

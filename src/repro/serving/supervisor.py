@@ -191,3 +191,9 @@ class ShardSupervisor:
             self.restarts += 1
         if frontend._flusher_dead():
             frontend._restart_flusher()
+        # Process mode: exit-code reaping of worker processes whose
+        # shard thread sits idle, plus the heartbeat that catches hung
+        # (alive but unresponsive) workers.
+        check_processes = getattr(frontend, "_check_worker_processes", None)
+        if check_processes is not None:
+            check_processes()

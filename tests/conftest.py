@@ -79,3 +79,12 @@ def medium_db() -> Database:
 @pytest.fixture()
 def rng():
     return np.random.default_rng(0)
+
+
+@pytest.fixture(scope="module")
+def module_small_db() -> Database:
+    """A module-private small database: shared within one test module
+    (cheaper than per-test copies when the module spawns worker
+    processes against it) but isolated from the session database, so
+    statistics mutations cannot leak across modules."""
+    return Database.from_specs(small_specs(), small_fks(), seed=7)

@@ -1,0 +1,455 @@
+"""Tests for the multiprocess serving stack: pickle round-trips for
+everything that crosses the spawn boundary or a worker pipe, the
+shared-memory ring and framed transport underneath it, hash-ring
+determinism across processes, and the process-mode front end end to
+end (plan parity with thread shards, stats-epoch ordering, SIGKILL
+respawn rejoining at the live policy version)."""
+
+import multiprocessing
+import pickle
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.featurize import QueryFeaturizer
+from repro.db.query import parse_query
+from repro.rl.ppo import PPOAgent
+from repro.serving import (
+    CircuitOpen,
+    DeadlineExceeded,
+    FaultConfig,
+    FrameConn,
+    FrontEndConfig,
+    HashRing,
+    InjectedFault,
+    LoadShedded,
+    OptimizeError,
+    ProcessWorkerClient,
+    RetriesExhausted,
+    ServiceClosed,
+    ServingConfig,
+    ServingFrontEnd,
+    ShardFailed,
+    ShmRing,
+    WorkerProcessDied,
+)
+
+AB = "SELECT * FROM a, b WHERE a.id = b.a_id"
+BC = "SELECT * FROM b, c WHERE b.id = c.b_id"
+ABC = "SELECT * FROM a, b, c WHERE a.id = b.a_id AND b.id = c.b_id"
+LIVE_VERSION = 2
+
+
+def wait_until(predicate, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def plan_repr(plan) -> str:
+    return repr(plan.plan)
+
+
+# ---------------------------------------------------------------------------
+# Pickle round-trips: everything that crosses a pipe or spawn boundary
+# ---------------------------------------------------------------------------
+ERROR_CASES = [
+    (ServiceClosed, {}),
+    (LoadShedded, {"retry_after_s": 0.05}),
+    (DeadlineExceeded, {"stage": "serve"}),
+    (ShardFailed, {"retry_after_s": 2.0}),
+    (CircuitOpen, {"retry_after_s": 0.75}),
+    (RetriesExhausted, {}),
+    (InjectedFault, {}),
+    (WorkerProcessDied, {"exitcode": -9}),
+]
+
+
+class TestPickleRoundTrips:
+    @pytest.mark.parametrize(
+        "cls,extra", ERROR_CASES, ids=[c.code for c, _ in ERROR_CASES]
+    )
+    def test_error_subclass_round_trips(self, cls, extra):
+        original = cls(
+            f"synthetic {cls.code}",
+            query_name="13a",
+            fingerprint="fp-abc",
+            shard=1,
+            attempts=2,
+            **extra,
+        )
+        clone = pickle.loads(pickle.dumps(original))
+        assert type(clone) is cls
+        assert str(clone) == str(original)
+        assert clone.code == cls.code
+        assert clone.retryable == cls.retryable
+        assert clone.to_dict() == original.to_dict()
+        assert clone.__dict__ == original.__dict__
+
+    def test_retries_exhausted_keeps_cause_chain(self):
+        cause = ShardFailed(
+            "worker shard 0 died mid-batch",
+            query_name="13a",
+            fingerprint="fp-abc",
+            shard=0,
+            attempts=3,
+        )
+        exhausted = RetriesExhausted(
+            "request '13a' failed all 3 attempts (last: shard_failed)",
+            query_name="13a",
+            attempts=3,
+        )
+        exhausted.__cause__ = cause
+        clone = pickle.loads(pickle.dumps(exhausted))
+        assert isinstance(clone, RetriesExhausted)
+        assert isinstance(clone.__cause__, ShardFailed)
+        assert str(clone.__cause__) == str(cause)
+        assert clone.__cause__.shard == 0
+        assert clone.__cause__.attempts == 3
+
+    def test_base_error_round_trips(self):
+        clone = pickle.loads(pickle.dumps(OptimizeError("plain failure")))
+        assert type(clone) is OptimizeError
+        assert str(clone) == "plain failure"
+
+    def test_fault_config_bit_faithful(self):
+        config = FaultConfig(
+            worker_fault_rate=0.017,
+            latency_spike_rate=0.23,
+            spike_ms=37.5,
+            policy_nan_rate=0.003,
+            stats_race_rate=0.41,
+            replay_poison_rate=0.09,
+            worker_kill_rate=0.031,
+            seed=918273,
+        )
+        clone = pickle.loads(pickle.dumps(config))
+        assert clone == config
+        for kind in ("worker_fault", "latency_spike", "worker_kill"):
+            assert clone.rate(kind) == config.rate(kind)
+
+
+# ---------------------------------------------------------------------------
+# ShmRing: the SPSC byte ring under the transport
+# ---------------------------------------------------------------------------
+class TestShmRing:
+    def make_ring(self, capacity):
+        ring = ShmRing(capacity=capacity, create=True)
+        yield_ring = ring
+
+        def cleanup():
+            yield_ring.close()
+            yield_ring.unlink()
+
+        return ring, cleanup
+
+    def test_write_read_advance(self):
+        ring, cleanup = self.make_ring(256)
+        try:
+            offset = ring.try_write(b"hello ring")
+            assert offset == 0
+            assert ring.read(offset, 10) == b"hello ring"
+            ring.advance(offset + 10)
+            assert ring.tail == 10
+        finally:
+            cleanup()
+
+    def test_wrap_pads_to_contiguous(self):
+        ring, cleanup = self.make_ring(64)
+        try:
+            first = ring.try_write(b"a" * 48)
+            assert first == 0
+            ring.advance(48)
+            # 32 bytes would straddle position 48..80: the producer
+            # pads to the wrap point, so the slice stays contiguous.
+            second = ring.try_write(b"b" * 32)
+            assert second is not None
+            assert second % ring.capacity == 0
+            assert ring.read(second, 32) == b"b" * 32
+        finally:
+            cleanup()
+
+    def test_full_ring_returns_none(self):
+        ring, cleanup = self.make_ring(64)
+        try:
+            assert ring.try_write(b"x" * 64) == 0
+            assert ring.try_write(b"y") is None  # no space until advance
+            ring.advance(64)
+            assert ring.try_write(b"y") is not None
+        finally:
+            cleanup()
+
+    def test_oversized_and_empty_writes_fall_back(self):
+        ring, cleanup = self.make_ring(64)
+        try:
+            assert ring.try_write(b"z" * 65) is None
+            assert ring.try_write(b"") is None
+        finally:
+            cleanup()
+
+    def test_attach_by_name_sees_producer_bytes(self):
+        ring, cleanup = self.make_ring(256)
+        try:
+            offset = ring.try_write(b"cross-mapping")
+            attached = ShmRing(name=ring.name)
+            try:
+                assert attached.read(offset, 13) == b"cross-mapping"
+            finally:
+                attached.close()
+        finally:
+            cleanup()
+
+
+# ---------------------------------------------------------------------------
+# FrameConn: framing, out-of-band buffers, ring-full fallback, EOF
+# ---------------------------------------------------------------------------
+@pytest.fixture
+def frame_pair():
+    """Two FrameConn endpoints over one duplex pipe, with a shm ring on
+    the a->b direction (b reads what a diverts)."""
+    left, right = multiprocessing.Pipe(duplex=True)
+    ring = ShmRing(capacity=1 << 16, create=True)
+    a = FrameConn(left, send_ring=ring)
+    b = FrameConn(right, recv_ring=ring)
+    yield a, b, ring
+    a.close()
+    b.close()
+    ring.close()
+    ring.unlink()
+
+
+class TestFrameConn:
+    def test_small_object_stays_in_band(self, frame_pair):
+        a, b, ring = frame_pair
+        a.send(7, {"op": "ping", "n": 3})
+        kind, obj = b.recv()
+        assert kind == 7
+        assert obj == {"op": "ping", "n": 3}
+        assert ring.head == 0  # nothing diverted
+
+    def test_large_buffer_travels_through_ring(self, frame_pair):
+        a, b, ring = frame_pair
+        matrix = np.arange(2048, dtype=np.float64).reshape(64, 32)
+        a.send(1, matrix)
+        kind, clone = b.recv()
+        assert kind == 1
+        np.testing.assert_array_equal(clone, matrix)
+        assert ring.head >= matrix.nbytes  # the floats went out-of-band
+
+    def test_mixed_buffer_sizes_keep_their_order(self, frame_pair):
+        # Regression: with inverted buffer_callback semantics the
+        # diverted and in-band buffers swap positions and a (32,) bias
+        # deserializes against a (387, 32) weight buffer.
+        a, b, _ = frame_pair
+        payload = {
+            "W0": np.random.default_rng(0).normal(size=(387, 32)),
+            "b0": np.zeros(32),
+            "W1": np.random.default_rng(1).normal(size=(32, 32)),
+            "tiny": np.float64(3.5),
+        }
+        a.send(2, payload)
+        _, clone = b.recv()
+        for name, arr in payload.items():
+            np.testing.assert_array_equal(clone[name], arr)
+
+    def test_ring_full_falls_back_inline(self):
+        left, right = multiprocessing.Pipe(duplex=True)
+        ring = ShmRing(capacity=1024, create=True)  # smaller than payload
+        from repro.serving import TransportStats
+
+        stats = TransportStats()
+        a = FrameConn(left, send_ring=ring, stats=stats)
+        b = FrameConn(right, recv_ring=ring, stats=stats)
+        try:
+            big = np.ones(4096, dtype=np.float64)
+            a.send(3, big)
+            _, clone = b.recv()
+            np.testing.assert_array_equal(clone, big)
+            assert stats.shm_fallbacks >= 1
+            assert stats.bytes_shm == 0
+        finally:
+            a.close()
+            b.close()
+            ring.close()
+            ring.unlink()
+
+    def test_closed_peer_raises_eof(self, frame_pair):
+        a, b, _ = frame_pair
+        a.close()
+        with pytest.raises(EOFError):
+            b.recv()
+
+
+# ---------------------------------------------------------------------------
+# HashRing determinism across a process boundary
+# ---------------------------------------------------------------------------
+def _child_ring_orders(n_shards, replicas, keys, conn):
+    ring = HashRing(n_shards, replicas=replicas)
+    conn.send([ring.fallback_order(key) for key in keys])
+    conn.close()
+
+
+class TestHashRingAcrossProcesses:
+    def test_fallback_order_matches_in_spawned_process(self):
+        keys = [f"fp-{i:03d}" for i in range(64)]
+        ring = HashRing(4, replicas=32)
+        local = [ring.fallback_order(key) for key in keys]
+        for order in local:
+            assert sorted(order) == [0, 1, 2, 3]  # a full permutation
+
+        ctx = multiprocessing.get_context("spawn")
+        parent, child = ctx.Pipe()
+        proc = ctx.Process(
+            target=_child_ring_orders, args=(4, 32, keys, child)
+        )
+        proc.start()
+        try:
+            remote = parent.recv()
+        finally:
+            proc.join(30)
+        assert remote == local
+
+
+# ---------------------------------------------------------------------------
+# Process-mode front end, end to end
+# ---------------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def proc_db(module_small_db):
+    """A private database copy: these tests re-ANALYZE statistics."""
+    return module_small_db
+
+
+@pytest.fixture(scope="module")
+def proc_featurizer(proc_db):
+    return QueryFeaturizer(proc_db.schema, max_relations=3)
+
+
+@pytest.fixture(scope="module")
+def proc_agent(proc_db, proc_featurizer):
+    return PPOAgent(
+        proc_featurizer.state_dim,
+        proc_featurizer.n_pair_actions,
+        np.random.default_rng(3),
+    )
+
+
+def build_frontend(db, agent, featurizer, executor, **config_kwargs):
+    config_kwargs.setdefault("n_shards", 2)
+    config_kwargs.setdefault("max_batch", 4)
+    config_kwargs.setdefault("max_delay_ms", 5.0)
+    return ServingFrontEnd.build(
+        db,
+        agent,
+        featurizer=featurizer,
+        serving_config=ServingConfig(regression_threshold=1.5),
+        config=FrontEndConfig(executor=executor, **config_kwargs),
+    )
+
+
+@pytest.fixture(scope="module")
+def proc_frontend(proc_db, proc_agent, proc_featurizer):
+    frontend = build_frontend(proc_db, proc_agent, proc_featurizer, "process")
+    yield frontend
+    frontend.close()
+
+
+QUERIES = [(AB, "ab"), (BC, "bc"), (ABC, "abc")]
+
+
+class TestProcessFrontEnd:
+    def test_serves_and_reports_transport_counters(self, proc_frontend):
+        plans = proc_frontend.optimize_batch(
+            [parse_query(sql, name) for sql, name in QUERIES], timeout=60.0
+        )
+        assert len(plans) == len(QUERIES)
+        for plan in plans:
+            assert plan.plan is not None
+            assert plan.source in {
+                "cache", "policy", "fallback", "expert",
+                "degraded_cache", "degraded_dp", "degraded_greedy",
+            }
+        counters = proc_frontend.counters()
+        assert counters["frontend_executor_processes"] == 2
+        assert counters["transport_frames_sent"] > 0
+        assert counters["transport_bytes_pipe"] > 0
+
+    def test_plan_parity_with_thread_executor(
+        self, proc_db, proc_agent, proc_featurizer, proc_frontend
+    ):
+        queries = [parse_query(sql, name) for sql, name in QUERIES]
+        thread_frontend = build_frontend(
+            proc_db, proc_agent, proc_featurizer, "thread"
+        )
+        try:
+            thread_plans = thread_frontend.optimize_batch(queries, timeout=60.0)
+        finally:
+            thread_frontend.close()
+        proc_plans = proc_frontend.optimize_batch(queries, timeout=60.0)
+        for thread_plan, proc_plan in zip(thread_plans, proc_plans):
+            assert plan_repr(thread_plan) == plan_repr(proc_plan)
+
+    def test_served_plan_round_trips_through_pickle(self, proc_frontend):
+        plan = proc_frontend.optimize(parse_query(AB, "ab-pickle"), timeout=60.0)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert clone.query_name == plan.query_name
+        assert clone.fingerprint == plan.fingerprint
+        assert clone.cost == plan.cost
+        assert clone.source == plan.source
+        assert clone.attempts == plan.attempts
+        assert clone.policy_version == plan.policy_version
+        assert plan_repr(clone) == plan_repr(plan)
+
+    def test_sigkill_respawn_rejoins_at_live_policy_version(
+        self, proc_db, proc_agent, proc_featurizer
+    ):
+        frontend = build_frontend(
+            proc_db, proc_agent, proc_featurizer, "process",
+            supervisor_interval_s=0.05,
+        )
+        try:
+            params = {
+                name: np.copy(arr)
+                for name, arr in proc_agent.policy.net.net.params.items()
+            }
+            for service in frontend.services:
+                service.apply_policy_weights(params, LIVE_VERSION)
+            assert all(
+                s.policy_version == LIVE_VERSION for s in frontend.services
+            )
+
+            victim = frontend.services[0]
+            assert isinstance(victim, ProcessWorkerClient)
+            victim.kill()  # real SIGKILL against the worker process
+            assert wait_until(
+                lambda: frontend.stats.worker_restarts >= 1
+                and all(s.is_alive() for s in frontend.services)
+            ), "supervisor did not respawn the killed worker"
+
+            # The replacement is a different proxy/process that must
+            # have been caught up to the hot-swapped weights.
+            assert all(
+                s.policy_version == LIVE_VERSION for s in frontend.services
+            )
+            plan = frontend.optimize(parse_query(BC, "bc-postkill"), timeout=60.0)
+            assert plan.plan is not None
+        finally:
+            frontend.close()
+
+    def test_stats_epoch_bump_orders_before_next_serve(self, proc_frontend):
+        query = parse_query(ABC, "abc-epoch")
+        first = proc_frontend.optimize(query, timeout=60.0)
+        again = proc_frontend.optimize(query, timeout=60.0)
+        assert again.source == "cache"  # warmed: second hit is cached
+        assert plan_repr(again) == plan_repr(first)
+
+        # refresh_statistics returns only after every worker bumped its
+        # epoch and evicted staled caches: the very next serve must not
+        # come from a pre-refresh cache entry.
+        proc_frontend.refresh_statistics(seed=11, sample_size=300)
+        fresh = proc_frontend.optimize(query, timeout=60.0)
+        assert fresh.source != "cache"
+        assert fresh.plan is not None
