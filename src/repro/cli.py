@@ -52,6 +52,14 @@ def build_parser() -> argparse.ArgumentParser:
         "service so the printed counters show a live cache hit rate",
     )
     info.add_argument(
+        "--estimator", choices=("histogram", "learned", "pessimistic"),
+        default="histogram",
+        help="cardinality lane installed on the database (learned is "
+        "trained on executor truth from a small JOB-lite sample first); "
+        "``--probe`` output then reports the active lane, its epoch "
+        "staleness, and its per-lane counters",
+    )
+    info.add_argument(
         "--executor", choices=("thread", "process"), default="thread",
         help="probe through thread shards (default) or spawned worker "
         "processes; process mode adds the transport_* counters (pipe "
@@ -122,6 +130,13 @@ def build_parser() -> argparse.ArgumentParser:
                        default="bitset",
                        help="expert join-search implementation behind the "
                        "guardrail fallback (bitset fast lane by default)")
+    serve.add_argument("--estimator",
+                       choices=("histogram", "learned", "pessimistic"),
+                       default="histogram",
+                       help="cardinality lane behind every cost estimate: "
+                       "the seed histogram formula (default), the learned "
+                       "residual net (trained on executor truth before "
+                       "serving starts), or the MCV upper-bound lane")
     serve.add_argument("--no-telemetry", action="store_true",
                        help="disable tracing and events (metrics counters "
                        "stay on; used to measure telemetry overhead)")
@@ -194,10 +209,52 @@ def _database(args):
     return make_imdb_database(scale=args.scale, seed=args.seed, sample_size=10_000)
 
 
+def _apply_estimator(db, lane, seed=0, train_limit=12, epochs=120):
+    """Install the requested cardinality lane on ``db``.
+
+    The learned lane is fitted before anything is served: one expert
+    plan per sampled JOB-lite query is executed and every sub-plan's
+    observed row count becomes a training pair (the paper's hands-free
+    recipe — the optimizer's own feedback, no oracle).
+    """
+    if lane == "histogram":
+        return db.estimator()
+    from repro.db import (
+        LearnedEstimator,
+        PessimisticEstimator,
+        harvest_training_pairs,
+    )
+
+    if lane == "pessimistic":
+        return db.use_estimator(PessimisticEstimator)
+    from repro.workloads import job_lite_workload
+
+    est = db.use_estimator(LearnedEstimator(db.schema, db.stats, seed=seed))
+    queries = list(
+        job_lite_workload(variants=("a",)).filter(lambda q: q.n_relations <= 8)
+    )[:train_limit]
+    print(f"fitting learned cardinality lane on {len(queries)} queries...")
+    pairs = harvest_training_pairs(db, queries)
+    diag = est.fit(db, pairs, epochs=epochs)
+    print(f"learned lane fitted: {len(pairs)} sub-plan pairs, "
+          f"final loss {diag['final_loss']:.4f}")
+    return est
+
+
+def _print_estimator_probe(db):
+    probe = db.estimator_probe()
+    stale = probe.get("stale_tables") or ([] if not probe.get("stale") else ["?"])
+    counts = ", ".join(f"{k}={v}" for k, v in sorted(probe["counts"].items()))
+    print(f"\ncardinality estimator: lane={probe['lane']} "
+          f"stale={'yes (' + ', '.join(stale) + ')' if probe.get('stale') else 'no'}"
+          f"\n  counters: {counts}")
+
+
 def _cmd_info(args) -> int:
     from repro.core.reporting import ascii_table
 
     db = _database(args)
+    _apply_estimator(db, args.estimator, seed=args.seed)
     rows = [
         (name, table.n_rows, table.n_pages, len(db.indexed_columns(name)))
         for name, table in sorted(db.tables.items())
@@ -224,6 +281,7 @@ def _cmd_info(args) -> int:
     else:
         print("\nserving counters: run with --probe N to serve sample "
               "queries and inspect live cache/fallback rates")
+    _print_estimator_probe(db)
     return 0
 
 
@@ -682,6 +740,9 @@ def _cmd_serve_bench(args) -> int:
         )
 
     db, env, agent, trainer, _baseline, _log = _trained_setup(args, args.episodes)
+    # Swap the cardinality lane before any service is built; the swap's
+    # epoch bump flushes estimates the policy pre-training memoized.
+    _apply_estimator(db, args.estimator, seed=args.seed)
 
     # Synthetic request stream: Zipf-skewed repetition over the workload,
     # like production traffic where a few query shapes dominate.
@@ -728,6 +789,7 @@ def _cmd_serve_bench(args) -> int:
     ))
     print("\nservice counters:")
     print(ascii_table(["counter", "value"], sorted(counters.items())))
+    _print_estimator_probe(db)
 
     if drift_report is not None:
         loop = drift_report["loop"]

@@ -24,7 +24,15 @@ signals is exactly the cost-model-vs-latency mismatch that Section 4 of
 the paper builds its argument on.
 """
 
+from repro.db.cardinality import (
+    CardinalityModel,
+    HistogramEstimator,
+    PessimisticEstimator,
+    QueryCardinalities,
+    q_error,
+)
 from repro.db.engine import Database
+from repro.db.learned_cardinality import LearnedEstimator, harvest_training_pairs
 from repro.db.plans import (
     HashAggregate,
     HashJoin,
@@ -41,8 +49,13 @@ from repro.db.query import Query, parse_query
 from repro.db.schema import Column, DatabaseSchema, DataType, ForeignKey, TableSchema
 
 __all__ = [
+    "CardinalityModel",
     "Column",
     "Database",
+    "HistogramEstimator",
+    "LearnedEstimator",
+    "PessimisticEstimator",
+    "QueryCardinalities",
     "DatabaseSchema",
     "DataType",
     "ForeignKey",
@@ -58,5 +71,7 @@ __all__ = [
     "SortAggregate",
     "TableSchema",
     "explain",
+    "harvest_training_pairs",
     "parse_query",
+    "q_error",
 ]

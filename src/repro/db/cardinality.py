@@ -1,21 +1,61 @@
-"""Cardinality estimation with PostgreSQL's classic assumptions.
+"""Pluggable cardinality estimation: one interface, three lanes.
 
-Selections multiply per-predicate selectivities (attribute independence);
-equi-joins use ``1 / max(nd(a), nd(b))`` (uniform match, containment of
-value sets); join-tree estimates multiply base-scan estimates by the
-selectivities of every internal join edge. Estimates are clamped to at
-least one row.
+The substrate every plan quality claim rests on (the paper's Section 4
+argument, via Leis et al. [17]) is the cardinality estimate. This
+module defines the abstract :class:`CardinalityModel` interface and two
+of its lanes:
 
-These assumptions are *deliberately* those of a traditional optimizer —
-on the skewed, correlated synthetic data the errors compound with join
-count, which is the behaviour (Leis et al. [17]) the paper's Section 4
-argument needs from its substrate.
+- :class:`HistogramEstimator` — PostgreSQL's classic assumptions.
+  Selections multiply per-predicate selectivities (attribute
+  independence); equi-joins use ``1 / max(nd(a), nd(b))`` (uniform
+  match, containment of value sets); join-tree estimates multiply
+  base-scan estimates by the selectivities of every internal join edge.
+  Estimates are clamped to at least one row. These assumptions are
+  *deliberately* those of a traditional optimizer — on the skewed,
+  correlated synthetic data the errors compound with join count, which
+  is the behaviour the paper's Section 4 argument needs.
+- :class:`PessimisticEstimator` — most-common-value **upper bounds**
+  for risk-averse serving: conjunctions combine with ``min`` instead of
+  a product (correlation-proof), equi-join edges are bounded by the
+  worst-case join multiplicity ``max(maxfreq(a), maxfreq(b))``, and
+  every per-predicate-class bound dominates the histogram lane's
+  estimate. For tree-shaped join graphs (the FK snowflakes this repo
+  generates) the alias-set estimate is a true upper bound on the join
+  size implied by the statistics sample.
+
+The supervised third lane, :class:`~repro.db.learned_cardinality.
+LearnedEstimator`, lives in its own module (it drags in the ``nn``
+stack) and plugs into the same hook.
+
+**The interface contract** (the one documented entry-point pair):
+
+- :meth:`QueryCardinalities.rows_for_aliases` — the order-independent
+  estimate for *any* join over exactly an alias set. This is what the
+  join-order search consumes (bitset DP subset memo, greedy
+  bottom-up, env step-masking, featurization).
+- :meth:`QueryCardinalities.plan_rows` — the predicate-honoring
+  estimate for a *physical* operator tree. This is what the cost model
+  consumes. It deliberately diverges from ``rows_for_aliases`` on
+  malformed plans: a join node that failed to apply an applicable
+  predicate (a cross product) is estimated at the full row product, so
+  such plans are costed as the catastrophes they are. For well-formed
+  plans — every applicable predicate attached where its sides first
+  meet — the two entry points agree under any product-form lane.
+
+Lanes customize estimates through two hooks: the selectivity methods
+(:meth:`CardinalityModel.predicate_selectivity` and friends — the
+product-form lanes), and :meth:`CardinalityModel.alias_set_rows` (the
+non-product lanes, e.g. learned models that predict whole sub-plan
+cardinalities). A lane with ``product_form = True`` guarantees
+``rows_for_aliases`` is exactly ``prod(scan_rows) * prod(join_sels)``
+clamped to one row, which lets the bitset DP keep its incremental
+mask-keyed products (see ``FastJoinContext.rows``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.db.plans import (
     IndexScan,
@@ -37,21 +77,89 @@ from repro.db.query import Query
 from repro.db.schema import DatabaseSchema
 from repro.db.statistics import ColumnStats, TableStats
 
-__all__ = ["CardinalityEstimator", "QueryCardinalities"]
+__all__ = [
+    "CardinalityModel",
+    "HistogramEstimator",
+    "PessimisticEstimator",
+    "CardinalityEstimator",
+    "QueryCardinalities",
+    "q_error",
+]
 
 DEFAULT_EQ_SELECTIVITY = 0.005
 DEFAULT_RANGE_SELECTIVITY = 0.33
 
 
-class CardinalityEstimator:
-    """Estimates selectivities and cardinalities from table statistics."""
+def q_error(estimated: float, actual: float) -> float:
+    """The q-error of one estimate: ``max(est/actual, actual/est)``.
+
+    Both sides are clamped to one row first (the estimator's own floor),
+    so a zero-row truth scores against 1.0 instead of dividing by zero.
+    The result is always >= 1.0; 1.0 means a perfect estimate.
+    """
+    est = max(1.0, float(estimated))
+    act = max(1.0, float(actual))
+    return est / act if est >= act else act / est
+
+
+class CardinalityModel:
+    """Abstract estimator interface: selectivities + the lane hook.
+
+    Concrete lanes subclass this. The base class carries the histogram
+    machinery because every lane needs it as its fallback substrate
+    (the learned lane serves histogram numbers when untrained or
+    stale), and product-form lanes specialize behaviour purely by
+    overriding the selectivity methods.
+
+    Instances are built by a picklable factory stored on
+    :class:`~repro.db.engine.Database` (``factory(schema, stats)``), so
+    the process executor's ``WorkerSpec`` rebuilds the active lane per
+    shard. After construction the database calls :meth:`bind`, handing
+    the model its live statistics and per-table epoch view.
+    """
+
+    #: Lane name, stamped through ServedPlan, counters, and traces.
+    lane = "abstract"
+    #: True when ``rows_for_aliases`` is exactly the product form
+    #: ``prod(scan_rows) * prod(join_sels)`` clamped to one row — the
+    #: bitset DP's licence to use its incremental mask products.
+    product_form = True
 
     def __init__(self, schema: DatabaseSchema, stats: Dict[str, TableStats]) -> None:
         self.schema = schema
         self.stats = stats
+        #: Per-lane estimate counters (GIL-benign increments): how many
+        #: alias-set estimates this lane computed, and how many times it
+        #: declined and fell back to the histogram formula.
+        self.counts: Dict[str, int] = {"estimates": 0, "fallbacks": 0}
+        #: Live per-table statistics epochs (a *reference* to the owning
+        #: database's dict, so analyze() bumps are visible immediately).
+        self._table_epochs: Dict[str, int] = {}
+
+    def bind(
+        self,
+        schema: DatabaseSchema,
+        stats: Dict[str, TableStats],
+        table_epochs: Dict[str, int],
+    ) -> "CardinalityModel":
+        """(Re)attach to a database's statistics and epoch view.
+
+        Called on first installation and after every ``analyze()``
+        (which replaces the stats dict wholesale). Lanes with trained
+        state keep it across rebinds and decide staleness per estimate
+        by comparing their training-time epochs against this live view.
+        """
+        self.schema = schema
+        self.stats = stats
+        self._table_epochs = table_epochs
+        return self
+
+    def probe(self) -> Dict[str, object]:
+        """Operator-facing lane status for ``repro info --probe``."""
+        return {"lane": self.lane, "stale": False, "counts": dict(self.counts)}
 
     # ------------------------------------------------------------------
-    # Selections
+    # Selections (histogram defaults — the shared fallback substrate)
     # ------------------------------------------------------------------
     def _column_stats(self, table: str, column: str) -> ColumnStats | None:
         table_stats = self.stats.get(table)
@@ -114,9 +222,124 @@ class CardinalityEstimator:
             null_factor *= 1.0 - right.null_frac
         return sel * null_factor
 
+    # ------------------------------------------------------------------
+    # The lane hook
+    # ------------------------------------------------------------------
+    def alias_set_rows(
+        self, cards: "QueryCardinalities", aliases: frozenset
+    ) -> Optional[float]:
+        """Lane override for a whole alias-set estimate, or ``None``.
+
+        ``None`` means "no opinion": :meth:`QueryCardinalities.
+        rows_for_aliases` then computes the histogram product formula.
+        Product-form lanes leave this alone (their specialization flows
+        through the selectivity methods); the learned lane returns a
+        model prediction here — or ``None`` when untrained or when any
+        member table's statistics epoch moved since training.
+        """
+        return None
+
     def for_query(self, query: Query) -> "QueryCardinalities":
         """A per-query estimator with memoized subtree cardinalities."""
         return QueryCardinalities(self, query)
+
+
+class HistogramEstimator(CardinalityModel):
+    """The concrete histogram lane — exactly the seed estimator.
+
+    Behaviour is pinned bitwise: every selectivity method is the base
+    class's, ``alias_set_rows`` never fires, and the product formula in
+    :meth:`QueryCardinalities.histogram_rows_for_aliases` multiplies in
+    the same order the seed did (regression-tested; the bitset DP's
+    parity assertions depend on it).
+    """
+
+    lane = "histogram"
+
+
+#: Deprecated alias — the concrete class was renamed when the abstract
+#: :class:`CardinalityModel` interface was extracted. Import
+#: :class:`HistogramEstimator` (or the interface) instead; this name is
+#: kept so external code and pickles keep working, and will be removed
+#: once nothing constructs it directly.
+CardinalityEstimator = HistogramEstimator
+
+
+class PessimisticEstimator(CardinalityModel):
+    """Upper-bound lane from most-common-value statistics.
+
+    Every estimate dominates the histogram lane's per predicate class
+    (regression-tested), and for tree-shaped join graphs the alias-set
+    estimate upper-bounds the true join size implied by the sampled
+    statistics:
+
+    - selections: per-class upper bounds from
+      :meth:`~repro.db.statistics.ColumnStats.selectivity_eq_upper` and
+      friends, combined across a conjunction with ``min`` (for any
+      events, ``P(A and B) <= min(P(A), P(B))`` — no independence
+      assumption);
+    - equi-joins: each intermediate row matches at most
+      ``maxfreq * n_rows`` rows of the joined-in side, so the edge
+      selectivity is bounded by ``max(maxfreq(left), maxfreq(right))``
+      (covering either join orientation), floored at the histogram
+      lane's selectivity;
+    - columns with no statistics: selectivity 1.0 (risk-averse: claim
+      nothing you cannot bound).
+
+    The lane stays product-form, so the bitset DP's incremental mask
+    products serve it at full speed.
+    """
+
+    lane = "pessimistic"
+
+    def predicate_selectivity(self, pred: Predicate, table: str) -> float:
+        stats = self._column_stats(table, pred.column.column)
+        if stats is None:
+            return 1.0
+        base = super().predicate_selectivity(pred, table)
+        if isinstance(pred, Comparison):
+            op = pred.op
+            if op is CompareOp.EQ:
+                bound = stats.selectivity_eq_upper(pred.value)
+            elif op is CompareOp.NE:
+                bound = stats.selectivity_ne_upper(pred.value)
+            elif op is CompareOp.LT:
+                bound = stats.selectivity_range_upper(
+                    None, pred.value, hi_inclusive=False
+                )
+            elif op is CompareOp.LE:
+                bound = stats.selectivity_range_upper(None, pred.value)
+            elif op is CompareOp.GT:
+                bound = stats.selectivity_range_upper(
+                    pred.value, None, lo_inclusive=False
+                )
+            else:
+                bound = stats.selectivity_range_upper(pred.value, None)
+        elif isinstance(pred, BetweenPredicate):
+            bound = stats.selectivity_range_upper(pred.lo, pred.hi)
+        elif isinstance(pred, InPredicate):
+            bound = stats.selectivity_in_upper(pred.values)
+        else:
+            raise TypeError(f"unknown predicate type {type(pred).__name__}")
+        return min(1.0, max(base, bound))
+
+    def conjunction_selectivity(self, preds: Sequence[Predicate], table: str) -> float:
+        """``min`` over the per-predicate upper bounds: correct for any
+        correlation between predicates, and always >= the histogram
+        lane's independence product (each factor there is <= 1)."""
+        sel = 1.0
+        for pred in preds:
+            sel = min(sel, self.predicate_selectivity(pred, table))
+        return sel
+
+    def join_selectivity(self, pred: JoinPredicate, query: Query) -> float:
+        base = super().join_selectivity(pred, query)
+        left = self._column_stats(query.table_of(pred.left.alias), pred.left.column)
+        right = self._column_stats(query.table_of(pred.right.alias), pred.right.column)
+        if left is None or right is None:
+            return 1.0
+        bound = max(left.max_freq(), right.max_freq())
+        return min(1.0, max(base, bound))
 
 
 @dataclass
@@ -128,21 +351,34 @@ class _ScanInfo:
 class QueryCardinalities:
     """Memoized cardinality estimates for one query.
 
-    The subtree estimate for an alias set ``S`` is::
+    The single home of the interface contract (see the module
+    docstring): :meth:`rows_for_aliases` for the join-order search,
+    :meth:`plan_rows` for physical plans. Under a product-form lane the
+    subtree estimate for an alias set ``S`` is::
 
         prod(scan_rows(a) for a in S) * prod(join_sel(e) for e inside S)
 
     which makes the estimate independent of the join order — the same
     property PostgreSQL's estimator has, and the reason the cost model
     (not cardinality) differentiates join orders of the same alias set.
+    Non-product lanes (learned) supply whole-set estimates through
+    :meth:`CardinalityModel.alias_set_rows` and fall back to the
+    histogram formula when they decline.
     """
 
-    def __init__(self, estimator: CardinalityEstimator, query: Query) -> None:
+    def __init__(self, estimator: CardinalityModel, query: Query) -> None:
         self.estimator = estimator
         self.query = query
         self._scan_cache: Dict[str, _ScanInfo] = {}
         self._tree_cache: Dict[frozenset, float] = {}
+        self._hist_tree_cache: Dict[frozenset, float] = {}
         self._join_sel_cache: Dict[JoinPredicate, float] = {}
+
+    @property
+    def product_form(self) -> bool:
+        """Whether the active lane keeps the product form (see
+        :attr:`CardinalityModel.product_form`)."""
+        return self.estimator.product_form
 
     # Scans -------------------------------------------------------------
     def scan_info(self, alias: str) -> _ScanInfo:
@@ -173,10 +409,17 @@ class QueryCardinalities:
             self._join_sel_cache[pred] = sel
         return sel
 
-    def rows_for_aliases(self, aliases: frozenset) -> float:
-        """Estimated rows of any join over exactly these aliases."""
-        aliases = frozenset(aliases)
-        cached = self._tree_cache.get(aliases)
+    def histogram_rows_for_aliases(self, aliases: frozenset) -> float:
+        """The product formula over the active lane's selectivities.
+
+        This is the seed arithmetic, pinned bitwise for the histogram
+        lane: scan rows multiplied in sorted alias order, join
+        selectivities in predicate declaration order, clamped to one
+        row at the end. Non-product lanes call it too — as their
+        fallback and as the learned lane's featurization prior — which
+        is why it memoizes separately from :meth:`rows_for_aliases`.
+        """
+        cached = self._hist_tree_cache.get(aliases)
         if cached is not None:
             return cached
         rows = 1.0
@@ -190,6 +433,19 @@ class QueryCardinalities:
             if pred.left.alias in aliases and pred.right.alias in aliases:
                 rows *= self.join_selectivity(pred)
         rows = max(1.0, rows)
+        self._hist_tree_cache[aliases] = rows
+        return rows
+
+    def rows_for_aliases(self, aliases: frozenset) -> float:
+        """Estimated rows of any join over exactly these aliases."""
+        aliases = frozenset(aliases)
+        cached = self._tree_cache.get(aliases)
+        if cached is not None:
+            return cached
+        rows = self.estimator.alias_set_rows(self, aliases)
+        if rows is None:
+            rows = self.histogram_rows_for_aliases(aliases)
+        self.estimator.counts["estimates"] += 1
         self._tree_cache[aliases] = rows
         return rows
 
@@ -217,12 +473,14 @@ class QueryCardinalities:
     def plan_rows(self, plan: PhysicalPlan) -> float:
         """Estimated output rows of a physical operator.
 
-        Unlike :meth:`rows_for_aliases`, this honours the predicates the
-        plan *actually applies*: a join node with no predicates (a cross
-        product) is estimated at the full row product, so plans that
-        fail to apply a join edge are costed as the catastrophes they
-        are. For well-formed plans — every applicable predicate attached
-        where its sides first meet — the two methods agree.
+        The predicate-honoring half of the interface contract: unlike
+        :meth:`rows_for_aliases`, this estimates the predicates the
+        plan *actually applies* — a join node with no predicates (a
+        cross product) is estimated at the full row product, so plans
+        that fail to apply a join edge are costed as the catastrophes
+        they are. For well-formed plans — every applicable predicate
+        attached where its sides first meet — the two entry points
+        agree under any product-form lane.
         """
         if isinstance(plan, (SeqScan, IndexScan)):
             return self.scan_rows(plan.alias)

@@ -15,7 +15,11 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.db.cardinality import CardinalityEstimator, QueryCardinalities
+from repro.db.cardinality import (
+    CardinalityModel,
+    HistogramEstimator,
+    QueryCardinalities,
+)
 from repro.db.costmodel import CostModel, CostParams, PlanCost
 from repro.db.datagen import TableSpec, generate_database_tables
 from repro.db.executor import ExecutionResult, Executor, SimParams
@@ -40,6 +44,18 @@ class Database:
     hash_indexes: Dict[Tuple[str, str], HashIndex] = field(default_factory=dict)
     cost_params: CostParams = field(default_factory=CostParams)
     sim_params: SimParams = field(default_factory=SimParams)
+    #: Picklable recipe for the active cardinality lane: either a
+    #: callable ``factory(schema, stats) -> CardinalityModel`` (usually
+    #: the lane class itself) or a ready :class:`CardinalityModel`
+    #: instance (a trained learned lane). Picklability matters: the
+    #: process executor's ``WorkerSpec`` ships this whole object, and
+    #: each worker shard rebuilds the same lane from it.
+    estimator_factory: object = field(default=HistogramEstimator)
+    #: The lazily built/bound active estimator. Ships in the pickle so
+    #: worker shards inherit trained lane state.
+    _estimator_instance: CardinalityModel | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
     #: Identity-keyed LRU of per-query cardinality estimates. A
     #: :class:`QueryCardinalities` memoizes its own subtree estimates, so
     #: sharing one instance per query object across an episode (and
@@ -233,8 +249,57 @@ class Database:
     # ------------------------------------------------------------------
     # Planner services
     # ------------------------------------------------------------------
-    def estimator(self) -> CardinalityEstimator:
-        return CardinalityEstimator(self.schema, self.stats)
+    def estimator(self) -> CardinalityModel:
+        """The active cardinality lane, built from ``estimator_factory``
+        and rebound whenever :meth:`analyze` replaced the statistics.
+
+        The instance is shared (per-lane counters and trained state must
+        persist across calls); its estimate methods are read-only after
+        :meth:`~CardinalityModel.bind`, so concurrent shard threads can
+        use it without the cache lock.
+        """
+        inst = self._estimator_instance
+        if inst is not None and inst.stats is self.stats:
+            return inst
+        with self._cards_lock:
+            inst = self._estimator_instance
+            if inst is None:
+                factory = self.estimator_factory
+                inst = (
+                    factory
+                    if isinstance(factory, CardinalityModel)
+                    else factory(self.schema, self.stats)
+                )
+            if inst.stats is not self.stats or self._estimator_instance is None:
+                inst.bind(self.schema, self.stats, self.table_epochs)
+            self._estimator_instance = inst
+        return inst
+
+    def use_estimator(self, factory) -> CardinalityModel:
+        """Swap the active cardinality lane.
+
+        ``factory`` is a picklable ``(schema, stats) -> CardinalityModel``
+        callable (usually the lane class) or a ready instance. Derived
+        caches hold numbers from the old lane, so the swap bumps every
+        statistics epoch — exactly the :meth:`bump_stats_epoch`
+        discipline — before the new lane serves its first estimate.
+        Returns the bound instance (e.g. to ``fit()`` a learned lane).
+        """
+        with self._cards_lock:
+            self.estimator_factory = factory
+            self._estimator_instance = None
+        self.bump_stats_epoch()
+        return self.estimator()
+
+    @property
+    def estimator_lane(self) -> str:
+        """Name of the active cardinality lane (stamped through
+        :class:`~repro.serving.service.ServedPlan`, counters, traces)."""
+        return self.estimator().lane
+
+    def estimator_probe(self) -> dict:
+        """Lane, staleness, and per-lane counters for operator probes."""
+        return self.estimator().probe()
 
     def cardinalities(self, query: Query) -> QueryCardinalities:
         """Per-query estimates, cached by query identity.

@@ -1,0 +1,326 @@
+"""The supervised cardinality lane: MSCN-light on executor truth.
+
+:class:`LearnedEstimator` plugs into the
+:class:`~repro.db.cardinality.CardinalityModel` hook with a small MLP
+(the repo's own ``nn`` stack — no external deps) trained on
+(sub-plan -> observed rows) pairs harvested from the executor's
+per-node row counts (``ExecutionResult.actual_rows``). In the MSCN
+spirit the featurization is a fixed-width set encoding — table
+multi-hot plus aggregate selection/join statistics — and, like Neo's
+"best of both worlds" trick, the histogram lane's own estimate rides
+along as an input so the net only has to learn the *systematic
+residual* (the independence-assumption underestimate that compounds
+with join count on skewed data), not absolute cardinalities from
+scratch.
+
+Staleness follows the per-table epoch machinery: training stamps the
+database's ``table_epochs``, and an estimate is served only while every
+member table's epoch still matches — an ``analyze()`` invalidates
+learned estimates exactly like cached plans, falling back to the
+histogram formula until :meth:`LearnedEstimator.fit` runs again.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.db.cardinality import CardinalityModel, QueryCardinalities
+from repro.db.plans import IndexScan, PhysicalPlan, SeqScan, _Aggregate, _Join
+from repro.db.query import Query
+from repro.db.schema import DatabaseSchema
+from repro.db.statistics import TableStats
+
+__all__ = [
+    "LearnedEstimator",
+    "SubPlanFeaturizer",
+    "TrainingPair",
+    "harvest_training_pairs",
+    "subplan_alias_sets",
+]
+
+#: One supervised example: the query, the sub-plan's alias set, and the
+#: executor-observed output rows of a node joining exactly that set.
+TrainingPair = Tuple[Query, frozenset, int]
+
+#: Predicted residuals are clamped to e**+-8 (~3000x either way): a
+#: wild extrapolation from a small net must not produce estimates worse
+#: than the histogram prior it corrects.
+_MAX_LOG_RESIDUAL = 8.0
+
+
+class SubPlanFeaturizer:
+    """Fixed-width features for a (query, alias-set) pair.
+
+    Schema-derived and picklable. Everything numeric is log-scaled;
+    the histogram prior (the product-formula estimate for the same
+    set) is the most informative input — the net learns a correction
+    to it.
+    """
+
+    def __init__(self, schema: DatabaseSchema) -> None:
+        self.tables = sorted(schema.tables)
+        self._table_index = {t: i for i, t in enumerate(self.tables)}
+        #: table multi-hot counts + [n_aliases, n_join_edges,
+        #: n_selections, log1p(hist_est), sum log1p(scan_rows),
+        #: sum log1p(base_rows), sum -log(join_sel)]
+        self.n_features = len(self.tables) + 7
+
+    def features(self, cards: QueryCardinalities, aliases: frozenset) -> np.ndarray:
+        query = cards.query
+        x = np.zeros(self.n_features, dtype=np.float64)
+        n_tables = len(self.tables)
+        scan_log = 0.0
+        base_log = 0.0
+        n_selections = 0
+        for alias in aliases:
+            idx = self._table_index.get(query.table_of(alias))
+            if idx is not None:
+                x[idx] += 1.0
+            scan_log += np.log1p(cards.scan_rows(alias))
+            base_log += np.log1p(cards.base_rows(alias))
+            n_selections += len(query.selections_for(alias))
+        join_log = 0.0
+        n_edges = 0
+        for pred in query.joins:
+            if pred.left.alias in aliases and pred.right.alias in aliases:
+                n_edges += 1
+                join_log -= np.log(max(cards.join_selectivity(pred), 1e-12))
+        x[n_tables + 0] = float(len(aliases))
+        x[n_tables + 1] = float(n_edges)
+        x[n_tables + 2] = float(n_selections)
+        x[n_tables + 3] = np.log1p(cards.histogram_rows_for_aliases(aliases))
+        x[n_tables + 4] = scan_log
+        x[n_tables + 5] = base_log
+        x[n_tables + 6] = join_log
+        return x
+
+
+class LearnedEstimator(CardinalityModel):
+    """Supervised lane: histogram substrate + a residual-correcting MLP.
+
+    Untrained (or epoch-stale for any member table) it is
+    estimate-for-estimate the histogram lane; trained, it overrides
+    whole alias-set estimates through ``alias_set_rows``. Not
+    product-form — the bitset DP routes subset estimates through
+    :meth:`QueryCardinalities.rows_for_aliases` instead of its
+    incremental mask products.
+    """
+
+    lane = "learned"
+    product_form = False
+
+    def __init__(
+        self,
+        schema: DatabaseSchema,
+        stats: Dict[str, TableStats],
+        hidden: Sequence[int] = (64, 32),
+        seed: int = 0,
+    ) -> None:
+        super().__init__(schema, stats)
+        self.hidden = list(hidden)
+        self.seed = seed
+        self.featurizer = SubPlanFeaturizer(schema)
+        self.model = None  # an MLP once fit() has run
+        self._feat_mean: np.ndarray | None = None
+        self._feat_std: np.ndarray | None = None
+        #: ``table -> stats epoch`` snapshot taken when fit() finished;
+        #: None until first training.
+        self.trained_epochs: Dict[str, int] | None = None
+        self.counts.update({"learned": 0, "stale_fallbacks": 0})
+        #: Serializes forward passes: the nn layers cache activations on
+        #: self, so concurrent thread-shard predictions would race.
+        self._lock = threading.Lock()
+
+    # -- pickling (process-executor WorkerSpec ships the Database) ------
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_lock"] = None
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def is_trained(self) -> bool:
+        return self.model is not None
+
+    def stale_tables(self) -> List[str]:
+        """Tables whose statistics epoch moved since the last fit()."""
+        if self.trained_epochs is None:
+            return []
+        return sorted(
+            name
+            for name, live in self._table_epochs.items()
+            if self.trained_epochs.get(name, 0) != live
+        )
+
+    def probe(self) -> Dict[str, object]:
+        stale = self.stale_tables()
+        return {
+            "lane": self.lane,
+            "trained": self.is_trained(),
+            "stale": bool(stale),
+            "stale_tables": stale,
+            "counts": dict(self.counts),
+        }
+
+    def _stale_for(self, query: Query, aliases: frozenset) -> bool:
+        trained = self.trained_epochs
+        if trained is None:
+            return True
+        epochs = self._table_epochs
+        for alias in aliases:
+            table = query.table_of(alias)
+            if trained.get(table, 0) != epochs.get(table, 0):
+                return True
+        return False
+
+    # ------------------------------------------------------------------
+    def alias_set_rows(self, cards, aliases):
+        if self.model is None:
+            self.counts["fallbacks"] += 1
+            return None
+        if self._stale_for(cards.query, aliases):
+            # Per-table invalidation: only sets touching a re-ANALYZEd
+            # table fall back; the rest keep serving learned estimates.
+            self.counts["stale_fallbacks"] += 1
+            self.counts["fallbacks"] += 1
+            return None
+        x = self.featurizer.features(cards, aliases)
+        z = (x - self._feat_mean) / self._feat_std
+        with self._lock:
+            residual = float(self.model.forward(z)[0, 0])
+        residual = float(np.clip(residual, -_MAX_LOG_RESIDUAL, _MAX_LOG_RESIDUAL))
+        prior = cards.histogram_rows_for_aliases(aliases)
+        self.counts["learned"] += 1
+        return max(1.0, prior * float(np.exp(residual)))
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(
+        self,
+        db,
+        pairs: Sequence[TrainingPair],
+        epochs: int = 300,
+        batch_size: int = 64,
+        lr: float = 3e-3,
+    ) -> Dict[str, float]:
+        """Train the residual net on (sub-plan -> observed rows) pairs
+        and stamp the database's current per-table epochs.
+
+        ``db`` supplies per-query cardinality facades for featurization
+        and the epoch snapshot. Returns training diagnostics.
+        """
+        from repro.nn.network import MLP
+
+        if not pairs:
+            raise ValueError("fit() needs at least one training pair")
+        feats = []
+        targets = []
+        for query, aliases, actual in pairs:
+            cards = db.cardinalities(query)
+            x = self.featurizer.features(cards, aliases)
+            prior = cards.histogram_rows_for_aliases(aliases)
+            feats.append(x)
+            targets.append(np.log(max(1.0, float(actual)) / prior))
+        x_all = np.asarray(feats, dtype=np.float64)
+        y_all = np.clip(
+            np.asarray(targets, dtype=np.float64),
+            -_MAX_LOG_RESIDUAL,
+            _MAX_LOG_RESIDUAL,
+        )
+        self._feat_mean = x_all.mean(axis=0)
+        self._feat_std = np.where(x_all.std(axis=0) > 1e-9, x_all.std(axis=0), 1.0)
+        z_all = (x_all - self._feat_mean) / self._feat_std
+
+        rng = np.random.default_rng(self.seed)
+        model = MLP(
+            self.featurizer.n_features, self.hidden, 1, rng=rng, lr=lr
+        )
+        n = len(z_all)
+        last_loss = float("inf")
+        for _ in range(epochs):
+            order = rng.permutation(n)
+            losses = []
+            for start in range(0, n, batch_size):
+                idx = order[start : start + batch_size]
+                zb, yb = z_all[idx], y_all[idx][:, None]
+
+                def mse(out, yb=yb):
+                    err = out - yb
+                    return float((err**2).mean()), 2.0 * err / len(err)
+
+                losses.append(model.train_step(zb, mse))
+            last_loss = float(np.mean(losses))
+        with self._lock:
+            self.model = model
+        # Estimates served while untrained (histogram fallbacks) are
+        # memoized in per-query facades and downstream cost memos; flush
+        # them with the standard epoch discipline, then stamp the *new*
+        # epochs so the fresh model is immediately live. Serving stacks
+        # that cached plans across this fit should run their own
+        # statistics-refresh path (the epoch bump makes their guarded
+        # cache puts fire, exactly like an ANALYZE race).
+        db.bump_stats_epoch()
+        self.trained_epochs = {
+            name: db.table_epochs.get(name, 0) for name in self.schema.tables
+        }
+        return {"pairs": float(n), "final_loss": last_loss, "epochs": float(epochs)}
+
+
+# ----------------------------------------------------------------------
+# Harvesting executor truth
+# ----------------------------------------------------------------------
+def subplan_alias_sets(plan: PhysicalPlan) -> List[Tuple[PhysicalPlan, frozenset]]:
+    """Every (node, alias-set) of a physical plan's scan/join nodes."""
+    out: List[Tuple[PhysicalPlan, frozenset]] = []
+
+    def walk(node: PhysicalPlan) -> frozenset:
+        if isinstance(node, (SeqScan, IndexScan)):
+            aliases = frozenset((node.alias,))
+        elif isinstance(node, _Join):
+            aliases = walk(node.left) | walk(node.right)
+        elif isinstance(node, _Aggregate):
+            return walk(node.child)
+        else:
+            raise TypeError(f"unknown plan node {type(node).__name__}")
+        out.append((node, aliases))
+        return aliases
+
+    walk(plan)
+    return out
+
+
+def harvest_training_pairs(
+    db,
+    queries: Iterable[Query],
+    planner=None,
+    budget_ms: float = 1e9,
+) -> List[TrainingPair]:
+    """Execute one expert plan per query and collect every sub-plan's
+    observed row count — the supervised signal the learned lane trains
+    on. Nodes the executor never reached (budget cutoffs) are skipped;
+    duplicate alias sets within a query keep the first observation
+    (deeper joins re-observe the same set only on bushy plans).
+    """
+    from repro.optimizer.planner import Planner
+
+    planner = planner or Planner(db)
+    pairs: List[TrainingPair] = []
+    for query in queries:
+        tree = planner.choose_join_order(query)
+        plan = planner.complete_plan(tree, query, include_aggregate=False)
+        result = db.execute_plan(plan, query, budget_ms=budget_ms)
+        seen: set = set()
+        for node, aliases in subplan_alias_sets(plan):
+            actual = result.actual_rows(node)
+            if actual is None or aliases in seen:
+                continue
+            seen.add(aliases)
+            pairs.append((query, aliases, int(actual)))
+    return pairs

@@ -77,6 +77,104 @@ class ColumnStats:
     def selectivity_ne(self, value: float) -> float:
         return float(np.clip(1.0 - self.null_frac - self.selectivity_eq(value), 0.0, 1.0))
 
+    # ------------------------------------------------------------------
+    # Upper bounds (the pessimistic estimator lane)
+    # ------------------------------------------------------------------
+    def max_freq(self) -> float:
+        """Upper bound on any single value's frequency (fraction of rows).
+
+        With MCVs this is the top most-common-value frequency — no
+        non-MCV value can exceed it. Without MCVs (no non-null values
+        sampled, or no statistics) nothing is known, so the bound is
+        the whole non-null fraction.
+        """
+        if self.mcv_freqs.size:
+            return float(self.mcv_freqs.max())
+        return 1.0 - self.null_frac
+
+    def selectivity_eq_upper(self, value: float) -> float:
+        """Upper bound on P(col = value), always >= :meth:`selectivity_eq`.
+
+        An MCV match is bounded by its measured frequency; a non-MCV
+        value cannot be more frequent than the *least* common MCV (it
+        would have made the list), falling back to the whole histogram
+        mass when there are no MCVs at all.
+        """
+        if self.n_rows == 0:
+            return 0.0
+        base = self.selectivity_eq(value)
+        matches = np.nonzero(self.mcv_values == value)[0]
+        if matches.size:
+            return float(self.mcv_freqs[matches[0]])
+        bound = float(self.mcv_freqs.min()) if self.mcv_freqs.size else self.hist_frac
+        return float(np.clip(max(base, bound), 0.0, 1.0))
+
+    def selectivity_range_upper(
+        self,
+        lo: float | None,
+        hi: float | None,
+        lo_inclusive: bool = True,
+        hi_inclusive: bool = True,
+    ) -> float:
+        """Upper bound on P(lo <= col <= hi): the uniform-in-bucket
+        interpolation of :meth:`selectivity_range` under-counts when
+        values skew within a bucket, so every partially-covered bucket
+        is counted in full here. Always >= :meth:`selectivity_range`."""
+        if self.n_rows == 0:
+            return 0.0
+        base = self.selectivity_range(lo, hi, lo_inclusive, hi_inclusive)
+        total = 0.0
+        for value, freq in zip(self.mcv_values, self.mcv_freqs):
+            if self._in_range(value, lo, hi, lo_inclusive, hi_inclusive):
+                total += float(freq)
+        bounds = self.histogram_bounds
+        if len(bounds) < 2:
+            frac = 1.0
+        else:
+            lo_pos = 0.0 if lo is None else self._hist_position_floor(lo)
+            hi_pos = 1.0 if hi is None else self._hist_position_ceil(hi)
+            frac = max(0.0, hi_pos - lo_pos)
+        total += self.hist_frac * frac
+        return float(np.clip(max(base, total), 0.0, 1.0))
+
+    def selectivity_in_upper(self, values: Sequence[float]) -> float:
+        return float(
+            np.clip(sum(self.selectivity_eq_upper(v) for v in values), 0.0, 1.0)
+        )
+
+    def selectivity_ne_upper(self, value: float) -> float:
+        """Upper bound on P(col != value): everything non-null."""
+        return float(np.clip(1.0 - self.null_frac, 0.0, 1.0))
+
+    def _hist_position_floor(self, value: float) -> float:
+        """Cumulative mass fraction at the start of ``value``'s bucket."""
+        bucket, n_buckets = self._hist_bucket(value)
+        if bucket < 0:
+            return 0.0
+        if bucket >= n_buckets:
+            return 1.0
+        return bucket / n_buckets
+
+    def _hist_position_ceil(self, value: float) -> float:
+        """Cumulative mass fraction at the end of ``value``'s bucket."""
+        bucket, n_buckets = self._hist_bucket(value)
+        if bucket < 0:
+            return 0.0
+        if bucket >= n_buckets:
+            return 1.0
+        return (bucket + 1) / n_buckets
+
+    def _hist_bucket(self, value: float) -> Tuple[int, int]:
+        """Bucket index of ``value`` (-1 below, n_buckets above range)."""
+        bounds = self.histogram_bounds
+        n_buckets = len(bounds) - 1
+        if value < bounds[0]:
+            return -1, n_buckets
+        if value >= bounds[-1]:
+            return n_buckets, n_buckets
+        bucket = int(np.searchsorted(bounds, value, side="right")) - 1
+        return min(bucket, n_buckets - 1), n_buckets
+
     @staticmethod
     def _in_range(value, lo, hi, lo_inc, hi_inc) -> bool:
         if lo is not None and (value < lo or (value == lo and not lo_inc)):

@@ -111,6 +111,7 @@ class FastJoinContext:
         "_scan_prod",
         "_rows",
         "_nbr",
+        "_product_form",
     )
 
     def __init__(
@@ -139,6 +140,12 @@ class FastJoinContext:
         self._scan_prod: Dict[int, float] = {0: 1.0}
         self._rows: Dict[int, float] = {0: 1.0}
         self._nbr: Dict[int, int] = {}
+        #: Product-form lanes (histogram, pessimistic) license the
+        #: incremental mask products below; non-product lanes (learned)
+        #: route every subset estimate through the interface's
+        #: ``rows_for_aliases`` so the DP searches under the lane's own
+        #: numbers.
+        self._product_form: bool = getattr(cards, "product_form", True)
 
     # ------------------------------------------------------------------
     def scan_cost(self, i: int) -> float:
@@ -195,12 +202,23 @@ class FastJoinContext:
         cached = self._rows.get(mask)
         if cached is not None:
             return cached
-        rows = self._scan_product(mask)
-        for abit, bbit, sel in self.edge_sels:
-            if abit & mask and bbit & mask:
-                rows *= sel
-        if rows < 1.0:
-            rows = 1.0
+        if self._product_form:
+            rows = self._scan_product(mask)
+            for abit, bbit, sel in self.edge_sels:
+                if abit & mask and bbit & mask:
+                    rows *= sel
+            if rows < 1.0:
+                rows = 1.0
+        else:
+            # Non-product lane: ask the interface, memoize by mask.
+            aliases = self.aliases
+            members = []
+            m = mask
+            while m:
+                bit = m & -m
+                members.append(aliases[bit.bit_length() - 1])
+                m ^= bit
+            rows = self.cards.rows_for_aliases(frozenset(members))
         self._rows[mask] = rows
         return rows
 

@@ -640,6 +640,9 @@ class ServingFrontEnd:
         )
 
         def make_service(shard: int) -> OptimizerService:
+            # Thread shards share one Database; only shard 0 exposes its
+            # db-level metrics (estimator counters) so a registry merge
+            # counts them once, not n_shards times.
             return OptimizerService(
                 db,
                 copy.deepcopy(policy),
@@ -648,6 +651,7 @@ class ServingFrontEnd:
                 config=serving_config,
                 reward_source=reward_source,
                 telemetry=telemetry,
+                db_metrics=(shard == 0),
             )
 
         services = [
@@ -659,6 +663,7 @@ class ServingFrontEnd:
                 config=serving_config,
                 reward_source=reward_source,
                 telemetry=telemetry,
+                db_metrics=(shard == 0),
             )
             for shard in range(config.n_shards)
         ]

@@ -96,6 +96,9 @@ _LEGACY_COUNTER_KEYS = (
     ("repro_serving_degraded_dp_total", "degraded_dp"),
     ("repro_serving_degraded_greedy_total", "degraded_greedy"),
     ("repro_guardrail_timeouts_total", "guardrail_timeouts"),
+    ("repro_estimator_estimates_total", "estimator_estimates"),
+    ("repro_estimator_fallbacks_total", "estimator_fallbacks"),
+    ("repro_estimator_stale_fallbacks_total", "estimator_stale_fallbacks"),
 )
 
 
@@ -179,6 +182,9 @@ class ServedPlan:
     #: Which promoted policy generation answered (monotonic across the
     #: retraining daemon's hot-swaps; 1 = the initially deployed policy).
     policy_version: int = 1
+    #: Which cardinality lane (``Database.estimator_lane``) was active
+    #: when this batch planned: "histogram" | "learned" | "pessimistic".
+    estimator_lane: str = "histogram"
 
 
 @dataclass
@@ -236,8 +242,16 @@ class OptimizerService:
         reward_source=None,
         clock=time.monotonic,
         telemetry: Telemetry | None = None,
+        db_metrics: bool = True,
     ) -> None:
         self.db = db
+        #: Whether this service's registry also exposes database-level
+        #: metrics (the cardinality estimator's counters). Thread-mode
+        #: shards share one Database: the front end enables this on
+        #: shard 0 only, so a registry merge does not multiply the same
+        #: underlying counts by the shard fan-out. Process-mode workers
+        #: each own their Database copy and keep the default.
+        self.db_metrics = db_metrics
         # Agents (PPO/REINFORCE) carry their CategoricalPolicy in .policy;
         # a bare policy object is accepted too.
         self.policy = getattr(agent_or_policy, "policy", agent_or_policy)
@@ -447,6 +461,34 @@ class OptimizerService:
                 "buffered trajectories tagged as degraded serves "
                 "(excluded from retraining)",
             )
+        if self.db_metrics:
+            db = self.db
+            reg.counter_fn(
+                "repro_estimator_estimates_total",
+                lambda: db.estimator().counts.get("estimates", 0),
+                "alias-set cardinality estimates served",
+            )
+            reg.counter_fn(
+                "repro_estimator_fallbacks_total",
+                lambda: db.estimator().counts.get("fallbacks", 0),
+                "estimates answered by the histogram fallback",
+            )
+            reg.counter_fn(
+                "repro_estimator_stale_fallbacks_total",
+                lambda: db.estimator().counts.get("stale_fallbacks", 0),
+                "fallbacks forced by post-ANALYZE epoch staleness",
+            )
+            reg.gauge_fn(
+                "repro_estimator_stale",
+                lambda: 1.0 if db.estimator_probe().get("stale") else 0.0,
+                "1 when the active lane holds estimates stale vs table epochs",
+            )
+            for lane in ("histogram", "learned", "pessimistic"):
+                reg.gauge_fn(
+                    f"repro_estimator_lane_{lane}",
+                    lambda lane=lane: 1.0 if db.estimator_lane == lane else 0.0,
+                    f"1 when the {lane} cardinality lane is active",
+                )
         register_planner = getattr(self.planner, "register_metrics", None)
         if register_planner is not None:
             register_planner(reg)
@@ -591,6 +633,10 @@ class OptimizerService:
         # produced by the weights live at batch start (the swap lock
         # excludes mid-rollout weight mutation).
         version = self.policy_version
+        # Likewise one cardinality-lane stamp: estimator swaps go
+        # through use_estimator()'s epoch bump, so a mid-batch swap
+        # behaves like the stats race above (guarded cache puts skip).
+        lane = self.db.estimator_lane
         self.stats.batches += 1
         if self.fault_injector is not None and self.fault_injector.fires(
             "stats_race", f"b{self.stats.batches}"
@@ -617,6 +663,7 @@ class OptimizerService:
             if trace is not None:
                 trace.root.attrs.setdefault("fingerprint", fp)
                 trace.root.attrs.setdefault("policy_version", version)
+                trace.root.attrs.setdefault("estimator_lane", lane)
             if fp in rollout_fp:  # duplicate inside this burst
                 rollout_fp[fp].append(idx)
                 continue
@@ -753,6 +800,7 @@ class OptimizerService:
                     latency_ms=latency_ms,
                     decision=decision,
                     policy_version=version,
+                    estimator_lane=lane,
                 )
             )
         return served
